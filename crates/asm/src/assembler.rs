@@ -1,0 +1,1041 @@
+//! The two-pass assembler and linker.
+//!
+//! Pass 1 walks the tokenized lines, assigns every instruction and datum an
+//! address (expanding pseudo-instructions to their final size) and collects
+//! label definitions. Pass 2 encodes instructions, resolving label
+//! references and range-checking branch displacements. The output is a
+//! linked [`Image`] with a symbol table: text labels that do not begin with
+//! `.L` become function symbols (with extents), data labels become objects —
+//! which is what the procedure-granularity chunker needs.
+
+use crate::tokens::{tokenize, Operand};
+use softcache_isa::image::{Image, SymKind, Symbol};
+use softcache_isa::inst::{AluOp, BranchCond, Inst, MemWidth};
+use softcache_isa::layout::{DATA_BASE, TEXT_BASE};
+use softcache_isa::reg::Reg;
+use softcache_isa::{cf, encode};
+use std::collections::HashMap;
+
+/// Assembly error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 when the error has no single source line).
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Size in *words* a mnemonic will occupy, given its operands.
+fn inst_words(op: &str, operands: &[Operand], line: usize) -> Result<u32, AsmError> {
+    Ok(match op {
+        "li" => {
+            let Some(Operand::Num(v)) = operands.get(1) else {
+                return err(line, "li needs `rd, imm`");
+            };
+            if (-32768..=32767).contains(v) {
+                1
+            } else {
+                2
+            }
+        }
+        "la" => 2,
+        "not" => 2,
+        _ => 1,
+    })
+}
+
+fn reg_of(opnd: &Operand, line: usize) -> Result<Reg, AsmError> {
+    match opnd {
+        Operand::Ident(name) => {
+            Reg::parse(name).ok_or_else(|| AsmError {
+                line,
+                msg: format!("unknown register `{name}`"),
+            })
+        }
+        other => err(line, format!("expected register, got {other:?}")),
+    }
+}
+
+struct Assembler {
+    text: Vec<u32>,
+    data: Vec<u8>,
+    labels: HashMap<String, u32>,
+    globals: Vec<String>,
+}
+
+impl Assembler {
+    fn label(&self, name: &str, line: usize) -> Result<u32, AsmError> {
+        self.labels.get(name).copied().ok_or_else(|| AsmError {
+            line,
+            msg: format!("undefined symbol `{name}`"),
+        })
+    }
+}
+
+fn data_align(len: &mut u32, align: u32) {
+    let rem = *len % align;
+    if rem != 0 {
+        *len += align - rem;
+    }
+}
+
+/// Assemble a complete source file into a linked [`Image`].
+pub fn assemble(src: &str) -> Result<Image, AsmError> {
+    let lines = tokenize(src).map_err(|e| AsmError {
+        line: e.line,
+        msg: e.msg,
+    })?;
+
+    // ---- Pass 1: layout ----
+    let mut section = Section::Text;
+    let mut text_len = 0u32; // words
+    let mut data_len = 0u32; // bytes
+    let mut asm = Assembler {
+        text: Vec::new(),
+        data: Vec::new(),
+        labels: HashMap::new(),
+        globals: Vec::new(),
+    };
+
+    for line in &lines {
+        // Directives that change the location counter are handled per section.
+        let addr = match section {
+            Section::Text => TEXT_BASE + text_len * 4,
+            Section::Data => DATA_BASE + data_len,
+        };
+        // .word/.half alignment happens before the label binds.
+        let mut label_addr = addr;
+        if section == Section::Data {
+            if let Some(op) = line.op.as_deref() {
+                let align = match op {
+                    ".word" => 4,
+                    ".half" => 2,
+                    _ => 1,
+                };
+                if align > 1 {
+                    let mut l = data_len;
+                    data_align(&mut l, align);
+                    label_addr = DATA_BASE + l;
+                }
+            }
+        }
+        for label in &line.labels {
+            if asm
+                .labels
+                .insert(label.clone(), label_addr)
+                .is_some()
+            {
+                return err(line.num, format!("duplicate label `{label}`"));
+            }
+        }
+        let Some(op) = line.op.as_deref() else {
+            continue;
+        };
+        match op {
+            ".text" => section = Section::Text,
+            ".data" => section = Section::Data,
+            ".global" | ".globl" => {
+                if let Some(Operand::Ident(n)) = line.operands.first() {
+                    asm.globals.push(n.clone());
+                } else {
+                    return err(line.num, ".global needs a symbol name");
+                }
+            }
+            ".word" => {
+                data_align(&mut data_len, 4);
+                data_len += 4 * line.operands.len() as u32;
+            }
+            ".half" => {
+                data_align(&mut data_len, 2);
+                data_len += 2 * line.operands.len() as u32;
+            }
+            ".byte" => data_len += line.operands.len() as u32,
+            ".space" => {
+                let Some(Operand::Num(n)) = line.operands.first() else {
+                    return err(line.num, ".space needs a byte count");
+                };
+                if *n < 0 {
+                    return err(line.num, ".space size must be non-negative");
+                }
+                data_len += *n as u32;
+            }
+            ".align" => {
+                let Some(Operand::Num(n)) = line.operands.first() else {
+                    return err(line.num, ".align needs an alignment");
+                };
+                if *n <= 0 || (*n & (*n - 1)) != 0 {
+                    return err(line.num, ".align needs a power of two");
+                }
+                data_align(&mut data_len, *n as u32);
+            }
+            ".asciiz" | ".ascii" => {
+                let Some(Operand::Str(s)) = line.operands.first() else {
+                    return err(line.num, format!("{op} needs a string"));
+                };
+                data_len += s.len() as u32 + if op == ".asciiz" { 1 } else { 0 };
+            }
+            d if d.starts_with('.') => {
+                return err(line.num, format!("unknown directive `{d}`"));
+            }
+            mnem => {
+                if section != Section::Text {
+                    return err(line.num, "instruction outside .text");
+                }
+                text_len += inst_words(mnem, &line.operands, line.num)?;
+            }
+        }
+    }
+
+    // ---- Pass 2: emit ----
+    section = Section::Text;
+    let mut data_pos = 0u32;
+    for line in &lines {
+        let Some(op) = line.op.as_deref() else {
+            continue;
+        };
+        match op {
+            ".text" => section = Section::Text,
+            ".data" => section = Section::Data,
+            ".global" | ".globl" => {}
+            ".word" => {
+                pad_to(&mut asm.data, &mut data_pos, 4);
+                for opnd in &line.operands {
+                    let v: u32 = match opnd {
+                        Operand::Num(n) => *n as u32,
+                        Operand::Ident(name) => asm.label(name, line.num)?,
+                        Operand::IdentOffset(name, off) => {
+                            (asm.label(name, line.num)? as i64 + off) as u32
+                        }
+                        other => {
+                            return err(line.num, format!(".word cannot take {other:?}"))
+                        }
+                    };
+                    asm.data.extend_from_slice(&v.to_le_bytes());
+                    data_pos += 4;
+                }
+            }
+            ".half" => {
+                pad_to(&mut asm.data, &mut data_pos, 2);
+                for opnd in &line.operands {
+                    let Operand::Num(n) = opnd else {
+                        return err(line.num, ".half needs integers");
+                    };
+                    asm.data.extend_from_slice(&(*n as u16).to_le_bytes());
+                    data_pos += 2;
+                }
+            }
+            ".byte" => {
+                for opnd in &line.operands {
+                    let Operand::Num(n) = opnd else {
+                        return err(line.num, ".byte needs integers");
+                    };
+                    asm.data.push(*n as u8);
+                    data_pos += 1;
+                }
+            }
+            ".space" => {
+                let Some(Operand::Num(n)) = line.operands.first() else {
+                    unreachable!("validated in pass 1");
+                };
+                asm.data.extend(std::iter::repeat_n(0u8, *n as usize));
+                data_pos += *n as u32;
+            }
+            ".align" => {
+                let Some(Operand::Num(n)) = line.operands.first() else {
+                    unreachable!("validated in pass 1");
+                };
+                pad_to(&mut asm.data, &mut data_pos, *n as u32);
+            }
+            ".asciiz" | ".ascii" => {
+                let Some(Operand::Str(s)) = line.operands.first() else {
+                    unreachable!("validated in pass 1");
+                };
+                asm.data.extend_from_slice(s.as_bytes());
+                data_pos += s.len() as u32;
+                if op == ".asciiz" {
+                    asm.data.push(0);
+                    data_pos += 1;
+                }
+            }
+            d if d.starts_with('.') => unreachable!("unknown directive caught in pass 1: {d}"),
+            mnem => {
+                if section != Section::Text {
+                    return err(line.num, "instruction outside .text");
+                }
+                let pc = TEXT_BASE + asm.text.len() as u32 * 4;
+                emit_inst(&mut asm, mnem, &line.operands, pc, line.num)?;
+            }
+        }
+    }
+    debug_assert_eq!(asm.text.len() as u32, text_len);
+
+    // ---- Symbol table ----
+    let mut symbols = build_symbols(&asm, text_len, data_len);
+    symbols.sort_by_key(|s| s.addr);
+
+    let entry = asm
+        .labels
+        .get("_start")
+        .or_else(|| asm.labels.get("main"))
+        .copied()
+        .unwrap_or(TEXT_BASE);
+
+    Ok(Image {
+        entry,
+        text_base: TEXT_BASE,
+        text: asm.text,
+        data_base: DATA_BASE,
+        data: asm.data,
+        symbols,
+    })
+}
+
+fn pad_to(data: &mut Vec<u8>, pos: &mut u32, align: u32) {
+    while !(*pos).is_multiple_of(align) {
+        data.push(0);
+        *pos += 1;
+    }
+}
+
+fn build_symbols(asm: &Assembler, text_len: u32, data_len: u32) -> Vec<Symbol> {
+    let text_end = TEXT_BASE + text_len * 4;
+    let data_end = DATA_BASE + data_len;
+    // Collect label addresses per section, sorted, to compute extents.
+    let mut text_labels: Vec<(&String, u32)> = Vec::new();
+    let mut data_labels: Vec<(&String, u32)> = Vec::new();
+    for (name, &addr) in &asm.labels {
+        if addr >= TEXT_BASE && addr < text_end {
+            text_labels.push((name, addr));
+        } else if addr >= DATA_BASE && addr <= data_end {
+            data_labels.push((name, addr));
+        }
+    }
+    text_labels.sort_by_key(|&(_, a)| a);
+    data_labels.sort_by_key(|&(_, a)| a);
+
+    let mut symbols = Vec::new();
+    // Function symbols: non-.L text labels; extent runs to the next
+    // function label (local labels don't split a function).
+    let funcs: Vec<(&String, u32)> = text_labels
+        .iter()
+        .filter(|(n, _)| !n.starts_with(".L"))
+        .cloned()
+        .collect();
+    for (i, (name, addr)) in funcs.iter().enumerate() {
+        let end = funcs.get(i + 1).map(|&(_, a)| a).unwrap_or(text_end);
+        symbols.push(Symbol {
+            name: (*name).clone(),
+            addr: *addr,
+            size: end - addr,
+            kind: SymKind::Func,
+        });
+    }
+    for (i, (name, addr)) in data_labels.iter().enumerate() {
+        let end = data_labels
+            .get(i + 1)
+            .map(|&(_, a)| a)
+            .unwrap_or(data_end);
+        symbols.push(Symbol {
+            name: (*name).clone(),
+            addr: *addr,
+            size: end - addr,
+            kind: SymKind::Object,
+        });
+    }
+    symbols
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn branch_cond(m: &str) -> Option<BranchCond> {
+    Some(match m {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn imm_of(opnd: &Operand, line: usize) -> Result<i64, AsmError> {
+    match opnd {
+        Operand::Num(n) => Ok(*n),
+        other => err(line, format!("expected immediate, got {other:?}")),
+    }
+}
+
+fn target_of(asm: &Assembler, opnd: &Operand, line: usize) -> Result<u32, AsmError> {
+    match opnd {
+        Operand::Ident(name) => asm.label(name, line),
+        Operand::IdentOffset(name, off) => Ok((asm.label(name, line)? as i64 + off) as u32),
+        other => err(line, format!("expected label, got {other:?}")),
+    }
+}
+
+fn push(asm: &mut Assembler, inst: Inst) {
+    asm.text.push(encode(inst));
+}
+
+fn check_i16(v: i64, line: usize, what: &str) -> Result<i32, AsmError> {
+    if !(-32768..=32767).contains(&v) {
+        return err(line, format!("{what} immediate {v} out of 16-bit range"));
+    }
+    Ok(v as i32)
+}
+
+fn emit_inst(
+    asm: &mut Assembler,
+    mnem: &str,
+    ops: &[Operand],
+    pc: u32,
+    line: usize,
+) -> Result<(), AsmError> {
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() != n {
+            err(line, format!("`{mnem}` needs {n} operands, got {}", ops.len()))
+        } else {
+            Ok(())
+        }
+    };
+
+    if let Some(op) = alu_op(mnem) {
+        need(3)?;
+        push(
+            asm,
+            Inst::Alu {
+                op,
+                rd: reg_of(&ops[0], line)?,
+                rs1: reg_of(&ops[1], line)?,
+                rs2: reg_of(&ops[2], line)?,
+            },
+        );
+        return Ok(());
+    }
+    if let Some(base) = mnem.strip_suffix('i').and_then(alu_op) {
+        // addi/andi/ori/... (sltiu handled below since stripping `i` gives "sltu"? no: "sltiu" ends with 'u')
+        need(3)?;
+        let v = imm_of(&ops[2], line)?;
+        let imm = if base.imm_zero_extends() {
+            if !(0..=0xFFFF).contains(&v) {
+                return err(line, format!("{mnem} immediate {v} out of u16 range"));
+            }
+            v as i32
+        } else {
+            check_i16(v, line, mnem)?
+        };
+        push(
+            asm,
+            Inst::AluImm {
+                op: base,
+                rd: reg_of(&ops[0], line)?,
+                rs1: reg_of(&ops[1], line)?,
+                imm,
+            },
+        );
+        return Ok(());
+    }
+    if mnem == "sltiu" {
+        need(3)?;
+        let imm = check_i16(imm_of(&ops[2], line)?, line, mnem)?;
+        push(
+            asm,
+            Inst::AluImm {
+                op: AluOp::Sltu,
+                rd: reg_of(&ops[0], line)?,
+                rs1: reg_of(&ops[1], line)?,
+                imm,
+            },
+        );
+        return Ok(());
+    }
+    if let Some(cond) = branch_cond(mnem) {
+        need(3)?;
+        let target = target_of(asm, &ops[2], line)?;
+        let off = cf::rel_offset(pc, target)
+            .ok_or_else(|| AsmError {
+                line,
+                msg: "branch target misaligned".into(),
+            })?;
+        let off = check_i16(off as i64, line, "branch")? as i16;
+        push(
+            asm,
+            Inst::Branch {
+                cond,
+                rs1: reg_of(&ops[0], line)?,
+                rs2: reg_of(&ops[1], line)?,
+                off,
+            },
+        );
+        return Ok(());
+    }
+
+    match mnem {
+        // ---- pseudo branches (operand swap / zero forms) ----
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            need(3)?;
+            let cond = match mnem {
+                "bgt" => BranchCond::Lt,
+                "ble" => BranchCond::Ge,
+                "bgtu" => BranchCond::Ltu,
+                _ => BranchCond::Geu,
+            };
+            let target = target_of(asm, &ops[2], line)?;
+            let off = cf::rel_offset(pc, target).ok_or_else(|| AsmError {
+                line,
+                msg: "branch target misaligned".into(),
+            })?;
+            let off = check_i16(off as i64, line, "branch")? as i16;
+            push(
+                asm,
+                Inst::Branch {
+                    cond,
+                    rs1: reg_of(&ops[1], line)?,
+                    rs2: reg_of(&ops[0], line)?,
+                    off,
+                },
+            );
+        }
+        "beqz" | "bnez" => {
+            need(2)?;
+            let cond = if mnem == "beqz" {
+                BranchCond::Eq
+            } else {
+                BranchCond::Ne
+            };
+            let target = target_of(asm, &ops[1], line)?;
+            let off = cf::rel_offset(pc, target).ok_or_else(|| AsmError {
+                line,
+                msg: "branch target misaligned".into(),
+            })?;
+            let off = check_i16(off as i64, line, "branch")? as i16;
+            push(
+                asm,
+                Inst::Branch {
+                    cond,
+                    rs1: reg_of(&ops[0], line)?,
+                    rs2: Reg::ZERO,
+                    off,
+                },
+            );
+        }
+        "lui" => {
+            need(2)?;
+            let v = imm_of(&ops[1], line)?;
+            if !(0..=0xFFFF).contains(&v) {
+                return err(line, format!("lui immediate {v} out of u16 range"));
+            }
+            push(
+                asm,
+                Inst::Lui {
+                    rd: reg_of(&ops[0], line)?,
+                    imm: v as u16,
+                },
+            );
+        }
+        "lw" | "lh" | "lhu" | "lb" | "lbu" => {
+            need(2)?;
+            let (width, signed) = match mnem {
+                "lw" => (MemWidth::W, true),
+                "lh" => (MemWidth::H, true),
+                "lhu" => (MemWidth::H, false),
+                "lb" => (MemWidth::B, true),
+                _ => (MemWidth::B, false),
+            };
+            let Operand::Mem { off, base } = &ops[1] else {
+                return err(line, format!("`{mnem}` needs `rd, off(base)`"));
+            };
+            let offv = check_i16(*off, line, "load")? as i16;
+            let base = Reg::parse(base).ok_or_else(|| AsmError {
+                line,
+                msg: format!("unknown base register `{base}`"),
+            })?;
+            push(
+                asm,
+                Inst::Load {
+                    width,
+                    signed,
+                    rd: reg_of(&ops[0], line)?,
+                    base,
+                    off: offv,
+                },
+            );
+        }
+        "sw" | "sh" | "sb" => {
+            need(2)?;
+            let width = match mnem {
+                "sw" => MemWidth::W,
+                "sh" => MemWidth::H,
+                _ => MemWidth::B,
+            };
+            let Operand::Mem { off, base } = &ops[1] else {
+                return err(line, format!("`{mnem}` needs `src, off(base)`"));
+            };
+            let offv = check_i16(*off, line, "store")? as i16;
+            let base = Reg::parse(base).ok_or_else(|| AsmError {
+                line,
+                msg: format!("unknown base register `{base}`"),
+            })?;
+            push(
+                asm,
+                Inst::Store {
+                    width,
+                    src: reg_of(&ops[0], line)?,
+                    base,
+                    off: offv,
+                },
+            );
+        }
+        "j" | "jal" | "call" | "jump" => {
+            need(1)?;
+            let target = target_of(asm, &ops[0], line)?;
+            let off = cf::rel_offset(pc, target).ok_or_else(|| AsmError {
+                line,
+                msg: "jump target misaligned".into(),
+            })?;
+            if mnem == "j" || mnem == "jump" {
+                push(asm, Inst::J { off });
+            } else {
+                push(asm, Inst::Jal { off });
+            }
+        }
+        "jr" => {
+            need(1)?;
+            push(
+                asm,
+                Inst::Jr {
+                    rs: reg_of(&ops[0], line)?,
+                },
+            );
+        }
+        "jalr" => {
+            need(1)?;
+            push(
+                asm,
+                Inst::Jalr {
+                    rs: reg_of(&ops[0], line)?,
+                },
+            );
+        }
+        "jrh" => {
+            need(1)?;
+            push(
+                asm,
+                Inst::Jrh {
+                    rs: reg_of(&ops[0], line)?,
+                },
+            );
+        }
+        "jalrh" => {
+            need(1)?;
+            push(
+                asm,
+                Inst::Jalrh {
+                    rs: reg_of(&ops[0], line)?,
+                },
+            );
+        }
+        "ret" => {
+            need(0)?;
+            push(asm, Inst::Ret);
+        }
+        "ecall" => {
+            need(1)?;
+            let code = imm_of(&ops[0], line)?;
+            if !(0..=0xFFFF).contains(&code) {
+                return err(line, "ecall code out of range");
+            }
+            push(asm, Inst::Ecall { code: code as u16 });
+        }
+        "halt" => {
+            need(0)?;
+            push(asm, Inst::Halt);
+        }
+        "nop" => {
+            need(0)?;
+            push(asm, Inst::Nop);
+        }
+        "miss" => {
+            need(1)?;
+            let idx = imm_of(&ops[0], line)?;
+            push(asm, Inst::Miss { idx: idx as u32 });
+        }
+        // ---- pseudo-instructions ----
+        "mv" => {
+            need(2)?;
+            push(
+                asm,
+                Inst::Alu {
+                    op: AluOp::Add,
+                    rd: reg_of(&ops[0], line)?,
+                    rs1: reg_of(&ops[1], line)?,
+                    rs2: Reg::ZERO,
+                },
+            );
+        }
+        "neg" => {
+            need(2)?;
+            push(
+                asm,
+                Inst::Alu {
+                    op: AluOp::Sub,
+                    rd: reg_of(&ops[0], line)?,
+                    rs1: Reg::ZERO,
+                    rs2: reg_of(&ops[1], line)?,
+                },
+            );
+        }
+        "not" => {
+            // ~x == -x - 1
+            need(2)?;
+            let rd = reg_of(&ops[0], line)?;
+            let rs = reg_of(&ops[1], line)?;
+            push(
+                asm,
+                Inst::Alu {
+                    op: AluOp::Sub,
+                    rd,
+                    rs1: Reg::ZERO,
+                    rs2: rs,
+                },
+            );
+            push(
+                asm,
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: -1,
+                },
+            );
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg_of(&ops[0], line)?;
+            let v = imm_of(&ops[1], line)?;
+            if !(i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+                return err(line, format!("li value {v} does not fit in 32 bits"));
+            }
+            emit_li(asm, rd, v as u32);
+        }
+        "la" => {
+            need(2)?;
+            let rd = reg_of(&ops[0], line)?;
+            let addr = target_of(asm, &ops[1], line)?;
+            // Always two words so pass-1 sizing is stable.
+            push(
+                asm,
+                Inst::Lui {
+                    rd,
+                    imm: (addr >> 16) as u16,
+                },
+            );
+            push(
+                asm,
+                Inst::AluImm {
+                    op: AluOp::Or,
+                    rd,
+                    rs1: rd,
+                    imm: (addr & 0xFFFF) as i32,
+                },
+            );
+        }
+        other => return err(line, format!("unknown mnemonic `{other}`")),
+    }
+    Ok(())
+}
+
+fn emit_li(asm: &mut Assembler, rd: Reg, v: u32) {
+    let sv = v as i32;
+    if (-32768..=32767).contains(&sv) {
+        push(
+            asm,
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::ZERO,
+                imm: sv,
+            },
+        );
+    } else {
+        push(
+            asm,
+            Inst::Lui {
+                rd,
+                imm: (v >> 16) as u16,
+            },
+        );
+        push(
+            asm,
+            Inst::AluImm {
+                op: AluOp::Or,
+                rd,
+                rs1: rd,
+                imm: (v & 0xFFFF) as i32,
+            },
+        );
+    }
+}
+
+/// Disassemble an image's text segment for debugging, one instruction per
+/// line, annotated with addresses and function labels.
+pub fn disassemble(image: &Image) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, &word) in image.text.iter().enumerate() {
+        let addr = image.text_base + i as u32 * 4;
+        if let Some(f) = image.symbols.iter().find(|s| s.addr == addr && s.kind == SymKind::Func) {
+            let _ = writeln!(out, "{}:", f.name);
+        }
+        match softcache_isa::decode(word) {
+            Ok(inst) => {
+                let _ = writeln!(out, "  {addr:#08x}: {inst}");
+            }
+            Err(_) => {
+                let _ = writeln!(out, "  {addr:#08x}: .word {word:#010x}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcache_isa::decode;
+
+    #[test]
+    fn minimal_program() {
+        let img = assemble(
+            r#"
+            .text
+            .global _start
+_start:     li a0, 7
+            addi a0, a0, 1
+            halt
+"#,
+        )
+        .unwrap();
+        assert_eq!(img.entry, TEXT_BASE);
+        assert_eq!(img.text.len(), 3);
+        assert_eq!(
+            decode(img.text[2]).unwrap(),
+            Inst::Halt,
+        );
+    }
+
+    #[test]
+    fn branches_resolve_both_directions() {
+        let img = assemble(
+            r#"
+loop:       addi t0, t0, -1
+            bnez t0, loop
+            beq zero, zero, done
+            nop
+done:       halt
+"#,
+        )
+        .unwrap();
+        // bnez at word 1 targets word 0 => off = -2
+        match decode(img.text[1]).unwrap() {
+            Inst::Branch { off, .. } => assert_eq!(off, -2),
+            other => panic!("{other:?}"),
+        }
+        // beq at word 2 targets word 4 => off = +1
+        match decode(img.text[2]).unwrap() {
+            Inst::Branch { off, .. } => assert_eq!(off, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_expansion() {
+        let img = assemble("f: li t0, 5\n li t1, 0x12345678\n halt").unwrap();
+        assert_eq!(img.text.len(), 4);
+        assert_eq!(
+            decode(img.text[1]).unwrap(),
+            Inst::Lui {
+                rd: Reg::T1,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            decode(img.text[2]).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Or,
+                rd: Reg::T1,
+                rs1: Reg::T1,
+                imm: 0x5678
+            }
+        );
+    }
+
+    #[test]
+    fn la_points_at_data() {
+        let img = assemble(
+            r#"
+            .data
+buf:        .space 16
+tbl:        .word 1, 2, f
+            .text
+f:          la t0, tbl
+            halt
+"#,
+        )
+        .unwrap();
+        let tbl = img.symbol("tbl").unwrap().addr;
+        assert_eq!(tbl, DATA_BASE + 16);
+        match decode(img.text[0]).unwrap() {
+            Inst::Lui { imm, .. } => assert_eq!(imm, (tbl >> 16) as u16),
+            other => panic!("{other:?}"),
+        }
+        // .word f stores the function address.
+        let off = (tbl - DATA_BASE) as usize + 8;
+        let stored = u32::from_le_bytes(img.data[off..off + 4].try_into().unwrap());
+        assert_eq!(stored, img.symbol("f").unwrap().addr);
+    }
+
+    #[test]
+    fn function_extents() {
+        let img = assemble(
+            r#"
+main:       jal helper
+            halt
+.Llocal:    nop
+helper:     ret
+"#,
+        )
+        .unwrap();
+        let main = img.symbol("main").unwrap();
+        let helper = img.symbol("helper").unwrap();
+        assert_eq!(main.size, 12, ".L labels must not split a function");
+        assert_eq!(helper.size, 4);
+        assert_eq!(img.function_at(main.addr + 8).unwrap().name, "main");
+    }
+
+    #[test]
+    fn entry_prefers_start() {
+        let img = assemble("main: nop\n_start: halt").unwrap();
+        assert_eq!(img.entry, img.symbol("_start").unwrap().addr);
+        let img2 = assemble("main: halt").unwrap();
+        assert_eq!(img2.entry, img2.symbol("main").unwrap().addr);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\n bogus t0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("beq t0, t1, nowhere").unwrap_err();
+        assert!(e.msg.contains("undefined symbol"));
+        let e = assemble("l1: nop\nl1: nop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        let e = assemble(".data\nx: addi t0, t0, 1").unwrap_err();
+        assert!(e.msg.contains("outside .text"));
+    }
+
+    #[test]
+    fn data_alignment() {
+        let img = assemble(
+            r#"
+            .data
+a:          .byte 1
+b:          .word 2
+c:          .half 3
+"#,
+        )
+        .unwrap();
+        assert_eq!(img.symbol("a").unwrap().addr % 4, 0);
+        assert_eq!(img.symbol("b").unwrap().addr, DATA_BASE + 4, "padded to 4");
+        assert_eq!(img.symbol("c").unwrap().addr, DATA_BASE + 8);
+        assert_eq!(img.data.len(), 10);
+    }
+
+    #[test]
+    fn pseudo_ops() {
+        let img = assemble(
+            r#"
+f:  mv t0, a0
+    neg t1, t0
+    not t2, t0
+    bgt t0, t1, f
+    halt
+"#,
+        )
+        .unwrap();
+        assert_eq!(img.text.len(), 6);
+        match decode(img.text[0]).unwrap() {
+            Inst::Alu { op: AluOp::Add, rs2, .. } => assert_eq!(rs2, Reg::ZERO),
+            other => panic!("{other:?}"),
+        }
+        // bgt t0, t1 => blt t1, t0
+        match decode(img.text[4]).unwrap() {
+            Inst::Branch { cond, rs1, rs2, .. } => {
+                assert_eq!(cond, BranchCond::Lt);
+                assert_eq!(rs1, Reg::T1);
+                assert_eq!(rs2, Reg::T0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disassembly_roundtrips_through_assembler() {
+        let src = r#"
+main:   li t0, 3
+        addi t0, t0, 4
+        jal f
+        halt
+f:      mv rv, t0
+        ret
+"#;
+        let img = assemble(src).unwrap();
+        let dis = disassemble(&img);
+        assert!(dis.contains("main:"));
+        assert!(dis.contains("ret"));
+    }
+
+    #[test]
+    fn asciiz_emits_nul() {
+        let img = assemble(".data\nmsg: .asciiz \"hi\"\n.text\nf: halt").unwrap();
+        assert_eq!(&img.data, &[b'h', b'i', 0]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # softcache-asm: assembler and linker for the eRISC ISA
+//!
+//! Translates the assembly text emitted by the `minic` compiler (or written
+//! by hand) into a linked [`softcache_isa::Image`] — the "gcc-generated ELF
+//! format binary image" the paper's memory controller is given as input.
+//!
+//! See [`assemble`] for the supported syntax and [`disassemble`] for the
+//! debugging pretty-printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assembler;
+pub mod tokens;
+
+pub use assembler::{assemble, disassemble, AsmError};

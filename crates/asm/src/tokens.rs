@@ -1,0 +1,404 @@
+//! Line-oriented tokenizer for eRISC assembly source.
+//!
+//! Assembly is line-structured: `[label:] [mnemonic [operands...]] [# comment]`.
+//! The tokenizer splits a source file into [`Line`]s, each carrying its
+//! 1-based line number for error reporting.
+
+/// One operand token, still unresolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A bare identifier: register name, label or symbol reference.
+    Ident(String),
+    /// A symbol plus a constant byte offset, e.g. `table+8`.
+    IdentOffset(String, i64),
+    /// An integer literal (decimal, hex `0x...`, or char `'a'`).
+    Num(i64),
+    /// Memory operand `off(base)`, e.g. `12(sp)` or `-4(fp)`.
+    Mem {
+        /// Byte displacement.
+        off: i64,
+        /// Base register name.
+        base: String,
+    },
+    /// A string literal (only valid after `.asciiz` / `.ascii`).
+    Str(String),
+}
+
+/// A tokenized source line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based source line number.
+    pub num: usize,
+    /// Labels defined on this line (trailing `:` stripped).
+    pub labels: Vec<String>,
+    /// The mnemonic or directive (directives keep their leading `.`).
+    pub op: Option<String>,
+    /// Operand list.
+    pub operands: Vec<Operand>,
+}
+
+/// Tokenizer error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+fn err(line: usize, msg: impl Into<String>) -> TokenError {
+    TokenError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parse an integer literal: decimal, `0x` hex, negative, or `'c'` char.
+pub fn parse_int(s: &str, line: usize) -> Result<i64, TokenError> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('\'') {
+        let body = body
+            .strip_suffix('\'')
+            .ok_or_else(|| err(line, format!("unterminated char literal {s}")))?;
+        return char_value(body, line);
+    }
+    let (neg, rest) = match s.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, s),
+    };
+    let val = if let Some(hex) = rest.strip_prefix("0x").or_else(|| rest.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        rest.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad integer literal `{s}`")))?;
+    Ok(if neg { -val } else { val })
+}
+
+fn char_value(body: &str, line: usize) -> Result<i64, TokenError> {
+    let mut chars = body.chars();
+    let c = chars
+        .next()
+        .ok_or_else(|| err(line, "empty char literal"))?;
+    let v = if c == '\\' {
+        match chars.next() {
+            Some('n') => 10,
+            Some('t') => 9,
+            Some('r') => 13,
+            Some('0') => 0,
+            Some('\\') => 92,
+            Some('\'') => 39,
+            Some('"') => 34,
+            other => return Err(err(line, format!("bad escape \\{other:?}"))),
+        }
+    } else {
+        c as i64
+    };
+    if chars.next().is_some() {
+        return Err(err(line, "char literal too long"));
+    }
+    Ok(v)
+}
+
+/// Decode the escapes in a string literal body (between the quotes).
+pub fn unescape(body: &str, line: usize) -> Result<String, TokenError> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            other => return Err(err(line, format!("bad escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.' || c == '$'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, TokenError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(err(line, "empty operand"));
+    }
+    // Memory operand: off(base) — `off` may be empty (meaning 0) or signed.
+    if tok.ends_with(')') {
+        if let Some(open) = tok.find('(') {
+            let off_s = &tok[..open];
+            let base = tok[open + 1..tok.len() - 1].trim().to_string();
+            let off = if off_s.trim().is_empty() {
+                0
+            } else {
+                parse_int(off_s, line)?
+            };
+            if base.is_empty() {
+                return Err(err(line, format!("missing base register in `{tok}`")));
+            }
+            return Ok(Operand::Mem { off, base });
+        }
+    }
+    let first = tok.chars().next().unwrap();
+    if first == '"' {
+        let body = tok
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or_else(|| err(line, format!("unterminated string `{tok}`")))?;
+        return Ok(Operand::Str(unescape(body, line)?));
+    }
+    if first.is_ascii_digit() || first == '-' || first == '\'' {
+        return Ok(Operand::Num(parse_int(tok, line)?));
+    }
+    if is_ident_start(first) {
+        // ident or ident+off / ident-off
+        if let Some(pos) = tok[1..].find(['+', '-']).map(|p| p + 1) {
+            let (name, rest) = tok.split_at(pos);
+            if name.chars().all(is_ident_char) {
+                let off = parse_int(rest, line)?;
+                return Ok(Operand::IdentOffset(name.to_string(), off));
+            }
+        }
+        if tok.chars().all(is_ident_char) {
+            return Ok(Operand::Ident(tok.to_string()));
+        }
+    }
+    Err(err(line, format!("cannot parse operand `{tok}`")))
+}
+
+/// Split an operand field on commas, but not inside quotes or parens.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if in_str {
+            cur.push(c);
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+/// Strip comments: `#` or `;` to end of line (not inside strings).
+fn strip_comment(s: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '#' | ';' => return &s[..i],
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Tokenize a whole source file into lines (blank lines omitted).
+pub fn tokenize(src: &str) -> Result<Vec<Line>, TokenError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let num = i + 1;
+        let mut rest = strip_comment(raw).trim();
+        if rest.is_empty() {
+            continue;
+        }
+        let mut line = Line {
+            num,
+            ..Line::default()
+        };
+        // Labels: leading `ident:` prefixes (there may be several).
+        while let Some(colon) = rest.find(':') {
+            let cand = rest[..colon].trim();
+            if !cand.is_empty()
+                && cand.chars().next().map(is_ident_start).unwrap_or(false)
+                && cand.chars().all(is_ident_char)
+            {
+                line.labels.push(cand.to_string());
+                rest = rest[colon + 1..].trim();
+            } else {
+                break;
+            }
+        }
+        if !rest.is_empty() {
+            let (op, args) = match rest.find(char::is_whitespace) {
+                Some(sp) => (&rest[..sp], rest[sp..].trim()),
+                None => (rest, ""),
+            };
+            line.op = Some(op.to_lowercase());
+            if !args.is_empty() {
+                for part in split_operands(args) {
+                    line.operands.push(parse_operand(&part, num)?);
+                }
+            }
+        }
+        if line.op.is_some() || !line.labels.is_empty() {
+            out.push(line);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_line() {
+        let ls = tokenize("main:  addi sp, sp, -16  # prologue\n").unwrap();
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].labels, vec!["main"]);
+        assert_eq!(ls[0].op.as_deref(), Some("addi"));
+        assert_eq!(
+            ls[0].operands,
+            vec![
+                Operand::Ident("sp".into()),
+                Operand::Ident("sp".into()),
+                Operand::Num(-16)
+            ]
+        );
+    }
+
+    #[test]
+    fn mem_operands() {
+        let ls = tokenize("lw ra, 12(sp)\nsw t0, -4(fp)\nlb t1, (a0)").unwrap();
+        assert_eq!(
+            ls[0].operands[1],
+            Operand::Mem {
+                off: 12,
+                base: "sp".into()
+            }
+        );
+        assert_eq!(
+            ls[1].operands[1],
+            Operand::Mem {
+                off: -4,
+                base: "fp".into()
+            }
+        );
+        assert_eq!(
+            ls[2].operands[1],
+            Operand::Mem {
+                off: 0,
+                base: "a0".into()
+            }
+        );
+    }
+
+    #[test]
+    fn numbers_and_chars() {
+        assert_eq!(parse_int("0x10", 1).unwrap(), 16);
+        assert_eq!(parse_int("-42", 1).unwrap(), -42);
+        assert_eq!(parse_int("'A'", 1).unwrap(), 65);
+        assert_eq!(parse_int("'\\n'", 1).unwrap(), 10);
+        assert!(parse_int("zz", 1).is_err());
+        assert!(parse_int("'ab'", 1).is_err());
+    }
+
+    #[test]
+    fn strings_and_words() {
+        let ls = tokenize(".asciiz \"hi, there\\n\"\n.word 1, 0x2, sym, sym+4").unwrap();
+        assert_eq!(ls[0].operands, vec![Operand::Str("hi, there\n".into())]);
+        assert_eq!(
+            ls[1].operands,
+            vec![
+                Operand::Num(1),
+                Operand::Num(2),
+                Operand::Ident("sym".into()),
+                Operand::IdentOffset("sym".into(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank() {
+        let ls = tokenize("# only a comment\n\n  ; semicolon style\nnop\n").unwrap();
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].op.as_deref(), Some("nop"));
+    }
+
+    #[test]
+    fn label_only_lines() {
+        let ls = tokenize(".L1:\n.L2: nop").unwrap();
+        assert_eq!(ls[0].labels, vec![".L1"]);
+        assert!(ls[0].op.is_none());
+        assert_eq!(ls[1].labels, vec![".L2"]);
+        assert_eq!(ls[1].op.as_deref(), Some("nop"));
+    }
+
+    #[test]
+    fn hash_inside_string_not_comment() {
+        let ls = tokenize(".asciiz \"a#b\"").unwrap();
+        assert_eq!(ls[0].operands, vec![Operand::Str("a#b".into())]);
+    }
+
+    #[test]
+    fn ident_minus_offset() {
+        let ls = tokenize(".word tbl-4").unwrap();
+        assert_eq!(
+            ls[0].operands,
+            vec![Operand::IdentOffset("tbl".into(), -4)]
+        );
+    }
+}

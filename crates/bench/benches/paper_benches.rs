@@ -1,0 +1,266 @@
+//! Criterion benchmarks sampling the paper's experiment kernels.
+//!
+//! One group per table/figure (plus substrate microbenchmarks), so
+//! `cargo bench` both times the reproduction machinery and regenerates the
+//! relative results the paper reports:
+//!
+//! * `fig5_relative_time` — compress95 native vs softcache at three tcache
+//!   sizes; the sample times themselves reproduce Figure 5's ordering.
+//! * `fig6_hwcache` / `fig7_tcache` — one representative miss-rate point
+//!   per curve.
+//! * `fig8_paging` — procedure cache below/at/above the hot-code size.
+//! * `fig9_profile` — the gprof-rule hot-set computation.
+//! * `table1_dynamic_text` — the dynamic-footprint trace.
+//! * `dcache_policies` (§3/Fig 10) — prediction-policy ablation.
+//! * `substrate_*` — interpreter, compiler, assembler throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use softcache_bench::experiments as exp;
+use softcache_core::datarun::FullSoftCacheSystem;
+use softcache_core::dcache::{DcacheConfig, Prediction};
+use softcache_core::icache::SoftIcacheSystem;
+use softcache_core::proc::{ProcCacheSystem, ProcConfig};
+use softcache_core::scache::ScacheConfig;
+use softcache_core::IcacheConfig;
+use softcache_hwcache::SetAssocCache;
+use softcache_minic as minic;
+use softcache_net::LinkModel;
+use softcache_sim::{Machine, Profiler};
+use softcache_workloads::by_name;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Keep whole-suite wall time reasonable: the kernels are deterministic
+/// simulator runs, so short measurement windows are already stable.
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+}
+
+fn fig5_relative_time(c: &mut Criterion) {
+    let w = by_name("compress95").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(16);
+    let ws = exp::dynamic_text_bytes(&image, &input);
+
+    let mut g = c.benchmark_group("fig5_relative_time");
+    tune(&mut g);
+    g.bench_function("ideal_native", |b| {
+        b.iter_batched(
+            || Machine::load_native(&image, &input),
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for (label, size) in [("ample", ws * 4), ("fits", ws * 3 / 2), ("thrash", ws / 8)] {
+        let cfg = IcacheConfig {
+            tcache_size: size.max(512),
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || SoftIcacheSystem::new(image.clone(), cfg),
+                |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig6_hwcache(c: &mut Criterion) {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(4);
+    let mut g = c.benchmark_group("fig6_hwcache");
+    tune(&mut g);
+    for size in [512u32, 4096] {
+        g.bench_function(format!("dm_{size}B"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        Machine::load_native(&image, &input),
+                        SetAssocCache::direct_mapped(size, 16),
+                    )
+                },
+                |(mut m, mut cache)| {
+                    m.run_native_traced(1_000_000_000, |pc| {
+                        cache.access(pc);
+                    })
+                    .unwrap();
+                    black_box(cache.stats.miss_rate_percent())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig7_tcache(c: &mut Criterion) {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(4);
+    let mut g = c.benchmark_group("fig7_tcache");
+    tune(&mut g);
+    for size in [1024u32, 8192] {
+        let cfg = IcacheConfig {
+            tcache_size: size,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        g.bench_function(format!("tcache_{size}B"), |b| {
+            b.iter_batched(
+                || SoftIcacheSystem::new(image.clone(), cfg),
+                |mut sys| black_box(sys.run(&input).unwrap().tcache_miss_rate_percent()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig8_paging(c: &mut Criterion) {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(false);
+    let input = (w.gen_input)(4);
+    // Hot size per the gprof rule.
+    let mut prof = Profiler::new(&image);
+    let mut m = Machine::load_native(&image, &input);
+    m.run_native_traced(1_000_000_000, |pc| prof.record(pc)).unwrap();
+    let hot = prof.finish().hot_bytes(0.90);
+
+    let mut g = c.benchmark_group("fig8_paging");
+    tune(&mut g);
+    for (label, mem) in [("below_hot", hot * 9 / 10), ("at_hot", hot + 384), ("ample", hot * 3)] {
+        let cfg = ProcConfig {
+            memory_bytes: mem,
+            ..ProcConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || ProcCacheSystem::new(image.clone(), cfg),
+                |mut sys| black_box(sys.run(&input).unwrap().cache.evictions),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig9_profile(c: &mut Criterion) {
+    let w = by_name("gzip").unwrap();
+    let image = exp::image_with_coldlib(&w, true);
+    let input = (w.gen_input)(4);
+    let mut g = c.benchmark_group("fig9_profile");
+    tune(&mut g);
+    g.bench_function("gprof_hot_set", |b| {
+        b.iter_batched(
+            || (Machine::load_native(&image, &input), Profiler::new(&image)),
+            |(mut m, mut prof)| {
+                m.run_native_traced(1_000_000_000, |pc| prof.record(pc)).unwrap();
+                black_box(prof.finish().hot_bytes(0.90))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn table1_dynamic_text(c: &mut Criterion) {
+    let w = by_name("compress95").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(4);
+    let mut g = c.benchmark_group("table1_dynamic_text");
+    tune(&mut g);
+    g.bench_function("unique_pc_trace", |b| {
+        b.iter(|| black_box(exp::dynamic_text_bytes(&image, &input)))
+    });
+    g.finish();
+}
+
+fn dcache_policies(c: &mut Criterion) {
+    let w = by_name("cjpeg").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let mut g = c.benchmark_group("dcache_policies");
+    tune(&mut g);
+    for (label, pred) in [
+        ("none", Prediction::None),
+        ("same_index", Prediction::SameIndex),
+        ("stride", Prediction::Stride),
+        ("second_chance", Prediction::SecondChance),
+    ] {
+        let dcfg = DcacheConfig {
+            prediction: pred,
+            ..DcacheConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    FullSoftCacheSystem::new(
+                        image.clone(),
+                        IcacheConfig::default(),
+                        dcfg,
+                        ScacheConfig::default(),
+                    )
+                },
+                |mut sys| black_box(sys.run(&input).unwrap().dcache.extra_cycles),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    tune(&mut g);
+
+    // Interpreter throughput: a tight arithmetic loop.
+    let src = "int main() { int i; int s; s = 0; \
+               for (i = 0; i < 200000; i = i + 1) s = s + i * 3 % 7; return s & 0xff; }";
+    let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+    g.bench_function("sim_interpreter_1M_insns", |b| {
+        b.iter_batched(
+            || Machine::load_native(&image, &[]),
+            |mut m| {
+                m.run_native(100_000_000).unwrap();
+                black_box(m.stats.instructions)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Compiler throughput.
+    let big_src = softcache_workloads::with_coldlib(softcache_workloads::GZIP);
+    g.bench_function("minic_compile_gzip_coldlib", |b| {
+        b.iter(|| black_box(minic::compile_to_image(&big_src, &minic::Options::default()).unwrap()))
+    });
+
+    // Assembler throughput.
+    let asm = minic::compile_to_asm(&big_src, &minic::Options::default()).unwrap();
+    g.bench_function("assemble_gzip_coldlib", |b| {
+        b.iter(|| black_box(softcache_asm::assemble(&asm).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig5_relative_time,
+    fig6_hwcache,
+    fig7_tcache,
+    fig8_paging,
+    fig9_profile,
+    table1_dynamic_text,
+    dcache_policies,
+    substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p softcache-bench --bin experiments -- all
+//! cargo run --release -p softcache-bench --bin experiments -- fig5
+//! ```
+
+use softcache_bench::experiments as exp;
+use softcache_bench::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let known = [
+        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "net-overhead", "dcache",
+        "guarantees", "ablations", "power", "all",
+    ];
+    if !known.contains(&what) {
+        eprintln!("unknown experiment `{what}`; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table1") {
+        table1();
+    }
+    if run("fig5") {
+        fig5();
+    }
+    if run("fig6") {
+        fig6();
+    }
+    if run("fig7") {
+        fig7();
+    }
+    if run("fig8") {
+        fig8();
+    }
+    if run("fig9") {
+        fig9();
+    }
+    if run("net-overhead") {
+        net_overhead();
+    }
+    if run("dcache") {
+        dcache();
+    }
+    if run("guarantees") {
+        guarantees();
+    }
+    if run("ablations") {
+        ablations();
+    }
+    if run("power") {
+        power();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    header("Table 1 — dynamically- vs statically-linked text segment sizes");
+    let rows = exp::table1();
+    let mut t = vec![vec![
+        "app".to_string(),
+        "dynamic".to_string(),
+        "static".to_string(),
+        "ratio".to_string(),
+        "paper dyn".to_string(),
+        "paper static".to_string(),
+        "paper ratio".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.name.to_string(),
+            render::human_bytes(r.dynamic_bytes),
+            render::human_bytes(r.static_bytes),
+            format!("{:.2}", r.dynamic_bytes as f64 / r.static_bytes as f64),
+            format!("{}K", r.paper_kb.0),
+            format!("{}K", r.paper_kb.1),
+            format!("{:.2}", r.paper_kb.0 / r.paper_kb.1),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nShape check: executed text is a small fraction of linked text —");
+    println!("the motivation for caching only the active working set (Figure 2).");
+}
+
+fn fig5() {
+    header("Figure 5 — relative execution time, compress95 (paper: 1.17 / 1.19 / off-scale)");
+    let (bars, ws) = exp::fig5(128);
+    println!("measured working set: {}\n", render::human_bytes(ws));
+    let items: Vec<(String, f64)> = bars
+        .iter()
+        .map(|b| {
+            (
+                format!(
+                    "{:<16} {:>8}",
+                    b.label,
+                    if b.tcache_bytes == 0 {
+                        "-".to_string()
+                    } else {
+                        render::human_bytes(b.tcache_bytes)
+                    }
+                ),
+                b.relative_time,
+            )
+        })
+        .collect();
+    print!("{}", render::bars(&items, 48, None));
+    for b in &bars[1..] {
+        println!(
+            "  {:<16} translations={} flushes={}",
+            b.label, b.translations, b.flushes
+        );
+    }
+}
+
+fn fig6() {
+    header("Figure 6 — hardware direct-mapped I-cache miss rate vs size (16 B blocks)");
+    print!("{}", render::curves(&exp::fig6()));
+    println!("\ntags for 32-bit addresses add 11-18% on top of each size (see guarantees).");
+}
+
+fn fig7() {
+    header("Figure 7 — software tcache miss rate vs size (translations / instructions)");
+    print!("{}", render::curves(&exp::fig7()));
+    println!("\nShape check vs Figure 6: the knee (working set) falls at a similar size.");
+}
+
+fn fig8() {
+    header("Figure 8 — paging vs CC memory size, adpcmenc on the procedure cache");
+    let (series, hot) = exp::fig8(64);
+    println!("hot code (90% gprof rule): {}\n", render::human_bytes(hot));
+    for s in &series {
+        println!(
+            "CC memory {:>8} | {:>5} evictions over {:>6.3}s | per-10ms: {}",
+            render::human_bytes(s.memory_bytes),
+            s.total_evictions,
+            s.seconds,
+            render::sparkline(&render::resample(&s.buckets, 60)),
+        );
+    }
+    println!("\nShape check: below the hot size the cache pages continuously; at the");
+    println!("hot size paging stops in steady state; above it only cold misses remain.");
+}
+
+fn fig9() {
+    header("Figure 9 — normalized dynamic footprint (hot code / program size)");
+    let rows = exp::fig9();
+    let mut t = vec![vec![
+        "app".to_string(),
+        "hot".to_string(),
+        "static".to_string(),
+        "normalized".to_string(),
+        "paper".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.name.to_string(),
+            render::human_bytes(r.hot_bytes),
+            render::human_bytes(r.static_bytes),
+            format!("{:.3}", r.normalized),
+            format!("{:.2}", r.paper_normalized),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nNote: our workloads carry less cold code than gcc-linked MediaBench");
+    println!("binaries, so the reduction factor is smaller than the paper's 7-14x;");
+    println!("the mechanism (hot set << program) reproduces.");
+}
+
+fn net_overhead() {
+    header("§2.4 — network protocol overhead per chunk download");
+    println!(
+        "measured: {} bytes per request/reply exchange (paper: 60 bytes)",
+        exp::net_overhead()
+    );
+}
+
+fn dcache() {
+    header("§3 / Figure 10 — software data cache, prediction-policy ablation (cjpeg)");
+    let rows = exp::dcache_policies();
+    let mut t = vec![vec![
+        "policy".to_string(),
+        "fast hits".to_string(),
+        "slow hits".to_string(),
+        "misses".to_string(),
+        "pinned".to_string(),
+        "on-chip cyc".to_string(),
+        "on-chip cyc/access".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.policy.to_string(),
+            r.fast_hits.to_string(),
+            r.slow_hits.to_string(),
+            r.misses.to_string(),
+            r.pinned_hits.to_string(),
+            r.onchip_cycles.to_string(),
+            format!("{:.2}", r.onchip_cycles as f64 / r.accesses.max(1) as f64),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nPinned (specialised) accesses cost zero checks — Figure 10 top; the");
+    println!("predicted path costs one check — Figure 10 bottom; slow hits never");
+    println!("leave the chip (the paper's guaranteed latency).");
+}
+
+fn guarantees() {
+    header("Abstract claims — slowdown, hit-rate guarantee, tag overhead");
+    let g = exp::guarantees(128);
+    println!(
+        "slowdown with fitting tcache: {:.3}x   (paper: 1.19x)",
+        g.slowdown_fitting
+    );
+    println!(
+        "{} translations total; the longest miss-free stretch covers {:.1}% of \
+         the run — the working set runs at a 100% hit rate between program \
+         phases (trailing translations are the exit path, the paper's \
+         'terminal statistics' blip)",
+        g.translations,
+        g.longest_missfree_fraction * 100.0,
+    );
+    println!("\nhardware tag overhead the software cache avoids (direct-mapped, 16B blocks):");
+    let mut t = vec![vec!["cache size".to_string(), "tag overhead".to_string()]];
+    for &(size, f) in &g.tag_overheads {
+        t.push(vec![render::human_bytes(size), format!("{:.1}%", f * 100.0)]);
+    }
+    print!("{}", render::table(&t));
+}
+
+fn power() {
+    header("§4 — banked-SRAM power: working-set gating vs always-on hardware cache");
+    let rows = exp::power_banks();
+    let mut t = vec![vec![
+        "app".to_string(),
+        "awake banks (mean)".to_string(),
+        "softcache mJ".to_string(),
+        "hw cache mJ".to_string(),
+        "memory saved".to_string(),
+        "chip-level saved".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.name.to_string(),
+            format!("{:.2} / {}", r.mean_awake_banks, r.total_banks),
+            format!("{:.3}", r.energy_mj),
+            format!("{:.3}", r.hardware_mj),
+            format!("{:.0}%", (1.0 - r.energy_mj / r.hardware_mj) * 100.0),
+            format!("{:.0}%", r.chip_savings * 100.0),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nThe paper's §4: the StrongARM spends {:.0}% of chip power in caches;",
+        exp::strongarm_cache_fraction() * 100.0);
+    println!("a fully associative softcache knows its working set exactly, so every");
+    println!("bank outside it can sleep.");
+}
+
+fn ablations() {
+    header("Ablation — chunk granularity (basic block vs procedure)");
+    let rows = exp::ablation_granularity();
+    let mut t = vec![vec![
+        "app".to_string(),
+        "block fetches".to_string(),
+        "block words".to_string(),
+        "proc fetches".to_string(),
+        "proc words".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.name.to_string(),
+            r.block.0.to_string(),
+            r.block.1.to_string(),
+            r.procedure.0.to_string(),
+            r.procedure.1.to_string(),
+        ]);
+    }
+    print!("{}", render::table(&t));
+
+    header("Ablation — steady-state rewriting overhead (miss costs excluded)");
+    let rows = exp::ablation_steady_state(64);
+    let mut t = vec![vec![
+        "app".to_string(),
+        "native cycles".to_string(),
+        "steady cycles".to_string(),
+        "overhead".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.name.to_string(),
+            r.native_cycles.to_string(),
+            r.steady_cycles.to_string(),
+            format!("{:+.1}%", r.overhead * 100.0),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nThe residual overhead is the extra fall-through jumps the paper notes");
+    println!("\"could be optimized away\" (two added instructions per block).");
+
+    header("Ablation — superblock chunking (the paper's 'trace or hyperblock' note)");
+    let rows = exp::ablation_superblock(64);
+    let mut t = vec![vec![
+        "max blocks/chunk".to_string(),
+        "chunks fetched".to_string(),
+        "words shipped".to_string(),
+        "miss traps".to_string(),
+        "cycles".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.max_blocks.to_string(),
+            r.translations.to_string(),
+            r.words_installed.to_string(),
+            r.miss_traps.to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nInlining fall-through chains trades duplicated tail code for fewer");
+    println!("round trips and fewer fall-slot misses.");
+
+    header("Ablation — dcache write policy (write-back vs write-through)");
+    let rows = exp::ablation_write_policy();
+    let mut t = vec![vec![
+        "policy".to_string(),
+        "store messages".to_string(),
+        "payload bytes".to_string(),
+        "cycles".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.policy.to_string(),
+            r.store_messages.to_string(),
+            r.payload_bytes.to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nWrite-through keeps server memory instantly consistent at the cost of");
+    println!("one round trip per store; write-back batches dirty data into evictions.");
+
+    header("Ablation — hardware associativity vs the fully associative tcache");
+    let rows = exp::ablation_associativity();
+    let mut t = vec![vec!["config".to_string(), "miss rate".to_string()]];
+    for r in &rows {
+        t.push(vec![r.config.clone(), format!("{:.3}%", r.miss_rate)]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nAt the knee size, direct-mapped conflict misses persist; associativity");
+    println!("removes them — the tcache is fully associative for free (no tags).");
+}

@@ -1,0 +1,991 @@
+//! One function per table/figure of the ICPP 2002 evaluation.
+//!
+//! Absolute numbers differ from the paper (its substrate was an
+//! UltraSPARC/StrongARM testbed with gcc-compiled SPEC/MediaBench binaries;
+//! ours is the eRISC simulator with minic-compiled re-implementations), but
+//! each function regenerates the *shape* the paper reports: who wins, by
+//! roughly what factor, and where the knees/crossovers fall.
+
+use softcache_core::datarun::FullSoftCacheSystem;
+use softcache_core::dcache::{DcacheConfig, Prediction, WritePolicy};
+use softcache_core::icache::SoftIcacheSystem;
+use softcache_core::proc::{ProcCacheSystem, ProcConfig};
+use softcache_core::power::strongarm;
+use softcache_core::scache::ScacheConfig;
+use softcache_core::{BankConfig, CacheError, ChunkStrategy, IcacheConfig};
+use softcache_hwcache::{tags, SetAssocCache};
+use softcache_isa::Image;
+use softcache_minic as minic;
+use softcache_net::LinkModel;
+use softcache_sim::{Machine, Profiler};
+use softcache_workloads::{by_name, with_coldlib, Workload};
+use std::collections::HashSet;
+
+/// Compile a workload with the cold library linked in (the footprint
+/// experiments' configuration).
+pub fn image_with_coldlib(w: &Workload, jump_tables: bool) -> Image {
+    let src = with_coldlib(w.source);
+    minic::compile_to_image(&src, &minic::Options { jump_tables })
+        .unwrap_or_else(|e| panic!("{} + coldlib: {e}", w.name))
+}
+
+/// Run natively, returning the machine (for stats/output inspection).
+fn run_native(image: &Image, input: &[u8]) -> Machine {
+    let mut m = Machine::load_native(image, input);
+    m.run_native(2_000_000_000).expect("native run completes");
+    m
+}
+
+/// Unique instruction bytes touched in a native run — the paper's
+/// "dynamic .text" metric.
+pub fn dynamic_text_bytes(image: &Image, input: &[u8]) -> u32 {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut m = Machine::load_native(image, input);
+    m.run_native_traced(2_000_000_000, |pc| {
+        seen.insert(pc);
+    })
+    .expect("traced run completes");
+    seen.len() as u32 * 4
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Bytes of text actually executed.
+    pub dynamic_bytes: u32,
+    /// Bytes of linked text.
+    pub static_bytes: u32,
+    /// The paper's numbers (dynamic KB, static KB) for reference.
+    pub paper_kb: (f64, f64),
+}
+
+/// Table 1: dynamically- vs statically-linked text sizes.
+pub fn table1() -> Vec<Table1Row> {
+    let rows = [
+        ("compress95", 8u32, (21.0, 193.0)),
+        ("adpcmenc", 8, (1.0, 139.0)),
+        ("hextobdd", 6, (23.0, 205.0)),
+        ("mpeg2enc", 1, (135.0, 590.0)),
+    ];
+    rows.iter()
+        .map(|&(name, scale, paper_kb)| {
+            let w = by_name(name).expect("workload");
+            let image = image_with_coldlib(&w, true);
+            let input = (w.gen_input)(scale);
+            Table1Row {
+                name: w.name,
+                dynamic_bytes: dynamic_text_bytes(&image, &input),
+                static_bytes: image.text_bytes(),
+                paper_kb,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+/// One bar of Figure 5.
+#[derive(Clone, Debug)]
+pub struct Fig5Bar {
+    /// Configuration label.
+    pub label: String,
+    /// tcache size (0 = native/ideal).
+    pub tcache_bytes: u32,
+    /// Execution time normalised to the ideal run.
+    pub relative_time: f64,
+    /// Translations performed.
+    pub translations: u64,
+    /// Flushes performed.
+    pub flushes: u64,
+}
+
+/// Figure 5: relative execution time of compress95 under the software
+/// I-cache at several tcache sizes, normalised to native execution. The
+/// SPARC prototype is fused (MC in-process), so the link is free; the
+/// overhead that remains is the rewriting overhead the paper measures
+/// (19 % when the working set fits).
+pub fn fig5(scale: u32) -> (Vec<Fig5Bar>, u32) {
+    let w = by_name("compress95").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+
+    let native = run_native(&image, &input);
+    let base_cycles = native.stats.cycles as f64;
+    let footprint = dynamic_text_bytes(&image, &input);
+
+    let mut bars = vec![Fig5Bar {
+        label: "ideal (native)".into(),
+        tcache_bytes: 0,
+        relative_time: 1.0,
+        translations: 0,
+        flushes: 0,
+    }];
+    // Sizes relative to the measured working set: ample ("infinite"),
+    // just-fits, and far-too-small — the paper's 48 KB / 24 KB / 1 KB.
+    let sizes = [
+        ("ample (4x ws)", footprint * 4),
+        ("fits (1.5x ws)", footprint * 3 / 2),
+        ("thrash (ws/8)", (footprint / 8).max(512)),
+    ];
+    for (label, size) in sizes {
+        let cfg = IcacheConfig {
+            tcache_size: size,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        let out = sys.run(&input).expect("softcache run");
+        assert_eq!(out.output, native.env.output, "fig5 semantics");
+        bars.push(Fig5Bar {
+            label: label.into(),
+            tcache_bytes: size,
+            relative_time: out.exec.cycles as f64 / base_cycles,
+            translations: out.cache.translations,
+            flushes: out.cache.flushes,
+        });
+    }
+    (bars, footprint)
+}
+
+// ------------------------------------------------------------ Figures 6, 7
+
+/// A miss-rate-vs-size curve.
+#[derive(Clone, Debug)]
+pub struct MissCurve {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// (cache size in bytes, miss rate in percent).
+    pub points: Vec<(u32, f64)>,
+}
+
+const FIG67_BENCHES: [(&str, u32); 4] = [
+    ("adpcmenc", 8),
+    ("compress95", 8),
+    ("hextobdd", 6),
+    ("mpeg2enc", 1),
+];
+
+fn sweep_sizes() -> Vec<u32> {
+    (7..=17).map(|b| 1u32 << b).collect() // 128 B .. 128 KB
+}
+
+/// Figure 6: hardware direct-mapped I-cache (16-byte blocks) miss rate vs
+/// cache size, one trace-driven pass per benchmark feeding all sizes.
+pub fn fig6() -> Vec<MissCurve> {
+    FIG67_BENCHES
+        .iter()
+        .map(|&(name, scale)| {
+            let w = by_name(name).expect("workload");
+            let image = image_with_coldlib(&w, true);
+            let input = (w.gen_input)(scale);
+            let mut caches: Vec<SetAssocCache> = sweep_sizes()
+                .into_iter()
+                .map(|s| SetAssocCache::direct_mapped(s, 16))
+                .collect();
+            let mut m = Machine::load_native(&image, &input);
+            m.run_native_traced(2_000_000_000, |pc| {
+                for c in &mut caches {
+                    c.access(pc);
+                }
+            })
+            .expect("traced run");
+            MissCurve {
+                name: w.name,
+                points: sweep_sizes()
+                    .into_iter()
+                    .zip(caches.iter().map(|c| c.stats.miss_rate_percent()))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 7: software tcache miss rate (= blocks translated / instructions
+/// executed) vs tcache size, same benchmarks and sweep as Figure 6.
+pub fn fig7() -> Vec<MissCurve> {
+    FIG67_BENCHES
+        .iter()
+        .map(|&(name, scale)| {
+            let w = by_name(name).expect("workload");
+            let image = image_with_coldlib(&w, true);
+            let input = (w.gen_input)(scale);
+            let mut points = Vec::new();
+            for size in sweep_sizes() {
+                let cfg = IcacheConfig {
+                    tcache_size: size,
+                    link: LinkModel::free(),
+                    ..IcacheConfig::default()
+                };
+                let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+                // Thrashing configurations retranslate constantly and would
+                // take unbounded wall time; the miss-rate metric converges
+                // within a couple of million instructions, so cap the run.
+                match sys.run_measured(&input, 2_000_000) {
+                    Ok(out) => points.push((size, out.tcache_miss_rate_percent())),
+                    Err(CacheError::ChunkTooBig { .. }) => continue, // size below biggest block
+                    Err(e) => panic!("fig7 {name} @{size}: {e}"),
+                }
+            }
+            MissCurve { name: w.name, points }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// One memory-size series of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Fig8Series {
+    /// CC memory in bytes.
+    pub memory_bytes: u32,
+    /// Evictions per 10 ms bucket of simulated time.
+    pub buckets: Vec<u64>,
+    /// Total evictions.
+    pub total_evictions: u64,
+    /// Total simulated seconds.
+    pub seconds: f64,
+}
+
+/// Figure 8: paging (evictions over time) for three CC memory sizes around
+/// the hot-code size, running adpcmenc on the procedure-granularity cache.
+/// The paper's three regimes: memory below steady state pages constantly;
+/// memory at steady state pages only at phase transitions; memory above
+/// pages only cold misses.
+pub fn fig8(scale: u32) -> (Vec<Fig8Series>, u32) {
+    let w = by_name("adpcmenc").expect("workload");
+    let image = image_with_coldlib(&w, false);
+    let input = (w.gen_input)(scale);
+
+    // gprof-style hot-code identification (the paper's methodology).
+    let mut prof = Profiler::new(&image);
+    let mut m = Machine::load_native(&image, &input);
+    m.run_native_traced(2_000_000_000, |pc| prof.record(pc))
+        .expect("profile run");
+    let hot = prof.finish().hot_bytes(0.90);
+
+    let mems = [hot * 9 / 10, hot + 384, hot * 3];
+    let mut series = Vec::new();
+    for mem in mems {
+        let cfg = ProcConfig {
+            memory_bytes: mem,
+            ..ProcConfig::default()
+        };
+        let mut sys = ProcCacheSystem::new(image.clone(), cfg);
+        let out = sys.run(&input).expect("fig8 run");
+        let clock = 200e6;
+        let bucket_cycles = (clock / 100.0) as u64; // 10 ms
+        let total_cycles = out.exec.cycles.max(1);
+        let nbuckets = (total_cycles / bucket_cycles + 1) as usize;
+        let mut buckets = vec![0u64; nbuckets];
+        for &c in &out.cache.eviction_cycles {
+            buckets[(c / bucket_cycles) as usize] += 1;
+        }
+        series.push(Fig8Series {
+            memory_bytes: mem,
+            buckets,
+            total_evictions: out.cache.evictions,
+            seconds: total_cycles as f64 / clock,
+        });
+    }
+    (series, hot)
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+/// One bar of Figure 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Hot code (functions covering 90 % of runtime), bytes.
+    pub hot_bytes: u32,
+    /// Static text, bytes.
+    pub static_bytes: u32,
+    /// hot / static — the paper reports 0.07–0.13.
+    pub normalized: f64,
+    /// The paper's value.
+    pub paper_normalized: f64,
+}
+
+/// Figure 9: dynamic (hot-code) footprint normalised to static program
+/// size for the ARM prototype's benchmarks.
+pub fn fig9() -> Vec<Fig9Row> {
+    let rows = [
+        ("adpcmenc", 8u32, 0.09),
+        ("adpcmdec", 8, 0.07),
+        ("gzip", 8, 0.09),
+        ("cjpeg", 1, 0.13),
+    ];
+    rows.iter()
+        .map(|&(name, scale, paper)| {
+            let w = by_name(name).expect("workload");
+            let image = image_with_coldlib(&w, true);
+            let input = (w.gen_input)(scale);
+            let mut prof = Profiler::new(&image);
+            let mut m = Machine::load_native(&image, &input);
+            m.run_native_traced(2_000_000_000, |pc| prof.record(pc))
+                .expect("profile run");
+            let hot = prof.finish().hot_bytes(0.90);
+            Fig9Row {
+                name: w.name,
+                hot_bytes: hot,
+                static_bytes: image.text_bytes(),
+                normalized: hot as f64 / image.text_bytes() as f64,
+                paper_normalized: paper,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------- network overhead
+
+/// §2.4: measured protocol overhead per chunk exchange, in bytes (the
+/// paper measured 60).
+pub fn net_overhead() -> f64 {
+    let w = by_name("adpcmenc").expect("workload");
+    let image = w.image(false);
+    let input = (w.gen_input)(4);
+    let mut sys = ProcCacheSystem::new(image, ProcConfig::default());
+    let out = sys.run(&input).expect("run");
+    out.cache.link.overhead_per_rpc()
+}
+
+// --------------------------------------------------- Figure 10 / §3 dcache
+
+/// One prediction-policy row of the data-cache experiment.
+#[derive(Clone, Debug)]
+pub struct DcacheRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Fast (predicted) hits.
+    pub fast_hits: u64,
+    /// Slow (binary-search) hits.
+    pub slow_hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Specialised pinned accesses.
+    pub pinned_hits: u64,
+    /// Extra cycles charged by the data cache (including link stalls).
+    pub extra_cycles: u64,
+    /// Extra cycles excluding link stalls: the on-chip check/search cost
+    /// (the quantity Figure 10's instruction sequences embody).
+    pub onchip_cycles: u64,
+    /// Total data accesses.
+    pub accesses: u64,
+}
+
+/// The §3 data-cache design, measured: prediction-policy ablation over the
+/// cjpeg workload under the full softcache.
+pub fn dcache_policies() -> Vec<DcacheRow> {
+    let w = by_name("cjpeg").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let policies = [
+        ("none", Prediction::None),
+        ("same-index", Prediction::SameIndex),
+        ("stride", Prediction::Stride),
+        ("second-chance", Prediction::SecondChance),
+    ];
+    let mut want: Option<Vec<u8>> = None;
+    policies
+        .iter()
+        .map(|&(name, pred)| {
+            let dcfg = DcacheConfig {
+                prediction: pred,
+                ..DcacheConfig::default()
+            };
+            let mut sys = FullSoftCacheSystem::new(
+                image.clone(),
+                IcacheConfig::default(),
+                dcfg,
+                ScacheConfig::default(),
+            );
+            let out = sys.run(&input).expect("dcache run");
+            match &want {
+                Some(w) => assert_eq!(w, &out.output, "policy changed semantics"),
+                None => want = Some(out.output.clone()),
+            }
+            DcacheRow {
+                policy: name,
+                fast_hits: out.dcache.fast_hits,
+                slow_hits: out.dcache.slow_hits,
+                misses: out.dcache.misses,
+                pinned_hits: out.dcache.pinned_hits,
+                extra_cycles: out.dcache.extra_cycles,
+                onchip_cycles: out.dcache.onchip_cycles,
+                accesses: out.dcache.accesses,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- guarantees
+
+/// The abstract's three headline claims, measured.
+#[derive(Clone, Debug)]
+pub struct GuaranteeReport {
+    /// Slowdown with a working-set-fitting tcache (paper: 1.19).
+    pub slowdown_fitting: f64,
+    /// The longest translation-free stretch of the run, as a fraction of
+    /// total cycles — the measured form of the 100 %-hit-rate guarantee:
+    /// once the working set is translated, execution proceeds with zero
+    /// misses until the program changes phase (the trailing translations
+    /// are the exit path — the paper's "terminal statistics" blip).
+    pub longest_missfree_fraction: f64,
+    /// Translations in the run (bounded by distinct blocks, not dynamic
+    /// count).
+    pub translations: u64,
+    /// Hardware tag overhead fraction per cache size (paper: 11–18 %).
+    pub tag_overheads: Vec<(u32, f64)>,
+}
+
+/// Measure the abstract's claims: ~19 % slowdown when the working set
+/// fits, guaranteed hit rate after warm-up, and the hardware tag-array
+/// overhead the software cache avoids.
+pub fn guarantees(scale: u32) -> GuaranteeReport {
+    let w = by_name("compress95").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+    let native = run_native(&image, &input);
+
+    let cfg = IcacheConfig {
+        tcache_size: 48 * 1024,
+        link: LinkModel::free(),
+        ..IcacheConfig::default()
+    };
+    let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+    // Record the cycle time of every translation.
+    let mut events: Vec<(u64, u64)> = Vec::new();
+    let out = sys
+        .run_with_hook(&input, |cycles, translations| {
+            events.push((cycles, translations));
+        })
+        .expect("run");
+    // Longest gap between consecutive translation events (including the
+    // run's start and end as boundaries).
+    let mut marks: Vec<u64> = std::iter::once(0)
+        .chain(events.iter().map(|&(c, _)| c))
+        .chain(std::iter::once(out.exec.cycles))
+        .collect();
+    marks.sort_unstable();
+    let longest_gap = marks.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+    GuaranteeReport {
+        slowdown_fitting: out.exec.cycles as f64 / native.stats.cycles as f64,
+        longest_missfree_fraction: longest_gap as f64 / out.exec.cycles.max(1) as f64,
+        translations: out.cache.translations,
+        tag_overheads: (10..=17)
+            .map(|b| {
+                let size = 1u32 << b;
+                (size, tags::tag_overhead_fraction(size))
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------- ablations
+
+/// Chunk-granularity ablation: basic blocks vs whole procedures.
+#[derive(Clone, Debug)]
+pub struct GranularityRow {
+    /// Workload.
+    pub name: &'static str,
+    /// (fetches, words shipped) at basic-block granularity.
+    pub block: (u64, u64),
+    /// (fetches, words shipped) at procedure granularity.
+    pub procedure: (u64, u64),
+}
+
+/// DESIGN.md ablation 2: block vs procedure chunking — procedures mean
+/// fewer round trips but more speculative bytes shipped.
+pub fn ablation_granularity() -> Vec<GranularityRow> {
+    ["adpcmenc", "gzip", "cjpeg"]
+        .iter()
+        .map(|name| {
+            let w = by_name(name).expect("workload");
+            let input = (w.gen_input)(4);
+            let image_b = w.image(true);
+            let mut sys_b = SoftIcacheSystem::new(image_b, IcacheConfig::default());
+            let out_b = sys_b.run(&input).expect("block run");
+
+            let image_p = w.image(false);
+            let mut sys_p = ProcCacheSystem::new(image_p, ProcConfig::default());
+            let out_p = sys_p.run(&input).expect("proc run");
+            assert_eq!(out_b.output, out_p.output, "granularity changed semantics");
+            GranularityRow {
+                name: w.name,
+                block: (out_b.cache.translations, out_b.cache.words_installed),
+                procedure: (out_p.cache.fetches, out_p.cache.words_installed),
+            }
+        })
+        .collect()
+}
+
+/// DESIGN.md ablation 1: steady-state rewriting overhead — the cost of
+/// the extra fall-through jumps after all miss costs are excluded. The
+/// paper: "These extra instructions could be optimized away".
+#[derive(Clone, Debug)]
+pub struct SteadyStateRow {
+    /// Workload.
+    pub name: &'static str,
+    /// Native cycles.
+    pub native_cycles: u64,
+    /// Softcache cycles with the link free and miss service subtracted.
+    pub steady_cycles: u64,
+    /// Steady-state overhead fraction.
+    pub overhead: f64,
+}
+
+/// Superblock-chunking ablation (the paper's "trace or hyperblock" note).
+#[derive(Clone, Debug)]
+pub struct SuperblockRow {
+    /// Maximum blocks per chunk (1 = the basic-block baseline).
+    pub max_blocks: u32,
+    /// Chunks fetched from the MC.
+    pub translations: u64,
+    /// Words shipped and installed (tail duplication shows up here).
+    pub words_installed: u64,
+    /// Miss traps serviced.
+    pub miss_traps: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// Superblock ablation over compress95: inlining fall-through chains cuts
+/// round trips and fall-slot misses at the price of duplicated tails.
+pub fn ablation_superblock(scale: u32) -> Vec<SuperblockRow> {
+    let w = by_name("compress95").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+    let mut want: Option<Vec<u8>> = None;
+    [1u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&max_blocks| {
+            let strategy = if max_blocks == 1 {
+                ChunkStrategy::BasicBlock
+            } else {
+                ChunkStrategy::Superblock { max_blocks }
+            };
+            let cfg = IcacheConfig {
+                tcache_size: 64 * 1024,
+                link: LinkModel::default(),
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg).chunk_strategy(strategy);
+            let out = sys.run(&input).expect("superblock run");
+            match &want {
+                Some(prev) => assert_eq!(prev, &out.output, "strategy changed semantics"),
+                None => want = Some(out.output.clone()),
+            }
+            SuperblockRow {
+                max_blocks,
+                translations: out.cache.translations,
+                words_installed: out.cache.words_installed,
+                miss_traps: out.cache.miss_traps,
+                cycles: out.exec.cycles,
+            }
+        })
+        .collect()
+}
+
+/// §4 power experiment: banked-SRAM energy with working-set-driven gating
+/// vs an always-on hardware cache of the same geometry.
+#[derive(Clone, Debug)]
+pub struct PowerRow {
+    /// Workload.
+    pub name: &'static str,
+    /// Time-weighted mean awake banks (of `total_banks`).
+    pub mean_awake_banks: f64,
+    /// Banks in the region.
+    pub total_banks: u32,
+    /// Softcache memory energy, millijoules.
+    pub energy_mj: f64,
+    /// Always-on hardware cache baseline, millijoules.
+    pub hardware_mj: f64,
+    /// Whole-chip savings per the paper's StrongARM breakdown.
+    pub chip_savings: f64,
+}
+
+/// Run each workload with the bank model attached and report the §4
+/// "shut down unneeded memory banks" savings.
+pub fn power_banks() -> Vec<PowerRow> {
+    ["compress95", "adpcmenc", "gzip"]
+        .iter()
+        .map(|name| {
+            let w = by_name(name).expect("workload");
+            let image = w.image(true);
+            let input = (w.gen_input)(8);
+            let cfg = IcacheConfig {
+                tcache_size: 32 * 1024,
+                link: LinkModel::free(),
+                ..IcacheConfig::default()
+            };
+            let banks = BankConfig {
+                bank_bytes: 2 * 1024,
+                banks: 16,
+                ..BankConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image, cfg);
+            let (_, report) = sys.run_with_power(&input, banks).expect("power run");
+            PowerRow {
+                name: w.name,
+                mean_awake_banks: report.mean_awake_banks,
+                total_banks: report.total_banks,
+                energy_mj: report.energy_mj,
+                hardware_mj: report.hardware_baseline_mj,
+                chip_savings: report.chip_power_savings_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// Hardware-associativity ablation row: miss rate at a knee-region size
+/// for 1/2/4-way caches plus the software tcache (fully associative).
+#[derive(Clone, Debug)]
+pub struct AssocRow {
+    /// Cache description.
+    pub config: String,
+    /// Miss rate, percent.
+    pub miss_rate: f64,
+}
+
+/// Context for the paper's full-associativity argument: at a size near the
+/// working-set knee, a direct-mapped hardware cache still suffers conflict
+/// misses that associativity removes — and that the fully associative
+/// software tcache never has.
+pub fn ablation_associativity() -> Vec<AssocRow> {
+    let w = by_name("hextobdd").expect("workload");
+    let image = image_with_coldlib(&w, true);
+    let input = (w.gen_input)(6);
+    let size = 2048u32; // hextobdd's knee region per Figure 6
+    let mut rows = Vec::new();
+    for ways in [1usize, 2, 4] {
+        let mut cache = SetAssocCache::new(size, 16, ways);
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native_traced(2_000_000_000, |pc| {
+            cache.access(pc);
+        })
+        .expect("traced run");
+        rows.push(AssocRow {
+            config: format!("hw {ways}-way {size}B"),
+            miss_rate: cache.stats.miss_rate_percent(),
+        });
+    }
+    // The software tcache at the same size (fully associative by design).
+    let cfg = IcacheConfig {
+        tcache_size: size,
+        link: LinkModel::free(),
+        ..IcacheConfig::default()
+    };
+    let mut sys = SoftIcacheSystem::new(image, cfg);
+    let out = sys.run_measured(&input, 2_000_000).expect("tcache run");
+    rows.push(AssocRow {
+        config: format!("sw tcache {size}B (full assoc)"),
+        miss_rate: out.tcache_miss_rate_percent(),
+    });
+    rows
+}
+
+/// The StrongARM cache-power fraction quoted in §4 (0.45).
+pub fn strongarm_cache_fraction() -> f64 {
+    strongarm::TOTAL_CACHE_FRACTION
+}
+
+/// Write-policy ablation row.
+#[derive(Clone, Debug)]
+pub struct WritePolicyRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Store-traffic messages to the server.
+    pub store_messages: u64,
+    /// Total link payload bytes.
+    pub payload_bytes: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// Write-back vs write-through on a store-heavy workload (cjpeg writes its
+/// whole image array): write-through buys instant server consistency at a
+/// large traffic and stall cost.
+pub fn ablation_write_policy() -> Vec<WritePolicyRow> {
+    let w = by_name("cjpeg").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let mut want: Option<Vec<u8>> = None;
+    [
+        ("write-back", WritePolicy::WriteBack),
+        ("write-through", WritePolicy::WriteThrough),
+    ]
+    .iter()
+    .map(|&(name, policy)| {
+        let dcfg = DcacheConfig {
+            write_policy: policy,
+            ..DcacheConfig::default()
+        };
+        let mut sys = FullSoftCacheSystem::new(
+            image.clone(),
+            IcacheConfig::default(),
+            dcfg,
+            ScacheConfig::default(),
+        );
+        let out = sys.run(&input).expect("write-policy run");
+        match &want {
+            Some(prev) => assert_eq!(prev, &out.output, "policy changed semantics"),
+            None => want = Some(out.output.clone()),
+        }
+        WritePolicyRow {
+            policy: name,
+            store_messages: out.dcache.writebacks,
+            payload_bytes: out.dcache.link.payload_bytes,
+            cycles: out.exec.cycles,
+        }
+    })
+    .collect()
+}
+
+/// Steady-state overhead measurement (the residual 19 %-style cost).
+pub fn ablation_steady_state(scale: u32) -> Vec<SteadyStateRow> {
+    ["compress95", "adpcmenc", "gzip"]
+        .iter()
+        .map(|name| {
+            let w = by_name(name).expect("workload");
+            let image = w.image(true);
+            let input = (w.gen_input)(scale);
+            let native = run_native(&image, &input);
+            let cfg = IcacheConfig {
+                tcache_size: 128 * 1024,
+                link: LinkModel::free(),
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+            let out = sys.run(&input).expect("run");
+            let steady = out.exec.cycles - out.cache.miss_cycles;
+            SteadyStateRow {
+                name: w.name,
+                native_cycles: native.stats.cycles,
+                steady_cycles: steady,
+                overhead: steady as f64 / native.stats.cycles as f64 - 1.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.dynamic_bytes < r.static_bytes,
+                "{}: dynamic {} must be below static {}",
+                r.name,
+                r.dynamic_bytes,
+                r.static_bytes
+            );
+            assert!(r.dynamic_bytes > 0);
+        }
+        // adpcmenc is the paper's tiny-dynamic outlier; it must have the
+        // smallest dynamic text here too.
+        let adpcm = rows.iter().find(|r| r.name == "adpcmenc").unwrap();
+        assert!(rows.iter().all(|r| adpcm.dynamic_bytes <= r.dynamic_bytes));
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let (bars, ws) = fig5(32);
+        assert!(ws > 0);
+        assert_eq!(bars.len(), 4);
+        assert!((bars[0].relative_time - 1.0).abs() < 1e-9);
+        // Fitting configurations: modest overhead, no flushes.
+        for b in &bars[1..3] {
+            assert!(b.relative_time > 1.0, "{}", b.label);
+            assert!(
+                b.relative_time < 2.0,
+                "{}: fitting tcache should be near-native, got {:.2}",
+                b.label,
+                b.relative_time
+            );
+            assert_eq!(b.flushes, 0, "{}", b.label);
+        }
+        // Thrash configuration: dramatically worse.
+        assert!(
+            bars[3].relative_time > bars[2].relative_time * 2.0,
+            "thrash bar {:.2} vs fit {:.2}",
+            bars[3].relative_time,
+            bars[2].relative_time
+        );
+        assert!(bars[3].flushes > 0);
+    }
+
+    #[test]
+    fn fig6_fig7_curves_fall_with_size() {
+        for curves in [fig6(), fig7()] {
+            assert_eq!(curves.len(), 4);
+            for c in &curves {
+                assert!(!c.points.is_empty(), "{}", c.name);
+                let first = c.points.first().unwrap().1;
+                let last = c.points.last().unwrap().1;
+                assert!(
+                    last <= first,
+                    "{}: miss rate should not rise with size ({first} -> {last})",
+                    c.name
+                );
+                assert!(last < 1.0, "{}: large cache ~zero misses", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_regimes() {
+        let (series, hot) = fig8(8);
+        assert!(hot > 0);
+        assert_eq!(series.len(), 3);
+        let small = &series[0];
+        let fits = &series[1];
+        let ample = &series[2];
+        assert!(
+            small.total_evictions > fits.total_evictions,
+            "undersized memory must page more ({} vs {})",
+            small.total_evictions,
+            fits.total_evictions
+        );
+        assert!(fits.total_evictions >= ample.total_evictions);
+        // Steady state: the fitting configuration stops evicting after
+        // warm-up — no evictions in the last three quarters of the run.
+        let cut = fits.buckets.len() / 4;
+        let tail: u64 = fits.buckets[cut.max(1)..].iter().sum();
+        assert_eq!(tail, 0, "fitting memory must reach steady state");
+    }
+
+    #[test]
+    fn fig9_reduction() {
+        let rows = fig9();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.normalized < 0.55,
+                "{}: hot code should be well under half the program, got {:.2}",
+                r.name,
+                r.normalized
+            );
+            assert!(r.normalized > 0.0);
+        }
+    }
+
+    #[test]
+    fn net_overhead_is_paper_value() {
+        assert_eq!(net_overhead(), 60.0);
+    }
+
+    #[test]
+    fn dcache_policy_ordering() {
+        let rows = dcache_policies();
+        assert_eq!(rows.len(), 4);
+        let none = &rows[0];
+        let same = &rows[1];
+        assert_eq!(none.fast_hits, 0, "no prediction, no fast path");
+        assert!(same.fast_hits > 0);
+        // Any prediction strictly reduces on-chip cycles vs none.
+        for r in &rows[1..] {
+            assert!(
+                r.onchip_cycles < none.onchip_cycles,
+                "{} should beat no-prediction",
+                r.policy
+            );
+        }
+    }
+
+    #[test]
+    fn guarantee_report() {
+        let g = guarantees(32);
+        assert!(g.slowdown_fitting > 1.0 && g.slowdown_fitting < 2.0);
+        assert!(
+            g.longest_missfree_fraction > 0.3,
+            "the bulk of the run must be miss-free: {}",
+            g.longest_missfree_fraction
+        );
+        for &(size, f) in &g.tag_overheads {
+            assert!((0.10..=0.19).contains(&f), "size {size}: {f}");
+        }
+    }
+
+    #[test]
+    fn superblock_tradeoff() {
+        let rows = ablation_superblock(8);
+        let base = &rows[0];
+        let sb8 = rows.iter().find(|r| r.max_blocks == 8).unwrap();
+        assert!(sb8.translations < base.translations, "fewer round trips");
+        assert!(sb8.miss_traps < base.miss_traps, "fewer fall-slot misses");
+        assert!(
+            sb8.words_installed >= base.words_installed,
+            "tail duplication ships at least as many words"
+        );
+        assert!(
+            sb8.cycles < base.cycles,
+            "with a real link, fewer round trips win: {} vs {}",
+            sb8.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn associativity_removes_conflicts() {
+        let rows = ablation_associativity();
+        assert_eq!(rows.len(), 4);
+        assert!(
+            rows[2].miss_rate <= rows[0].miss_rate,
+            "4-way must not miss more than direct-mapped"
+        );
+        assert!(
+            rows[0].miss_rate > rows[2].miss_rate * 1.2,
+            "hextobdd at the knee shows conflict misses: dm {} vs 4-way {}",
+            rows[0].miss_rate,
+            rows[2].miss_rate
+        );
+    }
+
+    #[test]
+    fn write_policy_tradeoff() {
+        let rows = ablation_write_policy();
+        let wb = &rows[0];
+        let wt = &rows[1];
+        assert!(wt.store_messages > wb.store_messages * 5, "write-through forwards every store");
+        assert!(wt.payload_bytes > wb.payload_bytes);
+        assert!(wt.cycles > wb.cycles, "stalls cost cycles");
+    }
+
+    #[test]
+    fn power_savings_reported() {
+        let rows = power_banks();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.mean_awake_banks < r.total_banks as f64 / 2.0, "{}", r.name);
+            assert!(r.energy_mj < r.hardware_mj, "{}", r.name);
+            assert!(r.chip_savings > 0.1 && r.chip_savings < strongarm_cache_fraction());
+        }
+    }
+
+    #[test]
+    fn granularity_tradeoff() {
+        let rows = ablation_granularity();
+        for r in &rows {
+            assert!(
+                r.procedure.0 < r.block.0,
+                "{}: procedures mean fewer fetches",
+                r.name
+            );
+            assert!(
+                r.procedure.1 >= r.block.1 / 4,
+                "{}: words shipped should be comparable",
+                r.name
+            );
+        }
+    }
+}

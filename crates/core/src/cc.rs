@@ -1,0 +1,687 @@
+//! The cache controller (CC) — the client side of the softcache.
+//!
+//! The CC owns the translation cache (tcache) and its map (Figure 4 of the
+//! paper: tcache, tcache map, next-free pointer). It installs rewritten
+//! chunks, services miss stubs by requesting targets from the MC and then
+//! **rewriting the branch again** to point at the now-resident copy, runs
+//! the hash-table fallback for computed jumps, and implements invalidation:
+//! finding "any and all pointers that implicitly mark a basic block as
+//! valid" — incoming branches recorded at patch time, plus return addresses
+//! on the stack, which the known frame layout lets it walk.
+
+use crate::endpoint::McEndpoint;
+use crate::power::BankModel;
+use crate::protocol::{ChunkPayload, PatchKind, Reply, Request};
+use softcache_isa::inst::Inst;
+use softcache_isa::layout::{FP_SENTINEL, STACK_TOP};
+use softcache_isa::reg::Reg;
+use softcache_isa::{cf, encode};
+use softcache_net::{LinkModel, LinkStats, NetError};
+use softcache_sim::{Machine, SimError};
+use std::collections::HashMap;
+
+/// Configuration of the software instruction cache.
+#[derive(Clone, Copy, Debug)]
+pub struct IcacheConfig {
+    /// Base address of the tcache region in client memory.
+    pub tcache_base: u32,
+    /// Size of the tcache in bytes.
+    pub tcache_size: u32,
+    /// MC↔CC link cost model.
+    pub link: LinkModel,
+    /// Fixed CC-side cycles per serviced miss (trap entry, record lookup,
+    /// patching).
+    pub miss_handler_cycles: u64,
+    /// Cycles per hash-table lookup for computed jumps.
+    pub hash_lookup_cycles: u64,
+    /// Cycles per installed word (copy into tcache).
+    pub install_cycles_per_word: u64,
+    /// Instruction budget for a run.
+    pub fuel: u64,
+}
+
+impl Default for IcacheConfig {
+    fn default() -> IcacheConfig {
+        IcacheConfig {
+            tcache_base: softcache_isa::layout::TCACHE_BASE,
+            tcache_size: 48 * 1024,
+            link: LinkModel::default(),
+            miss_handler_cycles: 60,
+            hash_lookup_cycles: 12,
+            install_cycles_per_word: 2,
+            fuel: 2_000_000_000,
+        }
+    }
+}
+
+/// Cache-controller statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IcacheStats {
+    /// Chunks translated (the numerator of the paper's software miss rate).
+    pub translations: u64,
+    /// Miss stubs executed.
+    pub miss_traps: u64,
+    /// Computed-jump traps.
+    pub hash_traps: u64,
+    /// Computed-jump traps that hit the map.
+    pub hash_hits: u64,
+    /// Full tcache flushes.
+    pub flushes: u64,
+    /// Individual chunk invalidations.
+    pub chunk_invalidations: u64,
+    /// Patch operations applied (branches re-rewritten).
+    pub patches: u64,
+    /// Words installed into the tcache.
+    pub words_installed: u64,
+    /// Return-address slots redirected during invalidation.
+    pub ra_redirects: u64,
+    /// Cycles spent servicing misses (handler + link stall + install).
+    pub miss_cycles: u64,
+    /// Link traffic.
+    pub link: LinkStats,
+}
+
+/// Errors from the softcache runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// A single chunk is larger than the whole tcache.
+    ChunkTooBig {
+        /// The chunk's size in bytes.
+        bytes: u32,
+        /// The tcache capacity.
+        capacity: u32,
+    },
+    /// The MC reported an error.
+    Mc(u32),
+    /// Transport failure.
+    Net(NetError),
+    /// Protocol violation.
+    Proto,
+    /// CPU fault.
+    Sim(SimError),
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// A trap referenced an unknown miss record (corrupted tcache).
+    BadMissRecord(u32),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::ChunkTooBig { bytes, capacity } => {
+                write!(f, "chunk of {bytes} bytes exceeds tcache of {capacity} bytes")
+            }
+            CacheError::Mc(code) => write!(f, "memory controller error {code}"),
+            CacheError::Net(e) => write!(f, "link error: {e}"),
+            CacheError::Proto => write!(f, "protocol violation"),
+            CacheError::Sim(e) => write!(f, "{e}"),
+            CacheError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            CacheError::BadMissRecord(idx) => write!(f, "unknown miss record {idx}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<SimError> for CacheError {
+    fn from(e: SimError) -> CacheError {
+        CacheError::Sim(e)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MissRecord {
+    orig_target: u32,
+    /// Patch site applied once the target is resident.
+    patch: Option<(u32, PatchKind)>,
+    /// Chunk the patch site lives in (patches are skipped if it died).
+    home: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Incoming {
+    from_chunk: usize,
+    addr: u32,
+    kind: PatchKind,
+}
+
+#[derive(Clone, Debug)]
+struct ChunkInfo {
+    orig_start: u32,
+    tc_start: u32,
+    n_words: u32,
+    body_words: u32,
+    extra_orig: Vec<u32>,
+    incoming: Vec<Incoming>,
+    records: Vec<u32>,
+    alive: bool,
+}
+
+/// The cache controller state.
+pub struct Cc {
+    cfg: IcacheConfig,
+    /// tcache map: original pc → tcache address (Figure 4's hash table).
+    map: HashMap<u32, u32>,
+    chunks: Vec<ChunkInfo>,
+    records: Vec<Option<MissRecord>>,
+    /// Return-address trampolines: (tcache addr, original target).
+    trampolines: Vec<(u32, u32)>,
+    next_free: u32,
+    generation: u64,
+    /// Optional banked-SRAM power model (§4): tracks which banks hold live
+    /// tcache bytes so unused banks can be gated off.
+    power: Option<BankModel>,
+    /// Statistics.
+    pub stats: IcacheStats,
+}
+
+impl Cc {
+    /// Fresh controller.
+    pub fn new(cfg: IcacheConfig) -> Cc {
+        Cc {
+            next_free: cfg.tcache_base,
+            cfg,
+            map: HashMap::new(),
+            chunks: Vec::new(),
+            records: Vec::new(),
+            trampolines: Vec::new(),
+            generation: 0,
+            power: None,
+            stats: IcacheStats::default(),
+        }
+    }
+
+    /// Attach a banked-SRAM power model; installs, flushes and
+    /// invalidations will drive its occupancy, and the run loop its access
+    /// accounting.
+    pub fn attach_power(&mut self, model: BankModel) {
+        self.power = Some(model);
+    }
+
+    /// The power model, if attached.
+    pub fn power(&self) -> Option<&BankModel> {
+        self.power.as_ref()
+    }
+
+    /// Account one instruction fetch for the power model.
+    #[inline]
+    pub fn power_access(&mut self, addr: u32, cycle: u64) {
+        if let Some(p) = &mut self.power {
+            p.access(addr, cycle);
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IcacheConfig {
+        &self.cfg
+    }
+
+    /// Bytes of tcache currently allocated.
+    pub fn used_bytes(&self) -> u32 {
+        self.next_free - self.cfg.tcache_base
+    }
+
+    /// Number of live chunks.
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.alive).count()
+    }
+
+    /// Is `orig` currently translated?
+    pub fn is_resident(&self, orig: u32) -> bool {
+        self.map.contains_key(&orig)
+    }
+
+    fn end(&self) -> u32 {
+        self.cfg.tcache_base + self.cfg.tcache_size
+    }
+
+    fn rpc(&mut self, ep: &mut McEndpoint, req: &Request) -> Result<(Reply, u64), CacheError> {
+        let (reply, req_bytes, rep_bytes) = ep.rpc(req)?;
+        let stall = self
+            .stats
+            .link
+            .record_rpc(&self.cfg.link, req_bytes, rep_bytes);
+        Ok((reply, stall))
+    }
+
+    /// Chunk id containing tcache address `addr`, if any.
+    fn chunk_at(&self, addr: u32) -> Option<usize> {
+        self.chunks.iter().position(|c| {
+            c.alive && addr >= c.tc_start && addr < c.tc_start + c.n_words * 4
+        })
+    }
+
+    /// Map a tcache address back to the original-program resume address.
+    fn tc_to_orig(&self, addr: u32) -> Option<u32> {
+        if let Some(id) = self.chunk_at(addr) {
+            let c = &self.chunks[id];
+            let widx = (addr - c.tc_start) / 4;
+            return if widx < c.body_words {
+                Some(c.orig_start + widx * 4)
+            } else {
+                c.extra_orig.get((widx - c.body_words) as usize).copied()
+            };
+        }
+        self.trampolines
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, o)| o)
+    }
+
+    fn in_tcache(&self, addr: u32) -> bool {
+        addr >= self.cfg.tcache_base && addr < self.end()
+    }
+
+    /// Ensure the chunk starting at `orig` is resident; returns its tcache
+    /// address. May flush the whole tcache to make room.
+    pub fn ensure(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        orig: u32,
+    ) -> Result<u32, CacheError> {
+        if let Some(&tc) = self.map.get(&orig) {
+            return Ok(tc);
+        }
+        let mut flushed = false;
+        loop {
+            let dest = self.next_free;
+            let req = Request::FetchBlock { orig_pc: orig, dest };
+            let (reply, stall) = self.rpc(ep, &req)?;
+            self.stats.miss_cycles += stall;
+            machine.stats.cycles += stall;
+            let chunk = match reply {
+                Reply::Chunk(c) => c,
+                Reply::Err(code) => return Err(CacheError::Mc(code)),
+                _ => return Err(CacheError::Proto),
+            };
+            let bytes = chunk.words.len() as u32 * 4;
+            if dest + bytes > self.end() {
+                // A fresh tcache still holds the return-address trampolines
+                // the flush creates, so "fits" means fits in what a flush
+                // actually frees — flushing more than once cannot help.
+                if bytes > self.cfg.tcache_size || flushed {
+                    return Err(CacheError::ChunkTooBig {
+                        bytes,
+                        capacity: self.end().saturating_sub(dest).min(self.cfg.tcache_size),
+                    });
+                }
+                // Not enough room: flush everything (the SPARC prototype's
+                // policy, like Dynamo/Shade) and retry at the new top.
+                self.flush(machine, ep)?;
+                flushed = true;
+                continue;
+            }
+            self.install(machine, chunk, dest)?;
+            return Ok(dest);
+        }
+    }
+
+    fn install(
+        &mut self,
+        machine: &mut Machine,
+        chunk: ChunkPayload,
+        dest: u32,
+    ) -> Result<(), CacheError> {
+        let n_words = chunk.words.len() as u32;
+        machine
+            .mem
+            .write_words(dest, &chunk.words)
+            .expect("tcache region is mapped");
+        let id = self.chunks.len();
+        let mut record_ids = Vec::with_capacity(chunk.exits.len());
+        for exit in &chunk.exits {
+            let idx = self.records.len() as u32;
+            self.records.push(Some(MissRecord {
+                orig_target: exit.orig_target,
+                patch: Some((dest + exit.patch_slot * 4, exit.kind)),
+                home: Some(id),
+            }));
+            record_ids.push(idx);
+            machine
+                .mem
+                .write_u32(dest + exit.stub_slot * 4, encode(Inst::Miss { idx }))
+                .expect("stub slot in range");
+        }
+        self.chunks.push(ChunkInfo {
+            orig_start: chunk.orig_start,
+            tc_start: dest,
+            n_words,
+            body_words: chunk.body_words,
+            extra_orig: chunk.extra_orig,
+            incoming: Vec::new(),
+            records: record_ids,
+            alive: true,
+        });
+        self.map.insert(chunk.orig_start, dest);
+        self.next_free = dest + n_words * 4;
+        if let Some(p) = &mut self.power {
+            p.occupy(dest, n_words * 4);
+        }
+        // Incoming pointers the MC resolved at rewrite time.
+        for rr in &chunk.resolved {
+            if let Some(&tc) = self.map.get(&rr.orig_target) {
+                if let Some(tid) = self.chunk_at(tc) {
+                    self.chunks[tid].incoming.push(Incoming {
+                        from_chunk: id,
+                        addr: dest + rr.slot * 4,
+                        kind: rr.kind,
+                    });
+                }
+            }
+        }
+        self.stats.translations += 1;
+        self.stats.words_installed += n_words as u64;
+        let cycles =
+            self.cfg.miss_handler_cycles + self.cfg.install_cycles_per_word * n_words as u64;
+        self.stats.miss_cycles += cycles;
+        machine.stats.cycles += cycles;
+        Ok(())
+    }
+
+    /// Service a `miss` trap: translate the target, patch the site that
+    /// missed (rewriting the branch to point at the now-resident block),
+    /// and redirect the PC.
+    pub fn handle_miss(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        idx: u32,
+    ) -> Result<(), CacheError> {
+        self.stats.miss_traps += 1;
+        let rec = self
+            .records
+            .get(idx as usize)
+            .and_then(|r| r.clone())
+            .ok_or(CacheError::BadMissRecord(idx))?;
+        let gen_before = self.generation;
+        let target_tc = self.ensure(machine, ep, rec.orig_target)?;
+        // Patch only if no flush intervened and the home chunk survived.
+        if self.generation == gen_before {
+            let home_alive = rec
+                .home
+                .map(|h| self.chunks.get(h).map(|c| c.alive).unwrap_or(false))
+                .unwrap_or(false);
+            if let (Some((addr, kind)), true) = (rec.patch, home_alive) {
+                self.apply_patch(machine, addr, kind, target_tc)?;
+                if let Some(tid) = self.chunk_at(target_tc) {
+                    self.chunks[tid].incoming.push(Incoming {
+                        from_chunk: rec.home.expect("checked"),
+                        addr,
+                        kind,
+                    });
+                }
+            }
+        }
+        machine.cpu.pc = target_tc;
+        Ok(())
+    }
+
+    fn apply_patch(
+        &mut self,
+        machine: &mut Machine,
+        addr: u32,
+        kind: PatchKind,
+        target_tc: u32,
+    ) -> Result<(), CacheError> {
+        match kind {
+            PatchKind::Retarget => {
+                let word = machine.mem.read_u32(addr).expect("patch site mapped");
+                let patched =
+                    cf::retarget(word, addr, target_tc).map_err(|_| CacheError::Proto)?;
+                machine.mem.write_u32(addr, patched).expect("mapped");
+            }
+            PatchKind::ReplaceWord => {
+                let j = cf::retarget(encode(Inst::J { off: 0 }), addr, target_tc)
+                    .map_err(|_| CacheError::Proto)?;
+                machine.mem.write_u32(addr, j).expect("mapped");
+            }
+        }
+        self.stats.patches += 1;
+        Ok(())
+    }
+
+    /// Service a computed-jump trap (`jrh`/`jalrh`): translate the
+    /// original-address target through the map (hash lookup), fetching it
+    /// on a miss, and return the tcache address to resume at.
+    pub fn hash_jump(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        orig_target: u32,
+    ) -> Result<u32, CacheError> {
+        self.stats.hash_traps += 1;
+        let cycles = self.cfg.hash_lookup_cycles;
+        self.stats.miss_cycles += cycles;
+        machine.stats.cycles += cycles;
+        if let Some(&tc) = self.map.get(&orig_target) {
+            self.stats.hash_hits += 1;
+            return Ok(tc);
+        }
+        self.ensure(machine, ep, orig_target)
+    }
+
+    // ---- invalidation ----
+
+    /// Enumerate return-address locations: the `ra` register plus the
+    /// `fp-4` slot of every frame on the fp chain — exactly the stack-walk
+    /// the paper's programming-model restrictions make possible.
+    fn ra_locations(&self, machine: &Machine) -> Vec<(RaLoc, u32)> {
+        let mut out = vec![(RaLoc::Reg, machine.cpu.get(Reg::RA) as u32)];
+        let mut fp = machine.cpu.get(Reg::FP) as u32;
+        for _ in 0..100_000 {
+            if fp == FP_SENTINEL {
+                break;
+            }
+            if !fp.is_multiple_of(4) || !(8..=STACK_TOP).contains(&fp) {
+                break; // corrupt chain; stop walking
+            }
+            let Ok(ra) = machine.mem.read_u32(fp - 4) else { break };
+            out.push((RaLoc::Mem(fp - 4), ra));
+            let Ok(next) = machine.mem.read_u32(fp - 8) else { break };
+            if next != FP_SENTINEL && next <= fp {
+                break; // frames must grow downward; refuse cycles
+            }
+            fp = next;
+        }
+        out
+    }
+
+    /// Allocate (or reuse) a return-address trampoline for `orig`.
+    fn trampoline_for(&mut self, machine: &mut Machine, orig: u32) -> Option<u32> {
+        if let Some(&(addr, _)) = self.trampolines.iter().find(|&&(_, o)| o == orig) {
+            return Some(addr);
+        }
+        if self.next_free + 4 > self.end() {
+            return None;
+        }
+        let addr = self.next_free;
+        self.next_free += 4;
+        if let Some(p) = &mut self.power {
+            p.occupy(addr, 4);
+        }
+        let idx = self.records.len() as u32;
+        self.records.push(Some(MissRecord {
+            orig_target: orig,
+            patch: None,
+            home: None,
+        }));
+        machine
+            .mem
+            .write_u32(addr, encode(Inst::Miss { idx }))
+            .expect("tcache mapped");
+        self.trampolines.push((addr, orig));
+        Some(addr)
+    }
+
+    fn write_ra(&mut self, machine: &mut Machine, loc: RaLoc, value: u32) {
+        match loc {
+            RaLoc::Reg => machine.cpu.set(Reg::RA, value as i32),
+            RaLoc::Mem(addr) => machine
+                .mem
+                .write_u32(addr, value)
+                .expect("stack slot mapped"),
+        }
+        self.stats.ra_redirects += 1;
+    }
+
+    /// Flush the entire tcache. Live return addresses are mapped back to
+    /// original addresses *before* the state is cleared and redirected to
+    /// fresh trampolines after.
+    pub fn flush(&mut self, machine: &mut Machine, ep: &mut McEndpoint) -> Result<(), CacheError> {
+        // 1. Collect return addresses while the tc→orig mapping still exists.
+        let pending: Vec<(RaLoc, u32)> = self
+            .ra_locations(machine)
+            .into_iter()
+            .filter(|&(_, v)| self.in_tcache(v))
+            .filter_map(|(loc, v)| self.tc_to_orig(v).map(|o| (loc, o)))
+            .collect();
+        // 2. Clear everything.
+        self.chunks.clear();
+        self.map.clear();
+        self.records.clear();
+        self.trampolines.clear();
+        self.next_free = self.cfg.tcache_base;
+        self.generation += 1;
+        self.stats.flushes += 1;
+        if let Some(p) = &mut self.power {
+            p.release_all();
+        }
+        let (reply, stall) = self.rpc(ep, &Request::InvalidateAll)?;
+        machine.stats.cycles += stall;
+        if !matches!(reply, Reply::Ack) {
+            return Err(CacheError::Proto);
+        }
+        // 3. Re-point return addresses at trampolines.
+        for (loc, orig) in pending {
+            let stub = self
+                .trampoline_for(machine, orig)
+                .expect("fresh tcache has room for trampolines");
+            self.write_ra(machine, loc, stub);
+        }
+        Ok(())
+    }
+
+    /// Invalidate the single chunk translated from `orig` (the API the
+    /// paper's self-modifying-code restriction requires programs to call).
+    /// Returns `false` if `orig` was not resident.
+    ///
+    /// Every pointer that implicitly marked the chunk valid is found and
+    /// redirected: incoming branches recorded at patch time are re-pointed
+    /// at fresh miss stubs, and return addresses into the chunk are
+    /// redirected to trampolines.
+    pub fn invalidate_chunk(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        orig: u32,
+    ) -> Result<bool, CacheError> {
+        let Some(&tc) = self.map.get(&orig) else {
+            return Ok(false);
+        };
+        let Some(cid) = self.chunk_at(tc) else {
+            return Ok(false);
+        };
+        let chunk = self.chunks[cid].clone();
+
+        // 1. Re-point incoming sites at fresh miss stubs.
+        for inc in &chunk.incoming {
+            if !self.chunks.get(inc.from_chunk).map(|c| c.alive).unwrap_or(false) {
+                continue;
+            }
+            let idx = self.records.len() as u32;
+            self.records.push(Some(MissRecord {
+                orig_target: orig,
+                patch: Some((inc.addr, inc.kind)),
+                home: Some(inc.from_chunk),
+            }));
+            self.chunks[inc.from_chunk].records.push(idx);
+            match inc.kind {
+                PatchKind::ReplaceWord => {
+                    machine
+                        .mem
+                        .write_u32(inc.addr, encode(Inst::Miss { idx }))
+                        .expect("mapped");
+                }
+                PatchKind::Retarget => {
+                    // A branch needs somewhere to land: allocate a stub.
+                    let Some(stub) = self.alloc_stub(machine, idx) else {
+                        // No room for a stub: degrade to a full flush.
+                        self.flush(machine, ep)?;
+                        return Ok(true);
+                    };
+                    let word = machine.mem.read_u32(inc.addr).expect("mapped");
+                    let patched =
+                        cf::retarget(word, inc.addr, stub).map_err(|_| CacheError::Proto)?;
+                    machine.mem.write_u32(inc.addr, patched).expect("mapped");
+                }
+            }
+        }
+
+        // 2. Redirect return addresses pointing into the dying chunk.
+        let span = chunk.tc_start..chunk.tc_start + chunk.n_words * 4;
+        let pending: Vec<(RaLoc, u32)> = self
+            .ra_locations(machine)
+            .into_iter()
+            .filter(|(_, v)| span.contains(v))
+            .filter_map(|(loc, v)| self.tc_to_orig(v).map(|o| (loc, o)))
+            .collect();
+        for (loc, target) in pending {
+            match self.trampoline_for(machine, target) {
+                Some(stub) => self.write_ra(machine, loc, stub),
+                None => {
+                    self.flush(machine, ep)?;
+                    return Ok(true);
+                }
+            }
+        }
+
+        // 3. Kill the chunk: its records, its incoming entries elsewhere,
+        //    its map entry.
+        for ridx in &self.chunks[cid].records {
+            self.records[*ridx as usize] = None;
+        }
+        for other in &mut self.chunks {
+            other.incoming.retain(|i| i.from_chunk != cid);
+        }
+        self.chunks[cid].alive = false;
+        self.map.remove(&orig);
+        self.stats.chunk_invalidations += 1;
+        if let Some(p) = &mut self.power {
+            p.release(chunk.tc_start, chunk.n_words * 4);
+        }
+        let (reply, stall) = self.rpc(ep, &Request::Invalidate { orig_pc: orig })?;
+        machine.stats.cycles += stall;
+        if !matches!(reply, Reply::Ack) {
+            return Err(CacheError::Proto);
+        }
+        Ok(true)
+    }
+
+    /// Allocate a standalone miss-stub word for record `idx`.
+    fn alloc_stub(&mut self, machine: &mut Machine, idx: u32) -> Option<u32> {
+        if self.next_free + 4 > self.end() {
+            return None;
+        }
+        let addr = self.next_free;
+        self.next_free += 4;
+        machine
+            .mem
+            .write_u32(addr, encode(Inst::Miss { idx }))
+            .expect("tcache mapped");
+        // Record for the RA walker: resuming at a stub re-enters via its
+        // miss record's target.
+        let orig = self.records[idx as usize]
+            .as_ref()
+            .map(|r| r.orig_target)
+            .unwrap_or(0);
+        self.trampolines.push((addr, orig));
+        Some(addr)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum RaLoc {
+    Reg,
+    Mem(u32),
+}

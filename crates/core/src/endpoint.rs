@@ -1,0 +1,220 @@
+//! The CC's handle on the memory controller.
+//!
+//! Two deployment shapes, matching the paper's two prototypes:
+//!
+//! * **Fused** ([`McEndpoint::Direct`]): MC and CC in one process,
+//!   "communication ... is accomplished by jumping back and forth in places
+//!   where a real embedded system would have to perform an RPC" (§2.1,
+//!   SPARC prototype). Frames are still encoded/decoded so the protocol
+//!   path is exercised and byte-accounted identically.
+//! * **Remote** ([`McEndpoint::Remote`]): MC behind a [`Transport`] —
+//!   typically a crossbeam channel pair with the MC's serve loop on another
+//!   thread (§2.3, ARM prototype: two Skiff boards on Ethernet). Requests
+//!   carry sequence numbers; lost frames are retried and stale replies
+//!   discarded, so a lossy link degrades to latency, never to corruption.
+
+use crate::cc::CacheError;
+use crate::mc::Mc;
+use crate::protocol::{Reply, Request};
+use softcache_net::{NetError, Transport};
+
+/// How many times a remote RPC is retried on timeout before giving up.
+const DEFAULT_RETRIES: u32 = 3;
+
+/// The CC's connection to the MC.
+pub enum McEndpoint {
+    /// MC in-process.
+    Direct(Box<Mc>),
+    /// MC behind a transport.
+    Remote {
+        /// The link.
+        transport: Box<dyn Transport>,
+        /// Next sequence number.
+        seq: u32,
+        /// Retries on timeout.
+        retries: u32,
+    },
+}
+
+impl McEndpoint {
+    /// Fused MC.
+    pub fn direct(mc: Mc) -> McEndpoint {
+        McEndpoint::Direct(Box::new(mc))
+    }
+
+    /// Remote MC over `transport`.
+    pub fn remote(transport: Box<dyn Transport>) -> McEndpoint {
+        McEndpoint::Remote {
+            transport,
+            seq: 0,
+            retries: DEFAULT_RETRIES,
+        }
+    }
+
+    /// Access the fused MC (None when remote).
+    pub fn mc(&self) -> Option<&Mc> {
+        match self {
+            McEndpoint::Direct(mc) => Some(mc),
+            McEndpoint::Remote { .. } => None,
+        }
+    }
+
+    /// Perform one request/reply exchange. Returns the reply plus the
+    /// request/reply payload sizes for link accounting.
+    pub fn rpc(&mut self, req: &Request) -> Result<(Reply, u32, u32), CacheError> {
+        let req_frame = req.encode();
+        match self {
+            McEndpoint::Direct(mc) => {
+                let rep_frame = mc.handle_frame(&req_frame);
+                let reply = Reply::decode(&rep_frame).map_err(|_| CacheError::Proto)?;
+                Ok((reply, req_frame.len() as u32, rep_frame.len() as u32))
+            }
+            McEndpoint::Remote {
+                transport,
+                seq,
+                retries,
+            } => {
+                *seq += 1;
+                let id = *seq;
+                let mut wire = Vec::with_capacity(4 + req_frame.len());
+                wire.extend_from_slice(&id.to_le_bytes());
+                wire.extend_from_slice(&req_frame);
+                let mut attempts = 0;
+                transport.send(wire.clone()).map_err(CacheError::Net)?;
+                loop {
+                    match transport.recv() {
+                        Ok(frame) => {
+                            if frame.len() < 4 {
+                                continue; // runt; ignore
+                            }
+                            let rseq =
+                                u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+                            if rseq != id {
+                                continue; // stale duplicate from a retry
+                            }
+                            let reply =
+                                Reply::decode(&frame[4..]).map_err(|_| CacheError::Proto)?;
+                            return Ok((
+                                reply,
+                                req_frame.len() as u32,
+                                (frame.len() - 4) as u32,
+                            ));
+                        }
+                        Err(NetError::Timeout) => {
+                            attempts += 1;
+                            if attempts > *retries {
+                                return Err(CacheError::Net(NetError::Timeout));
+                            }
+                            transport.send(wire.clone()).map_err(CacheError::Net)?;
+                        }
+                        Err(e) => return Err(CacheError::Net(e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serve MC requests over a transport until the peer disconnects. Run this
+/// on the server thread in the remote configuration.
+pub fn serve(mc: &mut Mc, transport: &mut dyn Transport) {
+    loop {
+        match transport.recv() {
+            Ok(frame) => {
+                if frame.len() < 4 {
+                    continue;
+                }
+                let seq = &frame[0..4];
+                let rep = mc.handle_frame(&frame[4..]);
+                let mut wire = Vec::with_capacity(4 + rep.len());
+                wire.extend_from_slice(seq);
+                wire.extend_from_slice(&rep);
+                if transport.send(wire).is_err() {
+                    return;
+                }
+            }
+            Err(NetError::Timeout) => continue,
+            Err(NetError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcache_asm::assemble;
+    use softcache_isa::layout::TEXT_BASE;
+    use softcache_net::{thread_pair, LossyTransport};
+    use std::time::Duration;
+
+    fn test_mc() -> Mc {
+        Mc::new(assemble("_start: nop\n halt").unwrap())
+    }
+
+    #[test]
+    fn direct_rpc() {
+        let mut ep = McEndpoint::direct(test_mc());
+        let (reply, req_b, rep_b) = ep
+            .rpc(&Request::FetchBlock {
+                orig_pc: TEXT_BASE,
+                dest: 0x40_0000,
+            })
+            .unwrap();
+        assert!(matches!(reply, Reply::Chunk(_)));
+        assert!(req_b > 0 && rep_b > 0);
+    }
+
+    #[test]
+    fn remote_rpc_over_threads() {
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(100));
+        let server = std::thread::spawn(move || {
+            let mut mc = test_mc();
+            serve(&mut mc, &mut mc_t);
+        });
+        let mut ep = McEndpoint::remote(Box::new(cc_t));
+        for _ in 0..3 {
+            let (reply, _, _) = ep
+                .rpc(&Request::FetchBlock {
+                    orig_pc: TEXT_BASE,
+                    dest: 0x40_0000,
+                })
+                .unwrap();
+            assert!(matches!(reply, Reply::Chunk(_)));
+        }
+        drop(ep);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn lossy_link_recovers_via_retry() {
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(30));
+        let server = std::thread::spawn(move || {
+            let mut mc = test_mc();
+            serve(&mut mc, &mut mc_t);
+        });
+        // Drop every 2nd frame and duplicate every 3rd: the RPC layer must
+        // still complete every exchange, in order.
+        let lossy = LossyTransport::new(cc_t, 2, 3);
+        let mut ep = McEndpoint::remote(Box::new(lossy));
+        for i in 0..8 {
+            let (reply, _, _) = ep
+                .rpc(&Request::FetchBlock {
+                    orig_pc: TEXT_BASE,
+                    dest: 0x40_0000 + i * 16,
+                })
+                .unwrap_or_else(|e| panic!("rpc {i}: {e}"));
+            assert!(matches!(reply, Reply::Chunk(_)), "rpc {i}");
+        }
+        drop(ep);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dead_server_times_out() {
+        let (cc_t, mc_t) = thread_pair(Duration::from_millis(10));
+        drop(mc_t);
+        let mut ep = McEndpoint::remote(Box::new(cc_t));
+        let err = ep.rpc(&Request::InvalidateAll).unwrap_err();
+        assert!(matches!(err, CacheError::Net(_)));
+    }
+}

@@ -1,0 +1,751 @@
+//! The complete software instruction cache system (§2 of the paper):
+//! embedded machine + cache controller + memory controller, wired together.
+//!
+//! [`SoftIcacheSystem`] is the top-level object: give it a program image
+//! and a configuration, call [`SoftIcacheSystem::run`], and the program
+//! executes entirely out of the translation cache — original text never
+//! enters client memory.
+
+use crate::cc::{CacheError, Cc, IcacheConfig, IcacheStats};
+use crate::endpoint::McEndpoint;
+use crate::mc::Mc;
+use crate::power::{strongarm, BankConfig, BankModel};
+use softcache_isa::Image;
+use softcache_sim::{ExecStats, Machine, Step, Trap};
+
+/// Result of one softcache run.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Program exit code.
+    pub exit_code: i32,
+    /// Bytes the program wrote.
+    pub output: Vec<u8>,
+    /// Cache-controller statistics.
+    pub cache: IcacheStats,
+    /// CPU execution statistics (cycles include miss service).
+    pub exec: ExecStats,
+}
+
+impl RunOutput {
+    /// The paper's software miss-rate metric (Figure 7): "the number of
+    /// basic blocks translated divided by the number of instructions
+    /// executed", in percent.
+    pub fn tcache_miss_rate_percent(&self) -> f64 {
+        if self.exec.instructions == 0 {
+            return 0.0;
+        }
+        self.cache.translations as f64 / self.exec.instructions as f64 * 100.0
+    }
+}
+
+/// A software instruction cache system over a given image.
+///
+/// This is the basic-block-granularity SPARC prototype of §2.1; the
+/// procedure-granularity ARM prototype with eviction lives in
+/// [`crate::proc::ProcCacheSystem`].
+pub struct SoftIcacheSystem {
+    image: Image,
+    cfg: IcacheConfig,
+    endpoint: McEndpoint,
+    last_power: Option<PowerReport>,
+}
+
+impl SoftIcacheSystem {
+    /// Fused system: MC and CC in one process (the SPARC prototype shape).
+    pub fn new(image: Image, cfg: IcacheConfig) -> SoftIcacheSystem {
+        let mc = Mc::new(image.clone());
+        SoftIcacheSystem {
+            image,
+            cfg,
+            endpoint: McEndpoint::direct(mc),
+            last_power: None,
+        }
+    }
+
+    /// System with an explicit endpoint (e.g. a remote MC on another
+    /// thread). The image is still needed locally for its *data* segment —
+    /// only text stays on the server.
+    pub fn with_endpoint(
+        image: Image,
+        cfg: IcacheConfig,
+        endpoint: McEndpoint,
+    ) -> SoftIcacheSystem {
+        SoftIcacheSystem {
+            image,
+            cfg,
+            endpoint,
+            last_power: None,
+        }
+    }
+
+    /// Access the fused MC's statistics (None when remote).
+    pub fn mc_stats(&self) -> Option<crate::mc::McStats> {
+        self.endpoint.mc().map(|m| m.stats)
+    }
+
+    /// Select the chunk-formation strategy on the fused MC (builder
+    /// style). Panics on a remote endpoint — configure the remote MC
+    /// directly in that case.
+    pub fn chunk_strategy(mut self, strategy: crate::mc::ChunkStrategy) -> SoftIcacheSystem {
+        match &mut self.endpoint {
+            McEndpoint::Direct(mc) => mc.set_strategy(strategy),
+            McEndpoint::Remote { .. } => {
+                panic!("configure the remote MC's strategy on the server side")
+            }
+        }
+        self
+    }
+
+    /// Run the program under the software cache. Each call starts from a
+    /// cold tcache.
+    pub fn run(&mut self, input: &[u8]) -> Result<RunOutput, CacheError> {
+        self.run_with_hook(input, |_, _| {})
+    }
+
+    /// Like [`SoftIcacheSystem::run`], but stops cleanly once
+    /// `max_instructions` have retired, returning the statistics gathered
+    /// so far (`exit_code` is 0 for a capped run). Miss rates converge
+    /// quickly, so bounded runs are how the sweep experiments keep
+    /// thrashing configurations tractable.
+    pub fn run_measured(
+        &mut self,
+        input: &[u8],
+        max_instructions: u64,
+    ) -> Result<RunOutput, CacheError> {
+        self.run_inner(input, None, Some(max_instructions), |_, _| {})
+    }
+
+    /// Run with a banked-SRAM power model attached (§4): chunk installs
+    /// and flushes drive bank occupancy; every fetch is accounted. Returns
+    /// the run output plus the power report.
+    pub fn run_with_power(
+        &mut self,
+        input: &[u8],
+        banks: BankConfig,
+    ) -> Result<(RunOutput, PowerReport), CacheError> {
+        let out = self.run_inner(input, Some(banks), None, |_, _| {})?;
+        let report = self
+            .last_power
+            .take()
+            .expect("power model attached for this run");
+        Ok((out, report))
+    }
+
+    /// Like [`SoftIcacheSystem::run`], with a callback invoked after every
+    /// serviced miss: `hook(cycles_so_far, translations_so_far)`. Drives
+    /// the paging-over-time experiments.
+    pub fn run_with_hook(
+        &mut self,
+        input: &[u8],
+        hook: impl FnMut(u64, u64),
+    ) -> Result<RunOutput, CacheError> {
+        self.run_inner(input, None, None, hook)
+    }
+
+    fn run_inner(
+        &mut self,
+        input: &[u8],
+        banks: Option<BankConfig>,
+        cap: Option<u64>,
+        mut hook: impl FnMut(u64, u64),
+    ) -> Result<RunOutput, CacheError> {
+        let mut machine = Machine::load_client(&self.image, input);
+        let mut cc = Cc::new(self.cfg);
+        let track_power = banks.is_some();
+        if let Some(bcfg) = banks {
+            cc.attach_power(BankModel::new(bcfg));
+        }
+        let entry = cc.ensure(&mut machine, &mut self.endpoint, self.image.entry)?;
+        machine.cpu.pc = entry;
+
+        let fuel = self.cfg.fuel;
+        let exit_code = loop {
+            if let Some(cap) = cap {
+                if machine.stats.instructions >= cap {
+                    break 0;
+                }
+            }
+            if machine.stats.instructions >= fuel {
+                return Err(CacheError::OutOfFuel);
+            }
+            if track_power {
+                cc.power_access(machine.cpu.pc, machine.stats.cycles);
+            }
+            match machine.step()? {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                Step::Trapped(Trap::Miss { idx, .. }) => {
+                    cc.handle_miss(&mut machine, &mut self.endpoint, idx)?;
+                    hook(machine.stats.cycles, cc.stats.translations);
+                }
+                Step::Trapped(Trap::HashJump { target, .. })
+                | Step::Trapped(Trap::HashCall { target, .. }) => {
+                    let tc = cc.hash_jump(&mut machine, &mut self.endpoint, target)?;
+                    machine.cpu.pc = tc;
+                    hook(machine.stats.cycles, cc.stats.translations);
+                }
+                Step::Trapped(Trap::Ecall { .. }) => unreachable!("handled by Machine"),
+            }
+        };
+        if let Some(p) = cc.power() {
+            let clock = machine.cost.clock_hz as f64;
+            self.last_power = Some(PowerReport {
+                mean_awake_banks: p.mean_awake_banks(),
+                total_banks: p.config().banks,
+                energy_mj: p.energy_mj(clock),
+                hardware_baseline_mj: p.hardware_baseline_mj(clock, 0.15),
+            });
+        }
+        Ok(RunOutput {
+            exit_code,
+            output: machine.env.output.clone(),
+            cache: cc.stats,
+            exec: machine.stats,
+        })
+    }
+}
+
+/// Power summary from [`SoftIcacheSystem::run_with_power`].
+#[derive(Clone, Copy, Debug)]
+pub struct PowerReport {
+    /// Time-weighted average of awake banks.
+    pub mean_awake_banks: f64,
+    /// Total banks in the region.
+    pub total_banks: u32,
+    /// Estimated softcache memory energy (leakage of awake banks +
+    /// per-access dynamic energy), in millijoules.
+    pub energy_mj: f64,
+    /// Energy of an always-on hardware cache of the same geometry with a
+    /// 15 % tag-access overhead, in millijoules.
+    pub hardware_baseline_mj: f64,
+}
+
+impl PowerReport {
+    /// Fraction of the hardware baseline saved by bank gating.
+    pub fn savings_fraction(&self) -> f64 {
+        1.0 - self.energy_mj / self.hardware_baseline_mj
+    }
+
+    /// Scale the memory-energy savings to whole-chip power using the
+    /// paper's StrongARM breakdown (caches = 45 % of chip power).
+    pub fn chip_power_savings_fraction(&self) -> f64 {
+        self.savings_fraction() * strongarm::TOTAL_CACHE_FRACTION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::CacheError;
+    use softcache_asm::assemble;
+    use softcache_minic as minic;
+    use softcache_net::thread_pair;
+    use std::time::Duration;
+
+    fn run_asm(src: &str, cfg: IcacheConfig, input: &[u8]) -> RunOutput {
+        let image = assemble(src).unwrap();
+        SoftIcacheSystem::new(image, cfg)
+            .run(input)
+            .expect("softcache run")
+    }
+
+    fn run_minic(src: &str, cfg: IcacheConfig, input: &[u8]) -> RunOutput {
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        SoftIcacheSystem::new(image, cfg)
+            .run(input)
+            .expect("softcache run")
+    }
+
+    #[test]
+    fn straight_line_program() {
+        let out = run_asm(
+            "_start: li a0, 7\n addi a0, a0, 35\n ecall 0",
+            IcacheConfig::default(),
+            &[],
+        );
+        assert_eq!(out.exit_code, 42);
+        assert_eq!(out.cache.translations, 1, "one block");
+    }
+
+    #[test]
+    fn loop_runs_with_zero_checks_after_warmup() {
+        // After the loop's blocks are translated and patched, iterations
+        // execute with no traps at all: translations stays at the number of
+        // distinct blocks regardless of trip count.
+        let src = r#"
+_start: li t0, 1000
+.Ll:    addi t0, t0, -1
+        bnez t0, .Ll
+        li a0, 0
+        ecall 0
+"#;
+        let out = run_asm(src, IcacheConfig::default(), &[]);
+        assert_eq!(out.exit_code, 0);
+        assert_eq!(out.cache.translations, 3);
+        assert_eq!(out.cache.miss_traps, 2, "fall-through misses only");
+        assert_eq!(out.cache.flushes, 0);
+    }
+
+    #[test]
+    fn guaranteed_hit_rate_when_working_set_fits() {
+        // The paper's guarantee: a module that fits in the (fully
+        // associative) tcache suffers no misses once translated. Run two
+        // passes; all translation happens in pass one.
+        let src = r#"
+int work() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 50; i = i + 1) s = s + i * 3 % 7;
+    return s;
+}
+int main() {
+    int a; int b;
+    a = work();
+    b = work();
+    return a == b;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut sys = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
+        let out = sys.run(&[]).unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert_eq!(out.cache.flushes, 0);
+        // Translations are bounded by distinct blocks, far below the
+        // dynamic block count.
+        assert!(out.cache.translations < 60);
+
+        // Independent check: a run of main calling work() once translates
+        // the same number of work()-blocks; the second call added none.
+        let single = r#"
+int work() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 50; i = i + 1) s = s + i * 3 % 7;
+    return s;
+}
+int main() {
+    int a;
+    a = work();
+    return a == 1225 || 1;
+}
+"#;
+        let image2 = minic::compile_to_image(single, &minic::Options::default()).unwrap();
+        let mut sys2 = SoftIcacheSystem::new(image2, IcacheConfig::default());
+        let out2 = sys2.run(&[]).unwrap();
+        // Both runs translate the same work() blocks; the two-call run may
+        // differ only in main's own blocks (a constant few).
+        assert!(out.cache.translations.abs_diff(out2.cache.translations) <= 6);
+    }
+
+    #[test]
+    fn output_matches_native_run() {
+        let src = r#"
+int tab[16];
+int main() {
+    int i;
+    for (i = 0; i < 16; i = i + 1) tab[i] = i * i;
+    for (i = 0; i < 16; i = i + 1) { puti(tab[i]); putc(' '); }
+    return tab[15];
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut native = softcache_sim::Machine::load_native(&image, &[]);
+        let native_code = native.run_native(10_000_000).unwrap();
+
+        let out = run_minic(src, IcacheConfig::default(), &[]);
+        assert_eq!(out.exit_code, native_code);
+        assert_eq!(out.output, native.env.output);
+    }
+
+    #[test]
+    fn computed_jumps_through_hash_table() {
+        // A dense switch compiles to a jump table → jr → jrh under the
+        // softcache.
+        let src = r#"
+int f(int n) {
+    switch (n) {
+        case 0: return 5;
+        case 1: return 6;
+        case 2: return 7;
+        case 3: return 8;
+        case 4: return 9;
+        default: return 0;
+    }
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 40; i = i + 1) s = s + f(i % 6);
+    return s;
+}
+"#;
+        let out = run_minic(src, IcacheConfig::default(), &[]);
+        // i % 6 == 5 takes the bounds-check branch to default without
+        // reaching the jump table, so ~34 of 40 dispatches go through jr.
+        assert!(out.cache.hash_traps >= 30, "every table dispatch traps");
+        assert!(
+            out.cache.hash_hits >= out.cache.hash_traps - 10,
+            "steady state hits the map"
+        );
+        // Differential against native.
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut native = softcache_sim::Machine::load_native(&image, &[]);
+        assert_eq!(out.exit_code, native.run_native(10_000_000).unwrap());
+    }
+
+    #[test]
+    fn indirect_calls_and_returns() {
+        let src = r#"
+int dbl(int x) { return x * 2; }
+int inc(int x) { return x + 1; }
+int main() {
+    int p; int i; int s;
+    s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i % 2) p = &dbl; else p = &inc;
+        s = s + callptr(p, i);
+    }
+    return s;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut native = softcache_sim::Machine::load_native(&image, &[]);
+        let want = native.run_native(10_000_000).unwrap();
+        let out = run_minic(src, IcacheConfig::default(), &[]);
+        assert_eq!(out.exit_code, want);
+        assert!(out.cache.hash_traps >= 10, "jalrh per indirect call");
+    }
+
+    #[test]
+    fn tiny_tcache_thrashes_but_completes() {
+        // The paper's Figure 5 rightmost bar: "performance is awful but
+        // the system continues to operate".
+        let src = r#"
+int a() { return 1; }
+int b() { return 2; }
+int c() { return 3; }
+int d() { return 4; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 25; i = i + 1) s = s + a() + b() + c() + d();
+    return s;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let big = SoftIcacheSystem::new(image.clone(), IcacheConfig::default())
+            .run(&[])
+            .unwrap();
+        let small_cfg = IcacheConfig {
+            tcache_size: 384,
+            ..IcacheConfig::default()
+        };
+        let small = SoftIcacheSystem::new(image, small_cfg).run(&[]).unwrap();
+        assert_eq!(small.exit_code, big.exit_code, "correctness preserved");
+        assert!(small.cache.flushes > 0, "must have flushed");
+        assert!(
+            small.cache.translations > big.cache.translations,
+            "thrashing retranslates: {} vs {}",
+            small.cache.translations,
+            big.cache.translations
+        );
+        assert!(small.exec.cycles > big.exec.cycles);
+    }
+
+    #[test]
+    fn flush_mid_call_stack_fixes_return_addresses() {
+        // Deep recursion with enough code that a tiny tcache flushes while
+        // frames are live; returns must still land correctly.
+        let src = r#"
+int pad1(int x) { return x + 1; }
+int pad2(int x) { return x + 2; }
+int pad3(int x) { return x + 3; }
+int deep(int n) {
+    int r;
+    if (n == 0) return pad1(0) + pad2(0) + pad3(0);
+    r = deep(n - 1);
+    return r + pad1(n) + pad2(n) - pad3(n);
+}
+int main() { return deep(6); }
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut native = softcache_sim::Machine::load_native(&image, &[]);
+        let want = native.run_native(10_000_000).unwrap();
+
+        let cfg = IcacheConfig {
+            tcache_size: 600,
+            ..IcacheConfig::default()
+        };
+        let out = SoftIcacheSystem::new(image, cfg).run(&[]).unwrap();
+        assert_eq!(out.exit_code, want, "flush must not corrupt returns");
+        assert!(out.cache.flushes > 0, "test requires at least one flush");
+        assert!(out.cache.ra_redirects > 0, "stacked RAs were rewritten");
+    }
+
+    #[test]
+    fn chunk_too_big_is_reported() {
+        // One giant straight-line block larger than the tcache.
+        let mut src = String::from("_start:\n");
+        for i in 0..200 {
+            src.push_str(&format!(" addi t0, t0, {}\n", i % 7));
+        }
+        src.push_str(" li a0, 0\n ecall 0\n");
+        let image = assemble(&src).unwrap();
+        let cfg = IcacheConfig {
+            tcache_size: 256,
+            ..IcacheConfig::default()
+        };
+        let err = SoftIcacheSystem::new(image, cfg).run(&[]).unwrap_err();
+        assert!(matches!(err, CacheError::ChunkTooBig { .. }));
+    }
+
+    #[test]
+    fn remote_mc_over_threads_end_to_end() {
+        let src = r#"
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(500));
+        let server_image = image.clone();
+        let server = std::thread::spawn(move || {
+            let mut mc = Mc::new(server_image);
+            crate::endpoint::serve(&mut mc, &mut mc_t);
+        });
+        let mut sys = SoftIcacheSystem::with_endpoint(
+            image,
+            IcacheConfig::default(),
+            McEndpoint::remote(Box::new(cc_t)),
+        );
+        let out = sys.run(&[]).unwrap();
+        assert_eq!(out.exit_code, 55);
+        drop(sys);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn miss_rate_metric() {
+        let src = "_start: li t0, 100\n.Ll: addi t0, t0, -1\n bnez t0, .Ll\n li a0, 0\n ecall 0";
+        let out = run_asm(src, IcacheConfig::default(), &[]);
+        let mr = out.tcache_miss_rate_percent();
+        assert!(mr > 0.0 && mr < 5.0, "few translations over many instructions: {mr}");
+    }
+
+    #[test]
+    fn link_accounting_present() {
+        let out = run_asm(
+            "_start: li a0, 1\n ecall 0",
+            IcacheConfig::default(),
+            &[],
+        );
+        assert!(out.cache.link.messages >= 2);
+        assert_eq!(out.cache.link.overhead_per_rpc(), 60.0);
+        assert!(out.cache.miss_cycles > 0);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let cfg = IcacheConfig {
+            fuel: 1_000,
+            ..IcacheConfig::default()
+        };
+        let image = assemble("_start: j _start").unwrap();
+        let err = SoftIcacheSystem::new(image, cfg).run(&[]).unwrap_err();
+        assert!(matches!(err, CacheError::OutOfFuel));
+    }
+}
+
+#[cfg(test)]
+mod power_tests {
+    use super::*;
+    use crate::power::BankConfig;
+    use softcache_minic as minic;
+
+    #[test]
+    fn power_report_reflects_working_set() {
+        // A small program occupies a couple of banks; the rest sleep.
+        let src = r#"
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 3000; i = i + 1) s = (s + i * 7) % 1000;
+    return s % 128;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let cfg = IcacheConfig {
+            tcache_size: 32 * 1024,
+            ..IcacheConfig::default()
+        };
+        let banks = BankConfig {
+            bank_bytes: 1024,
+            banks: 32,
+            ..BankConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image, cfg);
+        let (out, report) = sys.run_with_power(&[], banks).unwrap();
+        assert!(out.exit_code >= 0);
+        assert!(
+            report.mean_awake_banks < 3.0,
+            "small working set awakes few banks: {}",
+            report.mean_awake_banks
+        );
+        assert!(report.energy_mj < report.hardware_baseline_mj);
+        assert!(report.savings_fraction() > 0.5, "{}", report.savings_fraction());
+        let chip = report.chip_power_savings_fraction();
+        assert!(chip > 0.2 && chip < 0.45, "chip-level savings {chip}");
+    }
+
+    #[test]
+    fn power_run_keeps_semantics() {
+        let src = "int main() { return 37; }";
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
+        let (out, _) = sys
+            .run_with_power(&[], BankConfig::default())
+            .unwrap();
+        assert_eq!(out.exit_code, 37);
+    }
+}
+
+#[cfg(test)]
+mod superblock_tests {
+    use super::*;
+    use crate::mc::ChunkStrategy;
+    use softcache_minic as minic;
+
+    const PROGRAM: &str = r#"
+int work(int n) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        if (i % 3 == 0) s = s + i;
+        else if (i % 3 == 1) s = s - i;
+        else s = s ^ i;
+    }
+    return s;
+}
+int main() { return work(500) & 0x7f; }
+"#;
+
+    fn run_with(strategy: ChunkStrategy) -> RunOutput {
+        let image = minic::compile_to_image(PROGRAM, &minic::Options::default()).unwrap();
+        SoftIcacheSystem::new(image, IcacheConfig::default())
+            .chunk_strategy(strategy)
+            .run(&[])
+            .unwrap()
+    }
+
+    #[test]
+    fn superblocks_preserve_semantics() {
+        let block = run_with(ChunkStrategy::BasicBlock);
+        for max in [2, 4, 16] {
+            let sb = run_with(ChunkStrategy::Superblock { max_blocks: max });
+            assert_eq!(sb.exit_code, block.exit_code, "max={max}");
+            assert_eq!(sb.output, block.output, "max={max}");
+        }
+    }
+
+    #[test]
+    fn superblocks_reduce_round_trips() {
+        let block = run_with(ChunkStrategy::BasicBlock);
+        let sb = run_with(ChunkStrategy::Superblock { max_blocks: 8 });
+        assert!(
+            sb.cache.translations < block.cache.translations,
+            "fewer chunks: {} vs {}",
+            sb.cache.translations,
+            block.cache.translations
+        );
+        assert!(
+            sb.cache.miss_traps <= block.cache.miss_traps,
+            "inlined fallthroughs eliminate fall-slot misses"
+        );
+    }
+
+    #[test]
+    fn superblock_of_one_is_basic_block() {
+        let block = run_with(ChunkStrategy::BasicBlock);
+        let sb1 = run_with(ChunkStrategy::Superblock { max_blocks: 1 });
+        assert_eq!(block.cache.translations, sb1.cache.translations);
+        assert_eq!(block.cache.words_installed, sb1.cache.words_installed);
+    }
+
+    #[test]
+    fn superblocks_work_under_flush_pressure() {
+        let image = minic::compile_to_image(PROGRAM, &minic::Options::default()).unwrap();
+        let want = run_with(ChunkStrategy::BasicBlock).exit_code;
+        // Find a tcache size that forces at least one flush under the
+        // superblock strategy, then verify semantics survive it.
+        let mut flushed = false;
+        for size in [768u32, 640, 512, 448, 384] {
+            let cfg = IcacheConfig {
+                tcache_size: size,
+                ..IcacheConfig::default()
+            };
+            match SoftIcacheSystem::new(image.clone(), cfg)
+                .chunk_strategy(ChunkStrategy::Superblock { max_blocks: 4 })
+                .run(&[])
+            {
+                Ok(out) => {
+                    assert_eq!(out.exit_code, want, "size {size}");
+                    flushed |= out.cache.flushes > 0;
+                }
+                Err(CacheError::ChunkTooBig { .. }) => break,
+                Err(e) => panic!("size {size}: {e}"),
+            }
+        }
+        assert!(flushed, "no size in the sweep flushed");
+    }
+
+    #[test]
+    fn superblocks_with_calls_inline_continuations() {
+        let src = r#"
+int f(int x) { return x + 1; }
+int main() {
+    int s; int i;
+    s = 0;
+    for (i = 0; i < 50; i = i + 1) s = s + f(i) + f(s & 7);
+    return s & 0x7f;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let base = SoftIcacheSystem::new(image.clone(), IcacheConfig::default())
+            .run(&[])
+            .unwrap();
+        let sb = SoftIcacheSystem::new(image, IcacheConfig::default())
+            .chunk_strategy(ChunkStrategy::Superblock { max_blocks: 8 })
+            .run(&[])
+            .unwrap();
+        assert_eq!(sb.exit_code, base.exit_code);
+        assert!(sb.cache.translations < base.cache.translations);
+    }
+}
+
+#[cfg(test)]
+mod measured_tests {
+    use super::*;
+    use softcache_asm::assemble;
+
+    #[test]
+    fn run_measured_stops_at_cap_with_stats() {
+        let image = assemble(
+            "_start: li t0, 0\n.Ll: addi t0, t0, 1\n j .Ll",
+        )
+        .unwrap();
+        let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
+        let out = sys.run_measured(&[], 10_000).unwrap();
+        assert_eq!(out.exit_code, 0, "capped runs report exit 0");
+        assert!(out.exec.instructions >= 10_000);
+        assert!(out.exec.instructions < 10_100, "stops promptly");
+        assert!(out.cache.translations >= 2);
+        assert!(out.tcache_miss_rate_percent() > 0.0);
+    }
+
+    #[test]
+    fn run_measured_returns_early_exit() {
+        let image = assemble("_start: li a0, 9\n ecall 0").unwrap();
+        let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
+        let out = sys.run_measured(&[], 1_000_000).unwrap();
+        assert_eq!(out.exit_code, 9, "program finished before the cap");
+    }
+}

@@ -1,0 +1,288 @@
+//! Memory-bank power modelling — the first "novel capability" of §4.
+//!
+//! "Since the software cache is fully associative, we can size or resize it
+//! arbitrarily in order to shut down portions of memory. In low-power
+//! StrongARM devices, the total power in use by the components of the chip
+//! we wish to remove are: I-cache 27%, D-cache 16%, Write Buffer 2% ...
+//! By converting the on-chip cache data space to multi-bank SRAM, we can
+//! find an optimization for power based on memory footprint. By isolating
+//! each piece of code together with its associated variables, it becomes
+//! possible to power-down all banks not relevant to the currently executing
+//! application subset."
+//!
+//! [`BankModel`] divides the client's cache memory into SRAM banks and
+//! tracks which banks hold live bytes; everything else can sleep. Combined
+//! with per-bank activity it produces the §4 energy estimate: a hardware
+//! cache burns tag+data power on every access in every bank, while the
+//! software cache powers exactly the banks its (measured, fully
+//! associative) working set occupies.
+
+use softcache_isa::layout::TCACHE_BASE;
+
+/// StrongARM SA-110 power breakdown from the paper's §4 (fractions of
+/// total chip power attributable to the units the softcache removes).
+pub mod strongarm {
+    /// Instruction cache fraction of chip power.
+    pub const ICACHE_FRACTION: f64 = 0.27;
+    /// Data cache fraction of chip power.
+    pub const DCACHE_FRACTION: f64 = 0.16;
+    /// Write buffer fraction of chip power.
+    pub const WRITE_BUFFER_FRACTION: f64 = 0.02;
+    /// Everything the softcache can convert to gateable SRAM.
+    pub const TOTAL_CACHE_FRACTION: f64 =
+        ICACHE_FRACTION + DCACHE_FRACTION + WRITE_BUFFER_FRACTION;
+}
+
+/// Configuration of the banked SRAM.
+#[derive(Clone, Copy, Debug)]
+pub struct BankConfig {
+    /// Base address of the banked region (normally the tcache base).
+    pub base: u32,
+    /// Size of one bank in bytes (power of two).
+    pub bank_bytes: u32,
+    /// Number of banks.
+    pub banks: u32,
+    /// Static (leakage) power per awake bank, in milliwatts.
+    pub leakage_mw_per_bank: f64,
+    /// Dynamic energy per access, in nanojoules.
+    pub access_nj: f64,
+}
+
+impl Default for BankConfig {
+    fn default() -> BankConfig {
+        BankConfig {
+            base: TCACHE_BASE,
+            bank_bytes: 4 * 1024,
+            banks: 16,
+            leakage_mw_per_bank: 1.5,
+            access_nj: 0.4,
+        }
+    }
+}
+
+/// Per-bank live-byte and access accounting.
+#[derive(Clone, Debug)]
+pub struct BankModel {
+    cfg: BankConfig,
+    /// Live (occupied) bytes per bank.
+    live: Vec<u32>,
+    /// Accesses per bank.
+    accesses: Vec<u64>,
+    /// Integral of awake-bank-count over cycles (for average power).
+    awake_cycle_integral: u128,
+    last_cycle: u64,
+}
+
+impl BankModel {
+    /// Fresh model; all banks empty (and therefore asleep).
+    pub fn new(cfg: BankConfig) -> BankModel {
+        assert!(cfg.bank_bytes.is_power_of_two());
+        assert!(cfg.banks > 0);
+        BankModel {
+            live: vec![0; cfg.banks as usize],
+            accesses: vec![0; cfg.banks as usize],
+            awake_cycle_integral: 0,
+            last_cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BankConfig {
+        &self.cfg
+    }
+
+    fn bank_of(&self, addr: u32) -> Option<usize> {
+        if addr < self.cfg.base {
+            return None;
+        }
+        let idx = (addr - self.cfg.base) / self.cfg.bank_bytes;
+        if idx < self.cfg.banks {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Account an allocation of `len` bytes at `addr` (e.g. a chunk
+    /// install). Bytes spanning bank boundaries are split correctly.
+    pub fn occupy(&mut self, addr: u32, len: u32) {
+        self.span(addr, len, 1);
+    }
+
+    /// Account a release of `len` bytes at `addr` (eviction, flush).
+    pub fn release(&mut self, addr: u32, len: u32) {
+        self.span(addr, len, -1);
+    }
+
+    fn span(&mut self, mut addr: u32, mut len: u32, dir: i64) {
+        while len > 0 {
+            let Some(b) = self.bank_of(addr) else { return };
+            let bank_end = self.cfg.base + (b as u32 + 1) * self.cfg.bank_bytes;
+            let chunk = len.min(bank_end - addr);
+            let v = &mut self.live[b];
+            if dir > 0 {
+                *v = v.saturating_add(chunk);
+                debug_assert!(*v <= self.cfg.bank_bytes, "bank over-filled");
+            } else {
+                *v = v.saturating_sub(chunk);
+            }
+            addr += chunk;
+            len -= chunk;
+        }
+    }
+
+    /// Release everything (full flush).
+    pub fn release_all(&mut self) {
+        self.live.fill(0);
+    }
+
+    /// Account one access at `addr`, advancing simulated time to `cycle`
+    /// for the awake-power integral.
+    pub fn access(&mut self, addr: u32, cycle: u64) {
+        if let Some(b) = self.bank_of(addr) {
+            self.accesses[b] += 1;
+        }
+        self.tick(cycle);
+    }
+
+    /// Advance the awake-power integral to `cycle` without an access.
+    pub fn tick(&mut self, cycle: u64) {
+        if cycle > self.last_cycle {
+            let delta = (cycle - self.last_cycle) as u128;
+            self.awake_cycle_integral += delta * self.awake_banks() as u128;
+            self.last_cycle = cycle;
+        }
+    }
+
+    /// Banks currently holding live data (everything else can sleep).
+    pub fn awake_banks(&self) -> u32 {
+        self.live.iter().filter(|&&v| v > 0).count() as u32
+    }
+
+    /// Live bytes per bank.
+    pub fn occupancy(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Accesses per bank.
+    pub fn accesses(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Average awake banks over the run so far.
+    pub fn mean_awake_banks(&self) -> f64 {
+        if self.last_cycle == 0 {
+            return self.awake_banks() as f64;
+        }
+        self.awake_cycle_integral as f64 / self.last_cycle as f64
+    }
+
+    /// Estimated energy in millijoules over `cycles` at `clock_hz`:
+    /// leakage of awake banks (time-weighted) plus per-access dynamic
+    /// energy.
+    pub fn energy_mj(&self, clock_hz: f64) -> f64 {
+        let secs_awake_banks = self.awake_cycle_integral as f64 / clock_hz;
+        let leakage_mj = self.cfg.leakage_mw_per_bank * secs_awake_banks;
+        let dynamic_mj =
+            self.accesses.iter().sum::<u64>() as f64 * self.cfg.access_nj * 1e-6;
+        leakage_mj + dynamic_mj
+    }
+
+    /// Energy a *hardware* cache of the same total size would burn over the
+    /// same interval: every bank always awake (no gating — the hardware
+    /// cache cannot know its working set), plus a tag check on every
+    /// access (`tag_overhead` extra dynamic energy, e.g. 0.15 for the
+    /// 11–18 % tag array).
+    pub fn hardware_baseline_mj(&self, clock_hz: f64, tag_overhead: f64) -> f64 {
+        let secs = self.last_cycle as f64 / clock_hz;
+        let leakage_mj = self.cfg.leakage_mw_per_bank * self.cfg.banks as f64 * secs;
+        let dynamic_mj = self.accesses.iter().sum::<u64>() as f64
+            * self.cfg.access_nj
+            * (1.0 + tag_overhead)
+            * 1e-6;
+        leakage_mj + dynamic_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BankConfig {
+        BankConfig {
+            base: 0x1000,
+            bank_bytes: 256,
+            banks: 4,
+            leakage_mw_per_bank: 2.0,
+            access_nj: 1.0,
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_banks() {
+        let mut m = BankModel::new(cfg());
+        assert_eq!(m.awake_banks(), 0);
+        m.occupy(0x1000, 100);
+        assert_eq!(m.awake_banks(), 1);
+        // Spans banks 1 and 2.
+        m.occupy(0x1000 + 500, 100);
+        assert_eq!(m.awake_banks(), 3);
+        assert_eq!(m.occupancy(), &[100, 12, 88, 0]);
+        m.release(0x1000 + 500, 100);
+        assert_eq!(m.awake_banks(), 1);
+        m.release_all();
+        assert_eq!(m.awake_banks(), 0);
+    }
+
+    #[test]
+    fn out_of_region_ignored() {
+        let mut m = BankModel::new(cfg());
+        m.occupy(0x500, 64); // below base
+        m.occupy(0x1000 + 4 * 256, 64); // beyond last bank
+        assert_eq!(m.awake_banks(), 0);
+        m.access(0x500, 10);
+        assert_eq!(m.accesses().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn awake_integral_weights_time() {
+        let mut m = BankModel::new(cfg());
+        m.occupy(0x1000, 10); // 1 bank awake
+        m.tick(100);
+        m.occupy(0x1100, 10); // 2 banks awake
+        m.tick(200);
+        // 100 cycles * 1 bank + 100 cycles * 2 banks = 300 bank-cycles.
+        assert!((m.mean_awake_banks() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_comparison_favors_gating() {
+        let mut m = BankModel::new(cfg());
+        m.occupy(0x1000, 200); // one bank of four
+        for i in 0..1000u64 {
+            m.access(0x1000 + (i % 200) as u32, i * 10);
+        }
+        let clock = 1e6;
+        let soft = m.energy_mj(clock);
+        let hard = m.hardware_baseline_mj(clock, 0.15);
+        assert!(
+            soft < hard * 0.5,
+            "bank gating should cut energy substantially: {soft} vs {hard}"
+        );
+    }
+
+    #[test]
+    fn strongarm_fractions_total() {
+        assert!((strongarm::TOTAL_CACHE_FRACTION - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_bank_rejected() {
+        let _ = BankModel::new(BankConfig {
+            bank_bytes: 100,
+            ..cfg()
+        });
+    }
+}

@@ -1,0 +1,373 @@
+//! The MC↔CC protocol: chunk fetches, invalidation notifications and data
+//! transfers, encoded over `softcache-net` frames.
+//!
+//! The memory controller does the heavy lifting (chunking + rewriting); the
+//! cache controller ships it the *placement address* so the MC can resolve
+//! PC-relative fields for the final location — "rewriting shifts the cost of
+//! caching from the (constrained) embedded system to the (relatively
+//! unconstrained) server" (§1).
+
+use softcache_net::{FrameReader, FrameWriter};
+
+/// How a patch site is fixed up when its target becomes resident (and how
+/// it is re-pointed at a miss stub when its target is invalidated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatchKind {
+    /// The site is a direct branch/call instruction: retarget its offset.
+    Retarget,
+    /// The site is a standalone slot (fallthrough or unconditional jump):
+    /// replace the whole word with `j target` / `miss idx`.
+    ReplaceWord,
+}
+
+impl PatchKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            PatchKind::Retarget => 0,
+            PatchKind::ReplaceWord => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<PatchKind> {
+        Some(match v {
+            0 => PatchKind::Retarget,
+            1 => PatchKind::ReplaceWord,
+            _ => return None,
+        })
+    }
+}
+
+/// An unresolved exit of a rewritten chunk. The CC allocates a miss record
+/// and plants `miss idx` at `stub_slot`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExitDesc {
+    /// Word index (within the chunk) where the miss stub lives.
+    pub stub_slot: u32,
+    /// Word index of the instruction to patch once the target is resident.
+    pub patch_slot: u32,
+    /// How to patch.
+    pub kind: PatchKind,
+    /// Original-program target address.
+    pub orig_target: u32,
+}
+
+/// An exit the MC resolved immediately because the target was already
+/// resident; the CC records the incoming pointer for invalidation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedRef {
+    /// Word index of the pointing instruction.
+    pub slot: u32,
+    /// Original-program target address.
+    pub orig_target: u32,
+    /// How the site would be re-pointed at invalidation time.
+    pub kind: PatchKind,
+}
+
+/// A rewritten chunk ready to install.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPayload {
+    /// Original start address of the chunk.
+    pub orig_start: u32,
+    /// Number of words copied from the original program (the rest are
+    /// appended stubs/slots).
+    pub body_words: u32,
+    /// The rewritten instruction words.
+    pub words: Vec<u32>,
+    /// Unresolved exits.
+    pub exits: Vec<ExitDesc>,
+    /// Immediately-resolved references into already-resident chunks.
+    pub resolved: Vec<ResolvedRef>,
+    /// Original resume address for each appended slot (indexes
+    /// `body_words..words.len()`), used by the return-address walker.
+    pub extra_orig: Vec<u32>,
+}
+
+/// CC → MC requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the basic block starting at `orig_pc`, rewritten for placement
+    /// at `dest`.
+    FetchBlock {
+        /// Original-program address.
+        orig_pc: u32,
+        /// Placement address in the tcache.
+        dest: u32,
+    },
+    /// Fetch the whole procedure containing `orig_pc` (ARM-prototype
+    /// granularity), rewritten for placement at `dest`.
+    FetchProc {
+        /// Original-program address.
+        orig_pc: u32,
+        /// Placement address in the tcache.
+        dest: u32,
+    },
+    /// The CC flushed its entire tcache.
+    InvalidateAll,
+    /// The CC invalidated one chunk.
+    Invalidate {
+        /// Original-program start address of the invalidated chunk.
+        orig_pc: u32,
+    },
+    /// Fetch `len` bytes of data at `addr` (software data cache fill).
+    FetchData {
+        /// Data address.
+        addr: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Write back dirty data (software data cache eviction).
+    WriteData {
+        /// Data address.
+        addr: u32,
+        /// The bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// MC → CC replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// A rewritten chunk.
+    Chunk(ChunkPayload),
+    /// Plain acknowledgement.
+    Ack,
+    /// Data bytes.
+    Data(Vec<u8>),
+    /// The request failed (bad address, chunk not found, ...).
+    Err(u32),
+}
+
+/// Protocol decode error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtoError;
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed protocol frame")
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl Request {
+    /// Encode to a wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new();
+        match self {
+            Request::FetchBlock { orig_pc, dest } => {
+                w.put_u8(1).put_u32(*orig_pc).put_u32(*dest);
+            }
+            Request::FetchProc { orig_pc, dest } => {
+                w.put_u8(2).put_u32(*orig_pc).put_u32(*dest);
+            }
+            Request::InvalidateAll => {
+                w.put_u8(3);
+            }
+            Request::Invalidate { orig_pc } => {
+                w.put_u8(4).put_u32(*orig_pc);
+            }
+            Request::FetchData { addr, len } => {
+                w.put_u8(5).put_u32(*addr).put_u32(*len);
+            }
+            Request::WriteData { addr, bytes } => {
+                w.put_u8(6).put_u32(*addr).put_bytes(bytes);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from a wire frame.
+    pub fn decode(frame: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = FrameReader::new(frame);
+        let kind = r.u8().map_err(|_| ProtoError)?;
+        let req = match kind {
+            1 => Request::FetchBlock {
+                orig_pc: r.u32().map_err(|_| ProtoError)?,
+                dest: r.u32().map_err(|_| ProtoError)?,
+            },
+            2 => Request::FetchProc {
+                orig_pc: r.u32().map_err(|_| ProtoError)?,
+                dest: r.u32().map_err(|_| ProtoError)?,
+            },
+            3 => Request::InvalidateAll,
+            4 => Request::Invalidate {
+                orig_pc: r.u32().map_err(|_| ProtoError)?,
+            },
+            5 => Request::FetchData {
+                addr: r.u32().map_err(|_| ProtoError)?,
+                len: r.u32().map_err(|_| ProtoError)?,
+            },
+            6 => Request::WriteData {
+                addr: r.u32().map_err(|_| ProtoError)?,
+                bytes: r.bytes().map_err(|_| ProtoError)?,
+            },
+            _ => return Err(ProtoError),
+        };
+        if !r.at_end() {
+            return Err(ProtoError);
+        }
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encode to a wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new();
+        match self {
+            Reply::Chunk(c) => {
+                w.put_u8(1)
+                    .put_u32(c.orig_start)
+                    .put_u32(c.body_words)
+                    .put_words(&c.words);
+                w.put_u32(c.exits.len() as u32);
+                for e in &c.exits {
+                    w.put_u32(e.stub_slot)
+                        .put_u32(e.patch_slot)
+                        .put_u8(e.kind.to_u8())
+                        .put_u32(e.orig_target);
+                }
+                w.put_u32(c.resolved.len() as u32);
+                for rr in &c.resolved {
+                    w.put_u32(rr.slot)
+                        .put_u32(rr.orig_target)
+                        .put_u8(rr.kind.to_u8());
+                }
+                w.put_words(&c.extra_orig);
+            }
+            Reply::Ack => {
+                w.put_u8(2);
+            }
+            Reply::Data(bytes) => {
+                w.put_u8(3).put_bytes(bytes);
+            }
+            Reply::Err(code) => {
+                w.put_u8(4).put_u32(*code);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from a wire frame.
+    pub fn decode(frame: &[u8]) -> Result<Reply, ProtoError> {
+        let mut r = FrameReader::new(frame);
+        let kind = r.u8().map_err(|_| ProtoError)?;
+        let rep = match kind {
+            1 => {
+                let orig_start = r.u32().map_err(|_| ProtoError)?;
+                let body_words = r.u32().map_err(|_| ProtoError)?;
+                let words = r.words().map_err(|_| ProtoError)?;
+                let n = r.u32().map_err(|_| ProtoError)? as usize;
+                let mut exits = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    exits.push(ExitDesc {
+                        stub_slot: r.u32().map_err(|_| ProtoError)?,
+                        patch_slot: r.u32().map_err(|_| ProtoError)?,
+                        kind: PatchKind::from_u8(r.u8().map_err(|_| ProtoError)?)
+                            .ok_or(ProtoError)?,
+                        orig_target: r.u32().map_err(|_| ProtoError)?,
+                    });
+                }
+                let n = r.u32().map_err(|_| ProtoError)? as usize;
+                let mut resolved = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    resolved.push(ResolvedRef {
+                        slot: r.u32().map_err(|_| ProtoError)?,
+                        orig_target: r.u32().map_err(|_| ProtoError)?,
+                        kind: PatchKind::from_u8(r.u8().map_err(|_| ProtoError)?)
+                            .ok_or(ProtoError)?,
+                    });
+                }
+                let extra_orig = r.words().map_err(|_| ProtoError)?;
+                Reply::Chunk(ChunkPayload {
+                    orig_start,
+                    body_words,
+                    words,
+                    exits,
+                    resolved,
+                    extra_orig,
+                })
+            }
+            2 => Reply::Ack,
+            3 => Reply::Data(r.bytes().map_err(|_| ProtoError)?),
+            4 => Reply::Err(r.u32().map_err(|_| ProtoError)?),
+            _ => return Err(ProtoError),
+        };
+        if !r.at_end() {
+            return Err(ProtoError);
+        }
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::FetchBlock {
+                orig_pc: 0x1000,
+                dest: 0x40_0000,
+            },
+            Request::FetchProc {
+                orig_pc: 0x1234,
+                dest: 0x40_0010,
+            },
+            Request::InvalidateAll,
+            Request::Invalidate { orig_pc: 0x2000 },
+            Request::FetchData {
+                addr: 0x10_0000,
+                len: 32,
+            },
+            Request::WriteData {
+                addr: 0x10_0040,
+                bytes: vec![1, 2, 3],
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let reps = [
+            Reply::Ack,
+            Reply::Err(7),
+            Reply::Data(vec![9, 8, 7]),
+            Reply::Chunk(ChunkPayload {
+                orig_start: 0x1000,
+                body_words: 3,
+                words: vec![1, 2, 3, 4, 5],
+                exits: vec![ExitDesc {
+                    stub_slot: 4,
+                    patch_slot: 2,
+                    kind: PatchKind::Retarget,
+                    orig_target: 0x1040,
+                }],
+                resolved: vec![ResolvedRef {
+                    slot: 3,
+                    orig_target: 0x1020,
+                    kind: PatchKind::ReplaceWord,
+                }],
+                extra_orig: vec![0x100c, 0x1040],
+            }),
+        ];
+        for r in reps {
+            assert_eq!(Reply::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Reply::decode(&[1, 2]).is_err());
+        // Trailing junk rejected.
+        let mut f = Request::InvalidateAll.encode();
+        f.push(0);
+        assert!(Request::decode(&f).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! A direct-mapped cache is the 1-way special case — the exact configuration
+//! of the paper's Figure 6 ("direct-mapped L1 instruction cache with 16-byte
+//! blocks"). The model is trace-driven: feed it fetch addresses with
+//! [`SetAssocCache::access`].
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (including cold misses).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in percent (0 when no accesses were made).
+    pub fn miss_rate_percent(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64 * 100.0
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+pub struct SetAssocCache {
+    block_bits: u32,
+    set_count: u32,
+    ways: usize,
+    /// `tags[set * ways + way]`: tag or `u32::MAX` when invalid.
+    tags: Vec<u32>,
+    /// LRU stamps parallel to `tags` (larger = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+const INVALID: u32 = u32::MAX;
+
+impl SetAssocCache {
+    /// Build a cache of `size_bytes` data capacity with `block_bytes` blocks
+    /// and `ways` ways. All three must be powers of two and the geometry
+    /// must be consistent (`size >= block * ways`).
+    pub fn new(size_bytes: u32, block_bytes: u32, ways: usize) -> SetAssocCache {
+        assert!(size_bytes.is_power_of_two(), "size must be a power of two");
+        assert!(block_bytes.is_power_of_two(), "block must be a power of two");
+        assert!(ways.is_power_of_two(), "ways must be a power of two");
+        assert!(
+            size_bytes >= block_bytes * ways as u32,
+            "cache smaller than one set"
+        );
+        let blocks = size_bytes / block_bytes;
+        let set_count = blocks / ways as u32;
+        SetAssocCache {
+            block_bits: block_bytes.trailing_zeros(),
+            set_count,
+            ways,
+            tags: vec![INVALID; (set_count as usize) * ways],
+            stamps: vec![0; (set_count as usize) * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A direct-mapped cache (the paper's Figure 6 configuration is
+    /// `direct_mapped(size, 16)`).
+    pub fn direct_mapped(size_bytes: u32, block_bytes: u32) -> SetAssocCache {
+        SetAssocCache::new(size_bytes, block_bytes, 1)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.set_count
+    }
+
+    /// Access `addr`; returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let block = addr >> self.block_bits;
+        let set = (block % self.set_count) as usize;
+        let tag = block / self.set_count;
+        let base = set * self.ways;
+        let lanes = &mut self.tags[base..base + self.ways];
+        if let Some(w) = lanes.iter().position(|&t| t == tag) {
+            self.stamps[base + w] = self.clock;
+            return true;
+        }
+        self.stats.misses += 1;
+        // LRU victim.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("at least one way");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Invalidate everything (counters retained).
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.stamps.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fill_then_hits() {
+        let mut c = SetAssocCache::direct_mapped(1024, 16);
+        // Touch 1024 bytes: 64 blocks, 4 accesses per block.
+        for addr in (0..1024u32).step_by(4) {
+            c.access(addr);
+        }
+        assert_eq!(c.stats.accesses, 256);
+        assert_eq!(c.stats.misses, 64, "one cold miss per block");
+        // Second pass: everything fits, all hits.
+        for addr in (0..1024u32).step_by(4) {
+            assert!(c.access(addr));
+        }
+        assert_eq!(c.stats.misses, 64);
+    }
+
+    #[test]
+    fn conflict_misses_direct_mapped() {
+        let mut c = SetAssocCache::direct_mapped(256, 16);
+        // Two addresses 256 bytes apart map to the same set.
+        for _ in 0..10 {
+            c.access(0);
+            c.access(256);
+        }
+        assert_eq!(c.stats.misses, 20, "ping-pong conflict");
+    }
+
+    #[test]
+    fn associativity_removes_conflicts() {
+        let mut c = SetAssocCache::new(256, 16, 2);
+        for _ in 0..10 {
+            c.access(0);
+            c.access(256);
+        }
+        assert_eq!(c.stats.misses, 2, "both lines co-resident in a 2-way set");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(32, 16, 2); // one set, two ways
+        c.access(0); // A
+        c.access(64); // B
+        c.access(0); // A (refresh)
+        c.access(128); // C evicts B
+        assert!(c.access(0), "A still resident");
+        assert!(!c.access(64), "B evicted");
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = SetAssocCache::direct_mapped(128, 16);
+        c.access(0);
+        assert!(c.access(0));
+        c.flush();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = SetAssocCache::direct_mapped(128, 16);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats.miss_rate_percent() - 25.0).abs() < 1e-9);
+        assert_eq!(CacheStats::default().miss_rate_percent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = SetAssocCache::direct_mapped(1000, 16);
+    }
+
+    #[test]
+    fn fully_associative_via_ways() {
+        // size == block * ways → a single set: fully associative.
+        let mut c = SetAssocCache::new(256, 16, 16);
+        assert_eq!(c.sets(), 1);
+        // 16 distinct blocks all fit regardless of address bits.
+        for i in 0..16u32 {
+            c.access(i * 4096);
+        }
+        for i in 0..16u32 {
+            assert!(c.access(i * 4096), "block {i} resident");
+        }
+    }
+}

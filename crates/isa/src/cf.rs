@@ -1,0 +1,306 @@
+//! Control-flow analysis and patching primitives for dynamic rewriting.
+//!
+//! The memory controller's chunker uses [`classify`] to find basic-block
+//! boundaries and exit targets, and [`retarget`] to point a control transfer
+//! at a new location (a miss stub or, later, the translated copy of the
+//! target) — the paper's core mechanism of rewriting branches "again and
+//! again" as blocks become resident.
+
+use crate::encode::{decode, encode, IMM26_MAX, IMM26_MIN};
+use crate::inst::Inst;
+use crate::INST_BYTES;
+
+/// How an instruction transfers control, with resolved byte targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlFlow {
+    /// Straight-line instruction; control continues at `pc + 4`.
+    None,
+    /// Conditional branch: taken target plus implicit fallthrough.
+    Branch {
+        /// Byte address if the branch is taken.
+        taken: u32,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Byte address of the target.
+        target: u32,
+    },
+    /// Direct call; execution resumes at `pc + 4` after the callee returns.
+    Call {
+        /// Byte address of the callee entry.
+        target: u32,
+    },
+    /// Computed jump (`jr`); target unknown until runtime.
+    IndirectJump,
+    /// Indirect call (`jalr`); target unknown until runtime.
+    IndirectCall,
+    /// Return through the link register.
+    Return,
+    /// Execution stops (`halt`) or traps to the softcache runtime
+    /// (`miss`, `jrh`, `jalrh`).
+    Stop,
+}
+
+/// Resolve the byte target of a PC-relative word offset.
+#[inline]
+pub fn rel_target(pc: u32, off_words: i32) -> u32 {
+    pc.wrapping_add(INST_BYTES)
+        .wrapping_add((off_words as u32).wrapping_mul(INST_BYTES))
+}
+
+/// The word offset that reaches `target` from the instruction at `pc`.
+///
+/// Returns `None` if the displacement is not word-aligned.
+#[inline]
+pub fn rel_offset(pc: u32, target: u32) -> Option<i32> {
+    let delta = target.wrapping_sub(pc.wrapping_add(INST_BYTES)) as i32;
+    if delta % INST_BYTES as i32 != 0 {
+        return None;
+    }
+    Some(delta / INST_BYTES as i32)
+}
+
+/// Classify the control flow of the instruction at `pc`.
+pub fn classify(inst: Inst, pc: u32) -> CtrlFlow {
+    match inst {
+        Inst::Branch { off, .. } => CtrlFlow::Branch {
+            taken: rel_target(pc, off as i32),
+        },
+        Inst::J { off } => CtrlFlow::Jump {
+            target: rel_target(pc, off),
+        },
+        Inst::Jal { off } => CtrlFlow::Call {
+            target: rel_target(pc, off),
+        },
+        Inst::Jr { .. } => CtrlFlow::IndirectJump,
+        Inst::Jalr { .. } => CtrlFlow::IndirectCall,
+        Inst::Ret => CtrlFlow::Return,
+        Inst::Halt | Inst::Miss { .. } | Inst::Jrh { .. } | Inst::Jalrh { .. } => CtrlFlow::Stop,
+        _ => CtrlFlow::None,
+    }
+}
+
+/// Error from [`retarget`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetargetError {
+    /// The new displacement does not fit the instruction's offset field.
+    OutOfRange {
+        /// Instruction location.
+        pc: u32,
+        /// Requested destination.
+        target: u32,
+    },
+    /// The instruction has no direct target to patch.
+    NotDirect,
+    /// The word does not decode.
+    Invalid,
+    /// The displacement is not a whole number of words.
+    Misaligned,
+}
+
+impl std::fmt::Display for RetargetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetargetError::OutOfRange { pc, target } => {
+                write!(f, "target {target:#x} unreachable from {pc:#x}")
+            }
+            RetargetError::NotDirect => write!(f, "instruction has no direct target"),
+            RetargetError::Invalid => write!(f, "invalid instruction word"),
+            RetargetError::Misaligned => write!(f, "target not word aligned"),
+        }
+    }
+}
+
+impl std::error::Error for RetargetError {}
+
+/// Rewrite the direct control transfer encoded in `word` (located at byte
+/// address `pc`) so that it reaches `new_target`. This is the single
+/// primitive with which the rewriter encodes cache state into instructions.
+pub fn retarget(word: u32, pc: u32, new_target: u32) -> Result<u32, RetargetError> {
+    let inst = decode(word).map_err(|_| RetargetError::Invalid)?;
+    let off = rel_offset(pc, new_target).ok_or(RetargetError::Misaligned)?;
+    let patched = match inst {
+        Inst::Branch {
+            cond, rs1, rs2, ..
+        } => {
+            if !(-32768..=32767).contains(&off) {
+                return Err(RetargetError::OutOfRange {
+                    pc,
+                    target: new_target,
+                });
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                off: off as i16,
+            }
+        }
+        Inst::J { .. } => {
+            if !(IMM26_MIN..=IMM26_MAX).contains(&off) {
+                return Err(RetargetError::OutOfRange {
+                    pc,
+                    target: new_target,
+                });
+            }
+            Inst::J { off }
+        }
+        Inst::Jal { .. } => {
+            if !(IMM26_MIN..=IMM26_MAX).contains(&off) {
+                return Err(RetargetError::OutOfRange {
+                    pc,
+                    target: new_target,
+                });
+            }
+            Inst::Jal { off }
+        }
+        _ => return Err(RetargetError::NotDirect),
+    };
+    Ok(encode(patched))
+}
+
+/// The direct target of the instruction at `pc`, if it has one.
+pub fn direct_target(inst: Inst, pc: u32) -> Option<u32> {
+    match classify(inst, pc) {
+        CtrlFlow::Branch { taken } => Some(taken),
+        CtrlFlow::Jump { target } | CtrlFlow::Call { target } => Some(target),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, BranchCond};
+    use crate::reg::Reg;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rel_math_roundtrips() {
+        let pc = 0x1000;
+        for off in [-5i32, -1, 0, 1, 100] {
+            let t = rel_target(pc, off);
+            assert_eq!(rel_offset(pc, t), Some(off));
+        }
+        assert_eq!(rel_offset(0x1000, 0x1006), None, "misaligned");
+    }
+
+    #[test]
+    fn classify_kinds() {
+        let pc = 0x2000;
+        assert_eq!(
+            classify(Inst::J { off: 3 }, pc),
+            CtrlFlow::Jump { target: 0x2010 }
+        );
+        assert_eq!(
+            classify(Inst::Jal { off: -1 }, pc),
+            CtrlFlow::Call { target: 0x2000 }
+        );
+        assert_eq!(
+            classify(
+                Inst::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: Reg::A0,
+                    rs2: Reg::ZERO,
+                    off: 0
+                },
+                pc
+            ),
+            CtrlFlow::Branch { taken: 0x2004 }
+        );
+        assert_eq!(classify(Inst::Ret, pc), CtrlFlow::Return);
+        assert_eq!(classify(Inst::Jr { rs: Reg::T0 }, pc), CtrlFlow::IndirectJump);
+        assert_eq!(classify(Inst::Nop, pc), CtrlFlow::None);
+        assert_eq!(classify(Inst::Miss { idx: 0 }, pc), CtrlFlow::Stop);
+    }
+
+    #[test]
+    fn retarget_branch_and_jump() {
+        let pc = 0x4000;
+        let b = encode(Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            off: 7,
+        });
+        let patched = retarget(b, pc, 0x4100).unwrap();
+        let i = decode(patched).unwrap();
+        assert_eq!(direct_target(i, pc), Some(0x4100));
+        // Condition and registers preserved.
+        match i {
+            Inst::Branch { cond, rs1, rs2, .. } => {
+                assert_eq!(cond, BranchCond::Ne);
+                assert_eq!(rs1, Reg::T0);
+                assert_eq!(rs2, Reg::T1);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+
+        let j = encode(Inst::Jal { off: 0 });
+        let patched = retarget(j, pc, 0x10_0000).unwrap();
+        assert_eq!(
+            direct_target(decode(patched).unwrap(), pc),
+            Some(0x10_0000)
+        );
+    }
+
+    #[test]
+    fn retarget_errors() {
+        let pc = 0x1000;
+        let add = encode(Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: Reg::T0,
+        });
+        assert_eq!(retarget(add, pc, 0x2000), Err(RetargetError::NotDirect));
+
+        let b = encode(Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            off: 0,
+        });
+        // 16-bit word offset can reach ±128KB; 1MB away is out of range.
+        assert!(matches!(
+            retarget(b, pc, pc + (1 << 20)),
+            Err(RetargetError::OutOfRange { .. })
+        ));
+        assert_eq!(retarget(b, pc, pc + 2), Err(RetargetError::Misaligned));
+        assert_eq!(retarget(0, pc, pc), Err(RetargetError::Invalid));
+    }
+
+    proptest! {
+        /// Retargeting any direct transfer to an in-range aligned target
+        /// produces an instruction whose direct target is exactly that.
+        #[test]
+        fn retarget_is_exact(
+            pc in (0u32..0x10_0000).prop_map(|x| x * 4),
+            dest in (0u32..0x10_0000).prop_map(|x| x * 4),
+            kind in 0u8..3,
+        ) {
+            let word = match kind {
+                0 => encode(Inst::J { off: 0 }),
+                1 => encode(Inst::Jal { off: 0 }),
+                _ => encode(Inst::Branch {
+                    cond: BranchCond::Ltu,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    off: 0,
+                }),
+            };
+            match retarget(word, pc, dest) {
+                Ok(p) => {
+                    let i = decode(p).unwrap();
+                    prop_assert_eq!(direct_target(i, pc), Some(dest));
+                }
+                Err(RetargetError::OutOfRange { .. }) => {
+                    // Only acceptable for branches beyond ±32K words.
+                    let delta = (dest.wrapping_sub(pc + 4) as i32) / 4;
+                    prop_assert!(kind == 2 && !(-32768..=32767).contains(&delta));
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+            }
+        }
+    }
+}

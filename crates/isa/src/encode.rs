@@ -1,0 +1,523 @@
+//! Binary encoding and decoding of eRISC instructions.
+//!
+//! Layout (32-bit words, big field first):
+//!
+//! ```text
+//! [31:26] opcode
+//! [25:21] field a   (rd / rs / store-src / branch-rs1)
+//! [20:16] field b   (rs1 / base / branch-rs2)
+//! [15:11] field c   (rs2, R-type only)
+//! [15:0]  imm16     (I-type / memory / branch)
+//! [25:0]  imm26     (J / JAL / MISS)
+//! ```
+//!
+//! The encoding is *canonical*: `decode(encode(i)) == i` for every
+//! encodable instruction, a property checked by proptest below. Unused bits
+//! must be zero; the decoder rejects words with unknown opcodes so that
+//! execution of garbage memory traps instead of silently doing something.
+
+use crate::inst::{AluOp, BranchCond, Inst, MemWidth};
+use crate::reg::Reg;
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_ALU_BASE: u32 = 0x01; // ..=0x0D
+const OP_ALUI_BASE: u32 = 0x10; // ..=0x1C
+const OP_LUI: u32 = 0x1D;
+const OP_LW: u32 = 0x20;
+const OP_LH: u32 = 0x21;
+const OP_LHU: u32 = 0x22;
+const OP_LB: u32 = 0x23;
+const OP_LBU: u32 = 0x24;
+const OP_SW: u32 = 0x25;
+const OP_SH: u32 = 0x26;
+const OP_SB: u32 = 0x27;
+const OP_BRANCH_BASE: u32 = 0x28; // ..=0x2D
+const OP_J: u32 = 0x30;
+const OP_JAL: u32 = 0x31;
+const OP_JR: u32 = 0x32;
+const OP_JALR: u32 = 0x33;
+const OP_RET: u32 = 0x34;
+const OP_ECALL: u32 = 0x35;
+const OP_HALT: u32 = 0x36;
+const OP_NOP: u32 = 0x37;
+const OP_MISS: u32 = 0x38;
+const OP_JRH: u32 = 0x39;
+const OP_JALRH: u32 = 0x3A;
+
+/// Signed 26-bit immediate range for `J`/`JAL` word offsets.
+pub const IMM26_MIN: i32 = -(1 << 25);
+/// Inclusive upper bound of the 26-bit immediate range.
+pub const IMM26_MAX: i32 = (1 << 25) - 1;
+
+fn alu_index(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+        AluOp::Slt => 11,
+        AluOp::Sltu => 12,
+    }
+}
+
+fn alu_from_index(i: u32) -> AluOp {
+    match i {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Rem,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        11 => AluOp::Slt,
+        _ => AluOp::Sltu,
+    }
+}
+
+fn cond_index(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from_index(i: u32) -> BranchCond {
+    match i {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        _ => BranchCond::Geu,
+    }
+}
+
+#[inline]
+fn field_a(r: Reg) -> u32 {
+    (r.index() as u32) << 21
+}
+#[inline]
+fn field_b(r: Reg) -> u32 {
+    (r.index() as u32) << 16
+}
+#[inline]
+fn field_c(r: Reg) -> u32 {
+    (r.index() as u32) << 11
+}
+#[inline]
+fn opc(o: u32) -> u32 {
+    o << 26
+}
+
+/// Encode an instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if an immediate is out of range for its field; the assembler and
+/// the rewriter both validate ranges before calling this.
+pub fn encode(inst: Inst) -> u32 {
+    match inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            opc(OP_ALU_BASE + alu_index(op)) | field_a(rd) | field_b(rs1) | field_c(rs2)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let imm16 = if op.imm_zero_extends() {
+                assert!(
+                    (0..=0xFFFF).contains(&imm),
+                    "immediate {imm} out of unsigned 16-bit range for {}i",
+                    op.mnemonic()
+                );
+                imm as u32 & 0xFFFF
+            } else {
+                assert!(
+                    (-32768..=32767).contains(&imm),
+                    "immediate {imm} out of signed 16-bit range for {}i",
+                    op.mnemonic()
+                );
+                imm as u32 & 0xFFFF
+            };
+            opc(OP_ALUI_BASE + alu_index(op)) | field_a(rd) | field_b(rs1) | imm16
+        }
+        Inst::Lui { rd, imm } => opc(OP_LUI) | field_a(rd) | imm as u32,
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            base,
+            off,
+        } => {
+            let op = match (width, signed) {
+                (MemWidth::W, _) => OP_LW,
+                (MemWidth::H, true) => OP_LH,
+                (MemWidth::H, false) => OP_LHU,
+                (MemWidth::B, true) => OP_LB,
+                (MemWidth::B, false) => OP_LBU,
+            };
+            opc(op) | field_a(rd) | field_b(base) | (off as u16 as u32)
+        }
+        Inst::Store {
+            width,
+            src,
+            base,
+            off,
+        } => {
+            let op = match width {
+                MemWidth::W => OP_SW,
+                MemWidth::H => OP_SH,
+                MemWidth::B => OP_SB,
+            };
+            opc(op) | field_a(src) | field_b(base) | (off as u16 as u32)
+        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            off,
+        } => {
+            opc(OP_BRANCH_BASE + cond_index(cond))
+                | field_a(rs1)
+                | field_b(rs2)
+                | (off as u16 as u32)
+        }
+        Inst::J { off } => {
+            assert!(
+                (IMM26_MIN..=IMM26_MAX).contains(&off),
+                "jump offset {off} out of 26-bit range"
+            );
+            opc(OP_J) | (off as u32 & 0x03FF_FFFF)
+        }
+        Inst::Jal { off } => {
+            assert!(
+                (IMM26_MIN..=IMM26_MAX).contains(&off),
+                "call offset {off} out of 26-bit range"
+            );
+            opc(OP_JAL) | (off as u32 & 0x03FF_FFFF)
+        }
+        Inst::Jr { rs } => opc(OP_JR) | field_a(rs),
+        Inst::Jalr { rs } => opc(OP_JALR) | field_a(rs),
+        Inst::Ret => opc(OP_RET),
+        Inst::Ecall { code } => opc(OP_ECALL) | code as u32,
+        Inst::Halt => opc(OP_HALT),
+        Inst::Nop => opc(OP_NOP),
+        Inst::Miss { idx } => {
+            assert!(idx < (1 << 26), "miss index {idx} out of 26-bit range");
+            opc(OP_MISS) | idx
+        }
+        Inst::Jrh { rs } => opc(OP_JRH) | field_a(rs),
+        Inst::Jalrh { rs } => opc(OP_JALRH) | field_a(rs),
+    }
+}
+
+#[inline]
+fn sext16(w: u32) -> i32 {
+    w as u16 as i16 as i32
+}
+
+#[inline]
+fn sext26(w: u32) -> i32 {
+    ((w & 0x03FF_FFFF) as i32) << 6 >> 6
+}
+
+/// Decode a 32-bit word into an instruction.
+#[inline]
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let op = word >> 26;
+    let a = Reg::from_field(word >> 21);
+    let b = Reg::from_field(word >> 16);
+    let c = Reg::from_field(word >> 11);
+    Ok(match op {
+        o if (OP_ALU_BASE..OP_ALU_BASE + 13).contains(&o) => Inst::Alu {
+            op: alu_from_index(o - OP_ALU_BASE),
+            rd: a,
+            rs1: b,
+            rs2: c,
+        },
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + 13).contains(&o) => {
+            let alu = alu_from_index(o - OP_ALUI_BASE);
+            let imm = if alu.imm_zero_extends() {
+                (word & 0xFFFF) as i32
+            } else {
+                sext16(word)
+            };
+            Inst::AluImm {
+                op: alu,
+                rd: a,
+                rs1: b,
+                imm,
+            }
+        }
+        OP_LUI => Inst::Lui {
+            rd: a,
+            imm: word as u16,
+        },
+        OP_LW => Inst::Load {
+            width: MemWidth::W,
+            signed: true,
+            rd: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_LH => Inst::Load {
+            width: MemWidth::H,
+            signed: true,
+            rd: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_LHU => Inst::Load {
+            width: MemWidth::H,
+            signed: false,
+            rd: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_LB => Inst::Load {
+            width: MemWidth::B,
+            signed: true,
+            rd: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_LBU => Inst::Load {
+            width: MemWidth::B,
+            signed: false,
+            rd: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_SW => Inst::Store {
+            width: MemWidth::W,
+            src: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_SH => Inst::Store {
+            width: MemWidth::H,
+            src: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        OP_SB => Inst::Store {
+            width: MemWidth::B,
+            src: a,
+            base: b,
+            off: word as u16 as i16,
+        },
+        o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Inst::Branch {
+            cond: cond_from_index(o - OP_BRANCH_BASE),
+            rs1: a,
+            rs2: b,
+            off: word as u16 as i16,
+        },
+        OP_J => Inst::J { off: sext26(word) },
+        OP_JAL => Inst::Jal { off: sext26(word) },
+        OP_JR => Inst::Jr { rs: a },
+        OP_JALR => Inst::Jalr { rs: a },
+        OP_RET => Inst::Ret,
+        OP_ECALL => Inst::Ecall { code: word as u16 },
+        OP_HALT => Inst::Halt,
+        OP_NOP => Inst::Nop,
+        OP_MISS => Inst::Miss {
+            idx: word & 0x03FF_FFFF,
+        },
+        OP_JRH => Inst::Jrh { rs: a },
+        OP_JALRH => Inst::Jalrh { rs: a },
+        _ => return Err(DecodeError { word }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn any_alu_op() -> impl Strategy<Value = AluOp> {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::Mul),
+            Just(AluOp::Div),
+            Just(AluOp::Rem),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+            Just(AluOp::Sll),
+            Just(AluOp::Srl),
+            Just(AluOp::Sra),
+            Just(AluOp::Slt),
+            Just(AluOp::Sltu),
+        ]
+    }
+
+    fn any_cond() -> impl Strategy<Value = BranchCond> {
+        prop_oneof![
+            Just(BranchCond::Eq),
+            Just(BranchCond::Ne),
+            Just(BranchCond::Lt),
+            Just(BranchCond::Ge),
+            Just(BranchCond::Ltu),
+            Just(BranchCond::Geu),
+        ]
+    }
+
+    fn any_width() -> impl Strategy<Value = MemWidth> {
+        prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W)]
+    }
+
+    /// Every encodable instruction, with in-range immediates.
+    fn any_inst() -> impl Strategy<Value = Inst> {
+        prop_oneof![
+            (any_alu_op(), any_reg(), any_reg(), any_reg())
+                .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+            (any_alu_op(), any_reg(), any_reg(), -32768i32..=32767).prop_map(
+                |(op, rd, rs1, imm)| {
+                    let imm = if op.imm_zero_extends() { imm & 0xFFFF } else { imm };
+                    Inst::AluImm { op, rd, rs1, imm }
+                }
+            ),
+            (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+            (any_width(), any::<bool>(), any_reg(), any_reg(), any::<i16>()).prop_map(
+                |(width, s, rd, base, off)| {
+                    let signed = s || width == MemWidth::W;
+                    Inst::Load {
+                        width,
+                        signed,
+                        rd,
+                        base,
+                        off,
+                    }
+                }
+            ),
+            (any_width(), any_reg(), any_reg(), any::<i16>()).prop_map(
+                |(width, src, base, off)| Inst::Store {
+                    width,
+                    src,
+                    base,
+                    off
+                }
+            ),
+            (any_cond(), any_reg(), any_reg(), any::<i16>()).prop_map(|(cond, rs1, rs2, off)| {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    off,
+                }
+            }),
+            (IMM26_MIN..=IMM26_MAX).prop_map(|off| Inst::J { off }),
+            (IMM26_MIN..=IMM26_MAX).prop_map(|off| Inst::Jal { off }),
+            any_reg().prop_map(|rs| Inst::Jr { rs }),
+            any_reg().prop_map(|rs| Inst::Jalr { rs }),
+            Just(Inst::Ret),
+            any::<u16>().prop_map(|code| Inst::Ecall { code }),
+            Just(Inst::Halt),
+            Just(Inst::Nop),
+            (0u32..(1 << 26)).prop_map(|idx| Inst::Miss { idx }),
+            any_reg().prop_map(|rs| Inst::Jrh { rs }),
+            any_reg().prop_map(|rs| Inst::Jalrh { rs }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in any_inst()) {
+            let word = encode(inst);
+            let back = decode(word).expect("canonical encodings decode");
+            prop_assert_eq!(back, inst);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decoded_reencodes_identically(word in any::<u32>()) {
+            if let Ok(inst) = decode(word) {
+                // Decoding is lenient about dead fields, so re-encoding the
+                // decoded instruction must be stable (a fixpoint).
+                let canon = encode(inst);
+                let again = decode(canon).unwrap();
+                prop_assert_eq!(again, inst);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_word_is_invalid() {
+        assert!(decode(0).is_err(), "zeroed memory must trap, not execute");
+        assert!(decode(0xFFFF_FFFF).is_err());
+    }
+
+    #[test]
+    fn specific_encodings() {
+        // add t0, a0, a1
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+        };
+        let w = encode(i);
+        assert_eq!(w >> 26, OP_ALU_BASE);
+        assert_eq!((w >> 21) & 31, 8);
+        assert_eq!((w >> 16) & 31, 2);
+        assert_eq!((w >> 11) & 31, 3);
+
+        // negative jump offset sign-extends
+        let j = Inst::J { off: -1 };
+        assert_eq!(decode(encode(j)).unwrap(), j);
+        let j2 = Inst::J { off: IMM26_MIN };
+        assert_eq!(decode(encode(j2)).unwrap(), j2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_jump_panics() {
+        let _ = encode(Inst::J { off: 1 << 25 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_andi_panics() {
+        let _ = encode(Inst::AluImm {
+            op: AluOp::And,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            imm: -1,
+        });
+    }
+}

@@ -1,0 +1,159 @@
+//! The executable image format produced by the assembler/linker.
+//!
+//! An [`Image`] is what the memory controller is "given" in the paper ("The
+//! MC was given a gcc-generated ELF format binary image for input"): text,
+//! data, an entry point and a symbol table. Function symbols carry sizes so
+//! the procedure-granularity chunker (the ARM prototype) can lift whole
+//! procedures.
+
+use crate::layout::{DATA_BASE, TEXT_BASE};
+
+/// Kind of a symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymKind {
+    /// A function in the text segment.
+    Func,
+    /// A data object.
+    Object,
+}
+
+/// A named address in the image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Byte address.
+    pub addr: u32,
+    /// Size in bytes (function body length for [`SymKind::Func`]).
+    pub size: u32,
+    /// Function or object.
+    pub kind: SymKind,
+}
+
+/// A linked, executable eRISC program.
+#[derive(Clone, Debug, Default)]
+pub struct Image {
+    /// Entry point byte address.
+    pub entry: u32,
+    /// Base address of the text segment.
+    pub text_base: u32,
+    /// Text segment as instruction words.
+    pub text: Vec<u32>,
+    /// Base address of the data segment.
+    pub data_base: u32,
+    /// Data segment bytes (includes zero-initialised space).
+    pub data: Vec<u8>,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Image {
+    /// An empty image with the default segment bases.
+    pub fn new() -> Image {
+        Image {
+            entry: TEXT_BASE,
+            text_base: TEXT_BASE,
+            text: Vec::new(),
+            data_base: DATA_BASE,
+            data: Vec::new(),
+            symbols: Vec::new(),
+        }
+    }
+
+    /// Size of the text segment in bytes — the paper's "static .text" metric.
+    pub fn text_bytes(&self) -> u32 {
+        (self.text.len() as u32) * 4
+    }
+
+    /// Is `addr` inside the text segment?
+    pub fn contains_text(&self, addr: u32) -> bool {
+        addr >= self.text_base && addr < self.text_base + self.text_bytes()
+    }
+
+    /// Fetch the instruction word at a text byte address.
+    ///
+    /// Returns `None` when the address is outside the segment or misaligned.
+    pub fn text_word(&self, addr: u32) -> Option<u32> {
+        if !self.contains_text(addr) || !addr.is_multiple_of(4) {
+            return None;
+        }
+        Some(self.text[((addr - self.text_base) / 4) as usize])
+    }
+
+    /// Look up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// The function symbol whose extent contains `addr`, if any.
+    pub fn function_at(&self, addr: u32) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.kind == SymKind::Func)
+            .find(|s| addr >= s.addr && addr < s.addr + s.size)
+    }
+
+    /// All function symbols, sorted by address.
+    pub fn functions(&self) -> Vec<&Symbol> {
+        let mut fs: Vec<&Symbol> = self
+            .symbols
+            .iter()
+            .filter(|s| s.kind == SymKind::Func)
+            .collect();
+        fs.sort_by_key(|s| s.addr);
+        fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        let mut img = Image::new();
+        img.text = vec![0xDEAD_0001, 0xDEAD_0002, 0xDEAD_0003];
+        img.symbols.push(Symbol {
+            name: "main".into(),
+            addr: TEXT_BASE,
+            size: 8,
+            kind: SymKind::Func,
+        });
+        img.symbols.push(Symbol {
+            name: "helper".into(),
+            addr: TEXT_BASE + 8,
+            size: 4,
+            kind: SymKind::Func,
+        });
+        img.symbols.push(Symbol {
+            name: "table".into(),
+            addr: DATA_BASE,
+            size: 16,
+            kind: SymKind::Object,
+        });
+        img
+    }
+
+    #[test]
+    fn text_addressing() {
+        let img = sample();
+        assert_eq!(img.text_bytes(), 12);
+        assert_eq!(img.text_word(TEXT_BASE), Some(0xDEAD_0001));
+        assert_eq!(img.text_word(TEXT_BASE + 8), Some(0xDEAD_0003));
+        assert_eq!(img.text_word(TEXT_BASE + 12), None);
+        assert_eq!(img.text_word(TEXT_BASE + 2), None, "misaligned");
+        assert_eq!(img.text_word(TEXT_BASE - 4), None);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let img = sample();
+        assert_eq!(img.symbol("main").unwrap().addr, TEXT_BASE);
+        assert!(img.symbol("nope").is_none());
+        assert_eq!(img.function_at(TEXT_BASE + 4).unwrap().name, "main");
+        assert_eq!(img.function_at(TEXT_BASE + 8).unwrap().name, "helper");
+        assert!(img.function_at(DATA_BASE).is_none(), "objects aren't functions");
+        let fs = img.functions();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].name, "main");
+    }
+}

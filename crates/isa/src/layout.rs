@@ -1,0 +1,58 @@
+//! The default memory map of the simulated embedded device.
+//!
+//! ```text
+//! 0x0000_1000  TEXT_BASE    original program text (native runs only)
+//! 0x0010_0000  DATA_BASE    globals / .data / .bss
+//! 0x0040_0000  TCACHE_BASE  translation cache (softcache runs)
+//! 0x0080_0000  STACK_TOP    stack, grows down
+//! ```
+//!
+//! In softcache (CC) runs, the region at [`TEXT_BASE`] is intentionally left
+//! *unmapped*: the embedded client never holds the original binary, which is
+//! the entire point of the paper's client/server split. Any stray control
+//! transfer into original text faults instead of silently executing.
+
+/// Base byte address of the program text segment.
+pub const TEXT_BASE: u32 = 0x0000_1000;
+/// Base byte address of the data segment.
+pub const DATA_BASE: u32 = 0x0010_0000;
+/// Base byte address of the translation cache region on the client.
+pub const TCACHE_BASE: u32 = 0x0040_0000;
+/// Initial stack pointer; the stack grows toward lower addresses.
+pub const STACK_TOP: u32 = 0x0080_0000;
+/// Lowest address treated as stack by the software data-cache runtime;
+/// a stack deeper than `STACK_TOP - STACK_FLOOR` overflows.
+pub const STACK_FLOOR: u32 = 0x0060_0000;
+/// Total size of simulated client memory in bytes.
+pub const MEM_SIZE: u32 = 0x0080_0000;
+
+/// Sentinel frame-pointer value marking the outermost frame; the runtime's
+/// stack walk stops when it reaches this value (the paper's "stack layout
+/// must be known to the runtime" restriction). It must be a value `fp`
+/// can never legitimately hold — the first real frame's `fp` equals
+/// `STACK_TOP`, so the sentinel is 0.
+pub const FP_SENTINEL: u32 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_ordered_and_disjoint() {
+        // Evaluated through a const block so the orderings are checked at
+        // compile time as well.
+        const OK: () = assert!(
+            TEXT_BASE < DATA_BASE
+                && DATA_BASE < TCACHE_BASE
+                && TCACHE_BASE < STACK_FLOOR
+                && STACK_FLOOR < STACK_TOP
+                && STACK_TOP <= MEM_SIZE
+                && TEXT_BASE.is_multiple_of(4)
+                && TCACHE_BASE.is_multiple_of(4)
+        );
+        #[allow(clippy::unit_cmp)]
+        {
+            assert_eq!(OK, ());
+        }
+    }
+}

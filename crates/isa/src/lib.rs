@@ -1,0 +1,40 @@
+//! # eRISC: the embedded RISC ISA used by SoftCache
+//!
+//! The ICPP 2002 SoftCache paper rewrites real SPARC/ARM machine code. This
+//! workspace substitutes a synthetic 32-bit RISC ISA with exactly the
+//! properties the rewriting algorithm relies on (see `DESIGN.md` §2):
+//!
+//! * fixed-width 32-bit instructions, trivially decodable;
+//! * **unique call and return instructions** ([`Inst::Jal`], [`Inst::Ret`]) so
+//!   return addresses are always identifiable to the runtime — the paper's
+//!   first programming-model restriction;
+//! * PC-relative direct branches and jumps whose targets can be extracted and
+//!   **patched** ([`cf::retarget`]) — the primitive dynamic rewriting needs;
+//! * computed jumps ([`Inst::Jr`], [`Inst::Jalr`]) that the rewriter replaces
+//!   with hash-lookup trapping forms ([`Inst::Jrh`], [`Inst::Jalrh`]);
+//! * a reserved [`Inst::Miss`] opcode the cache controller materialises as a
+//!   *miss stub* — the moral equivalent of "branch rewritten to point at the
+//!   cache miss handler".
+//!
+//! The crate also defines the program [`image::Image`] produced by the
+//! assembler/linker and consumed by the simulator and the memory controller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cf;
+pub mod encode;
+pub mod image;
+pub mod inst;
+pub mod layout;
+pub mod reg;
+
+pub use cf::CtrlFlow;
+pub use encode::{decode, encode, DecodeError};
+pub use image::{Image, SymKind, Symbol};
+pub use inst::{AluOp, BranchCond, Inst, MemWidth};
+pub use reg::Reg;
+
+/// Size of one instruction in bytes. All instruction addresses are multiples
+/// of this.
+pub const INST_BYTES: u32 = 4;

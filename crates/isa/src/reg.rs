@@ -1,0 +1,182 @@
+//! Register file definition and the eRISC ABI.
+//!
+//! The ABI mirrors the conventions the paper's restrictions assume: a unique
+//! link register (`ra`), a frame pointer chain with the return address at a
+//! known slot, and two registers (`k0`, `k1`) reserved for the softcache
+//! runtime so rewritten sequences never clobber program state.
+
+use std::fmt;
+
+/// A register index in `0..32`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return value.
+    pub const RV: Reg = Reg(1);
+    /// First argument register. Arguments are `a0..a5` = `r2..r7`.
+    pub const A0: Reg = Reg(2);
+    /// Second argument register.
+    pub const A1: Reg = Reg(3);
+    /// Third argument register.
+    pub const A2: Reg = Reg(4);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(5);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(6);
+    /// Sixth argument register.
+    pub const A5: Reg = Reg(7);
+    /// First caller-saved temporary. Temporaries are `t0..t7` = `r8..r15`.
+    pub const T0: Reg = Reg(8);
+    /// Second caller-saved temporary.
+    pub const T1: Reg = Reg(9);
+    /// Third caller-saved temporary.
+    pub const T2: Reg = Reg(10);
+    /// First callee-saved register. Saved registers are `s0..s9` = `r16..r25`.
+    pub const S0: Reg = Reg(16);
+    /// Runtime-reserved scratch register 0 (never used by compiled code).
+    pub const K0: Reg = Reg(26);
+    /// Runtime-reserved scratch register 1 (never used by compiled code).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer (currently unused by minic; reserved).
+    pub const GP: Reg = Reg(28);
+    /// Frame pointer. Every non-leaf minic frame links `fp` chains.
+    pub const FP: Reg = Reg(29);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(30);
+    /// Return address (link) register, written only by `jal`/`jalr`.
+    pub const RA: Reg = Reg(31);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Construct from a raw index, which must be `< 32`.
+    #[inline]
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 32, "register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// Construct from the low 5 bits of a field (used by the decoder).
+    #[inline]
+    pub(crate) fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The raw register number.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// n-th argument register (`n < 6`).
+    pub fn arg(n: usize) -> Reg {
+        assert!(n < 6, "only 6 argument registers");
+        Reg(2 + n as u8)
+    }
+
+    /// n-th temporary register (`n < 8`).
+    pub fn temp(n: usize) -> Reg {
+        assert!(n < 8, "only 8 temporary registers");
+        Reg(8 + n as u8)
+    }
+
+    /// n-th callee-saved register (`n < 10`).
+    pub fn saved(n: usize) -> Reg {
+        assert!(n < 10, "only 10 saved registers");
+        Reg(16 + n as u8)
+    }
+
+    /// ABI name, e.g. `"sp"` or `"t3"`.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "rv", "a0", "a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "k0", "k1",
+            "gp", "fp", "sp", "ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parse an ABI name or `rN` numeric form.
+    pub fn parse(s: &str) -> Option<Reg> {
+        for i in 0..32u8 {
+            if Reg(i).name() == s {
+                return Some(Reg(i));
+            }
+        }
+        let rest = s.strip_prefix('r')?;
+        let n: u8 = rest.parse().ok()?;
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// True if the callee must preserve this register across calls.
+    pub fn is_callee_saved(self) -> bool {
+        matches!(self.0, 16..=25 | 29 | 30)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for i in 0..32u8 {
+            let r = Reg::new(i);
+            assert_eq!(Reg::parse(r.name()), Some(r), "name {}", r.name());
+            assert_eq!(Reg::parse(&format!("r{i}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("bogus"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn abi_constants_line_up() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 31);
+        assert_eq!(Reg::SP.index(), 30);
+        assert_eq!(Reg::FP.index(), 29);
+        assert_eq!(Reg::arg(0), Reg::A0);
+        assert_eq!(Reg::temp(0), Reg::T0);
+        assert_eq!(Reg::saved(0), Reg::S0);
+    }
+
+    #[test]
+    fn callee_saved_set() {
+        assert!(Reg::S0.is_callee_saved());
+        assert!(Reg::SP.is_callee_saved());
+        assert!(Reg::FP.is_callee_saved());
+        assert!(!Reg::T0.is_callee_saved());
+        assert!(!Reg::RA.is_callee_saved());
+        assert!(!Reg::A0.is_callee_saved());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+}

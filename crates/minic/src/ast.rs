@@ -1,0 +1,161 @@
+//! Abstract syntax tree for minic.
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating, like C)
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<` (amount masked to 5 bits)
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// Expressions. All values are 32-bit signed integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Scalar variable reference (local, parameter or global).
+    Var(String),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Direct call `name(args...)` — user function or builtin.
+    Call(String, Vec<Expr>),
+    /// `&name` — address of a function or global (for indirect calls and
+    /// jump-table style dispatch).
+    AddrOf(String),
+    /// `callptr(fnaddr, args...)` — indirect call through a value.
+    CallPtr(Box<Expr>, Vec<Expr>),
+    /// Assignment `lhs = rhs`; evaluates to the stored value.
+    Assign(Box<LValue>, Box<Expr>),
+}
+
+/// Assignable places.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Global array element.
+    Index(String, Box<Expr>),
+}
+
+/// One `case` arm of a switch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchCase {
+    /// Case value (`None` for `default`).
+    pub value: Option<i32>,
+    /// Statements until the next case label (minic has implicit `break`:
+    /// arms do not fall through).
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration `int x;` / `int x = e;`.
+    Local(String, Option<Expr>),
+    /// Expression statement (usually an assignment or call).
+    Expr(Expr),
+    /// `if (cond) then else?`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`
+    While(Expr, Vec<Stmt>),
+    /// `do body while (cond);`
+    DoWhile(Vec<Stmt>, Expr),
+    /// `for (init; cond; step) body` (any part optional).
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Box<Stmt>>,
+        Vec<Stmt>,
+    ),
+    /// `switch (scrutinee) { cases }`
+    Switch(Expr, Vec<SwitchCase>),
+    /// `return e?;` (missing expression returns 0).
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// `None` for scalars, `Some(len)` for arrays.
+    pub array_len: Option<u32>,
+    /// Initializer words (scalar init or array initializer prefix).
+    pub init: Vec<i32>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (all `int`, at most 6).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition (for diagnostics).
+    pub line: usize,
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variables in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in declaration order.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,661 @@
+//! eRISC code generation for minic.
+//!
+//! The generated code deliberately follows the idioms the paper's
+//! programming-model restrictions assume ("the limitations are modest in
+//! that they correspond to idioms that a compiler would likely produce
+//! anyway", §2.1):
+//!
+//! * **Unique call/return instructions**: every call is `jal`/`jalr`, every
+//!   return is `ret`.
+//! * **Known frame layout**: every function builds a frame with the return
+//!   address at `fp-4` and the caller's frame pointer at `fp-8`, so the
+//!   runtime can walk the stack and rewrite return addresses at
+//!   invalidation time.
+//! * **Jump tables hold original addresses** in `.data`; computed jumps go
+//!   through `jr`, which the memory controller rewrites into the
+//!   hash-lookup trapping form.
+//!
+//! Expression evaluation is a simple tree walk into the temporaries
+//! `t0..t6`, with `t7` as the spill partner and `k0` as a short-lived
+//! address scratch (never live across a control transfer, so the softcache
+//! runtime may clobber it at miss time).
+
+use crate::ast::*;
+use crate::sema::Symbols;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Code generation options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Lower dense `switch` statements to jump tables (`jr` through a
+    /// `.data` table). The ARM-prototype configuration disables this
+    /// because that prototype does not support indirect jumps.
+    pub jump_tables: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { jump_tables: true }
+    }
+}
+
+/// Code generation error (should not occur for sema-checked programs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Maximum expression depth held in registers before spilling to the stack.
+const MAX_DEPTH: usize = 6; // t0..t6 hold values; t7 is the spill partner
+
+struct Gen<'a> {
+    syms: &'a Symbols,
+    opts: Options,
+    text: String,
+    data: String,
+    label_counter: usize,
+    /// Current function state.
+    locals: HashMap<String, i32>, // name -> fp offset
+    ret_label: String,
+    /// (break target, continue target) stack.
+    loops: Vec<(String, String)>,
+}
+
+impl<'a> Gen<'a> {
+    fn fresh(&mut self, stem: &str) -> String {
+        self.label_counter += 1;
+        format!(".L{}_{}", stem, self.label_counter)
+    }
+
+    fn emit(&mut self, line: &str) {
+        let _ = writeln!(self.text, "        {line}");
+    }
+
+    fn label(&mut self, l: &str) {
+        let _ = writeln!(self.text, "{l}:");
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CodegenError> {
+        Err(CodegenError { msg: msg.into() })
+    }
+
+    // ---- expressions ----
+
+    /// Generate `e` into `t{d}`.
+    fn expr(&mut self, e: &Expr, d: usize) -> Result<(), CodegenError> {
+        match e {
+            Expr::Num(v) => self.emit(&format!("li t{d}, {v}")),
+            Expr::Var(name) => {
+                if let Some(&off) = self.locals.get(name) {
+                    self.emit(&format!("lw t{d}, {off}(fp)"));
+                } else {
+                    self.emit(&format!("la k0, {name}"));
+                    self.emit(&format!("lw t{d}, 0(k0)"));
+                }
+            }
+            Expr::Index(name, idx) => {
+                self.expr(idx, d)?;
+                self.emit(&format!("slli t{d}, t{d}, 2"));
+                self.emit(&format!("la k0, {name}"));
+                self.emit(&format!("add t{d}, t{d}, k0"));
+                self.emit(&format!("lw t{d}, 0(t{d})"));
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner, d)?;
+                match op {
+                    UnOp::Neg => self.emit(&format!("neg t{d}, t{d}")),
+                    UnOp::Not => self.emit(&format!("sltiu t{d}, t{d}, 1")),
+                    UnOp::BitNot => self.emit(&format!("not t{d}, t{d}")),
+                }
+            }
+            Expr::Binary(BinOp::LAnd, l, r) => {
+                let lfalse = self.fresh("and_false");
+                let lend = self.fresh("and_end");
+                self.expr(l, d)?;
+                self.emit(&format!("beqz t{d}, {lfalse}"));
+                self.expr(r, d)?;
+                self.emit(&format!("sltu t{d}, zero, t{d}"));
+                self.emit(&format!("j {lend}"));
+                self.label(&lfalse.clone());
+                self.emit(&format!("li t{d}, 0"));
+                self.label(&lend.clone());
+            }
+            Expr::Binary(BinOp::LOr, l, r) => {
+                let ltrue = self.fresh("or_true");
+                let lend = self.fresh("or_end");
+                self.expr(l, d)?;
+                self.emit(&format!("bnez t{d}, {ltrue}"));
+                self.expr(r, d)?;
+                self.emit(&format!("sltu t{d}, zero, t{d}"));
+                self.emit(&format!("j {lend}"));
+                self.label(&ltrue.clone());
+                self.emit(&format!("li t{d}, 1"));
+                self.label(&lend.clone());
+            }
+            Expr::Binary(op, l, r) => {
+                self.expr(l, d)?;
+                if d < MAX_DEPTH {
+                    self.expr(r, d + 1)?;
+                    self.binop(*op, d, &format!("t{d}"), &format!("t{}", d + 1));
+                } else {
+                    // Spill the left value while the right side evaluates.
+                    self.emit("addi sp, sp, -4");
+                    self.emit(&format!("sw t{d}, 0(sp)"));
+                    self.expr(r, d)?;
+                    self.emit("lw t7, 0(sp)");
+                    self.emit("addi sp, sp, 4");
+                    self.binop(*op, d, "t7", &format!("t{d}"));
+                }
+            }
+            Expr::Call(name, args) => {
+                if self.syms.functions.contains_key(name) {
+                    self.user_call(d, args, CallTarget::Direct(name.clone()))?;
+                } else {
+                    self.builtin_call(name, args, d)?;
+                }
+            }
+            Expr::AddrOf(name) => self.emit(&format!("la t{d}, {name}")),
+            Expr::CallPtr(target, args) => {
+                self.user_call(d, args, CallTarget::Indirect((**target).clone()))?;
+            }
+            Expr::Assign(lv, rhs) => match &**lv {
+                LValue::Var(name) => {
+                    self.expr(rhs, d)?;
+                    if let Some(&off) = self.locals.get(name) {
+                        self.emit(&format!("sw t{d}, {off}(fp)"));
+                    } else {
+                        self.emit(&format!("la k0, {name}"));
+                        self.emit(&format!("sw t{d}, 0(k0)"));
+                    }
+                }
+                LValue::Index(name, idx) => {
+                    // Defined order: index first, then value (matches the
+                    // AST interpreter).
+                    self.expr(idx, d)?;
+                    if d < MAX_DEPTH {
+                        self.expr(rhs, d + 1)?;
+                        self.emit(&format!("slli t{d}, t{d}, 2"));
+                        self.emit(&format!("la k0, {name}"));
+                        self.emit(&format!("add t{d}, t{d}, k0"));
+                        self.emit(&format!("sw t{}, 0(t{d})", d + 1));
+                        self.emit(&format!("mv t{d}, t{}", d + 1));
+                    } else {
+                        self.emit("addi sp, sp, -4");
+                        self.emit(&format!("sw t{d}, 0(sp)"));
+                        self.expr(rhs, d)?;
+                        self.emit("lw t7, 0(sp)");
+                        self.emit("addi sp, sp, 4");
+                        self.emit("slli t7, t7, 2");
+                        self.emit(&format!("la k0, {name}"));
+                        self.emit("add t7, t7, k0");
+                        self.emit(&format!("sw t{d}, 0(t7)"));
+                    }
+                }
+            },
+        }
+        Ok(())
+    }
+
+    fn binop(&mut self, op: BinOp, d: usize, a: &str, b: &str) {
+        let td = format!("t{d}");
+        match op {
+            BinOp::Add => self.emit(&format!("add {td}, {a}, {b}")),
+            BinOp::Sub => self.emit(&format!("sub {td}, {a}, {b}")),
+            BinOp::Mul => self.emit(&format!("mul {td}, {a}, {b}")),
+            BinOp::Div => self.emit(&format!("div {td}, {a}, {b}")),
+            BinOp::Rem => self.emit(&format!("rem {td}, {a}, {b}")),
+            BinOp::And => self.emit(&format!("and {td}, {a}, {b}")),
+            BinOp::Or => self.emit(&format!("or {td}, {a}, {b}")),
+            BinOp::Xor => self.emit(&format!("xor {td}, {a}, {b}")),
+            BinOp::Shl => self.emit(&format!("sll {td}, {a}, {b}")),
+            BinOp::Shr => self.emit(&format!("sra {td}, {a}, {b}")),
+            BinOp::Lt => self.emit(&format!("slt {td}, {a}, {b}")),
+            BinOp::Gt => self.emit(&format!("slt {td}, {b}, {a}")),
+            BinOp::Le => {
+                self.emit(&format!("slt {td}, {b}, {a}"));
+                self.emit(&format!("xori {td}, {td}, 1"));
+            }
+            BinOp::Ge => {
+                self.emit(&format!("slt {td}, {a}, {b}"));
+                self.emit(&format!("xori {td}, {td}, 1"));
+            }
+            BinOp::Eq => {
+                self.emit(&format!("xor {td}, {a}, {b}"));
+                self.emit(&format!("sltiu {td}, {td}, 1"));
+            }
+            BinOp::Ne => {
+                self.emit(&format!("xor {td}, {a}, {b}"));
+                self.emit(&format!("sltu {td}, zero, {td}"));
+            }
+            BinOp::LAnd | BinOp::LOr => unreachable!("short-circuit lowered separately"),
+        }
+    }
+
+    fn builtin_call(&mut self, name: &str, args: &[Expr], d: usize) -> Result<(), CodegenError> {
+        match name {
+            "putc" => {
+                self.expr(&args[0], d)?;
+                self.emit(&format!("mv a0, t{d}"));
+                self.emit("ecall 1");
+            }
+            "puti" => {
+                self.expr(&args[0], d)?;
+                self.emit(&format!("mv a0, t{d}"));
+                self.emit("ecall 4");
+            }
+            "getc" => {
+                self.emit("ecall 2");
+                self.emit(&format!("mv t{d}, rv"));
+            }
+            "cycles" => {
+                self.emit("ecall 3");
+                self.emit(&format!("mv t{d}, rv"));
+            }
+            "exit" => {
+                self.expr(&args[0], d)?;
+                self.emit(&format!("mv a0, t{d}"));
+                self.emit("ecall 0");
+            }
+            other => return self.err(format!("unknown builtin `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn user_call(
+        &mut self,
+        d: usize,
+        args: &[Expr],
+        target: CallTarget,
+    ) -> Result<(), CodegenError> {
+        // Save live temporaries t0..t{d-1}.
+        if d > 0 {
+            self.emit(&format!("addi sp, sp, -{}", 4 * d));
+            for i in 0..d {
+                self.emit(&format!("sw t{i}, {}(sp)", 4 * i));
+            }
+        }
+        // Indirect target first (so `callptr(f(), g())` evaluates f first).
+        if let CallTarget::Indirect(ref t) = target {
+            let t = t.clone();
+            self.expr(&t, 0)?;
+            self.emit("addi sp, sp, -4");
+            self.emit("sw t0, 0(sp)");
+        }
+        // Arguments, left to right, each pushed.
+        for a in args {
+            self.expr(a, 0)?;
+            self.emit("addi sp, sp, -4");
+            self.emit("sw t0, 0(sp)");
+        }
+        // Pop into argument registers (last pushed = last arg on top).
+        for (i, _) in args.iter().enumerate() {
+            let depth = (args.len() - 1 - i) * 4;
+            self.emit(&format!("lw a{i}, {depth}(sp)"));
+        }
+        if !args.is_empty() {
+            self.emit(&format!("addi sp, sp, {}", 4 * args.len()));
+        }
+        match target {
+            CallTarget::Direct(name) => self.emit(&format!("jal {name}")),
+            CallTarget::Indirect(_) => {
+                self.emit("lw t7, 0(sp)");
+                self.emit("addi sp, sp, 4");
+                self.emit("jalr t7");
+            }
+        }
+        // Restore temporaries and collect the result.
+        if d > 0 {
+            for i in 0..d {
+                self.emit(&format!("lw t{i}, {}(sp)", 4 * i));
+            }
+            self.emit(&format!("addi sp, sp, {}", 4 * d));
+        }
+        self.emit(&format!("mv t{d}, rv"));
+        Ok(())
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CodegenError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
+        match s {
+            Stmt::Local(name, init) => {
+                if let Some(e) = init {
+                    self.expr(e, 0)?;
+                    let off = self.locals[name];
+                    self.emit(&format!("sw t0, {off}(fp)"));
+                }
+                // Uninitialised locals read as whatever the slot holds; the
+                // prologue zeroed nothing — but sema allows reading them, so
+                // zero for determinism (matches the interpreter's default 0).
+                else {
+                    let off = self.locals[name];
+                    self.emit(&format!("sw zero, {off}(fp)"));
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => self.expr(e, 0),
+            Stmt::If(c, t, f) => {
+                let lelse = self.fresh("else");
+                let lend = self.fresh("endif");
+                self.expr(c, 0)?;
+                self.emit(&format!("beqz t0, {lelse}"));
+                self.stmts(t)?;
+                if f.is_empty() {
+                    self.label(&lelse.clone());
+                } else {
+                    self.emit(&format!("j {lend}"));
+                    self.label(&lelse.clone());
+                    self.stmts(f)?;
+                    self.label(&lend.clone());
+                }
+                Ok(())
+            }
+            Stmt::While(c, body) => {
+                let lcond = self.fresh("wcond");
+                let lend = self.fresh("wend");
+                self.label(&lcond.clone());
+                self.expr(c, 0)?;
+                self.emit(&format!("beqz t0, {lend}"));
+                self.loops.push((lend.clone(), lcond.clone()));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.emit(&format!("j {lcond}"));
+                self.label(&lend.clone());
+                Ok(())
+            }
+            Stmt::DoWhile(body, c) => {
+                let lbody = self.fresh("dbody");
+                let lcond = self.fresh("dcond");
+                let lend = self.fresh("dend");
+                self.label(&lbody.clone());
+                self.loops.push((lend.clone(), lcond.clone()));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.label(&lcond.clone());
+                self.expr(c, 0)?;
+                self.emit(&format!("bnez t0, {lbody}"));
+                self.label(&lend.clone());
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                let lcond = self.fresh("fcond");
+                let lstep = self.fresh("fstep");
+                let lend = self.fresh("fend");
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                self.label(&lcond.clone());
+                if let Some(c) = cond {
+                    self.expr(c, 0)?;
+                    self.emit(&format!("beqz t0, {lend}"));
+                }
+                self.loops.push((lend.clone(), lstep.clone()));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.label(&lstep.clone());
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.emit(&format!("j {lcond}"));
+                self.label(&lend.clone());
+                Ok(())
+            }
+            Stmt::Switch(scrut, cases) => self.switch(scrut, cases),
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(e, 0)?;
+                        self.emit("mv rv, t0");
+                    }
+                    None => self.emit("li rv, 0"),
+                }
+                let l = self.ret_label.clone();
+                self.emit(&format!("j {l}"));
+                Ok(())
+            }
+            Stmt::Break => {
+                let (lend, _) = self
+                    .loops
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| CodegenError {
+                        msg: "break outside loop".into(),
+                    })?;
+                self.emit(&format!("j {lend}"));
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (_, lcont) = self
+                    .loops
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| CodegenError {
+                        msg: "continue outside loop".into(),
+                    })?;
+                self.emit(&format!("j {lcont}"));
+                Ok(())
+            }
+            Stmt::Block(body) => self.stmts(body),
+        }
+    }
+
+    fn switch(&mut self, scrut: &Expr, cases: &[SwitchCase]) -> Result<(), CodegenError> {
+        self.expr(scrut, 0)?;
+        let lend = self.fresh("swend");
+        let ldefault = cases
+            .iter()
+            .position(|c| c.value.is_none())
+            .map(|_| self.fresh("swdef"))
+            .unwrap_or_else(|| lend.clone());
+
+        let mut valued: Vec<(i32, usize)> = cases
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.value.map(|v| (v, i)))
+            .collect();
+        valued.sort_by_key(|&(v, _)| v);
+        let arm_labels: Vec<String> = cases.iter().map(|_| self.fresh("swarm")).collect();
+
+        let dense = if let (Some(&(min, _)), Some(&(max, _))) = (valued.first(), valued.last()) {
+            let range = (max as i64 - min as i64 + 1) as u64;
+            valued.len() >= 4 && range <= 512 && range <= 3 * valued.len() as u64
+        } else {
+            false
+        };
+
+        if self.opts.jump_tables && dense {
+            let (min, _) = valued[0];
+            let (max, _) = valued[valued.len() - 1];
+            let range = max as i64 - min as i64 + 1;
+            let table = self.fresh("swtab");
+            // Normalize, bounds-check, index the table, computed jump.
+            self.emit(&format!("li t7, {min}"));
+            self.emit("sub t0, t0, t7");
+            self.emit(&format!("li t7, {range}"));
+            self.emit(&format!("bgeu t0, t7, {ldefault}"));
+            self.emit("slli t0, t0, 2");
+            self.emit(&format!("la t7, {table}"));
+            self.emit("add t0, t0, t7");
+            self.emit("lw t0, 0(t0)");
+            self.emit("jr t0");
+            // Emit the table in .data: original addresses, as the paper's
+            // tcache-map fallback expects.
+            let mut row = HashMap::new();
+            for &(v, idx) in &valued {
+                row.insert(v, arm_labels[idx].clone());
+            }
+            let _ = writeln!(self.data, "{table}:");
+            for v in 0..range {
+                let val = (min as i64 + v) as i32;
+                let lbl = row.get(&val).cloned().unwrap_or_else(|| ldefault.clone());
+                let _ = writeln!(self.data, "        .word {lbl}");
+            }
+        } else {
+            // Compare chain.
+            for &(v, idx) in &valued {
+                self.emit(&format!("li t7, {v}"));
+                self.emit(&format!("beq t0, t7, {}", arm_labels[idx]));
+            }
+            self.emit(&format!("j {ldefault}"));
+        }
+
+        for (i, case) in cases.iter().enumerate() {
+            if case.value.is_some() {
+                self.label(&arm_labels[i].clone());
+            } else {
+                // default arm carries both its arm label (for tables) and
+                // the shared default label.
+                self.label(&arm_labels[i].clone());
+                self.label(&ldefault.clone());
+            }
+            self.stmts(&case.body)?;
+            self.emit(&format!("j {lend}"));
+        }
+        if !cases.iter().any(|c| c.value.is_none()) {
+            // No default: the shared default label is `lend` itself.
+        }
+        self.label(&lend.clone());
+        Ok(())
+    }
+
+    // ---- functions ----
+
+    fn function(&mut self, f: &Function) -> Result<(), CodegenError> {
+        // Collect locals: parameters first, then every `int x;` in order.
+        self.locals.clear();
+        let mut names: Vec<String> = f.params.clone();
+        collect_locals(&f.body, &mut names);
+        if names.len() > 2000 {
+            return self.err(format!("too many locals in `{}`", f.name));
+        }
+        for (i, n) in names.iter().enumerate() {
+            self.locals.insert(n.clone(), -(12 + 4 * i as i32));
+        }
+        let frame = 8 + 4 * names.len() as i32;
+        self.ret_label = self.fresh(&format!("ret_{}", sanitize(&f.name)));
+
+        self.label(&f.name.clone());
+        self.emit(&format!("addi sp, sp, -{frame}"));
+        self.emit(&format!("sw ra, {}(sp)", frame - 4));
+        self.emit(&format!("sw fp, {}(sp)", frame - 8));
+        self.emit(&format!("addi fp, sp, {frame}"));
+        for (i, _) in f.params.iter().enumerate() {
+            self.emit(&format!("sw a{i}, {}(fp)", -(12 + 4 * i as i32)));
+        }
+        self.stmts(&f.body)?;
+        // Fall off the end: return 0.
+        self.emit("li rv, 0");
+        let l = self.ret_label.clone();
+        self.label(&l);
+        self.emit("lw ra, -4(fp)");
+        self.emit("lw t7, -8(fp)");
+        self.emit("mv sp, fp");
+        self.emit("mv fp, t7");
+        self.emit("ret");
+        Ok(())
+    }
+}
+
+enum CallTarget {
+    Direct(String),
+    Indirect(Expr),
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn collect_locals(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Local(name, _) => out.push(name.clone()),
+            Stmt::If(_, t, f) => {
+                collect_locals(t, out);
+                collect_locals(f, out);
+            }
+            Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::Block(b) => collect_locals(b, out),
+            Stmt::For(init, _, step, b) => {
+                if let Some(i) = init {
+                    collect_locals(std::slice::from_ref(&**i), out);
+                }
+                if let Some(st) = step {
+                    collect_locals(std::slice::from_ref(&**st), out);
+                }
+                collect_locals(b, out);
+            }
+            Stmt::Switch(_, cases) => {
+                for c in cases {
+                    collect_locals(&c.body, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Generate a complete assembly file (crt0 + functions + data) for a
+/// sema-checked program.
+pub fn generate(prog: &Program, syms: &Symbols, opts: Options) -> Result<String, CodegenError> {
+    let mut gen = Gen {
+        syms,
+        opts,
+        text: String::new(),
+        data: String::new(),
+        label_counter: 0,
+        locals: HashMap::new(),
+        ret_label: String::new(),
+        loops: Vec::new(),
+    };
+
+    // crt0: call main, exit with its return value. Placed first so the
+    // entry block is the first chunk the softcache translates.
+    gen.label("_start");
+    gen.emit("jal main");
+    gen.emit("mv a0, rv");
+    gen.emit("ecall 0");
+
+    for f in &prog.functions {
+        gen.function(f)?;
+    }
+
+    // Globals.
+    for g in &prog.globals {
+        let len = g.array_len.unwrap_or(1);
+        let _ = writeln!(gen.data, "{}:", g.name);
+        for &v in &g.init {
+            let _ = writeln!(gen.data, "        .word {v}");
+        }
+        let rest = len as usize - g.init.len();
+        if rest > 0 {
+            let _ = writeln!(gen.data, "        .space {}", rest * 4);
+        }
+    }
+
+    let mut out = String::with_capacity(gen.text.len() + gen.data.len() + 64);
+    out.push_str("        .text\n        .global _start\n");
+    out.push_str(&gen.text);
+    if !gen.data.is_empty() {
+        out.push_str("        .data\n");
+        out.push_str(&gen.data);
+    }
+    Ok(out)
+}

@@ -1,0 +1,598 @@
+//! AST interpreter for minic — the differential-testing reference.
+//!
+//! Every workload runs both here and compiled-on-the-simulator; outputs must
+//! be byte-identical. The interpreter therefore pins down minic's semantics
+//! exactly: wrapping 32-bit arithmetic, masked shifts, RISC-V-style division
+//! by zero, defined evaluation order (left to right; array index before
+//! assigned value).
+//!
+//! One deliberate divergence: `cycles()` returns 0 here (the AST has no
+//! cycle model), so differential tests must not print it.
+
+use crate::ast::*;
+use crate::sema::Symbols;
+use std::collections::HashMap;
+
+/// Runtime error (also used for fuel exhaustion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interpreter error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, InterpError> {
+    Err(InterpError { msg: msg.into() })
+}
+
+/// Result of running a program to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterpOutput {
+    /// Exit code (`main`'s return value, or `exit`'s argument).
+    pub exit_code: i32,
+    /// Bytes written via `putc`/`puti`.
+    pub output: Vec<u8>,
+}
+
+enum Flow {
+    Normal(i32),
+    Break,
+    Continue,
+    Return(i32),
+    Exit(i32),
+}
+
+/// Synthetic base "address" handed out for `&function` values.
+const FUNC_ADDR_BASE: i32 = 0x0100_0000;
+
+struct Interp<'a> {
+    prog: &'a Program,
+    globals: HashMap<String, Vec<i32>>, // scalars are length-1
+    func_by_name: HashMap<&'a str, usize>,
+    input: &'a [u8],
+    input_pos: usize,
+    output: Vec<u8>,
+    fuel: u64,
+}
+
+impl<'a> Interp<'a> {
+    fn burn(&mut self) -> Result<(), InterpError> {
+        if self.fuel == 0 {
+            return err("out of fuel");
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval_binop(op: BinOp, a: i32, b: i32) -> i32 {
+        match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    -1
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => ((a as u32) << (b as u32 & 31)) as i32,
+            BinOp::Shr => a >> (b as u32 & 31),
+            BinOp::Lt => (a < b) as i32,
+            BinOp::Le => (a <= b) as i32,
+            BinOp::Gt => (a > b) as i32,
+            BinOp::Ge => (a >= b) as i32,
+            BinOp::Eq => (a == b) as i32,
+            BinOp::Ne => (a != b) as i32,
+            BinOp::LAnd | BinOp::LOr => unreachable!("short-circuit handled in eval"),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, locals: &mut HashMap<String, i32>) -> Result<Flow, InterpError> {
+        self.burn()?;
+        macro_rules! val {
+            ($e:expr) => {
+                match self.eval($e, locals)? {
+                    Flow::Normal(v) => v,
+                    other => return Ok(other),
+                }
+            };
+        }
+        Ok(match e {
+            Expr::Num(v) => Flow::Normal(*v),
+            Expr::Var(name) => {
+                if let Some(&v) = locals.get(name) {
+                    Flow::Normal(v)
+                } else {
+                    Flow::Normal(self.globals[name][0])
+                }
+            }
+            Expr::Index(name, idx) => {
+                let i = val!(idx);
+                let arr = &self.globals[name];
+                if i < 0 || i as usize >= arr.len() {
+                    return err(format!("index {i} out of bounds for `{name}`"));
+                }
+                Flow::Normal(arr[i as usize])
+            }
+            Expr::Unary(op, inner) => {
+                let v = val!(inner);
+                Flow::Normal(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i32,
+                    UnOp::BitNot => !v,
+                })
+            }
+            Expr::Binary(BinOp::LAnd, l, r) => {
+                let a = val!(l);
+                if a == 0 {
+                    Flow::Normal(0)
+                } else {
+                    let b = val!(r);
+                    Flow::Normal((b != 0) as i32)
+                }
+            }
+            Expr::Binary(BinOp::LOr, l, r) => {
+                let a = val!(l);
+                if a != 0 {
+                    Flow::Normal(1)
+                } else {
+                    let b = val!(r);
+                    Flow::Normal((b != 0) as i32)
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                let a = val!(l);
+                let b = val!(r);
+                Flow::Normal(Self::eval_binop(*op, a, b))
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(val!(a));
+                }
+                return self.call_named(name, &vals);
+            }
+            Expr::AddrOf(name) => {
+                let idx = *self
+                    .func_by_name
+                    .get(name.as_str())
+                    .ok_or_else(|| InterpError {
+                        msg: format!("&{name}: unknown function"),
+                    })?;
+                Flow::Normal(FUNC_ADDR_BASE + idx as i32)
+            }
+            Expr::CallPtr(target, args) => {
+                let t = val!(target);
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(val!(a));
+                }
+                let idx = (t - FUNC_ADDR_BASE) as usize;
+                if t < FUNC_ADDR_BASE || idx >= self.prog.functions.len() {
+                    return err(format!("callptr target {t:#x} is not a function"));
+                }
+                return self.call_indexed(idx, &vals);
+            }
+            Expr::Assign(lv, rhs) => match &**lv {
+                LValue::Var(name) => {
+                    let v = val!(rhs);
+                    if let Some(slot) = locals.get_mut(name) {
+                        *slot = v;
+                    } else {
+                        self.globals.get_mut(name).unwrap()[0] = v;
+                    }
+                    Flow::Normal(v)
+                }
+                LValue::Index(name, idx) => {
+                    // Defined order: index first, then value.
+                    let i = val!(idx);
+                    let v = val!(rhs);
+                    let arr = self.globals.get_mut(name).unwrap();
+                    if i < 0 || i as usize >= arr.len() {
+                        return err(format!("index {i} out of bounds for `{name}`"));
+                    }
+                    arr[i as usize] = v;
+                    Flow::Normal(v)
+                }
+            },
+        })
+    }
+
+    fn call_named(&mut self, name: &str, args: &[i32]) -> Result<Flow, InterpError> {
+        if let Some(&idx) = self.func_by_name.get(name) {
+            return self.call_indexed(idx, args);
+        }
+        // Builtins.
+        Ok(match name {
+            "putc" => {
+                self.output.push(args[0] as u8);
+                Flow::Normal(args[0])
+            }
+            "puti" => {
+                self.output.extend_from_slice(args[0].to_string().as_bytes());
+                Flow::Normal(args[0])
+            }
+            "getc" => {
+                let v = match self.input.get(self.input_pos) {
+                    Some(&b) => {
+                        self.input_pos += 1;
+                        b as i32
+                    }
+                    None => -1,
+                };
+                Flow::Normal(v)
+            }
+            "exit" => Flow::Exit(args[0]),
+            "cycles" => Flow::Normal(0),
+            other => return err(format!("unknown function `{other}`")),
+        })
+    }
+
+    fn call_indexed(&mut self, idx: usize, args: &[i32]) -> Result<Flow, InterpError> {
+        let func = &self.prog.functions[idx];
+        if args.len() != func.params.len() {
+            return err(format!("arity mismatch calling `{}`", func.name));
+        }
+        let mut locals: HashMap<String, i32> = func
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
+        match self.exec_block(&func.body, &mut locals)? {
+            Flow::Return(v) => Ok(Flow::Normal(v)),
+            Flow::Exit(c) => Ok(Flow::Exit(c)),
+            Flow::Normal(_) => Ok(Flow::Normal(0)), // fell off the end
+            Flow::Break | Flow::Continue => err("break/continue escaped a function"),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<Flow, InterpError> {
+        for s in stmts {
+            match self.exec(s, locals)? {
+                Flow::Normal(_) => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal(0))
+    }
+
+    fn exec(&mut self, s: &Stmt, locals: &mut HashMap<String, i32>) -> Result<Flow, InterpError> {
+        self.burn()?;
+        macro_rules! val {
+            ($e:expr) => {
+                match self.eval($e, locals)? {
+                    Flow::Normal(v) => v,
+                    other => return Ok(other),
+                }
+            };
+        }
+        Ok(match s {
+            Stmt::Local(name, init) => {
+                let v = match init {
+                    Some(e) => val!(e),
+                    None => 0,
+                };
+                locals.insert(name.clone(), v);
+                Flow::Normal(0)
+            }
+            Stmt::Expr(e) => {
+                let _ = val!(e);
+                Flow::Normal(0)
+            }
+            Stmt::If(c, t, f) => {
+                if val!(c) != 0 {
+                    self.exec_block(t, locals)?
+                } else {
+                    self.exec_block(f, locals)?
+                }
+            }
+            Stmt::While(c, body) => {
+                loop {
+                    if val!(c) == 0 {
+                        break;
+                    }
+                    match self.exec_block(body, locals)? {
+                        Flow::Normal(_) | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return Ok(other),
+                    }
+                }
+                Flow::Normal(0)
+            }
+            Stmt::DoWhile(body, c) => {
+                loop {
+                    match self.exec_block(body, locals)? {
+                        Flow::Normal(_) | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return Ok(other),
+                    }
+                    if val!(c) == 0 {
+                        break;
+                    }
+                }
+                Flow::Normal(0)
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    match self.exec(i, locals)? {
+                        Flow::Normal(_) => {}
+                        other => return Ok(other),
+                    }
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if val!(c) == 0 {
+                            break;
+                        }
+                    }
+                    match self.exec_block(body, locals)? {
+                        Flow::Normal(_) | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return Ok(other),
+                    }
+                    if let Some(st) = step {
+                        match self.exec(st, locals)? {
+                            Flow::Normal(_) => {}
+                            other => return Ok(other),
+                        }
+                    }
+                }
+                Flow::Normal(0)
+            }
+            Stmt::Switch(scrut, cases) => {
+                let v = val!(scrut);
+                let arm = cases
+                    .iter()
+                    .find(|c| c.value == Some(v))
+                    .or_else(|| cases.iter().find(|c| c.value.is_none()));
+                match arm {
+                    Some(c) => self.exec_block(&c.body, locals)?,
+                    None => Flow::Normal(0),
+                }
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => val!(e),
+                    None => 0,
+                };
+                Flow::Return(v)
+            }
+            Stmt::Break => Flow::Break,
+            Stmt::Continue => Flow::Continue,
+            Stmt::Block(body) => self.exec_block(body, locals)?,
+        })
+    }
+}
+
+/// Run a checked program on the AST interpreter.
+///
+/// `fuel` bounds the number of statements/expressions evaluated.
+pub fn run(
+    prog: &Program,
+    _syms: &Symbols,
+    input: &[u8],
+    fuel: u64,
+) -> Result<InterpOutput, InterpError> {
+    let mut globals = HashMap::new();
+    for g in &prog.globals {
+        let len = g.array_len.unwrap_or(1) as usize;
+        let mut v = vec![0i32; len];
+        for (i, &init) in g.init.iter().enumerate() {
+            v[i] = init;
+        }
+        globals.insert(g.name.clone(), v);
+    }
+    let func_by_name = prog
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    let mut interp = Interp {
+        prog,
+        globals,
+        func_by_name,
+        input,
+        input_pos: 0,
+        output: Vec::new(),
+        fuel,
+    };
+    let main = *interp
+        .func_by_name
+        .get("main")
+        .ok_or_else(|| InterpError {
+            msg: "no `main` function".into(),
+        })?;
+    let code = match interp.call_indexed(main, &[])? {
+        Flow::Normal(v) | Flow::Return(v) | Flow::Exit(v) => v,
+        _ => unreachable!(),
+    };
+    Ok(InterpOutput {
+        exit_code: code,
+        output: interp.output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+
+    fn go(src: &str, input: &[u8]) -> InterpOutput {
+        let prog = parse(src).unwrap();
+        let syms = analyze(&prog).unwrap();
+        run(&prog, &syms, input, 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        assert_eq!(go("int main() { return 2 + 3 * 4; }", &[]).exit_code, 14);
+        assert_eq!(go("int main() { return (2 + 3) * 4; }", &[]).exit_code, 20);
+        assert_eq!(go("int main() { return -7 / 2; }", &[]).exit_code, -3);
+        assert_eq!(go("int main() { return -7 % 2; }", &[]).exit_code, -1);
+        assert_eq!(go("int main() { return 5 / 0; }", &[]).exit_code, -1);
+        assert_eq!(go("int main() { return 5 % 0; }", &[]).exit_code, 5);
+        assert_eq!(go("int main() { return 1 << 33; }", &[]).exit_code, 2);
+        assert_eq!(go("int main() { return -8 >> 1; }", &[]).exit_code, -4);
+    }
+
+    #[test]
+    fn short_circuit() {
+        // Division by a zero guard must not be evaluated.
+        let src = "int main() { int x; x = 0; return x != 0 && 10 / x > 1; }";
+        assert_eq!(go(src, &[]).exit_code, 0);
+        let src = "int g; int t() { g = g + 1; return 1; } \
+                   int main() { int r; r = 1 || t(); return g * 10 + r; }";
+        assert_eq!(go(src, &[]).exit_code, 1, "rhs not evaluated");
+    }
+
+    #[test]
+    fn loops_and_break_continue() {
+        let src = r#"
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s = s + i;
+    }
+    return s;
+}
+"#;
+        assert_eq!(go(src, &[]).exit_code, 1 + 2 + 4 + 5 + 6);
+    }
+
+    #[test]
+    fn switch_no_fallthrough() {
+        let src = r#"
+int f(int n) {
+    int r;
+    r = 0;
+    switch (n) {
+        case 1: r = 10;
+        case 2: r = 20;
+        default: r = 99;
+    }
+    return r;
+}
+int main() { return f(1) * 10000 + f(2) * 100 + f(5); }
+"#;
+        assert_eq!(go(src, &[]).exit_code, 10 * 10000 + 20 * 100 + 99);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let src = r#"
+int acc = 5;
+int tab[4] = {1, 2, 3};
+int main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) acc = acc + tab[i];
+    tab[3] = 100;
+    return acc + tab[3];
+}
+"#;
+        assert_eq!(go(src, &[]).exit_code, 5 + 6 + 100);
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+                   int main() { return fib(10); }";
+        assert_eq!(go(src, &[]).exit_code, 55);
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let src = r#"
+int main() {
+    int c;
+    c = getc();
+    while (c >= 0) {
+        putc(c + 1);
+        c = getc();
+    }
+    puti(-42);
+    return 0;
+}
+"#;
+        let out = go(src, b"abc");
+        assert_eq!(out.output, b"bcd-42");
+    }
+
+    #[test]
+    fn exit_cuts_through() {
+        let src = "int f() { exit(9); return 1; } int main() { f(); return 0; }";
+        assert_eq!(go(src, &[]).exit_code, 9);
+    }
+
+    #[test]
+    fn function_pointers() {
+        let src = r#"
+int dbl(int x) { return x * 2; }
+int inc(int x) { return x + 1; }
+int main() {
+    int p;
+    p = &dbl;
+    if (getc() == 'i') p = &inc;
+    return callptr(p, 10);
+}
+"#;
+        assert_eq!(go(src, b"i").exit_code, 11);
+        assert_eq!(go(src, b"d").exit_code, 20);
+    }
+
+    #[test]
+    fn fuel_bounds_runaway() {
+        let prog = parse("int main() { while (1) {} return 0; }").unwrap();
+        let syms = analyze(&prog).unwrap();
+        assert!(run(&prog, &syms, &[], 10_000).is_err());
+    }
+
+    #[test]
+    fn oob_is_an_error() {
+        let prog = parse("int a[2]; int main() { return a[5]; }").unwrap();
+        let syms = analyze(&prog).unwrap();
+        assert!(run(&prog, &syms, &[], 1000).is_err());
+    }
+
+    #[test]
+    fn assignment_order_index_then_value() {
+        let src = r#"
+int a[4];
+int i;
+int bump() { i = i + 1; return i; }
+int main() {
+    i = 0;
+    a[i] = bump();     // index evaluated (0) before bump() runs
+    return a[0];
+}
+"#;
+        assert_eq!(go(src, &[]).exit_code, 1);
+    }
+}

@@ -1,0 +1,453 @@
+//! Lexer for the minic language.
+//!
+//! minic is a deliberately small C subset — `int` scalars and global `int`
+//! arrays, functions, the usual statements — chosen so that the generated
+//! code exhibits exactly the idioms the paper's programming-model
+//! restrictions assume a compiler produces (unique call/return, fixed frame
+//! layout, jump tables for `switch`).
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (already folded to a 32-bit value).
+    Num(i32),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `do`
+    KwDo,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `switch`
+    KwSwitch,
+    /// `case`
+    KwCase,
+    /// `default`
+    KwDefault,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "int" => Tok::KwInt,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "do" => Tok::KwDo,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "switch" => Tok::KwSwitch,
+        "case" => Tok::KwCase,
+        "default" => Tok::KwDefault,
+        _ => return None,
+    })
+}
+
+/// Tokenize a full minic source file.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(SpannedTok { tok: $t, line })
+        };
+    }
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(LexError {
+                            line,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut value: i64;
+                if c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                    i += 2;
+                    let hs = i;
+                    while i < n && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(LexError {
+                            line,
+                            msg: "empty hex literal".into(),
+                        });
+                    }
+                    let text: String = bytes[hs..i].iter().collect();
+                    value = i64::from_str_radix(&text, 16).map_err(|_| LexError {
+                        line,
+                        msg: format!("hex literal too large: 0x{text}"),
+                    })?;
+                    if value > u32::MAX as i64 {
+                        return Err(LexError {
+                            line,
+                            msg: "hex literal exceeds 32 bits".into(),
+                        });
+                    }
+                } else {
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    value = text.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("integer literal too large: {text}"),
+                    })?;
+                    if value > u32::MAX as i64 {
+                        return Err(LexError {
+                            line,
+                            msg: "integer literal exceeds 32 bits".into(),
+                        });
+                    }
+                }
+                if value > i32::MAX as i64 {
+                    value -= 1i64 << 32; // wrap like C unsigned-to-int
+                }
+                push!(Tok::Num(value as i32));
+            }
+            '\'' => {
+                i += 1;
+                let v = if i < n && bytes[i] == '\\' {
+                    i += 1;
+                    let e = *bytes.get(i).ok_or_else(|| LexError {
+                        line,
+                        msg: "unterminated char literal".into(),
+                    })?;
+                    i += 1;
+                    match e {
+                        'n' => 10,
+                        't' => 9,
+                        'r' => 13,
+                        '0' => 0,
+                        '\\' => 92,
+                        '\'' => 39,
+                        other => {
+                            return Err(LexError {
+                                line,
+                                msg: format!("bad escape \\{other}"),
+                            })
+                        }
+                    }
+                } else {
+                    let v = *bytes.get(i).ok_or_else(|| LexError {
+                        line,
+                        msg: "unterminated char literal".into(),
+                    })? as i32;
+                    i += 1;
+                    v
+                };
+                if i >= n || bytes[i] != '\'' {
+                    return Err(LexError {
+                        line,
+                        msg: "unterminated char literal".into(),
+                    });
+                }
+                i += 1;
+                push!(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match keyword(&text) {
+                    Some(kw) => push!(kw),
+                    None => push!(Tok::Ident(text)),
+                }
+            }
+            _ => {
+                // Operators and punctuation, longest match first.
+                let two: Option<Tok> = if i + 1 < n {
+                    match (c, bytes[i + 1]) {
+                        ('<', '<') => Some(Tok::Shl),
+                        ('>', '>') => Some(Tok::Shr),
+                        ('<', '=') => Some(Tok::Le),
+                        ('>', '=') => Some(Tok::Ge),
+                        ('=', '=') => Some(Tok::EqEq),
+                        ('!', '=') => Some(Tok::Ne),
+                        ('&', '&') => Some(Tok::AndAnd),
+                        ('|', '|') => Some(Tok::OrOr),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(t) = two {
+                    push!(t);
+                    i += 2;
+                    continue;
+                }
+                let one = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '=' => Tok::Assign,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '&' => Tok::Amp,
+                    '|' => Tok::Pipe,
+                    '^' => Tok::Caret,
+                    '~' => Tok::Tilde,
+                    '!' => Tok::Bang,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    other => {
+                        return Err(LexError {
+                            line,
+                            msg: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                push!(one);
+                i += 1;
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo while whiles"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwWhile,
+                Tok::Ident("whiles".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 0x10 0xFFFFFFFF 2147483647"),
+            vec![
+                Tok::Num(0),
+                Tok::Num(42),
+                Tok::Num(16),
+                Tok::Num(-1),
+                Tok::Num(i32::MAX),
+                Tok::Eof
+            ]
+        );
+        assert!(lex("99999999999").is_err());
+    }
+
+    #[test]
+    fn chars() {
+        assert_eq!(toks("'a' '\\n' '\\''"), vec![
+            Tok::Num(97),
+            Tok::Num(10),
+            Tok::Num(39),
+            Tok::Eof
+        ]);
+        assert!(lex("'ab'").is_err());
+        assert!(lex("'").is_err());
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("<<=>>"),
+            vec![Tok::Shl, Tok::Assign, Tok::Shr, Tok::Eof]
+        );
+        assert_eq!(toks("a<=b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Le,
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+        assert_eq!(toks("&&&"), vec![Tok::AndAnd, Tok::Amp, Tok::Eof]);
+    }
+
+    #[test]
+    fn comments() {
+        assert_eq!(
+            toks("1 // line\n2 /* multi\nline */ 3"),
+            vec![Tok::Num(1), Tok::Num(2), Tok::Num(3), Tok::Eof]
+        );
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("1\n2\n\n3").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("@").is_err());
+        assert!(lex("int $x").is_err());
+    }
+}

@@ -1,0 +1,693 @@
+//! Recursive-descent parser for minic.
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parse error with source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn const_int(&mut self) -> Result<i32, ParseError> {
+        // Allow a leading minus in constant contexts (globals, case labels).
+        let neg = self.eat(Tok::Minus);
+        match self.peek().clone() {
+            Tok::Num(v) => {
+                self.bump();
+                Ok(if neg { v.wrapping_neg() } else { v })
+            }
+            other => self.err(format!("expected integer constant, found {other:?}")),
+        }
+    }
+
+    // ---- program structure ----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while *self.peek() != Tok::Eof {
+            self.expect(Tok::KwInt)?;
+            let line = self.line();
+            let name = self.ident()?;
+            if *self.peek() == Tok::LParen {
+                prog.functions.push(self.function(name, line)?);
+            } else {
+                prog.globals.push(self.global(name)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self, name: String) -> Result<Global, ParseError> {
+        let mut g = Global {
+            name,
+            array_len: None,
+            init: Vec::new(),
+        };
+        if self.eat(Tok::LBracket) {
+            let len = self.const_int()?;
+            if len <= 0 {
+                return self.err("array length must be positive");
+            }
+            g.array_len = Some(len as u32);
+            self.expect(Tok::RBracket)?;
+        }
+        if self.eat(Tok::Assign) {
+            if let Some(len) = g.array_len {
+                self.expect(Tok::LBrace)?;
+                loop {
+                    g.init.push(self.const_int()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                    // Trailing comma support.
+                    if *self.peek() == Tok::RBrace {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                if g.init.len() as u32 > len {
+                    return self.err(format!(
+                        "initializer has {} elements but array length is {}",
+                        g.init.len(),
+                        len
+                    ));
+                }
+            } else {
+                g.init.push(self.const_int()?);
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(g)
+    }
+
+    fn function(&mut self, name: String, line: usize) -> Result<Function, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                self.expect(Tok::KwInt)?;
+                params.push(self.ident()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        if params.len() > 6 {
+            return self.err("at most 6 parameters (register-passed ABI)");
+        }
+        self.expect(Tok::LBrace)?;
+        let body = self.block_body()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    // ---- statements ----
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if self.eat(Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Local(name, init))
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.stmt_as_block()?;
+                let els = if self.eat(Tok::KwElse) {
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = self.stmt_as_block()?;
+                self.expect(Tok::KwWhile)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Tok::Semi)?;
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For(init, cond, step, body))
+            }
+            Tok::KwSwitch => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let scrut = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let mut cases = Vec::new();
+                loop {
+                    if self.eat(Tok::RBrace) {
+                        break;
+                    }
+                    let value = if self.eat(Tok::KwCase) {
+                        let v = self.const_int()?;
+                        self.expect(Tok::Colon)?;
+                        Some(v)
+                    } else if self.eat(Tok::KwDefault) {
+                        self.expect(Tok::Colon)?;
+                        None
+                    } else {
+                        return self.err("expected `case`, `default` or `}` in switch");
+                    };
+                    let mut body = Vec::new();
+                    while !matches!(
+                        self.peek(),
+                        Tok::KwCase | Tok::KwDefault | Tok::RBrace | Tok::Eof
+                    ) {
+                        body.push(self.stmt()?);
+                    }
+                    cases.push(SwitchCase { value, body });
+                }
+                Ok(Stmt::Switch(scrut, cases))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::LBrace => {
+                self.bump();
+                Ok(Stmt::Block(self.block_body()?))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A statement valid in `for(...)` headers: an expression (usually an
+    /// assignment).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat(Tok::LBrace) {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.logical_or()?;
+        if *self.peek() == Tok::Assign {
+            let lv = match lhs {
+                Expr::Var(name) => LValue::Var(name),
+                Expr::Index(name, idx) => LValue::Index(name, idx),
+                _ => return self.err("left side of `=` is not assignable"),
+            };
+            self.bump();
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lv), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.logical_and()?;
+        while self.eat(Tok::OrOr) {
+            let r = self.logical_and()?;
+            e = Expr::Binary(BinOp::LOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_or()?;
+        while self.eat(Tok::AndAnd) {
+            let r = self.bit_or()?;
+            e = Expr::Binary(BinOp::LAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_xor()?;
+        while self.eat(Tok::Pipe) {
+            let r = self.bit_xor()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_and()?;
+        while self.eat(Tok::Caret) {
+            let r = self.bit_and()?;
+            e = Expr::Binary(BinOp::Xor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(Tok::Amp) {
+            let r = self.equality()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let r = self.relational()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.shift()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let r = self.additive()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                // Fold negation of literals so `-2147483648` works.
+                let e = self.unary()?;
+                Ok(match e {
+                    Expr::Num(v) => Expr::Num(v.wrapping_neg()),
+                    other => Expr::Unary(UnOp::Neg, Box::new(other)),
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)))
+            }
+            Tok::Amp => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Expr::AddrOf(name))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(v) => {
+                self.bump();
+                Ok(Expr::Num(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(Tok::RParen)?;
+                        }
+                        if name == "callptr" {
+                            if args.is_empty() {
+                                return self.err("callptr needs a target expression");
+                            }
+                            let target = args.remove(0);
+                            if args.len() > 6 {
+                                return self.err("at most 6 call arguments");
+                            }
+                            Ok(Expr::CallPtr(Box::new(target), args))
+                        } else {
+                            if args.len() > 6 {
+                                return self.err("at most 6 call arguments");
+                            }
+                            Ok(Expr::Call(name, args))
+                        }
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parse a minic source file.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        line: e.line,
+        msg: e.msg,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals() {
+        let p = parse("int x; int y = 5; int a[10]; int t[4] = {1, 2, 3};").unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[1].init, vec![5]);
+        assert_eq!(p.globals[2].array_len, Some(10));
+        assert_eq!(p.globals[3].init, vec![1, 2, 3]);
+        assert!(parse("int a[0];").is_err());
+        assert!(parse("int a[2] = {1,2,3};").is_err());
+    }
+
+    #[test]
+    fn function_with_params() {
+        let p = parse("int add(int a, int b) { return a + b; }").unwrap();
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+        assert!(parse("int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }").is_err());
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOp::Add, _, rhs))) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_chains_and_lvalues() {
+        let p = parse("int g; int f() { int x; x = g = 3; return x; }").unwrap();
+        match &p.functions[0].body[1] {
+            Stmt::Expr(Expr::Assign(lv, rhs)) => {
+                assert_eq!(**lv, LValue::Var("x".into()));
+                assert!(matches!(**rhs, Expr::Assign(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("int f() { 1 = 2; }").is_err());
+        assert!(parse("int f() { f() = 2; }").is_err());
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = r#"
+int f(int n) {
+    int s;
+    s = 0;
+    for (; n > 0; n = n - 1) {
+        if (n % 2 == 0) continue;
+        s = s + n;
+    }
+    while (s > 100) s = s - 100;
+    do { s = s + 1; } while (s < 10);
+    return s;
+}
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions[0].body.len(), 6);
+    }
+
+    #[test]
+    fn switch_cases() {
+        let src = r#"
+int f(int n) {
+    switch (n) {
+        case 0: return 10;
+        case 1: return 11;
+        case -2: return 12;
+        default: return 0;
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Switch(_, cases) => {
+                assert_eq!(cases.len(), 4);
+                assert_eq!(cases[2].value, Some(-2));
+                assert_eq!(cases[3].value, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn addr_of_and_callptr() {
+        let p = parse("int g(int x) { return x; } int f() { int p; p = &g; return callptr(p, 5); }").unwrap();
+        match &p.functions[1].body[2] {
+            Stmt::Return(Some(Expr::CallPtr(t, args))) => {
+                assert!(matches!(**t, Expr::Var(_)));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn int_min_literal() {
+        let p = parse("int f() { return -2147483648; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Num(v))) => assert_eq!(*v, i32::MIN),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = parse("int f() {\n  return 1 +\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(parse("int f() { switch (1) { nope } }").is_err());
+        assert!(parse("int f() {").is_err());
+    }
+}

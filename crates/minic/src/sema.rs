@@ -1,0 +1,401 @@
+//! Semantic analysis for minic.
+//!
+//! Checks name resolution, arity, lvalue validity, `break`/`continue`
+//! placement and switch well-formedness, and produces the symbol summary
+//! the code generator and the AST interpreter share.
+
+use crate::ast::*;
+use std::collections::{HashMap, HashSet};
+
+/// Semantic error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemaError {
+    /// Description (includes the function name where applicable).
+    pub msg: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semantic error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError { msg: msg.into() })
+}
+
+/// Information about one global.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// `Some(len)` for arrays.
+    pub array_len: Option<u32>,
+}
+
+/// Builtin functions: name → (arity, has_result).
+pub fn builtins() -> &'static [(&'static str, usize)] {
+    &[
+        ("putc", 1),
+        ("getc", 0),
+        ("puti", 1),
+        ("exit", 1),
+        ("cycles", 0),
+    ]
+}
+
+/// Symbol summary produced by [`analyze`].
+#[derive(Clone, Debug, Default)]
+pub struct Symbols {
+    /// Global variables.
+    pub globals: HashMap<String, GlobalInfo>,
+    /// User functions → arity.
+    pub functions: HashMap<String, usize>,
+}
+
+struct Checker<'a> {
+    syms: &'a Symbols,
+    locals: HashSet<String>,
+    func: String,
+    loop_depth: usize,
+}
+
+impl Checker<'_> {
+    fn err<T>(&self, msg: impl std::fmt::Display) -> Result<T, SemaError> {
+        err(format!("in `{}`: {msg}", self.func))
+    }
+
+    fn check_var(&self, name: &str) -> Result<(), SemaError> {
+        if self.locals.contains(name) {
+            return Ok(());
+        }
+        match self.syms.globals.get(name) {
+            Some(g) if g.array_len.is_none() => Ok(()),
+            Some(_) => self.err(format!(
+                "`{name}` is an array; index it or take no value"
+            )),
+            None => self.err(format!("undefined variable `{name}`")),
+        }
+    }
+
+    fn check_index(&self, name: &str) -> Result<(), SemaError> {
+        match self.syms.globals.get(name) {
+            Some(g) if g.array_len.is_some() => Ok(()),
+            Some(_) => self.err(format!("`{name}` is a scalar, not an array")),
+            None if self.locals.contains(name) => {
+                self.err(format!("local `{name}` cannot be indexed"))
+            }
+            None => self.err(format!("undefined array `{name}`")),
+        }
+    }
+
+    fn check_expr(&self, e: &Expr) -> Result<(), SemaError> {
+        match e {
+            Expr::Num(_) => Ok(()),
+            Expr::Var(name) => self.check_var(name),
+            Expr::Index(name, idx) => {
+                self.check_index(name)?;
+                self.check_expr(idx)
+            }
+            Expr::Unary(_, inner) => self.check_expr(inner),
+            Expr::Binary(_, l, r) => {
+                self.check_expr(l)?;
+                self.check_expr(r)
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                if let Some(&arity) = self.syms.functions.get(name) {
+                    if args.len() != arity {
+                        return self.err(format!(
+                            "`{name}` takes {arity} arguments, got {}",
+                            args.len()
+                        ));
+                    }
+                    return Ok(());
+                }
+                if let Some(&(_, arity)) = builtins().iter().find(|(b, _)| b == name) {
+                    if args.len() != arity {
+                        return self.err(format!(
+                            "builtin `{name}` takes {arity} arguments, got {}",
+                            args.len()
+                        ));
+                    }
+                    return Ok(());
+                }
+                self.err(format!("call to undefined function `{name}`"))
+            }
+            Expr::AddrOf(name) => {
+                if self.syms.functions.contains_key(name) {
+                    Ok(())
+                } else {
+                    self.err(format!(
+                        "`&{name}`: address-of is defined for functions only"
+                    ))
+                }
+            }
+            Expr::CallPtr(target, args) => {
+                self.check_expr(target)?;
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                Ok(())
+            }
+            Expr::Assign(lv, rhs) => {
+                match &**lv {
+                    LValue::Var(name) => self.check_var(name)?,
+                    LValue::Index(name, idx) => {
+                        self.check_index(name)?;
+                        self.check_expr(idx)?;
+                    }
+                }
+                self.check_expr(rhs)
+            }
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), SemaError> {
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), SemaError> {
+        match s {
+            Stmt::Local(name, init) => {
+                if let Some(e) = init {
+                    self.check_expr(e)?;
+                }
+                if self.locals.contains(name) || self.syms.globals.contains_key(name) {
+                    return self.err(format!("redeclaration of `{name}`"));
+                }
+                self.locals.insert(name.clone());
+                Ok(())
+            }
+            Stmt::Expr(e) => self.check_expr(e),
+            Stmt::If(c, t, f) => {
+                self.check_expr(c)?;
+                self.check_stmts(t)?;
+                self.check_stmts(f)
+            }
+            Stmt::While(c, body) => {
+                self.check_expr(c)?;
+                self.loop_depth += 1;
+                let r = self.check_stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::DoWhile(body, c) => {
+                self.loop_depth += 1;
+                let r = self.check_stmts(body);
+                self.loop_depth -= 1;
+                r?;
+                self.check_expr(c)
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    self.check_stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.check_expr(c)?;
+                }
+                if let Some(st) = step {
+                    self.check_stmt(st)?;
+                }
+                self.loop_depth += 1;
+                let r = self.check_stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::Switch(scrut, cases) => {
+                self.check_expr(scrut)?;
+                let mut seen = HashSet::new();
+                let mut default_seen = false;
+                for case in cases {
+                    match case.value {
+                        Some(v) => {
+                            if !seen.insert(v) {
+                                return self.err(format!("duplicate case value {v}"));
+                            }
+                        }
+                        None => {
+                            if default_seen {
+                                return self.err("duplicate default case");
+                            }
+                            default_seen = true;
+                        }
+                    }
+                    // minic switch arms do not fall through; `break` inside
+                    // an arm still refers to an enclosing loop only.
+                    self.check_stmts(&case.body)?;
+                }
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.check_expr(e)?;
+                }
+                Ok(())
+            }
+            Stmt::Break => {
+                if self.loop_depth == 0 {
+                    self.err("`break` outside a loop")
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Continue => {
+                if self.loop_depth == 0 {
+                    self.err("`continue` outside a loop")
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Block(body) => self.check_stmts(body),
+        }
+    }
+}
+
+/// Analyze a program, returning its symbol summary.
+pub fn analyze(prog: &Program) -> Result<Symbols, SemaError> {
+    let mut syms = Symbols::default();
+    for g in &prog.globals {
+        if syms
+            .globals
+            .insert(
+                g.name.clone(),
+                GlobalInfo {
+                    array_len: g.array_len,
+                },
+            )
+            .is_some()
+        {
+            return err(format!("duplicate global `{}`", g.name));
+        }
+        if builtins().iter().any(|(b, _)| *b == g.name) {
+            return err(format!("`{}` shadows a builtin", g.name));
+        }
+        if let Some(len) = g.array_len {
+            if g.init.len() as u32 > len {
+                return err(format!("initializer too long for `{}`", g.name));
+            }
+        } else if g.init.len() > 1 {
+            return err(format!("scalar `{}` has multiple initializers", g.name));
+        }
+    }
+    for f in &prog.functions {
+        if syms.globals.contains_key(&f.name) {
+            return err(format!("`{}` defined as both global and function", f.name));
+        }
+        if builtins().iter().any(|(b, _)| *b == f.name) || f.name == "callptr" {
+            return err(format!("function `{}` shadows a builtin", f.name));
+        }
+        if syms
+            .functions
+            .insert(f.name.clone(), f.params.len())
+            .is_some()
+        {
+            return err(format!("duplicate function `{}`", f.name));
+        }
+    }
+    for f in &prog.functions {
+        let mut checker = Checker {
+            syms: &syms,
+            locals: HashSet::new(),
+            func: f.name.clone(),
+            loop_depth: 0,
+        };
+        for p in &f.params {
+            if !checker.locals.insert(p.clone()) {
+                return err(format!("duplicate parameter `{p}` in `{}`", f.name));
+            }
+        }
+        checker.check_stmts(&f.body)?;
+    }
+    Ok(syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<Symbols, SemaError> {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        let syms = check(
+            "int g; int a[4]; int f(int x) { int y; y = x + g + a[0]; return y; } \
+             int main() { return f(1); }",
+        )
+        .unwrap();
+        assert_eq!(syms.functions["f"], 1);
+        assert_eq!(syms.globals["a"].array_len, Some(4));
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(check("int f() { return nope; }").is_err());
+        assert!(check("int f() { return nope(); }").is_err());
+        assert!(check("int f() { return a[0]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_misuse_of_arrays_and_scalars() {
+        assert!(check("int a[4]; int f() { return a; }").is_err());
+        assert!(check("int x; int f() { return x[0]; }").is_err());
+        assert!(check("int f(int p) { return p[0]; }").is_err());
+    }
+
+    #[test]
+    fn arity_checking() {
+        assert!(check("int f(int a) { return a; } int g() { return f(); }").is_err());
+        assert!(check("int g() { return getc(1); }").is_err());
+        assert!(check("int g() { putc(); return 0; }").is_err());
+        assert!(check("int g() { putc('x'); return getc(); }").is_ok());
+    }
+
+    #[test]
+    fn break_continue_placement() {
+        assert!(check("int f() { break; return 0; }").is_err());
+        assert!(check("int f() { continue; return 0; }").is_err());
+        assert!(check("int f() { while (1) break; return 0; }").is_ok());
+        assert!(
+            check("int f(int n) { switch (n) { case 1: break; } return 0; }").is_err(),
+            "minic arms auto-break; break needs a loop"
+        );
+        assert!(
+            check("int f(int n) { while (1) { switch (n) { case 1: break; } } return 0; }")
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn switch_well_formedness() {
+        assert!(check("int f(int n) { switch (n) { case 1: case 1: } return 0; }").is_err());
+        assert!(
+            check("int f(int n) { switch (n) { default: default: } return 0; }").is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        assert!(check("int x; int x;").is_err());
+        assert!(check("int f() { return 0; } int f() { return 1; }").is_err());
+        assert!(check("int f(int a, int a) { return 0; }").is_err());
+        assert!(check("int f() { int y; int y; return 0; }").is_err());
+        assert!(check("int getc; int f() { return 0; }").is_err());
+        assert!(check("int putc(int c) { return c; }").is_err());
+        assert!(check("int g; int g() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn addrof_functions_only() {
+        assert!(check("int f() { return 0; } int m() { return &f; }").is_ok());
+        assert!(check("int x; int m() { return &x; }").is_err());
+    }
+}

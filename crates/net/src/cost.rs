@@ -1,0 +1,141 @@
+//! Link cost model and traffic accounting.
+//!
+//! The ARM prototype's link is 10 Mbps Ethernet between Skiff boards; the
+//! embedded client stalls for the round trip on every miss. [`LinkModel`]
+//! converts message sizes into stall cycles at the client's clock, and
+//! [`LinkStats`] accumulates the byte accounting used by the paper's
+//! network-overhead measurement (§2.4).
+
+use crate::transport::HEADER_BYTES;
+
+/// Parameters of the MC↔CC link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkModel {
+    /// One-way latency in seconds (per message).
+    pub latency_s: f64,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Client clock in Hz (to express stalls in cycles).
+    pub clock_hz: f64,
+}
+
+impl Default for LinkModel {
+    /// The paper's configuration: 10 Mbps Ethernet, 200 MHz client. The
+    /// default latency models a LAN round trip split per direction.
+    fn default() -> LinkModel {
+        LinkModel {
+            latency_s: 100e-6,
+            bandwidth_bps: 10e6,
+            clock_hz: 200e6,
+        }
+    }
+}
+
+impl LinkModel {
+    /// An idealized zero-cost link (for isolating CPU-side overheads).
+    pub fn free() -> LinkModel {
+        LinkModel {
+            latency_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// Stall time for a one-way message of `payload_bytes` (+ header).
+    pub fn message_secs(&self, payload_bytes: u32) -> f64 {
+        let bits = ((payload_bytes + HEADER_BYTES) as f64) * 8.0;
+        self.latency_s + bits / self.bandwidth_bps
+    }
+
+    /// Stall cycles for a request/reply exchange with the given payload
+    /// sizes.
+    pub fn rpc_cycles(&self, req_payload: u32, rep_payload: u32) -> u64 {
+        let secs = self.message_secs(req_payload) + self.message_secs(rep_payload);
+        (secs * self.clock_hz).round() as u64
+    }
+}
+
+/// Cumulative traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages sent in either direction.
+    pub messages: u64,
+    /// Application payload bytes.
+    pub payload_bytes: u64,
+    /// Protocol overhead bytes (headers).
+    pub overhead_bytes: u64,
+    /// Stall cycles charged to the client.
+    pub stall_cycles: u64,
+}
+
+impl LinkStats {
+    /// Record a request/reply exchange.
+    pub fn record_rpc(&mut self, model: &LinkModel, req_payload: u32, rep_payload: u32) -> u64 {
+        self.messages += 2;
+        self.payload_bytes += (req_payload + rep_payload) as u64;
+        self.overhead_bytes += 2 * HEADER_BYTES as u64;
+        let cycles = model.rpc_cycles(req_payload, rep_payload);
+        self.stall_cycles += cycles;
+        cycles
+    }
+
+    /// Per-exchange overhead in bytes (the paper's measured figure is 60).
+    pub fn overhead_per_rpc(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.overhead_bytes as f64 / (self.messages as f64 / 2.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overhead_is_60_bytes_per_chunk() {
+        let model = LinkModel::default();
+        let mut stats = LinkStats::default();
+        for _ in 0..10 {
+            stats.record_rpc(&model, 8, 200);
+        }
+        assert_eq!(stats.overhead_per_rpc(), 60.0);
+        assert_eq!(stats.messages, 20);
+        assert_eq!(stats.payload_bytes, 2080);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let model = LinkModel {
+            latency_s: 0.0,
+            bandwidth_bps: 1e6,
+            clock_hz: 1e6,
+        };
+        // 1 Mbps at 1 MHz: one cycle per microsecond; 125 bytes = 1 ms.
+        let small = model.rpc_cycles(0, 0);
+        let large = model.rpc_cycles(0, 1000);
+        assert!(large > small);
+        assert_eq!(
+            large - small,
+            (1000.0 * 8.0 / 1e6 * 1e6) as u64,
+            "extra cycles = extra bits / bandwidth * clock"
+        );
+    }
+
+    #[test]
+    fn free_link_costs_nothing() {
+        let model = LinkModel::free();
+        assert_eq!(model.rpc_cycles(1000, 100000), 0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let model = LinkModel::default();
+        let a = model.rpc_cycles(0, 4);
+        let b = model.rpc_cycles(0, 64);
+        // With 100 µs latency, 60 extra bytes (~48 µs at 10 Mbps) must not
+        // double the cost.
+        assert!((b as f64) < (a as f64) * 1.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # softcache-net: the MC↔CC link
+//!
+//! In the paper's ARM prototype the memory controller (server) and cache
+//! controller (embedded client) are separate Skiff boards on 10 Mbps
+//! Ethernet, and each chunk download costs "60 application bytes" of
+//! protocol overhead. This crate reproduces that link:
+//!
+//! * [`frame`] — byte-level message framing (the wire format is plain
+//!   little-endian fields, like the prototype's TCP messages);
+//! * [`transport`] — duplex transports: in-process queues (the fused SPARC
+//!   prototype "jumps back and forth"), crossbeam channels (the two-board
+//!   ARM setup, one thread per controller), and a lossy wrapper for
+//!   failure-injection tests;
+//! * [`cost`] — the link cost model (latency + bandwidth + per-message
+//!   overhead) that converts transfers into embedded-core cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod frame;
+pub mod transport;
+
+pub use cost::{LinkModel, LinkStats};
+pub use frame::{FrameReader, FrameWriter};
+pub use transport::{
+    loopback_pair, thread_pair, LossyTransport, NetError, Transport, HEADER_BYTES,
+};

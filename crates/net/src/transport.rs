@@ -1,0 +1,258 @@
+//! Duplex frame transports connecting the cache controller to the memory
+//! controller.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Fixed per-frame protocol overhead in bytes. A request/reply pair costs
+/// `2 * HEADER_BYTES = 60` bytes — the paper's measured "60 application
+/// bytes (not counting Ethernet framing overhead)" per chunk download.
+pub const HEADER_BYTES: u32 = 30;
+
+/// Transport error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer is gone (channel closed).
+    Disconnected,
+    /// No frame arrived in time (used by the lossy transport and the
+    /// threaded transport's timeout).
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A reliable duplex frame transport.
+pub trait Transport: Send {
+    /// Send one frame to the peer.
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError>;
+    /// Receive the next frame from the peer (blocking).
+    fn recv(&mut self) -> Result<Vec<u8>, NetError>;
+    /// Frames currently queued for this endpoint (0 when unknowable).
+    fn pending(&self) -> usize;
+}
+
+// ---- in-process loopback ----
+
+struct Shared {
+    a_to_b: VecDeque<Vec<u8>>,
+    b_to_a: VecDeque<Vec<u8>>,
+}
+
+/// One endpoint of an in-process loopback pair. `recv` on an empty queue is
+/// an error (the fused single-threaded prototype never blocks: the CC only
+/// receives after the MC has replied).
+pub struct Loopback {
+    shared: Arc<Mutex<Shared>>,
+    is_a: bool,
+}
+
+/// Create a connected in-process pair `(cc_end, mc_end)`.
+pub fn loopback_pair() -> (Loopback, Loopback) {
+    let shared = Arc::new(Mutex::new(Shared {
+        a_to_b: VecDeque::new(),
+        b_to_a: VecDeque::new(),
+    }));
+    (
+        Loopback {
+            shared: shared.clone(),
+            is_a: true,
+        },
+        Loopback { shared, is_a: false },
+    )
+}
+
+impl Transport for Loopback {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        let mut s = self.shared.lock().expect("loopback poisoned");
+        if self.is_a {
+            s.a_to_b.push_back(frame);
+        } else {
+            s.b_to_a.push_back(frame);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let mut s = self.shared.lock().expect("loopback poisoned");
+        let q = if self.is_a { &mut s.b_to_a } else { &mut s.a_to_b };
+        q.pop_front().ok_or(NetError::Timeout)
+    }
+
+    fn pending(&self) -> usize {
+        let s = self.shared.lock().expect("loopback poisoned");
+        if self.is_a {
+            s.b_to_a.len()
+        } else {
+            s.a_to_b.len()
+        }
+    }
+}
+
+// ---- threaded channel transport ----
+
+/// One endpoint of a crossbeam-channel transport (the two-board ARM
+/// configuration: MC and CC on separate threads).
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    timeout: Duration,
+}
+
+/// Create a connected threaded pair `(cc_end, mc_end)` with a receive
+/// timeout (so a dead peer turns into [`NetError::Timeout`], not a hang).
+pub fn thread_pair(timeout: Duration) -> (ChannelTransport, ChannelTransport) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        ChannelTransport {
+            tx: atx,
+            rx: brx,
+            timeout,
+        },
+        ChannelTransport {
+            tx: btx,
+            rx: arx,
+            timeout,
+        },
+    )
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.tx.send(frame).map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(f) => Ok(f),
+            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+// ---- failure injection ----
+
+/// Wraps a transport and deterministically drops or duplicates outgoing
+/// frames, for testing that the RPC layer recovers without corrupting
+/// cache state.
+pub struct LossyTransport<T: Transport> {
+    inner: T,
+    counter: u64,
+    /// Drop every n-th outgoing frame (0 = never).
+    pub drop_every: u64,
+    /// Duplicate every n-th outgoing frame (0 = never).
+    pub dup_every: u64,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wrap `inner`.
+    pub fn new(inner: T, drop_every: u64, dup_every: u64) -> LossyTransport<T> {
+        LossyTransport {
+            inner,
+            counter: 0,
+            drop_every,
+            dup_every,
+        }
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.counter += 1;
+        if self.drop_every != 0 && self.counter.is_multiple_of(self.drop_every) {
+            return Ok(()); // silently dropped on the wire
+        }
+        if self.dup_every != 0 && self.counter.is_multiple_of(self.dup_every) {
+            self.inner.send(frame.clone())?;
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        self.inner.recv()
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip() {
+        let (mut cc, mut mc) = loopback_pair();
+        cc.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(mc.pending(), 1);
+        assert_eq!(mc.recv().unwrap(), vec![1, 2, 3]);
+        mc.send(vec![4]).unwrap();
+        assert_eq!(cc.recv().unwrap(), vec![4]);
+        assert_eq!(cc.recv(), Err(NetError::Timeout), "empty queue");
+    }
+
+    #[test]
+    fn threaded_roundtrip() {
+        let (mut cc, mut mc) = thread_pair(Duration::from_millis(200));
+        let server = std::thread::spawn(move || {
+            let req = mc.recv().unwrap();
+            mc.send(req.iter().map(|b| b + 1).collect()).unwrap();
+        });
+        cc.send(vec![10, 20]).unwrap();
+        assert_eq!(cc.recv().unwrap(), vec![11, 21]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn threaded_timeout() {
+        let (mut cc, _mc) = thread_pair(Duration::from_millis(20));
+        assert_eq!(cc.recv(), Err(NetError::Timeout));
+    }
+
+    #[test]
+    fn threaded_disconnect() {
+        let (mut cc, mc) = thread_pair(Duration::from_millis(20));
+        drop(mc);
+        assert_eq!(cc.send(vec![1]), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn lossy_drops_and_duplicates() {
+        let (cc, mut mc) = loopback_pair();
+        let mut lossy = LossyTransport::new(cc, 3, 0);
+        lossy.send(vec![1]).unwrap();
+        lossy.send(vec![2]).unwrap();
+        lossy.send(vec![3]).unwrap(); // dropped
+        lossy.send(vec![4]).unwrap();
+        assert_eq!(mc.recv().unwrap(), vec![1]);
+        assert_eq!(mc.recv().unwrap(), vec![2]);
+        assert_eq!(mc.recv().unwrap(), vec![4]);
+
+        let (cc, mut mc) = loopback_pair();
+        let mut dupy = LossyTransport::new(cc, 0, 2);
+        dupy.send(vec![1]).unwrap();
+        dupy.send(vec![2]).unwrap(); // duplicated
+        assert_eq!(mc.recv().unwrap(), vec![1]);
+        assert_eq!(mc.recv().unwrap(), vec![2]);
+        assert_eq!(mc.recv().unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,413 @@
+//! The complete simulated embedded machine: CPU + memory + environment.
+//!
+//! A [`Machine`] owns everything needed to run an [`Image`] *natively* (no
+//! software cache — the paper's "ideal" baseline) and exposes the pieces the
+//! softcache cache controller needs to drive execution itself: public
+//! [`Cpu`], [`Memory`], cost model and statistics.
+
+use crate::cost::CostModel;
+use crate::cpu::{Cpu, Next, SimError, Trap};
+use crate::mem::Memory;
+use softcache_isa::image::Image;
+use softcache_isa::inst::Inst;
+use softcache_isa::layout::{FP_SENTINEL, MEM_SIZE, STACK_TOP};
+use softcache_isa::reg::Reg;
+
+/// Environment-call service numbers.
+pub mod syscall {
+    /// `exit(a0)` — stop with an exit code.
+    pub const EXIT: u16 = 0;
+    /// `putc(a0)` — append one byte to the output stream.
+    pub const PUTC: u16 = 1;
+    /// `getc() -> rv` — next input byte, or -1 at end of input.
+    pub const GETC: u16 = 2;
+    /// `cycles() -> rv` — low 32 bits of the cycle counter.
+    pub const CYCLES: u16 = 3;
+    /// `puti(a0)` — append the signed decimal rendering of `a0`.
+    pub const PUTI: u16 = 4;
+}
+
+/// Byte-stream environment: program input/output and exit status.
+#[derive(Clone, Default)]
+pub struct Env {
+    input: Vec<u8>,
+    input_pos: usize,
+    /// Everything the program wrote via `putc`/`puti`.
+    pub output: Vec<u8>,
+    /// Set once the program calls `exit`.
+    pub exit_code: Option<i32>,
+}
+
+impl Env {
+    /// Environment with the given input stream.
+    pub fn with_input(input: &[u8]) -> Env {
+        Env {
+            input: input.to_vec(),
+            ..Env::default()
+        }
+    }
+
+    fn getc(&mut self) -> i32 {
+        match self.input.get(self.input_pos) {
+            Some(&b) => {
+                self.input_pos += 1;
+                b as i32
+            }
+            None => -1,
+        }
+    }
+}
+
+/// Aggregate execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles accumulated under the cost model.
+    pub cycles: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches taken.
+    pub taken_branches: u64,
+    /// Direct + indirect calls.
+    pub calls: u64,
+    /// Returns.
+    pub returns: u64,
+}
+
+impl ExecStats {
+    #[inline]
+    fn account(&mut self, inst: Inst, taken: bool) {
+        self.instructions += 1;
+        match inst {
+            Inst::Load { .. } => self.loads += 1,
+            Inst::Store { .. } => self.stores += 1,
+            Inst::Branch { .. } => {
+                self.branches += 1;
+                if taken {
+                    self.taken_branches += 1;
+                }
+            }
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Jalrh { .. } => self.calls += 1,
+            Inst::Ret => self.returns += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of a [`Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Instruction retired; execution continues.
+    Running,
+    /// Program exited (via `exit` or `halt`).
+    Exited(i32),
+    /// A softcache trap needs servicing ([`Trap::Miss`], [`Trap::HashJump`],
+    /// [`Trap::HashCall`]). `ecall`s are serviced internally and never
+    /// surface here.
+    Trapped(Trap),
+}
+
+/// Error from [`Machine::run_native`] when fuel runs out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The CPU faulted.
+    Sim(SimError),
+    /// The fuel budget was exhausted before the program exited.
+    OutOfFuel {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+    /// A softcache trap reached a native run (no cache controller attached).
+    UnexpectedTrap(Trap),
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> RunError {
+        RunError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::OutOfFuel { executed } => {
+                write!(f, "out of fuel after {executed} instructions")
+            }
+            RunError::UnexpectedTrap(t) => write!(f, "unexpected trap {t:?} in native run"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The simulated embedded device.
+pub struct Machine {
+    /// CPU state.
+    pub cpu: Cpu,
+    /// Client memory.
+    pub mem: Memory,
+    /// I/O environment.
+    pub env: Env,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+impl Machine {
+    /// Build a machine with the image loaded *natively*: text and data both
+    /// resident, PC at the entry point — the paper's no-software-cache
+    /// baseline configuration.
+    pub fn load_native(image: &Image, input: &[u8]) -> Machine {
+        let mut m = Machine::blank(input);
+        m.mem
+            .write_words(image.text_base, &image.text)
+            .expect("image text fits in memory");
+        m.mem
+            .write_bytes(image.data_base, &image.data)
+            .expect("image data fits in memory");
+        m.cpu.pc = image.entry;
+        m
+    }
+
+    /// Build a machine with only the *data* segment resident — the cache
+    /// controller configuration, where original text never reaches the
+    /// client and all code arrives through the translation cache.
+    pub fn load_client(image: &Image, input: &[u8]) -> Machine {
+        let mut m = Machine::blank(input);
+        m.mem
+            .write_bytes(image.data_base, &image.data)
+            .expect("image data fits in memory");
+        // PC is set by the cache controller once the entry block is resident.
+        m
+    }
+
+    fn blank(input: &[u8]) -> Machine {
+        let mut cpu = Cpu::new(0);
+        cpu.set(Reg::SP, STACK_TOP as i32);
+        cpu.set(Reg::FP, FP_SENTINEL as i32);
+        Machine {
+            cpu,
+            mem: Memory::new(MEM_SIZE),
+            env: Env::with_input(input),
+            cost: CostModel::default(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Service an `ecall` trap.
+    fn ecall(&mut self, code: u16) -> Step {
+        match code {
+            syscall::EXIT => {
+                let code = self.cpu.get(Reg::A0);
+                self.env.exit_code = Some(code);
+                return Step::Exited(code);
+            }
+            syscall::PUTC => self.env.output.push(self.cpu.get(Reg::A0) as u8),
+            syscall::GETC => {
+                let v = self.env.getc();
+                self.cpu.set(Reg::RV, v);
+            }
+            syscall::CYCLES => self.cpu.set(Reg::RV, self.stats.cycles as i32),
+            syscall::PUTI => {
+                let v = self.cpu.get(Reg::A0);
+                self.env.output.extend_from_slice(v.to_string().as_bytes());
+            }
+            _ => {
+                // Unknown services are ignored (reads yield 0), so images
+                // built for richer environments still run.
+                self.cpu.set(Reg::RV, 0);
+            }
+        }
+        Step::Running
+    }
+
+    /// Execute one instruction, accounting statistics and servicing
+    /// `ecall`s. Softcache traps surface as [`Step::Trapped`].
+    #[inline]
+    pub fn step(&mut self) -> Result<Step, SimError> {
+        let pc_before = self.cpu.pc;
+        let (inst, next) = self.cpu.step(&mut self.mem)?;
+        let taken = matches!(inst, Inst::Branch { .. })
+            && self.cpu.pc != pc_before.wrapping_add(4);
+        self.stats.account(inst, taken);
+        self.stats.cycles += self.cost.cycles_for(inst, taken);
+        match next {
+            Next::Continue => Ok(Step::Running),
+            Next::Halted => {
+                let code = self.env.exit_code.unwrap_or(0);
+                Ok(Step::Exited(code))
+            }
+            Next::Trap(Trap::Ecall { code }) => Ok(self.ecall(code)),
+            Next::Trap(t) => Ok(Step::Trapped(t)),
+        }
+    }
+
+    /// Run natively until exit. Softcache traps are errors here (native
+    /// images contain no rewritten instructions).
+    pub fn run_native(&mut self, fuel: u64) -> Result<i32, RunError> {
+        self.run_native_traced(fuel, |_| {})
+    }
+
+    /// Run natively, invoking `fetch_hook` with the PC of every executed
+    /// instruction — this drives the hardware cache model of Figure 6.
+    pub fn run_native_traced(
+        &mut self,
+        fuel: u64,
+        mut fetch_hook: impl FnMut(u32),
+    ) -> Result<i32, RunError> {
+        for executed in 0..fuel {
+            fetch_hook(self.cpu.pc);
+            match self.step()? {
+                Step::Running => {}
+                Step::Exited(code) => return Ok(code),
+                Step::Trapped(t) => return Err(RunError::UnexpectedTrap(t)),
+            }
+            let _ = executed;
+        }
+        Err(RunError::OutOfFuel {
+            executed: self.stats.instructions,
+        })
+    }
+
+    /// The program's output as a UTF-8 string (lossy), for test assertions.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.env.output).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcache_asm::assemble;
+
+    fn run(src: &str, input: &[u8]) -> (i32, Machine) {
+        let img = assemble(src).unwrap();
+        let mut m = Machine::load_native(&img, input);
+        let code = m.run_native(1_000_000).unwrap();
+        (code, m)
+    }
+
+    #[test]
+    fn exit_code_via_ecall() {
+        let (code, _) = run("_start: li a0, 42\n ecall 0", &[]);
+        assert_eq!(code, 42);
+    }
+
+    #[test]
+    fn echo_program() {
+        // Copy input to output until EOF.
+        let src = r#"
+_start:
+.Lloop: ecall 2          # getc -> rv
+        blt rv, zero, .Ldone
+        mv a0, rv
+        ecall 1          # putc
+        j .Lloop
+.Ldone: li a0, 0
+        ecall 0
+"#;
+        let (code, m) = run(src, b"hello");
+        assert_eq!(code, 0);
+        assert_eq!(m.output_string(), "hello");
+    }
+
+    #[test]
+    fn puti_renders_decimal() {
+        let (_, m) = run("_start: li a0, -123\n ecall 4\n li a0, 0\n ecall 0", &[]);
+        assert_eq!(m.output_string(), "-123");
+    }
+
+    #[test]
+    fn stats_and_cycles_accumulate() {
+        let src = r#"
+_start: li t0, 10
+.Ll:    addi t0, t0, -1
+        bnez t0, .Ll
+        li a0, 0
+        ecall 0
+"#;
+        let (_, m) = run(src, &[]);
+        // 1 li + 10*(addi+bnez) + li + ecall = 23
+        assert_eq!(m.stats.instructions, 23);
+        assert_eq!(m.stats.branches, 10);
+        assert_eq!(m.stats.taken_branches, 9);
+        assert!(m.stats.cycles > m.stats.instructions);
+    }
+
+    #[test]
+    fn memory_ops_counted() {
+        let src = r#"
+_start: la t0, buf
+        li t1, 7
+        sw t1, 0(t0)
+        lw t2, 0(t0)
+        mv a0, t2
+        ecall 0
+        .data
+buf:    .space 4
+"#;
+        let (code, m) = run(src, &[]);
+        assert_eq!(code, 7);
+        assert_eq!(m.stats.loads, 1);
+        assert_eq!(m.stats.stores, 1);
+    }
+
+    #[test]
+    fn getc_eof_returns_minus_one() {
+        let (code, _) = run("_start: ecall 2\n mv a0, rv\n ecall 0", &[]);
+        assert_eq!(code, -1);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let img = assemble("_start: j _start").unwrap();
+        let mut m = Machine::load_native(&img, &[]);
+        assert!(matches!(
+            m.run_native(100),
+            Err(RunError::OutOfFuel { .. })
+        ));
+    }
+
+    #[test]
+    fn miss_trap_is_unexpected_natively() {
+        let img = assemble("_start: miss 3").unwrap();
+        let mut m = Machine::load_native(&img, &[]);
+        assert!(matches!(
+            m.run_native(10),
+            Err(RunError::UnexpectedTrap(Trap::Miss { idx: 3, .. }))
+        ));
+    }
+
+    #[test]
+    fn fetch_trace_covers_every_instruction() {
+        let img = assemble("_start: li t0, 1\n addi t0, t0, 1\n li a0, 0\n ecall 0").unwrap();
+        let mut m = Machine::load_native(&img, &[]);
+        let mut trace = Vec::new();
+        m.run_native_traced(100, |pc| trace.push(pc)).unwrap();
+        assert_eq!(trace.len() as u64, m.stats.instructions);
+        assert_eq!(trace[0], img.entry);
+    }
+
+    #[test]
+    fn client_load_has_no_text() {
+        let img = assemble("_start: halt\n.data\nx: .word 9").unwrap();
+        let m = Machine::load_client(&img, &[]);
+        assert_eq!(m.mem.read_u32(img.text_base).unwrap(), 0, "text absent");
+        assert_eq!(m.mem.read_u32(img.data_base).unwrap(), 9, "data resident");
+    }
+
+    #[test]
+    fn stack_registers_initialised() {
+        let img = assemble("_start: halt").unwrap();
+        let m = Machine::load_native(&img, &[]);
+        assert_eq!(m.cpu.get(Reg::SP) as u32, STACK_TOP);
+        assert_eq!(m.cpu.get(Reg::FP) as u32, FP_SENTINEL);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-function execution profiling — the reproduction of the paper's use
+//! of `gprof` to identify "hot code".
+//!
+//! The ARM-prototype methodology (§2.4) identifies the functions that
+//! account for ≥ 90 % of application runtime and sizes the CC memory to
+//! exactly those functions. [`Profiler`] attributes every retired
+//! instruction to the function containing its PC; [`Profile::hot_set`]
+//! applies the 90 % rule.
+
+use softcache_isa::image::{Image, SymKind};
+
+/// One function's profile entry.
+#[derive(Clone, Debug)]
+pub struct FuncProfile {
+    /// Function name.
+    pub name: String,
+    /// Entry address.
+    pub addr: u32,
+    /// Size in bytes (static).
+    pub size: u32,
+    /// Dynamic instructions attributed to this function.
+    pub count: u64,
+}
+
+/// A completed profile.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Per-function rows, sorted descending by dynamic count.
+    pub funcs: Vec<FuncProfile>,
+    /// Total instructions attributed.
+    pub total: u64,
+}
+
+impl Profile {
+    /// The *hot set*: the smallest prefix of functions (by dynamic count)
+    /// that covers at least `fraction` of total runtime — the paper uses
+    /// 0.90. Returns the selected rows.
+    pub fn hot_set(&self, fraction: f64) -> Vec<&FuncProfile> {
+        let want = (self.total as f64 * fraction).ceil() as u64;
+        let mut acc = 0u64;
+        let mut out = Vec::new();
+        for f in &self.funcs {
+            if acc >= want {
+                break;
+            }
+            acc += f.count;
+            out.push(f);
+        }
+        out
+    }
+
+    /// Total static bytes of the hot set — the "hot code" size of Figure 9.
+    pub fn hot_bytes(&self, fraction: f64) -> u32 {
+        self.hot_set(fraction).iter().map(|f| f.size).sum()
+    }
+}
+
+/// Online PC → function attribution. Feed every fetch PC with
+/// [`Profiler::record`]; finish with [`Profiler::finish`].
+pub struct Profiler {
+    /// (start, end, index) sorted by start.
+    ranges: Vec<(u32, u32, usize)>,
+    names: Vec<(String, u32, u32)>,
+    counts: Vec<u64>,
+    last: usize,
+    total: u64,
+}
+
+impl Profiler {
+    /// Build a profiler from the image's function symbols.
+    pub fn new(image: &Image) -> Profiler {
+        let mut ranges = Vec::new();
+        let mut names = Vec::new();
+        let mut funcs: Vec<_> = image
+            .symbols
+            .iter()
+            .filter(|s| s.kind == SymKind::Func)
+            .collect();
+        funcs.sort_by_key(|s| s.addr);
+        for (i, f) in funcs.iter().enumerate() {
+            ranges.push((f.addr, f.addr + f.size, i));
+            names.push((f.name.clone(), f.addr, f.size));
+        }
+        let n = ranges.len();
+        Profiler {
+            ranges,
+            names,
+            counts: vec![0; n],
+            last: 0,
+            total: 0,
+        }
+    }
+
+    /// Attribute one executed instruction at `pc`.
+    #[inline]
+    pub fn record(&mut self, pc: u32) {
+        self.total += 1;
+        if let Some(&(s, e, idx)) = self.ranges.get(self.last) {
+            if pc >= s && pc < e {
+                self.counts[idx] += 1;
+                return;
+            }
+        }
+        // Binary search for the containing range.
+        let pos = self.ranges.partition_point(|&(s, _, _)| s <= pc);
+        if pos > 0 {
+            let (s, e, idx) = self.ranges[pos - 1];
+            if pc >= s && pc < e {
+                self.counts[idx] += 1;
+                self.last = pos - 1;
+            }
+        }
+    }
+
+    /// Produce the sorted profile.
+    pub fn finish(self) -> Profile {
+        let mut funcs: Vec<FuncProfile> = self
+            .names
+            .into_iter()
+            .zip(self.counts)
+            .map(|((name, addr, size), count)| FuncProfile {
+                name,
+                addr,
+                size,
+                count,
+            })
+            .collect();
+        funcs.sort_by_key(|f| std::cmp::Reverse(f.count));
+        Profile {
+            funcs,
+            total: self.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcache_asm::assemble;
+
+    #[test]
+    fn attribution_by_range() {
+        let img = assemble(
+            r#"
+main:   jal hot
+        jal cold
+        li a0, 0
+        ecall 0
+hot:    li t0, 100
+.Lh:    addi t0, t0, -1
+        bnez t0, .Lh
+        ret
+cold:   ret
+"#,
+        )
+        .unwrap();
+        let mut machine = crate::machine::Machine::load_native(&img, &[]);
+        let mut prof = Profiler::new(&img);
+        machine
+            .run_native_traced(100_000, |pc| prof.record(pc))
+            .unwrap();
+        let profile = prof.finish();
+        assert_eq!(profile.funcs[0].name, "hot");
+        assert!(profile.funcs[0].count > 100);
+        let hot = profile.hot_set(0.90);
+        assert_eq!(hot.len(), 1, "90% of time is in `hot`");
+        assert_eq!(profile.hot_bytes(0.90), img.symbol("hot").unwrap().size);
+        assert_eq!(profile.total, machine.stats.instructions);
+    }
+
+    #[test]
+    fn hot_set_expands_with_fraction() {
+        let img = assemble(
+            r#"
+main:   jal a
+        jal b
+        li a0, 0
+        ecall 0
+a:      li t0, 60
+.La:    addi t0, t0, -1
+        bnez t0, .La
+        ret
+b:      li t0, 40
+.Lb:    addi t0, t0, -1
+        bnez t0, .Lb
+        ret
+"#,
+        )
+        .unwrap();
+        let mut machine = crate::machine::Machine::load_native(&img, &[]);
+        let mut prof = Profiler::new(&img);
+        machine
+            .run_native_traced(100_000, |pc| prof.record(pc))
+            .unwrap();
+        let profile = prof.finish();
+        assert!(profile.hot_set(0.5).len() <= profile.hot_set(0.999).len());
+        assert_eq!(profile.hot_set(0.999).len(), 3, "everything eventually");
+    }
+}

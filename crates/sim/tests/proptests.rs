@@ -1,0 +1,68 @@
+//! Property tests for the machine simulator: no input — even adversarial
+//! garbage memory — may panic the interpreter; faults must surface as
+//! typed errors.
+
+use proptest::prelude::*;
+use softcache_sim::{Cpu, Machine, Memory, RunError, Step};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Stepping a CPU over arbitrary memory never panics: every word
+    /// either executes, traps, or produces a typed error.
+    #[test]
+    fn cpu_never_panics_on_garbage(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        start in 0u32..32,
+    ) {
+        let mut mem = Memory::new(4096);
+        mem.write_words(0, &words).unwrap();
+        let mut cpu = Cpu::new((start % words.len() as u32) * 4);
+        for _ in 0..200 {
+            match cpu.step(&mut mem) {
+                Ok(_) => {}
+                Err(_) => break, // typed fault: fine
+            }
+        }
+    }
+
+    /// The same holds at the Machine level (with ecall servicing).
+    #[test]
+    fn machine_never_panics_on_garbage(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let image = softcache_isa::Image {
+            entry: softcache_isa::layout::TEXT_BASE,
+            text_base: softcache_isa::layout::TEXT_BASE,
+            text: words,
+            data_base: softcache_isa::layout::DATA_BASE,
+            data: vec![],
+            symbols: vec![],
+        };
+        let mut m = Machine::load_native(&image, b"xyz");
+        for _ in 0..500 {
+            match m.step() {
+                Ok(Step::Running) => {}
+                Ok(_) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Cycle accounting is monotone and at least one per instruction.
+    #[test]
+    fn cycles_dominate_instructions(n in 1u32..200) {
+        let src = format!(
+            "_start: li t0, {n}\n.Ll: addi t0, t0, -1\n bnez t0, .Ll\n li a0, 0\n ecall 0"
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut m = Machine::load_native(&image, &[]);
+        match m.run_native(1_000_000) {
+            Ok(_) => {
+                prop_assert!(m.stats.cycles >= m.stats.instructions);
+                prop_assert_eq!(m.stats.taken_branches, (n - 1) as u64);
+            }
+            Err(RunError::OutOfFuel { .. }) => prop_assert!(false, "loop must terminate"),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+}

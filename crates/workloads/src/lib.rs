@@ -1,0 +1,490 @@
+//! # softcache-workloads: the embedded benchmark programs
+//!
+//! minic implementations of the paper's benchmark set:
+//!
+//! | paper | here | notes |
+//! |---|---|---|
+//! | `129.compress` (SPEC95) | [`COMPRESS95`] | 12-bit LZW with compress's open-hash dictionary |
+//! | `adpcmenc`/`adpcmdec` (MediaBench) | [`ADPCM_ENC`] / [`ADPCM_DEC`] | IMA ADPCM |
+//! | `gzip` | [`GZIP`] | LZSS with deflate-style hash-chain match finder |
+//! | `cjpeg` (MediaBench) | [`CJPEG`] | 8×8 integer DCT + quantise + RLE |
+//! | `hextobdd` | [`HEXTOBDD`] | ROBDD build/apply with function-pointer op dispatch |
+//! | `mpeg2enc` | [`MPEG2ENC`] | full-search motion estimation + residual DCT |
+//!
+//! Every workload ships with a deterministic input generator sized for the
+//! experiments, plus helpers to compile to an [`Image`] and to compute the
+//! expected output via the minic AST interpreter (the differential oracle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softcache_isa::Image;
+use softcache_minic as minic;
+
+/// LZW compressor (SPEC95 129.compress stand-in).
+pub const COMPRESS95: &str = include_str!("../minic/compress95.mc");
+/// IMA ADPCM encoder (MediaBench adpcmenc).
+pub const ADPCM_ENC: &str = include_str!("../minic/adpcm_enc.mc");
+/// IMA ADPCM decoder (MediaBench adpcmdec).
+pub const ADPCM_DEC: &str = include_str!("../minic/adpcm_dec.mc");
+/// LZSS compressor (gzip stand-in).
+pub const GZIP: &str = include_str!("../minic/gzip.mc");
+/// JPEG-style block encoder (MediaBench cjpeg stand-in).
+pub const CJPEG: &str = include_str!("../minic/cjpeg.mc");
+/// BDD graph-manipulation workload (hextobdd).
+pub const HEXTOBDD: &str = include_str!("../minic/hextobdd.mc");
+/// Motion-estimation video encoder kernel (mpeg2enc stand-in).
+pub const MPEG2ENC: &str = include_str!("../minic/mpeg2enc.mc");
+/// Linked-but-cold utility code, playing the role of libc/option-parsing
+/// code in the paper's statically linked binaries (see Table 1: compress's
+/// static text is 9x its dynamic text). Appended by [`with_coldlib`].
+pub const COLDLIB: &str = include_str!("../minic/coldlib.mc");
+
+/// A workload source with the cold library linked in — the configuration
+/// used by the footprint experiments (Table 1, Figure 9), where static
+/// image size includes code that never runs.
+pub fn with_coldlib(source: &str) -> String {
+    format!("{source}\n{COLDLIB}")
+}
+
+/// One benchmark: source, name, input generator.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Short name (matches the paper's tables).
+    pub name: &'static str,
+    /// minic source.
+    pub source: &'static str,
+    /// Whether the program contains computed jumps / indirect calls even
+    /// when jump tables are disabled (such programs cannot run on the
+    /// ARM-style procedure cache).
+    pub needs_indirect: bool,
+    /// Deterministic input generator; `scale` loosely controls input size.
+    pub gen_input: fn(scale: u32) -> Vec<u8>,
+}
+
+impl Workload {
+    /// Compile to an image. `jump_tables = false` produces ARM-prototype
+    /// compatible code (no indirect jumps) for switch-free programs.
+    pub fn image(&self, jump_tables: bool) -> Image {
+        minic::compile_to_image(self.source, &minic::Options { jump_tables })
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
+    }
+
+    /// Expected (exit code, output) from the AST interpreter.
+    pub fn expected(&self, input: &[u8], fuel: u64) -> (i32, Vec<u8>) {
+        let prog = minic::parser::parse(self.source).expect("workload parses");
+        let syms = minic::sema::analyze(&prog).expect("workload checks");
+        let out = minic::interp::run(&prog, &syms, input, fuel).expect("workload interprets");
+        (out.exit_code, out.output)
+    }
+}
+
+// ---- input generators ----
+
+fn text_input(scale: u32) -> Vec<u8> {
+    // English-like text with heavy repetition — the bread and butter of
+    // LZW/LZSS compressors.
+    let mut rng = StdRng::seed_from_u64(0x5eed_c0de);
+    let words = [
+        "the", "quick", "sensor", "network", "cache", "rewriting", "embedded", "server",
+        "memory", "hierarchy", "binary", "miss", "hit", "block", "translate",
+    ];
+    let mut out = Vec::with_capacity((scale as usize) * 64);
+    while out.len() < (scale as usize) * 64 {
+        let w = words[rng.gen_range(0..words.len())];
+        out.extend_from_slice(w.as_bytes());
+        out.push(if rng.gen_range(0..8) == 0 { b'\n' } else { b' ' });
+    }
+    out
+}
+
+fn pcm_input(scale: u32) -> Vec<u8> {
+    // Sine-ish 16-bit PCM with noise (integer-synthesised, deterministic).
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = (scale as usize) * 64;
+    let mut out = Vec::with_capacity(n * 2);
+    let mut phase: i64 = 0;
+    for i in 0..n {
+        phase += 400 + ((i / 256) % 7) as i64 * 60;
+        // Triangle wave approximation of sine to stay in integers.
+        let t = (phase % 20000 - 10000).abs() - 5000;
+        let s = (t * 3).clamp(-16000, 16000) + rng.gen_range(-300..300);
+        out.extend_from_slice(&(s as i16).to_le_bytes());
+    }
+    out
+}
+
+fn adpcm_stream_input(scale: u32) -> Vec<u8> {
+    // A plausible ADPCM byte stream: encode the PCM input with the same
+    // algorithm (Rust-side mirror of the encoder's state machine).
+    let pcm = pcm_input(scale);
+    let steptab: [i32; 89] = [
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
+        66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
+        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
+        1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+        7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623,
+        27086, 29794, 32767,
+    ];
+    let idxtab: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+    let mut valpred = 0i32;
+    let mut index = 0i32;
+    let mut encode = |val: i32| -> u8 {
+        let mut step = steptab[index as usize];
+        let mut diff = val - valpred;
+        let sign = if diff < 0 {
+            diff = -diff;
+            8
+        } else {
+            0
+        };
+        let mut delta = 0;
+        let mut vpdiff = step >> 3;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 1;
+            vpdiff += step;
+        }
+        valpred = if sign != 0 {
+            valpred - vpdiff
+        } else {
+            valpred + vpdiff
+        }
+        .clamp(-32768, 32767);
+        delta |= sign;
+        index = (index + idxtab[delta as usize]).clamp(0, 88);
+        delta as u8
+    };
+    let mut out = Vec::new();
+    let mut it = pcm.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]]) as i32);
+    while let Some(a) = it.next() {
+        let c0 = encode(a);
+        let c1 = it.next().map(&mut encode).unwrap_or(0);
+        out.push(c0 | (c1 << 4));
+    }
+    out
+}
+
+fn image_input(_scale: u32) -> Vec<u8> {
+    // 32x32 greyscale: smooth gradient + texture + noise.
+    let mut rng = StdRng::seed_from_u64(7);
+    let (w, h) = (32u32, 32u32);
+    let mut out = vec![w as u8, h as u8];
+    for y in 0..h {
+        for x in 0..w {
+            let v = 100 + (x * 3 + y * 2) as i32 % 80 + ((x / 8 + y / 8) % 2) as i32 * 20
+                + rng.gen_range(-6..6);
+            out.push(v.clamp(0, 255) as u8);
+        }
+    }
+    out
+}
+
+fn hex_input(scale: u32) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xbdd);
+    let n = (scale as usize * 4).clamp(8, 200);
+    (0..n)
+        .map(|_| b"0123456789abcdef"[rng.gen_range(0..16)])
+        .collect()
+}
+
+fn frames_input(_scale: u32) -> Vec<u8> {
+    // Reference frame + the same content shifted by (2,1) with noise:
+    // motion estimation finds the shift.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (w, h) = (48i32, 32i32);
+    let pix = |x: i32, y: i32| -> u8 {
+        (((x * 5 + y * 7) % 120 + ((x / 6) % 3) * 25 + 60) & 0xff) as u8
+    };
+    let mut out = Vec::with_capacity((w * h * 2) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            out.push(pix(x, y));
+        }
+    }
+    for y in 0..h {
+        for x in 0..w {
+            let v = pix(x - 2, y - 1) as i32 + rng.gen_range(-3..3);
+            out.push(v.clamp(0, 255) as u8);
+        }
+    }
+    out
+}
+
+/// All workloads.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "compress95",
+            source: COMPRESS95,
+            needs_indirect: false,
+            gen_input: text_input,
+        },
+        Workload {
+            name: "adpcmenc",
+            source: ADPCM_ENC,
+            needs_indirect: false,
+            gen_input: pcm_input,
+        },
+        Workload {
+            name: "adpcmdec",
+            source: ADPCM_DEC,
+            needs_indirect: false,
+            gen_input: adpcm_stream_input,
+        },
+        Workload {
+            name: "gzip",
+            source: GZIP,
+            needs_indirect: false,
+            gen_input: text_input,
+        },
+        Workload {
+            name: "cjpeg",
+            source: CJPEG,
+            needs_indirect: false,
+            gen_input: image_input,
+        },
+        Workload {
+            name: "hextobdd",
+            source: HEXTOBDD,
+            needs_indirect: true,
+            gen_input: hex_input,
+        },
+        Workload {
+            name: "mpeg2enc",
+            source: MPEG2ENC,
+            needs_indirect: false,
+            gen_input: frames_input,
+        },
+    ]
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcache_sim::Machine;
+
+    fn differential(w: &Workload, scale: u32) {
+        let input = (w.gen_input)(scale);
+        let (want_code, want_out) = w.expected(&input, 2_000_000_000);
+        for jt in [true, false] {
+            let image = w.image(jt);
+            let mut m = Machine::load_native(&image, &input);
+            let code = m
+                .run_native(500_000_000)
+                .unwrap_or_else(|e| panic!("{} (jt={jt}): {e}", w.name));
+            assert_eq!(code, want_code, "{} exit code (jt={jt})", w.name);
+            assert_eq!(
+                m.env.output, want_out,
+                "{} output diverged (jt={jt})",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn compress95_differential() {
+        differential(&by_name("compress95").unwrap(), 8);
+    }
+
+    #[test]
+    fn adpcmenc_differential() {
+        differential(&by_name("adpcmenc").unwrap(), 8);
+    }
+
+    #[test]
+    fn adpcmdec_differential() {
+        differential(&by_name("adpcmdec").unwrap(), 8);
+    }
+
+    #[test]
+    fn gzip_differential() {
+        differential(&by_name("gzip").unwrap(), 8);
+    }
+
+    #[test]
+    fn cjpeg_differential() {
+        differential(&by_name("cjpeg").unwrap(), 1);
+    }
+
+    #[test]
+    fn hextobdd_differential() {
+        differential(&by_name("hextobdd").unwrap(), 4);
+    }
+
+    #[test]
+    fn mpeg2enc_differential() {
+        differential(&by_name("mpeg2enc").unwrap(), 1);
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        // LZW and LZSS must beat raw size on repetitive text.
+        let input = text_input(16);
+        for name in ["compress95", "gzip"] {
+            let w = by_name(name).unwrap();
+            let (_, out) = w.expected(&input, 2_000_000_000);
+            assert!(
+                out.len() < input.len() * 9 / 10,
+                "{name}: {} bytes from {} input",
+                out.len(),
+                input.len()
+            );
+        }
+    }
+
+    #[test]
+    fn adpcm_roundtrip_tracks_signal() {
+        // encode → decode must approximate the original waveform.
+        let enc = by_name("adpcmenc").unwrap();
+        let dec = by_name("adpcmdec").unwrap();
+        let pcm = pcm_input(4);
+        let (_, coded) = enc.expected(&pcm, 2_000_000_000);
+        let (_, decoded) = dec.expected(&coded, 2_000_000_000);
+        let orig: Vec<i32> = pcm
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]) as i32)
+            .collect();
+        let back: Vec<i32> = decoded
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]) as i32)
+            .collect();
+        assert!(back.len() >= orig.len());
+        // Skip the adaptation ramp-up, then demand bounded error.
+        let mut err_acc = 0i64;
+        let n = orig.len().min(back.len());
+        for i in n / 4..n {
+            err_acc += (orig[i] - back[i]).abs() as i64;
+        }
+        let mean_err = err_acc / (n - n / 4) as i64;
+        assert!(mean_err < 2000, "mean abs error {mean_err} too high");
+    }
+
+    #[test]
+    fn mpeg2enc_finds_the_shift() {
+        // The generated current frame is the reference shifted by (2,1);
+        // interior macroblocks must report that motion vector.
+        let w = by_name("mpeg2enc").unwrap();
+        let input = frames_input(1);
+        let (_, out) = w.expected(&input, 2_000_000_000);
+        // Each macroblock: mvx+8, mvy+8, sad, nz*4. 6 macroblocks.
+        // cur(x,y) == ref(x-2, y-1), so the matching block in the
+        // reference sits at (-2,-1) relative to the current block; only
+        // macroblocks away from the top/left borders can express it.
+        assert!(out.len() > 7 * 6);
+        let mut shifted = 0;
+        for mb in 0..6 {
+            let base = mb * 7;
+            let mvx = out[base] as i32 - 8;
+            let mvy = out[base + 1] as i32 - 8;
+            if mvx == -2 && mvy == -1 {
+                shifted += 1;
+            }
+        }
+        assert!(shifted >= 2, "only {shifted} macroblocks found the (-2,-1) shift");
+    }
+
+    #[test]
+    fn hextobdd_is_deterministic_and_bounded() {
+        let w = by_name("hextobdd").unwrap();
+        let (code, out) = w.expected(&hex_input(4), 2_000_000_000);
+        let (code2, out2) = w.expected(&hex_input(4), 2_000_000_000);
+        assert_eq!((code, &out), (code2, &out2));
+        // Final line is the node count.
+        let text = String::from_utf8_lossy(&out);
+        let last = text.lines().last().unwrap();
+        let nodes: i32 = last.parse().unwrap();
+        assert!(nodes > 2 && nodes < 4096, "node count {nodes}");
+    }
+
+    #[test]
+    fn arm_compatible_workloads_have_no_indirects() {
+        use softcache_isa::decode;
+        use softcache_isa::inst::Inst;
+        for w in all() {
+            if w.needs_indirect {
+                continue;
+            }
+            let image = w.image(false);
+            for (i, &word) in image.text.iter().enumerate() {
+                if let Ok(inst) = decode(word) {
+                    assert!(
+                        !matches!(inst, Inst::Jr { .. } | Inst::Jalr { .. }),
+                        "{}: indirect at word {i}",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic() {
+        for w in all() {
+            assert_eq!((w.gen_input)(4), (w.gen_input)(4), "{}", w.name);
+        }
+        assert!(text_input(8).len() > text_input(4).len());
+    }
+}
+
+#[cfg(test)]
+mod coldlib_tests {
+    use super::*;
+    use softcache_sim::Machine;
+
+    #[test]
+    fn coldlib_links_into_every_workload() {
+        for w in all() {
+            let src = with_coldlib(w.source);
+            let img = softcache_minic::compile_to_image(
+                &src,
+                &softcache_minic::Options { jump_tables: true },
+            )
+            .unwrap_or_else(|e| panic!("{} + coldlib: {e}", w.name));
+            let plain = w.image(true);
+            assert!(
+                img.text_bytes() > plain.text_bytes() + 2048,
+                "{}: coldlib must add substantial static text ({} vs {})",
+                w.name,
+                img.text_bytes(),
+                plain.text_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn coldlib_functions_actually_work() {
+        // The cold code must be *real* code, not filler: drive its
+        // self-test through a tiny main.
+        let src = format!(
+            "int main() {{ return cold_selftest(); }}\n{}",
+            COLDLIB
+        );
+        let img = softcache_minic::compile_to_image(
+            &src,
+            &softcache_minic::Options::default(),
+        )
+        .unwrap();
+        let mut m = Machine::load_native(&img, &[]);
+        let code = m.run_native(50_000_000).unwrap();
+        assert_eq!(code, 1, "cold_selftest must pass");
+    }
+}

@@ -1,0 +1,69 @@
+//! The complete software memory hierarchy of the paper: instructions
+//! through the rewriting tcache (§2), data through the fully associative
+//! predicted dcache, stack through the scache window (§3) — with scalar
+//! globals pinned for the Figure 10 "specialised constant address" path.
+//!
+//! ```sh
+//! cargo run --example full_softcache
+//! ```
+
+use softcache::core::datarun::FullSoftCacheSystem;
+use softcache::core::dcache::{DcacheConfig, Prediction};
+use softcache::core::scache::ScacheConfig;
+use softcache::core::IcacheConfig;
+use softcache::sim::Machine;
+use softcache::workloads;
+
+fn main() {
+    let workload = workloads::by_name("cjpeg").expect("workload exists");
+    let image = workload.image(true);
+    let input = (workload.gen_input)(1);
+
+    // Native baseline.
+    let mut native = Machine::load_native(&image, &input);
+    let native_code = native.run_native(500_000_000).expect("native run");
+    println!(
+        "cjpeg native: exit={native_code} cycles={} ({} instructions)",
+        native.stats.cycles, native.stats.instructions
+    );
+
+    // Full softcache, sweeping the dcache prediction policy — the ablation
+    // the paper's §3 design calls for.
+    for pred in [
+        Prediction::None,
+        Prediction::SameIndex,
+        Prediction::Stride,
+        Prediction::SecondChance,
+    ] {
+        let dcfg = DcacheConfig {
+            prediction: pred,
+            capacity_blocks: 64,
+            ..DcacheConfig::default()
+        };
+        let mut sys = FullSoftCacheSystem::new(
+            image.clone(),
+            IcacheConfig::default(),
+            dcfg,
+            ScacheConfig::default(),
+        );
+        let out = sys.run(&input).expect("full softcache run");
+        assert_eq!(out.exit_code, native_code, "semantics preserved");
+        assert_eq!(out.output, native.env.output, "output preserved");
+        let total_hits = out.dcache.fast_hits + out.dcache.slow_hits;
+        println!(
+            "dcache {:12?}: fast={:>7} slow={:>6} miss={:>4} pinned={:>6} \
+             fast-hit ratio={:.1}% extra cycles={}",
+            pred,
+            out.dcache.fast_hits,
+            out.dcache.slow_hits,
+            out.dcache.misses,
+            out.dcache.pinned_hits,
+            100.0 * out.dcache.fast_hits as f64 / total_hits.max(1) as f64,
+            out.dcache.extra_cycles,
+        );
+    }
+    println!();
+    println!("All four policies produce identical output — prediction only");
+    println!("moves accesses between the fast path and the (guaranteed) slow");
+    println!("hit path, never to the server.");
+}

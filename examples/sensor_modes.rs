@@ -1,0 +1,105 @@
+//! The paper's Figure 2 scenario: a sensor node whose firmware has four
+//! modes (initialisation, calibration, daytime, nighttime) of which only
+//! one is active at a time. Client memory is sized for *one* mode; the
+//! software cache pages modes in across transitions, and — because the
+//! tcache is fully associative — each mode runs **miss-free** once loaded.
+//!
+//! ```sh
+//! cargo run --example sensor_modes
+//! ```
+
+use softcache::core::icache::SoftIcacheSystem;
+use softcache::core::IcacheConfig;
+use softcache::minic;
+
+const SENSOR: &str = r#"
+int readings[64];
+int baseline = 0;
+
+int sense(int t) {
+    // Synthetic sensor input.
+    return ((t * 37 + 11) % 97) + ((t >> 3) % 13);
+}
+
+int init_mode() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) readings[i] = 0;
+    return 0;
+}
+
+int calibrate_mode() {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 200; i = i + 1) acc = acc + sense(i);
+    baseline = acc / 200;
+    return baseline;
+}
+
+int day_mode(int rounds) {
+    int t; int v; int alerts;
+    alerts = 0;
+    for (t = 0; t < rounds; t = t + 1) {
+        v = sense(t) - baseline;
+        readings[t % 64] = v;
+        if (v > 50) alerts = alerts + 1;
+    }
+    return alerts;
+}
+
+int night_mode(int rounds) {
+    int t; int v; int acc;
+    acc = 0;
+    for (t = 0; t < rounds; t = t + 1) {
+        v = sense(t * 3) - baseline;
+        // Nighttime: aggregate instead of alerting.
+        acc = acc + (v * v) / 16;
+        readings[t % 64] = acc % 1000;
+    }
+    return acc % 256;
+}
+
+int main() {
+    int a; int n;
+    init_mode();
+    calibrate_mode();
+    a = day_mode(500);
+    n = night_mode(500);
+    a = a + day_mode(500);
+    return (a * 7 + n) % 100;
+}
+"#;
+
+fn main() {
+    let image = minic::compile_to_image(SENSOR, &minic::Options::default()).unwrap();
+    println!(
+        "sensor firmware: {} bytes of code ({} functions)",
+        image.text_bytes(),
+        image.functions().len()
+    );
+
+    // Sweep the tcache from "fits everything" down to "fits one mode".
+    for size in [16 * 1024u32, 1024, 640, 512] {
+        let cfg = IcacheConfig {
+            tcache_size: size,
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        match sys.run(&[]) {
+            Ok(out) => println!(
+                "tcache {size:>6} B: exit={:>3} translations={:>4} flushes={:>3} \
+                 miss rate={:.4}% cycles={}",
+                out.exit_code,
+                out.cache.translations,
+                out.cache.flushes,
+                out.tcache_miss_rate_percent(),
+                out.exec.cycles,
+            ),
+            Err(e) => println!("tcache {size:>6} B: {e}"),
+        }
+    }
+    println!();
+    println!("The key observation (paper §1, Figure 2): the device only needs");
+    println!("memory for the *active* mode. Shrinking the tcache adds paging at");
+    println!("mode transitions but steady-state execution stays at full speed,");
+    println!("and correctness is never at risk.");
+}

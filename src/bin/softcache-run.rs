@@ -1,0 +1,292 @@
+//! `softcache-run` — compile a minic program and run it under any of the
+//! softcache engines.
+//!
+//! ```sh
+//! cargo run --bin softcache-run -- prog.mc                 # native
+//! cargo run --bin softcache-run -- --engine icache prog.mc # software I-cache
+//! cargo run --bin softcache-run -- --engine proc --memory 2048 prog.mc
+//! cargo run --bin softcache-run -- --engine full prog.mc   # I + D + stack
+//! echo -n "input bytes" | cargo run --bin softcache-run -- --stdin prog.mc
+//! ```
+
+use softcache::core::datarun::FullSoftCacheSystem;
+use softcache::core::dcache::DcacheConfig;
+use softcache::core::icache::SoftIcacheSystem;
+use softcache::core::mc::ChunkStrategy;
+use softcache::core::proc::{ProcCacheSystem, ProcConfig};
+use softcache::core::scache::ScacheConfig;
+use softcache::core::IcacheConfig;
+use softcache::minic;
+use softcache::sim::Machine;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    engine: String,
+    tcache: u32,
+    memory: u32,
+    superblock: u32,
+    jump_tables: bool,
+    read_stdin: bool,
+    disasm: bool,
+    path: String,
+}
+
+const USAGE: &str = "\
+usage: softcache-run [options] <program.mc>
+  --engine <native|interp|icache|proc|full>   execution engine (default native)
+  --tcache <bytes>       tcache size for icache/full (default 49152)
+  --memory <bytes>       CC memory for proc (default 16384)
+  --superblock <n>       superblock chunking, n blocks max (icache only)
+  --no-jump-tables       lower switch to compare chains (required for proc)
+  --stdin                feed stdin to the program as its input stream
+  --disasm               print the compiled image's disassembly and exit";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        engine: "native".into(),
+        tcache: 48 * 1024,
+        memory: 16 * 1024,
+        superblock: 0,
+        jump_tables: true,
+        read_stdin: false,
+        disasm: false,
+        path: String::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => opts.engine = args.next().ok_or("--engine needs a value")?,
+            "--tcache" => {
+                opts.tcache = args
+                    .next()
+                    .ok_or("--tcache needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --tcache value")?
+            }
+            "--memory" => {
+                opts.memory = args
+                    .next()
+                    .ok_or("--memory needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --memory value")?
+            }
+            "--superblock" => {
+                opts.superblock = args
+                    .next()
+                    .ok_or("--superblock needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --superblock value")?
+            }
+            "--no-jump-tables" => opts.jump_tables = false,
+            "--stdin" => opts.read_stdin = true,
+            "--disasm" => opts.disasm = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            p if !p.starts_with('-') => opts.path = p.into(),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err(USAGE.into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let input = if opts.read_stdin {
+        let mut buf = Vec::new();
+        if let Err(e) = std::io::stdin().read_to_end(&mut buf) {
+            eprintln!("reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        Vec::new()
+    };
+
+    let mopts = minic::Options {
+        jump_tables: opts.jump_tables,
+    };
+
+    if opts.engine == "interp" {
+        // AST interpreter: no image needed.
+        let prog = match minic::parser::parse(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        };
+        let syms = match minic::sema::analyze(&prog) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        };
+        return match minic::interp::run(&prog, &syms, &input, 2_000_000_000) {
+            Ok(out) => {
+                print_output(&out.output);
+                eprintln!("[interp] exit={}", out.exit_code);
+                code_of(out.exit_code)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let image = match minic::compile_to_image(&source, &mopts) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    if opts.disasm {
+        print!("{}", softcache::asm::disassemble(&image));
+        return ExitCode::SUCCESS;
+    }
+
+    let fuel = 2_000_000_000;
+    match opts.engine.as_str() {
+        "native" => {
+            let mut m = Machine::load_native(&image, &input);
+            match m.run_native(fuel) {
+                Ok(code) => {
+                    print_output(&m.env.output);
+                    eprintln!(
+                        "[native] exit={code} instructions={} cycles={}",
+                        m.stats.instructions, m.stats.cycles
+                    );
+                    code_of(code)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        "icache" => {
+            let cfg = IcacheConfig {
+                tcache_size: opts.tcache,
+                fuel,
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image, cfg);
+            if opts.superblock > 1 {
+                sys = sys.chunk_strategy(ChunkStrategy::Superblock {
+                    max_blocks: opts.superblock,
+                });
+            }
+            match sys.run(&input) {
+                Ok(out) => {
+                    print_output(&out.output);
+                    eprintln!(
+                        "[icache] exit={} translations={} miss_traps={} flushes={} \
+                         miss_rate={:.4}% cycles={}",
+                        out.exit_code,
+                        out.cache.translations,
+                        out.cache.miss_traps,
+                        out.cache.flushes,
+                        out.tcache_miss_rate_percent(),
+                        out.exec.cycles
+                    );
+                    code_of(out.exit_code)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        "proc" => {
+            let cfg = ProcConfig {
+                memory_bytes: opts.memory,
+                fuel,
+                ..ProcConfig::default()
+            };
+            match ProcCacheSystem::new(image, cfg).run(&input) {
+                Ok(out) => {
+                    print_output(&out.output);
+                    eprintln!(
+                        "[proc] exit={} fetches={} evictions={} redirectors={} cycles={}",
+                        out.exit_code,
+                        out.cache.fetches,
+                        out.cache.evictions,
+                        out.cache.redirectors,
+                        out.exec.cycles
+                    );
+                    code_of(out.exit_code)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        "full" => {
+            let icfg = IcacheConfig {
+                tcache_size: opts.tcache,
+                fuel,
+                ..IcacheConfig::default()
+            };
+            let mut sys = FullSoftCacheSystem::new(
+                image,
+                icfg,
+                DcacheConfig::default(),
+                ScacheConfig::default(),
+            );
+            match sys.run(&input) {
+                Ok(out) => {
+                    print_output(&out.output);
+                    eprintln!(
+                        "[full] exit={} translations={} dcache: fast={} slow={} miss={} \
+                         scache: spills={} fills={} cycles={}",
+                        out.exit_code,
+                        out.icache.translations,
+                        out.dcache.fast_hits,
+                        out.dcache.slow_hits,
+                        out.dcache.misses,
+                        out.scache.spills,
+                        out.scache.fills,
+                        out.exec.cycles
+                    );
+                    code_of(out.exit_code)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown engine `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_output(bytes: &[u8]) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(bytes);
+}
+
+fn code_of(code: i32) -> ExitCode {
+    ExitCode::from((code & 0xff) as u8)
+}

@@ -1,0 +1,49 @@
+//! # SoftCache
+//!
+//! A from-scratch reproduction of *"Software Caching using Dynamic Binary
+//! Rewriting for Embedded Devices"* (Huneycutt, Fryman, Mackenzie — ICPP
+//! 2002): instruction and data caching implemented entirely in software for
+//! an embedded client that is permanently connected to a server.
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`isa`] — the eRISC instruction set and program image format.
+//! * [`asm`] — the assembler and linker.
+//! * [`minic`] — the minic C-like compiler targeting eRISC.
+//! * [`sim`] — the cycle-accounting machine simulator.
+//! * [`hwcache`] — the hardware cache model used as the paper's baseline.
+//! * [`net`] — the MC↔CC transport, protocol and network cost model.
+//! * [`core`] — the software instruction/data caches built on dynamic
+//!   binary rewriting (the paper's contribution).
+//! * [`workloads`] — the embedded benchmark programs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use softcache::minic;
+//! use softcache::core::icache::SoftIcacheSystem;
+//! use softcache::core::IcacheConfig;
+//!
+//! // Compile an embedded program with the bundled minic compiler...
+//! let image = minic::compile_to_image(
+//!     "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) s = s + i; return s; }",
+//!     &minic::Options::default(),
+//! ).unwrap();
+//!
+//! // ...and run it under the software instruction cache.
+//! let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
+//! let out = sys.run(&[]).unwrap();
+//! assert_eq!(out.exit_code, 45);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use softcache_asm as asm;
+pub use softcache_core as core;
+pub use softcache_hwcache as hwcache;
+pub use softcache_isa as isa;
+pub use softcache_minic as minic;
+pub use softcache_net as net;
+pub use softcache_sim as sim;
+pub use softcache_workloads as workloads;

@@ -1,0 +1,143 @@
+//! Cross-crate integration: every workload must produce byte-identical
+//! output on (a) the AST interpreter, (b) the native simulator, (c) the
+//! software instruction cache, (d) the full software cache (instructions +
+//! data + stack), and — for ARM-compatible workloads — (e) the
+//! procedure-granularity cache with eviction.
+
+use softcache::core::datarun::FullSoftCacheSystem;
+use softcache::core::dcache::DcacheConfig;
+use softcache::core::icache::SoftIcacheSystem;
+use softcache::core::proc::{ProcCacheSystem, ProcConfig};
+use softcache::core::scache::ScacheConfig;
+use softcache::core::IcacheConfig;
+use softcache::sim::Machine;
+use softcache::workloads::{all, Workload};
+
+fn scale_for(w: &Workload) -> u32 {
+    match w.name {
+        "compress95" | "gzip" => 4,
+        "adpcmenc" | "adpcmdec" => 4,
+        _ => 1,
+    }
+}
+
+fn check_all_engines(w: &Workload) {
+    let input = (w.gen_input)(scale_for(w));
+    let (want_code, want_out) = w.expected(&input, 2_000_000_000);
+
+    // Native.
+    let image = w.image(true);
+    let mut native = Machine::load_native(&image, &input);
+    let code = native
+        .run_native(500_000_000)
+        .unwrap_or_else(|e| panic!("{} native: {e}", w.name));
+    assert_eq!(code, want_code, "{} native exit", w.name);
+    assert_eq!(native.env.output, want_out, "{} native output", w.name);
+
+    // Software I-cache (ample).
+    let mut icache = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
+    let out = icache
+        .run(&input)
+        .unwrap_or_else(|e| panic!("{} icache: {e}", w.name));
+    assert_eq!(out.exit_code, want_code, "{} icache exit", w.name);
+    assert_eq!(out.output, want_out, "{} icache output", w.name);
+
+    // Software I-cache (tight: forces flushes) — correctness must survive.
+    let tight = IcacheConfig {
+        tcache_size: (image.text_bytes() / 2).max(1024),
+        ..IcacheConfig::default()
+    };
+    let mut icache_tight = SoftIcacheSystem::new(image.clone(), tight);
+    let out = icache_tight
+        .run(&input)
+        .unwrap_or_else(|e| panic!("{} tight icache: {e}", w.name));
+    assert_eq!(out.exit_code, want_code, "{} tight icache exit", w.name);
+    assert_eq!(out.output, want_out, "{} tight icache output", w.name);
+
+    // Full softcache (I + D + stack).
+    let mut full = FullSoftCacheSystem::new(
+        image.clone(),
+        IcacheConfig::default(),
+        DcacheConfig::default(),
+        ScacheConfig::default(),
+    );
+    let out = full
+        .run(&input)
+        .unwrap_or_else(|e| panic!("{} full: {e}", w.name));
+    assert_eq!(out.exit_code, want_code, "{} full exit", w.name);
+    assert_eq!(out.output, want_out, "{} full output", w.name);
+
+    // ARM-style procedure cache (no indirect jumps allowed).
+    if !w.needs_indirect {
+        let arm_image = w.image(false);
+        let mut proc = ProcCacheSystem::new(arm_image.clone(), ProcConfig::default());
+        let out = proc
+            .run(&input)
+            .unwrap_or_else(|e| panic!("{} proc: {e}", w.name));
+        assert_eq!(out.exit_code, want_code, "{} proc exit", w.name);
+        assert_eq!(out.output, want_out, "{} proc output", w.name);
+
+        // Paging-inducing memory.
+        let paging = ProcConfig {
+            memory_bytes: arm_image.text_bytes() * 2 / 3,
+            ..ProcConfig::default()
+        };
+        let mut proc_small = ProcCacheSystem::new(arm_image, paging);
+        let out = proc_small
+            .run(&input)
+            .unwrap_or_else(|e| panic!("{} paging proc: {e}", w.name));
+        assert_eq!(out.exit_code, want_code, "{} paging proc exit", w.name);
+        assert_eq!(out.output, want_out, "{} paging proc output", w.name);
+    }
+}
+
+#[test]
+fn compress95_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("compress95").unwrap());
+}
+
+#[test]
+fn adpcmenc_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("adpcmenc").unwrap());
+}
+
+#[test]
+fn adpcmdec_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("adpcmdec").unwrap());
+}
+
+#[test]
+fn gzip_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("gzip").unwrap());
+}
+
+#[test]
+fn cjpeg_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("cjpeg").unwrap());
+}
+
+#[test]
+fn hextobdd_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("hextobdd").unwrap());
+}
+
+#[test]
+fn mpeg2enc_all_engines() {
+    check_all_engines(&softcache::workloads::by_name("mpeg2enc").unwrap());
+}
+
+#[test]
+fn workload_roster_is_complete() {
+    let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+    for expected in [
+        "compress95",
+        "adpcmenc",
+        "adpcmdec",
+        "gzip",
+        "cjpeg",
+        "hextobdd",
+        "mpeg2enc",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+}
