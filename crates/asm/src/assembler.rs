@@ -67,12 +67,10 @@ fn inst_words(op: &str, operands: &[Operand], line: usize) -> Result<u32, AsmErr
 
 fn reg_of(opnd: &Operand, line: usize) -> Result<Reg, AsmError> {
     match opnd {
-        Operand::Ident(name) => {
-            Reg::parse(name).ok_or_else(|| AsmError {
-                line,
-                msg: format!("unknown register `{name}`"),
-            })
-        }
+        Operand::Ident(name) => Reg::parse(name).ok_or_else(|| AsmError {
+            line,
+            msg: format!("unknown register `{name}`"),
+        }),
         other => err(line, format!("expected register, got {other:?}")),
     }
 }
@@ -141,11 +139,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
             }
         }
         for label in &line.labels {
-            if asm
-                .labels
-                .insert(label.clone(), label_addr)
-                .is_some()
-            {
+            if asm.labels.insert(label.clone(), label_addr).is_some() {
                 return err(line.num, format!("duplicate label `{label}`"));
             }
         }
@@ -227,9 +221,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                         Operand::IdentOffset(name, off) => {
                             (asm.label(name, line.num)? as i64 + off) as u32
                         }
-                        other => {
-                            return err(line.num, format!(".word cannot take {other:?}"))
-                        }
+                        other => return err(line.num, format!(".word cannot take {other:?}")),
                     };
                     asm.data.extend_from_slice(&v.to_le_bytes());
                     data_pos += 4;
@@ -352,10 +344,7 @@ fn build_symbols(asm: &Assembler, text_len: u32, data_len: u32) -> Vec<Symbol> {
         });
     }
     for (i, (name, addr)) in data_labels.iter().enumerate() {
-        let end = data_labels
-            .get(i + 1)
-            .map(|&(_, a)| a)
-            .unwrap_or(data_end);
+        let end = data_labels.get(i + 1).map(|&(_, a)| a).unwrap_or(data_end);
         symbols.push(Symbol {
             name: (*name).clone(),
             addr: *addr,
@@ -432,7 +421,10 @@ fn emit_inst(
 ) -> Result<(), AsmError> {
     let need = |n: usize| -> Result<(), AsmError> {
         if ops.len() != n {
-            err(line, format!("`{mnem}` needs {n} operands, got {}", ops.len()))
+            err(
+                line,
+                format!("`{mnem}` needs {n} operands, got {}", ops.len()),
+            )
         } else {
             Ok(())
         }
@@ -491,11 +483,10 @@ fn emit_inst(
     if let Some(cond) = branch_cond(mnem) {
         need(3)?;
         let target = target_of(asm, &ops[2], line)?;
-        let off = cf::rel_offset(pc, target)
-            .ok_or_else(|| AsmError {
-                line,
-                msg: "branch target misaligned".into(),
-            })?;
+        let off = cf::rel_offset(pc, target).ok_or_else(|| AsmError {
+            line,
+            msg: "branch target misaligned".into(),
+        })?;
         let off = check_i16(off as i64, line, "branch")? as i16;
         push(
             asm,
@@ -823,7 +814,11 @@ pub fn disassemble(image: &Image) -> String {
     let mut out = String::new();
     for (i, &word) in image.text.iter().enumerate() {
         let addr = image.text_base + i as u32 * 4;
-        if let Some(f) = image.symbols.iter().find(|s| s.addr == addr && s.kind == SymKind::Func) {
+        if let Some(f) = image
+            .symbols
+            .iter()
+            .find(|s| s.addr == addr && s.kind == SymKind::Func)
+        {
             let _ = writeln!(out, "{}:", f.name);
         }
         match softcache_isa::decode(word) {
@@ -857,10 +852,7 @@ _start:     li a0, 7
         .unwrap();
         assert_eq!(img.entry, TEXT_BASE);
         assert_eq!(img.text.len(), 3);
-        assert_eq!(
-            decode(img.text[2]).unwrap(),
-            Inst::Halt,
-        );
+        assert_eq!(decode(img.text[2]).unwrap(), Inst::Halt,);
     }
 
     #[test]
@@ -1003,7 +995,11 @@ f:  mv t0, a0
         .unwrap();
         assert_eq!(img.text.len(), 6);
         match decode(img.text[0]).unwrap() {
-            Inst::Alu { op: AluOp::Add, rs2, .. } => assert_eq!(rs2, Reg::ZERO),
+            Inst::Alu {
+                op: AluOp::Add,
+                rs2,
+                ..
+            } => assert_eq!(rs2, Reg::ZERO),
             other => panic!("{other:?}"),
         }
         // bgt t0, t1 => blt t1, t0

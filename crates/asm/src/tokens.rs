@@ -396,9 +396,6 @@ mod tests {
     #[test]
     fn ident_minus_offset() {
         let ls = tokenize(".word tbl-4").unwrap();
-        assert_eq!(
-            ls[0].operands,
-            vec![Operand::IdentOffset("tbl".into(), -4)]
-        );
+        assert_eq!(ls[0].operands, vec![Operand::IdentOffset("tbl".into(), -4)]);
     }
 }

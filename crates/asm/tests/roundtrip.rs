@@ -38,12 +38,14 @@ fn any_line() -> impl Strategy<Value = Line> {
     prop_oneof![
         (any_alu(), any_gp_reg(), any_gp_reg(), any_gp_reg())
             .prop_map(|(op, a, b, c)| Line::Alu3(op, a, b, c)),
-        (any_alu(), any_gp_reg(), any_gp_reg(), -32768i32..=32767).prop_map(
-            |(op, a, b, imm)| {
-                let imm = if op.imm_zero_extends() { imm & 0xFFFF } else { imm };
-                Line::AluI(op, a, b, imm)
-            }
-        ),
+        (any_alu(), any_gp_reg(), any_gp_reg(), -32768i32..=32767).prop_map(|(op, a, b, imm)| {
+            let imm = if op.imm_zero_extends() {
+                imm & 0xFFFF
+            } else {
+                imm
+            };
+            Line::AluI(op, a, b, imm)
+        }),
         (any_gp_reg(), any::<i32>()).prop_map(|(r, v)| Line::Li(r, v as i64)),
         (
             prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W)],

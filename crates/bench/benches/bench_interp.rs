@@ -1,0 +1,70 @@
+//! Interpreter-throughput benchmark: the predecoded fast path against the
+//! reference slow path, plus the softcache steady state on the same
+//! workload. The same comparison, measured once and written to JSON, is
+//! available as `experiments -- bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use softcache_core::icache::SoftIcacheSystem;
+use softcache_core::IcacheConfig;
+use softcache_net::LinkModel;
+use softcache_sim::{Machine, Step};
+use softcache_workloads::by_name;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+}
+
+fn interp_throughput(c: &mut Criterion) {
+    let w = by_name("compress95").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(16);
+
+    let mut g = c.benchmark_group("interp_throughput");
+    tune(&mut g);
+    g.bench_function("fast_path_predecoded", |b| {
+        b.iter_batched(
+            || Machine::load_native(&image, &input),
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("slow_path_reference", |b| {
+        b.iter_batched(
+            || Machine::load_native(&image, &input),
+            |mut m| {
+                loop {
+                    match m.step_slow().unwrap() {
+                        Step::Running => {}
+                        Step::Exited(_) => break,
+                        Step::Trapped(t) => panic!("unexpected trap {t:?}"),
+                    }
+                }
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_steady_state", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, interp_throughput);
+criterion_main!(benches);

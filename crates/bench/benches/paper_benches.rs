@@ -132,12 +132,17 @@ fn fig8_paging(c: &mut Criterion) {
     // Hot size per the gprof rule.
     let mut prof = Profiler::new(&image);
     let mut m = Machine::load_native(&image, &input);
-    m.run_native_traced(1_000_000_000, |pc| prof.record(pc)).unwrap();
+    m.run_native_traced(1_000_000_000, |pc| prof.record(pc))
+        .unwrap();
     let hot = prof.finish().hot_bytes(0.90);
 
     let mut g = c.benchmark_group("fig8_paging");
     tune(&mut g);
-    for (label, mem) in [("below_hot", hot * 9 / 10), ("at_hot", hot + 384), ("ample", hot * 3)] {
+    for (label, mem) in [
+        ("below_hot", hot * 9 / 10),
+        ("at_hot", hot + 384),
+        ("ample", hot * 3),
+    ] {
         let cfg = ProcConfig {
             memory_bytes: mem,
             ..ProcConfig::default()
@@ -163,7 +168,8 @@ fn fig9_profile(c: &mut Criterion) {
         b.iter_batched(
             || (Machine::load_native(&image, &input), Profiler::new(&image)),
             |(mut m, mut prof)| {
-                m.run_native_traced(1_000_000_000, |pc| prof.record(pc)).unwrap();
+                m.run_native_traced(1_000_000_000, |pc| prof.record(pc))
+                    .unwrap();
                 black_box(prof.finish().hot_bytes(0.90))
             },
             BatchSize::SmallInput,

@@ -12,14 +12,31 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let known = [
-        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "net-overhead", "dcache",
-        "guarantees", "ablations", "power", "all",
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "net-overhead",
+        "dcache",
+        "guarantees",
+        "ablations",
+        "power",
+        "bench",
+        "all",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment `{what}`; one of: {}", known.join(", "));
         std::process::exit(2);
     }
-    let run = |name: &str| what == "all" || what == name;
+    // `bench` measures wall time, so it only runs when asked for by name —
+    // never as part of `all`, where the preceding experiments would skew it.
+    let run = |name: &str| (what == "all" && name != "bench") || what == name;
+
+    if run("bench") {
+        bench();
+    }
 
     if run("table1") {
         table1();
@@ -54,6 +71,50 @@ fn main() {
     if run("power") {
         power();
     }
+}
+
+fn bench() {
+    header("Interpreter throughput — predecoded fast path vs reference slow path");
+    let b = exp::bench_interp(512);
+    println!(
+        "workload: {} (outputs and cycle counts verified identical)\n",
+        b.workload
+    );
+    let mut t = vec![vec![
+        "config".to_string(),
+        "instructions".to_string(),
+        "wall s".to_string(),
+        "sim MIPS".to_string(),
+    ]];
+    for r in &b.rows {
+        t.push(vec![
+            r.config.to_string(),
+            r.instructions.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.1}", r.mips),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nfast path over slow path: {:.2}x", b.fast_over_slow);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"workload\": \"{}\",\n", b.workload));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in b.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"instructions\": {}, \"wall_seconds\": {:.6}, \"mips\": {:.3}}}{}\n",
+            r.config,
+            r.instructions,
+            r.wall_seconds,
+            r.mips,
+            if i + 1 == b.rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"fast_over_slow\": {:.3}\n", b.fast_over_slow));
+    json.push_str("}\n");
+    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+    println!("wrote BENCH_interp.json");
 }
 
 fn header(title: &str) {
@@ -229,7 +290,10 @@ fn guarantees() {
     println!("\nhardware tag overhead the software cache avoids (direct-mapped, 16B blocks):");
     let mut t = vec![vec!["cache size".to_string(), "tag overhead".to_string()]];
     for &(size, f) in &g.tag_overheads {
-        t.push(vec![render::human_bytes(size), format!("{:.1}%", f * 100.0)]);
+        t.push(vec![
+            render::human_bytes(size),
+            format!("{:.1}%", f * 100.0),
+        ]);
     }
     print!("{}", render::table(&t));
 }
@@ -256,8 +320,10 @@ fn power() {
         ]);
     }
     print!("{}", render::table(&t));
-    println!("\nThe paper's §4: the StrongARM spends {:.0}% of chip power in caches;",
-        exp::strongarm_cache_fraction() * 100.0);
+    println!(
+        "\nThe paper's §4: the StrongARM spends {:.0}% of chip power in caches;",
+        exp::strongarm_cache_fraction() * 100.0
+    );
     println!("a fully associative softcache knows its working set exactly, so every");
     println!("bank outside it can sleep.");
 }

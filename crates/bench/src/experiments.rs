@@ -9,17 +9,40 @@
 use softcache_core::datarun::FullSoftCacheSystem;
 use softcache_core::dcache::{DcacheConfig, Prediction, WritePolicy};
 use softcache_core::icache::SoftIcacheSystem;
-use softcache_core::proc::{ProcCacheSystem, ProcConfig};
 use softcache_core::power::strongarm;
+use softcache_core::proc::{ProcCacheSystem, ProcConfig};
 use softcache_core::scache::ScacheConfig;
 use softcache_core::{BankConfig, CacheError, ChunkStrategy, IcacheConfig};
 use softcache_hwcache::{tags, SetAssocCache};
 use softcache_isa::Image;
 use softcache_minic as minic;
 use softcache_net::LinkModel;
-use softcache_sim::{Machine, Profiler};
+use softcache_sim::{Machine, Profiler, Step};
 use softcache_workloads::{by_name, with_coldlib, Workload};
 use std::collections::HashSet;
+
+/// Map `f` over `items` on one scoped thread each, preserving input order
+/// in the results — the sweep experiments fan out across cores with this,
+/// and the positional writes keep every figure's output deterministic and
+/// ordering-stable regardless of which worker finishes first. A worker
+/// panic propagates at scope exit, so the in-worker shape assertions keep
+/// their teeth.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    // Escape hatch for timing comparisons and single-threaded debugging.
+    if std::env::var_os("SOFTCACHE_SERIAL").is_some() {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, item) in out.iter_mut().zip(items) {
+            scope.spawn(|| *slot = Some(f(item)));
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("sweep worker completed"))
+        .collect()
+}
 
 /// Compile a workload with the cold library linked in (the footprint
 /// experiments' configuration).
@@ -71,19 +94,17 @@ pub fn table1() -> Vec<Table1Row> {
         ("hextobdd", 6, (23.0, 205.0)),
         ("mpeg2enc", 1, (135.0, 590.0)),
     ];
-    rows.iter()
-        .map(|&(name, scale, paper_kb)| {
-            let w = by_name(name).expect("workload");
-            let image = image_with_coldlib(&w, true);
-            let input = (w.gen_input)(scale);
-            Table1Row {
-                name: w.name,
-                dynamic_bytes: dynamic_text_bytes(&image, &input),
-                static_bytes: image.text_bytes(),
-                paper_kb,
-            }
-        })
-        .collect()
+    par_map(&rows, |&(name, scale, paper_kb)| {
+        let w = by_name(name).expect("workload");
+        let image = image_with_coldlib(&w, true);
+        let input = (w.gen_input)(scale);
+        Table1Row {
+            name: w.name,
+            dynamic_bytes: dynamic_text_bytes(&image, &input),
+            static_bytes: image.text_bytes(),
+            paper_kb,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Figure 5
@@ -115,6 +136,7 @@ pub fn fig5(scale: u32) -> (Vec<Fig5Bar>, u32) {
 
     let native = run_native(&image, &input);
     let base_cycles = native.stats.cycles as f64;
+    let native_output = native.env.output;
     let footprint = dynamic_text_bytes(&image, &input);
 
     let mut bars = vec![Fig5Bar {
@@ -131,7 +153,7 @@ pub fn fig5(scale: u32) -> (Vec<Fig5Bar>, u32) {
         ("fits (1.5x ws)", footprint * 3 / 2),
         ("thrash (ws/8)", (footprint / 8).max(512)),
     ];
-    for (label, size) in sizes {
+    bars.extend(par_map(&sizes, |&(label, size)| {
         let cfg = IcacheConfig {
             tcache_size: size,
             link: LinkModel::free(),
@@ -139,15 +161,15 @@ pub fn fig5(scale: u32) -> (Vec<Fig5Bar>, u32) {
         };
         let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
         let out = sys.run(&input).expect("softcache run");
-        assert_eq!(out.output, native.env.output, "fig5 semantics");
-        bars.push(Fig5Bar {
+        assert_eq!(out.output, native_output, "fig5 semantics");
+        Fig5Bar {
             label: label.into(),
             tcache_bytes: size,
             relative_time: out.exec.cycles as f64 / base_cycles,
             translations: out.cache.translations,
             flushes: out.cache.flushes,
-        });
-    }
+        }
+    }));
     (bars, footprint)
 }
 
@@ -176,63 +198,67 @@ fn sweep_sizes() -> Vec<u32> {
 /// Figure 6: hardware direct-mapped I-cache (16-byte blocks) miss rate vs
 /// cache size, one trace-driven pass per benchmark feeding all sizes.
 pub fn fig6() -> Vec<MissCurve> {
-    FIG67_BENCHES
-        .iter()
-        .map(|&(name, scale)| {
-            let w = by_name(name).expect("workload");
-            let image = image_with_coldlib(&w, true);
-            let input = (w.gen_input)(scale);
-            let mut caches: Vec<SetAssocCache> = sweep_sizes()
-                .into_iter()
-                .map(|s| SetAssocCache::direct_mapped(s, 16))
-                .collect();
-            let mut m = Machine::load_native(&image, &input);
-            m.run_native_traced(2_000_000_000, |pc| {
-                for c in &mut caches {
-                    c.access(pc);
-                }
-            })
-            .expect("traced run");
-            MissCurve {
-                name: w.name,
-                points: sweep_sizes()
-                    .into_iter()
-                    .zip(caches.iter().map(|c| c.stats.miss_rate_percent()))
-                    .collect(),
+    par_map(&FIG67_BENCHES, |&(name, scale)| {
+        let w = by_name(name).expect("workload");
+        let image = image_with_coldlib(&w, true);
+        let input = (w.gen_input)(scale);
+        let mut caches: Vec<SetAssocCache> = sweep_sizes()
+            .into_iter()
+            .map(|s| SetAssocCache::direct_mapped(s, 16))
+            .collect();
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native_traced(2_000_000_000, |pc| {
+            for c in &mut caches {
+                c.access(pc);
             }
         })
-        .collect()
+        .expect("traced run");
+        MissCurve {
+            name: w.name,
+            points: sweep_sizes()
+                .into_iter()
+                .zip(caches.iter().map(|c| c.stats.miss_rate_percent()))
+                .collect(),
+        }
+    })
 }
 
 /// Figure 7: software tcache miss rate (= blocks translated / instructions
 /// executed) vs tcache size, same benchmarks and sweep as Figure 6.
 pub fn fig7() -> Vec<MissCurve> {
-    FIG67_BENCHES
-        .iter()
-        .map(|&(name, scale)| {
-            let w = by_name(name).expect("workload");
-            let image = image_with_coldlib(&w, true);
-            let input = (w.gen_input)(scale);
-            let mut points = Vec::new();
-            for size in sweep_sizes() {
-                let cfg = IcacheConfig {
-                    tcache_size: size,
-                    link: LinkModel::free(),
-                    ..IcacheConfig::default()
-                };
-                let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
-                // Thrashing configurations retranslate constantly and would
-                // take unbounded wall time; the miss-rate metric converges
-                // within a couple of million instructions, so cap the run.
-                match sys.run_measured(&input, 2_000_000) {
-                    Ok(out) => points.push((size, out.tcache_miss_rate_percent())),
-                    Err(CacheError::ChunkTooBig { .. }) => continue, // size below biggest block
-                    Err(e) => panic!("fig7 {name} @{size}: {e}"),
-                }
+    par_map(&FIG67_BENCHES, |&(name, scale)| {
+        let w = by_name(name).expect("workload");
+        let image = image_with_coldlib(&w, true);
+        let input = (w.gen_input)(scale);
+        let sizes = sweep_sizes();
+        // Inner fan-out over the 11 size points; each worker clones the
+        // shared image. `None` marks sizes below the biggest block
+        // (ChunkTooBig), filtered out after the join so the curve keeps
+        // the same points as the serial version did.
+        let points = par_map(&sizes, |&size| {
+            let cfg = IcacheConfig {
+                tcache_size: size,
+                link: LinkModel::free(),
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+            // Thrashing configurations retranslate constantly and would
+            // take unbounded wall time; the miss-rate metric converges
+            // within a couple of million instructions, so cap the run.
+            match sys.run_measured(&input, 2_000_000) {
+                Ok(out) => Some((size, out.tcache_miss_rate_percent())),
+                Err(CacheError::ChunkTooBig { .. }) => None, // size below biggest block
+                Err(e) => panic!("fig7 {name} @{size}: {e}"),
             }
-            MissCurve { name: w.name, points }
         })
-        .collect()
+        .into_iter()
+        .flatten()
+        .collect();
+        MissCurve {
+            name: w.name,
+            points,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Figure 8
@@ -268,8 +294,7 @@ pub fn fig8(scale: u32) -> (Vec<Fig8Series>, u32) {
     let hot = prof.finish().hot_bytes(0.90);
 
     let mems = [hot * 9 / 10, hot + 384, hot * 3];
-    let mut series = Vec::new();
-    for mem in mems {
+    let series = par_map(&mems, |&mem| {
         let cfg = ProcConfig {
             memory_bytes: mem,
             ..ProcConfig::default()
@@ -284,13 +309,13 @@ pub fn fig8(scale: u32) -> (Vec<Fig8Series>, u32) {
         for &c in &out.cache.eviction_cycles {
             buckets[(c / bucket_cycles) as usize] += 1;
         }
-        series.push(Fig8Series {
+        Fig8Series {
             memory_bytes: mem,
             buckets,
             total_evictions: out.cache.evictions,
             seconds: total_cycles as f64 / clock,
-        });
-    }
+        }
+    });
     (series, hot)
 }
 
@@ -320,25 +345,23 @@ pub fn fig9() -> Vec<Fig9Row> {
         ("gzip", 8, 0.09),
         ("cjpeg", 1, 0.13),
     ];
-    rows.iter()
-        .map(|&(name, scale, paper)| {
-            let w = by_name(name).expect("workload");
-            let image = image_with_coldlib(&w, true);
-            let input = (w.gen_input)(scale);
-            let mut prof = Profiler::new(&image);
-            let mut m = Machine::load_native(&image, &input);
-            m.run_native_traced(2_000_000_000, |pc| prof.record(pc))
-                .expect("profile run");
-            let hot = prof.finish().hot_bytes(0.90);
-            Fig9Row {
-                name: w.name,
-                hot_bytes: hot,
-                static_bytes: image.text_bytes(),
-                normalized: hot as f64 / image.text_bytes() as f64,
-                paper_normalized: paper,
-            }
-        })
-        .collect()
+    par_map(&rows, |&(name, scale, paper)| {
+        let w = by_name(name).expect("workload");
+        let image = image_with_coldlib(&w, true);
+        let input = (w.gen_input)(scale);
+        let mut prof = Profiler::new(&image);
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native_traced(2_000_000_000, |pc| prof.record(pc))
+            .expect("profile run");
+        let hot = prof.finish().hot_bytes(0.90);
+        Fig9Row {
+            name: w.name,
+            hot_bytes: hot,
+            static_bytes: image.text_bytes(),
+            normalized: hot as f64 / image.text_bytes() as f64,
+            paper_normalized: paper,
+        }
+    })
 }
 
 // ------------------------------------------------------- network overhead
@@ -390,37 +413,34 @@ pub fn dcache_policies() -> Vec<DcacheRow> {
         ("stride", Prediction::Stride),
         ("second-chance", Prediction::SecondChance),
     ];
-    let mut want: Option<Vec<u8>> = None;
-    policies
-        .iter()
-        .map(|&(name, pred)| {
-            let dcfg = DcacheConfig {
-                prediction: pred,
-                ..DcacheConfig::default()
-            };
-            let mut sys = FullSoftCacheSystem::new(
-                image.clone(),
-                IcacheConfig::default(),
-                dcfg,
-                ScacheConfig::default(),
-            );
-            let out = sys.run(&input).expect("dcache run");
-            match &want {
-                Some(w) => assert_eq!(w, &out.output, "policy changed semantics"),
-                None => want = Some(out.output.clone()),
-            }
-            DcacheRow {
-                policy: name,
-                fast_hits: out.dcache.fast_hits,
-                slow_hits: out.dcache.slow_hits,
-                misses: out.dcache.misses,
-                pinned_hits: out.dcache.pinned_hits,
-                extra_cycles: out.dcache.extra_cycles,
-                onchip_cycles: out.dcache.onchip_cycles,
-                accesses: out.dcache.accesses,
-            }
-        })
-        .collect()
+    let results = par_map(&policies, |&(name, pred)| {
+        let dcfg = DcacheConfig {
+            prediction: pred,
+            ..DcacheConfig::default()
+        };
+        let mut sys = FullSoftCacheSystem::new(
+            image.clone(),
+            IcacheConfig::default(),
+            dcfg,
+            ScacheConfig::default(),
+        );
+        let out = sys.run(&input).expect("dcache run");
+        let row = DcacheRow {
+            policy: name,
+            fast_hits: out.dcache.fast_hits,
+            slow_hits: out.dcache.slow_hits,
+            misses: out.dcache.misses,
+            pinned_hits: out.dcache.pinned_hits,
+            extra_cycles: out.dcache.extra_cycles,
+            onchip_cycles: out.dcache.onchip_cycles,
+            accesses: out.dcache.accesses,
+        };
+        (row, out.output)
+    });
+    for (_, output) in &results[1..] {
+        assert_eq!(&results[0].1, output, "policy changed semantics");
+    }
+    results.into_iter().map(|(row, _)| row).collect()
 }
 
 // --------------------------------------------------------------- guarantees
@@ -502,26 +522,23 @@ pub struct GranularityRow {
 /// DESIGN.md ablation 2: block vs procedure chunking — procedures mean
 /// fewer round trips but more speculative bytes shipped.
 pub fn ablation_granularity() -> Vec<GranularityRow> {
-    ["adpcmenc", "gzip", "cjpeg"]
-        .iter()
-        .map(|name| {
-            let w = by_name(name).expect("workload");
-            let input = (w.gen_input)(4);
-            let image_b = w.image(true);
-            let mut sys_b = SoftIcacheSystem::new(image_b, IcacheConfig::default());
-            let out_b = sys_b.run(&input).expect("block run");
+    par_map(&["adpcmenc", "gzip", "cjpeg"], |name| {
+        let w = by_name(name).expect("workload");
+        let input = (w.gen_input)(4);
+        let image_b = w.image(true);
+        let mut sys_b = SoftIcacheSystem::new(image_b, IcacheConfig::default());
+        let out_b = sys_b.run(&input).expect("block run");
 
-            let image_p = w.image(false);
-            let mut sys_p = ProcCacheSystem::new(image_p, ProcConfig::default());
-            let out_p = sys_p.run(&input).expect("proc run");
-            assert_eq!(out_b.output, out_p.output, "granularity changed semantics");
-            GranularityRow {
-                name: w.name,
-                block: (out_b.cache.translations, out_b.cache.words_installed),
-                procedure: (out_p.cache.fetches, out_p.cache.words_installed),
-            }
-        })
-        .collect()
+        let image_p = w.image(false);
+        let mut sys_p = ProcCacheSystem::new(image_p, ProcConfig::default());
+        let out_p = sys_p.run(&input).expect("proc run");
+        assert_eq!(out_b.output, out_p.output, "granularity changed semantics");
+        GranularityRow {
+            name: w.name,
+            block: (out_b.cache.translations, out_b.cache.words_installed),
+            procedure: (out_p.cache.fetches, out_p.cache.words_installed),
+        }
+    })
 }
 
 /// DESIGN.md ablation 1: steady-state rewriting overhead — the cost of
@@ -560,35 +577,32 @@ pub fn ablation_superblock(scale: u32) -> Vec<SuperblockRow> {
     let w = by_name("compress95").expect("workload");
     let image = w.image(true);
     let input = (w.gen_input)(scale);
-    let mut want: Option<Vec<u8>> = None;
-    [1u32, 2, 4, 8, 16]
-        .iter()
-        .map(|&max_blocks| {
-            let strategy = if max_blocks == 1 {
-                ChunkStrategy::BasicBlock
-            } else {
-                ChunkStrategy::Superblock { max_blocks }
-            };
-            let cfg = IcacheConfig {
-                tcache_size: 64 * 1024,
-                link: LinkModel::default(),
-                ..IcacheConfig::default()
-            };
-            let mut sys = SoftIcacheSystem::new(image.clone(), cfg).chunk_strategy(strategy);
-            let out = sys.run(&input).expect("superblock run");
-            match &want {
-                Some(prev) => assert_eq!(prev, &out.output, "strategy changed semantics"),
-                None => want = Some(out.output.clone()),
-            }
-            SuperblockRow {
-                max_blocks,
-                translations: out.cache.translations,
-                words_installed: out.cache.words_installed,
-                miss_traps: out.cache.miss_traps,
-                cycles: out.exec.cycles,
-            }
-        })
-        .collect()
+    let results = par_map(&[1u32, 2, 4, 8, 16], |&max_blocks| {
+        let strategy = if max_blocks == 1 {
+            ChunkStrategy::BasicBlock
+        } else {
+            ChunkStrategy::Superblock { max_blocks }
+        };
+        let cfg = IcacheConfig {
+            tcache_size: 64 * 1024,
+            link: LinkModel::default(),
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg).chunk_strategy(strategy);
+        let out = sys.run(&input).expect("superblock run");
+        let row = SuperblockRow {
+            max_blocks,
+            translations: out.cache.translations,
+            words_installed: out.cache.words_installed,
+            miss_traps: out.cache.miss_traps,
+            cycles: out.exec.cycles,
+        };
+        (row, out.output)
+    });
+    for (_, output) in &results[1..] {
+        assert_eq!(&results[0].1, output, "strategy changed semantics");
+    }
+    results.into_iter().map(|(row, _)| row).collect()
 }
 
 /// §4 power experiment: banked-SRAM energy with working-set-driven gating
@@ -612,34 +626,31 @@ pub struct PowerRow {
 /// Run each workload with the bank model attached and report the §4
 /// "shut down unneeded memory banks" savings.
 pub fn power_banks() -> Vec<PowerRow> {
-    ["compress95", "adpcmenc", "gzip"]
-        .iter()
-        .map(|name| {
-            let w = by_name(name).expect("workload");
-            let image = w.image(true);
-            let input = (w.gen_input)(8);
-            let cfg = IcacheConfig {
-                tcache_size: 32 * 1024,
-                link: LinkModel::free(),
-                ..IcacheConfig::default()
-            };
-            let banks = BankConfig {
-                bank_bytes: 2 * 1024,
-                banks: 16,
-                ..BankConfig::default()
-            };
-            let mut sys = SoftIcacheSystem::new(image, cfg);
-            let (_, report) = sys.run_with_power(&input, banks).expect("power run");
-            PowerRow {
-                name: w.name,
-                mean_awake_banks: report.mean_awake_banks,
-                total_banks: report.total_banks,
-                energy_mj: report.energy_mj,
-                hardware_mj: report.hardware_baseline_mj,
-                chip_savings: report.chip_power_savings_fraction(),
-            }
-        })
-        .collect()
+    par_map(&["compress95", "adpcmenc", "gzip"], |name| {
+        let w = by_name(name).expect("workload");
+        let image = w.image(true);
+        let input = (w.gen_input)(8);
+        let cfg = IcacheConfig {
+            tcache_size: 32 * 1024,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        let banks = BankConfig {
+            bank_bytes: 2 * 1024,
+            banks: 16,
+            ..BankConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image, cfg);
+        let (_, report) = sys.run_with_power(&input, banks).expect("power run");
+        PowerRow {
+            name: w.name,
+            mean_awake_banks: report.mean_awake_banks,
+            total_banks: report.total_banks,
+            energy_mj: report.energy_mj,
+            hardware_mj: report.hardware_baseline_mj,
+            chip_savings: report.chip_power_savings_fraction(),
+        }
+    })
 }
 
 /// Hardware-associativity ablation row: miss rate at a knee-region size
@@ -661,32 +672,37 @@ pub fn ablation_associativity() -> Vec<AssocRow> {
     let image = image_with_coldlib(&w, true);
     let input = (w.gen_input)(6);
     let size = 2048u32; // hextobdd's knee region per Figure 6
-    let mut rows = Vec::new();
-    for ways in [1usize, 2, 4] {
-        let mut cache = SetAssocCache::new(size, 16, ways);
-        let mut m = Machine::load_native(&image, &input);
-        m.run_native_traced(2_000_000_000, |pc| {
-            cache.access(pc);
-        })
-        .expect("traced run");
-        rows.push(AssocRow {
-            config: format!("hw {ways}-way {size}B"),
-            miss_rate: cache.stats.miss_rate_percent(),
-        });
-    }
-    // The software tcache at the same size (fully associative by design).
-    let cfg = IcacheConfig {
-        tcache_size: size,
-        link: LinkModel::free(),
-        ..IcacheConfig::default()
-    };
-    let mut sys = SoftIcacheSystem::new(image, cfg);
-    let out = sys.run_measured(&input, 2_000_000).expect("tcache run");
-    rows.push(AssocRow {
-        config: format!("sw tcache {size}B (full assoc)"),
-        miss_rate: out.tcache_miss_rate_percent(),
-    });
-    rows
+                        // `Some(ways)` = hardware set-associative cache on the fetch trace;
+                        // `None` = the software tcache (fully associative by design) at the
+                        // same size, last so it reads as the punchline row.
+    let configs: [Option<usize>; 4] = [Some(1), Some(2), Some(4), None];
+    par_map(&configs, |&ways| match ways {
+        Some(ways) => {
+            let mut cache = SetAssocCache::new(size, 16, ways);
+            let mut m = Machine::load_native(&image, &input);
+            m.run_native_traced(2_000_000_000, |pc| {
+                cache.access(pc);
+            })
+            .expect("traced run");
+            AssocRow {
+                config: format!("hw {ways}-way {size}B"),
+                miss_rate: cache.stats.miss_rate_percent(),
+            }
+        }
+        None => {
+            let cfg = IcacheConfig {
+                tcache_size: size,
+                link: LinkModel::free(),
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+            let out = sys.run_measured(&input, 2_000_000).expect("tcache run");
+            AssocRow {
+                config: format!("sw tcache {size}B (full assoc)"),
+                miss_rate: out.tcache_miss_rate_percent(),
+            }
+        }
+    })
 }
 
 /// The StrongARM cache-power fraction quoted in §4 (0.45).
@@ -714,13 +730,11 @@ pub fn ablation_write_policy() -> Vec<WritePolicyRow> {
     let w = by_name("cjpeg").expect("workload");
     let image = w.image(true);
     let input = (w.gen_input)(1);
-    let mut want: Option<Vec<u8>> = None;
-    [
+    let policies = [
         ("write-back", WritePolicy::WriteBack),
         ("write-through", WritePolicy::WriteThrough),
-    ]
-    .iter()
-    .map(|&(name, policy)| {
+    ];
+    let results = par_map(&policies, |&(name, policy)| {
         let dcfg = DcacheConfig {
             write_policy: policy,
             ..DcacheConfig::default()
@@ -732,45 +746,159 @@ pub fn ablation_write_policy() -> Vec<WritePolicyRow> {
             ScacheConfig::default(),
         );
         let out = sys.run(&input).expect("write-policy run");
-        match &want {
-            Some(prev) => assert_eq!(prev, &out.output, "policy changed semantics"),
-            None => want = Some(out.output.clone()),
-        }
-        WritePolicyRow {
+        let row = WritePolicyRow {
             policy: name,
             store_messages: out.dcache.writebacks,
             payload_bytes: out.dcache.link.payload_bytes,
             cycles: out.exec.cycles,
+        };
+        (row, out.output)
+    });
+    for (_, output) in &results[1..] {
+        assert_eq!(&results[0].1, output, "policy changed semantics");
+    }
+    results.into_iter().map(|(row, _)| row).collect()
+}
+
+// ------------------------------------------------- interpreter throughput
+
+/// One configuration row of the interpreter-throughput benchmark.
+#[derive(Clone, Debug)]
+pub struct InterpRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Simulated millions of instructions per second.
+    pub mips: f64,
+}
+
+/// Result of [`bench_interp`]: host-side interpreter throughput, with the
+/// predecoded fast path checked bit-identical against the slow path.
+#[derive(Clone, Debug)]
+pub struct InterpBench {
+    /// Workload measured.
+    pub workload: &'static str,
+    /// slow-path / fast-path / softcache rows, in that order.
+    pub rows: Vec<InterpRow>,
+    /// Fast-path speedup over the slow path (simulated-MIPS ratio).
+    pub fast_over_slow: f64,
+}
+
+/// Measure simulated MIPS on compress95: the reference slow path
+/// ([`Machine::step_slow`], decode on every step), the predecoded fast
+/// path ([`Machine::run_native`]), and the softcache steady state (ample
+/// tcache, free link). Asserts cycles, instruction counts, and output are
+/// bit-identical between the two native paths before reporting.
+pub fn bench_interp(scale: u32) -> InterpBench {
+    use std::time::Instant;
+    let w = by_name("compress95").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+
+    // Best-of-3 wall time per configuration: the runs are deterministic,
+    // so the minimum is the least scheduler-disturbed sample.
+    fn best_of<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = f();
+            best = best.min(t.elapsed().as_secs_f64());
+            out = Some(r);
         }
-    })
-    .collect()
+        (out.expect("at least one rep"), best)
+    }
+
+    let (slow, slow_s) = best_of(|| {
+        let mut m = Machine::load_native(&image, &input);
+        loop {
+            match m.step_slow().expect("slow-path step") {
+                Step::Running => {}
+                Step::Exited(_) => break m,
+                Step::Trapped(trap) => panic!("unexpected trap {trap:?} in native run"),
+            }
+        }
+    });
+
+    let (fast, fast_s) = best_of(|| {
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native(2_000_000_000).expect("fast-path run");
+        m
+    });
+
+    // The fast path is an optimisation, never a semantic change.
+    assert_eq!(
+        fast.stats.cycles, slow.stats.cycles,
+        "fast path diverged from reference cycle accounting"
+    );
+    assert_eq!(fast.stats.instructions, slow.stats.instructions);
+    assert_eq!(fast.env.output, slow.env.output, "fast path changed output");
+
+    let cfg = IcacheConfig {
+        tcache_size: 256 * 1024,
+        link: LinkModel::free(),
+        ..IcacheConfig::default()
+    };
+    let (out, soft_s) = best_of(|| {
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        sys.run(&input).expect("softcache run")
+    });
+    assert_eq!(out.output, fast.env.output, "softcache changed output");
+
+    let mips = |n: u64, s: f64| n as f64 / s.max(1e-9) / 1e6;
+    let rows = vec![
+        InterpRow {
+            config: "native slow path (per-step decode)",
+            instructions: slow.stats.instructions,
+            wall_seconds: slow_s,
+            mips: mips(slow.stats.instructions, slow_s),
+        },
+        InterpRow {
+            config: "native fast path (predecoded)",
+            instructions: fast.stats.instructions,
+            wall_seconds: fast_s,
+            mips: mips(fast.stats.instructions, fast_s),
+        },
+        InterpRow {
+            config: "softcache steady state (ample tcache)",
+            instructions: out.exec.instructions,
+            wall_seconds: soft_s,
+            mips: mips(out.exec.instructions, soft_s),
+        },
+    ];
+    let fast_over_slow = rows[1].mips / rows[0].mips;
+    InterpBench {
+        workload: w.name,
+        rows,
+        fast_over_slow,
+    }
 }
 
 /// Steady-state overhead measurement (the residual 19 %-style cost).
 pub fn ablation_steady_state(scale: u32) -> Vec<SteadyStateRow> {
-    ["compress95", "adpcmenc", "gzip"]
-        .iter()
-        .map(|name| {
-            let w = by_name(name).expect("workload");
-            let image = w.image(true);
-            let input = (w.gen_input)(scale);
-            let native = run_native(&image, &input);
-            let cfg = IcacheConfig {
-                tcache_size: 128 * 1024,
-                link: LinkModel::free(),
-                ..IcacheConfig::default()
-            };
-            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
-            let out = sys.run(&input).expect("run");
-            let steady = out.exec.cycles - out.cache.miss_cycles;
-            SteadyStateRow {
-                name: w.name,
-                native_cycles: native.stats.cycles,
-                steady_cycles: steady,
-                overhead: steady as f64 / native.stats.cycles as f64 - 1.0,
-            }
-        })
-        .collect()
+    par_map(&["compress95", "adpcmenc", "gzip"], |name| {
+        let w = by_name(name).expect("workload");
+        let image = w.image(true);
+        let input = (w.gen_input)(scale);
+        let native = run_native(&image, &input);
+        let cfg = IcacheConfig {
+            tcache_size: 128 * 1024,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        let out = sys.run(&input).expect("run");
+        let steady = out.exec.cycles - out.cache.miss_cycles;
+        SteadyStateRow {
+            name: w.name,
+            native_cycles: native.stats.cycles,
+            steady_cycles: steady,
+            overhead: steady as f64 / native.stats.cycles as f64 - 1.0,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -956,7 +1084,10 @@ mod tests {
         let rows = ablation_write_policy();
         let wb = &rows[0];
         let wt = &rows[1];
-        assert!(wt.store_messages > wb.store_messages * 5, "write-through forwards every store");
+        assert!(
+            wt.store_messages > wb.store_messages * 5,
+            "write-through forwards every store"
+        );
         assert!(wt.payload_bytes > wb.payload_bytes);
         assert!(wt.cycles > wb.cycles, "stalls cost cycles");
     }
@@ -966,7 +1097,11 @@ mod tests {
         let rows = power_banks();
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.mean_awake_banks < r.total_banks as f64 / 2.0, "{}", r.name);
+            assert!(
+                r.mean_awake_banks < r.total_banks as f64 / 2.0,
+                "{}",
+                r.name
+            );
             assert!(r.energy_mj < r.hardware_mj, "{}", r.name);
             assert!(r.chip_savings > 0.1 && r.chip_savings < strongarm_cache_fraction());
         }

@@ -141,11 +141,7 @@ mod tests {
 
     #[test]
     fn bars_scale() {
-        let b = bars(
-            &[("x".into(), 1.0), ("y".into(), 2.0)],
-            10,
-            None,
-        );
+        let b = bars(&[("x".into(), 1.0), ("y".into(), 2.0)], 10, None);
         let lines: Vec<&str> = b.lines().collect();
         let hx = lines[0].matches('#').count();
         let hy = lines[1].matches('#').count();

@@ -109,7 +109,10 @@ impl std::fmt::Display for CacheError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CacheError::ChunkTooBig { bytes, capacity } => {
-                write!(f, "chunk of {bytes} bytes exceeds tcache of {capacity} bytes")
+                write!(
+                    f,
+                    "chunk of {bytes} bytes exceeds tcache of {capacity} bytes"
+                )
             }
             CacheError::Mc(code) => write!(f, "memory controller error {code}"),
             CacheError::Net(e) => write!(f, "link error: {e}"),
@@ -246,9 +249,9 @@ impl Cc {
 
     /// Chunk id containing tcache address `addr`, if any.
     fn chunk_at(&self, addr: u32) -> Option<usize> {
-        self.chunks.iter().position(|c| {
-            c.alive && addr >= c.tc_start && addr < c.tc_start + c.n_words * 4
-        })
+        self.chunks
+            .iter()
+            .position(|c| c.alive && addr >= c.tc_start && addr < c.tc_start + c.n_words * 4)
     }
 
     /// Map a tcache address back to the original-program resume address.
@@ -286,7 +289,10 @@ impl Cc {
         let mut flushed = false;
         loop {
             let dest = self.next_free;
-            let req = Request::FetchBlock { orig_pc: orig, dest };
+            let req = Request::FetchBlock {
+                orig_pc: orig,
+                dest,
+            };
             let (reply, stall) = self.rpc(ep, &req)?;
             self.stats.miss_cycles += stall;
             machine.stats.cycles += stall;
@@ -427,8 +433,7 @@ impl Cc {
         match kind {
             PatchKind::Retarget => {
                 let word = machine.mem.read_u32(addr).expect("patch site mapped");
-                let patched =
-                    cf::retarget(word, addr, target_tc).map_err(|_| CacheError::Proto)?;
+                let patched = cf::retarget(word, addr, target_tc).map_err(|_| CacheError::Proto)?;
                 machine.mem.write_u32(addr, patched).expect("mapped");
             }
             PatchKind::ReplaceWord => {
@@ -476,9 +481,13 @@ impl Cc {
             if !fp.is_multiple_of(4) || !(8..=STACK_TOP).contains(&fp) {
                 break; // corrupt chain; stop walking
             }
-            let Ok(ra) = machine.mem.read_u32(fp - 4) else { break };
+            let Ok(ra) = machine.mem.read_u32(fp - 4) else {
+                break;
+            };
             out.push((RaLoc::Mem(fp - 4), ra));
-            let Ok(next) = machine.mem.read_u32(fp - 8) else { break };
+            let Ok(next) = machine.mem.read_u32(fp - 8) else {
+                break;
+            };
             if next != FP_SENTINEL && next <= fp {
                 break; // frames must grow downward; refuse cycles
             }
@@ -586,7 +595,12 @@ impl Cc {
 
         // 1. Re-point incoming sites at fresh miss stubs.
         for inc in &chunk.incoming {
-            if !self.chunks.get(inc.from_chunk).map(|c| c.alive).unwrap_or(false) {
+            if !self
+                .chunks
+                .get(inc.from_chunk)
+                .map(|c| c.alive)
+                .unwrap_or(false)
+            {
                 continue;
             }
             let idx = self.records.len() as u32;

@@ -26,7 +26,7 @@ use crate::scache::{Scache, ScacheConfig, ScacheStats};
 use softcache_isa::image::{Image, SymKind};
 use softcache_isa::inst::{Inst, MemWidth};
 use softcache_isa::layout::{DATA_BASE, STACK_FLOOR, STACK_TOP, TCACHE_BASE};
-use softcache_isa::{decode, INST_BYTES};
+use softcache_isa::INST_BYTES;
 use softcache_sim::{ExecStats, Machine, MemFault, SimError, Step, Trap};
 
 /// Result of a data-cached run.
@@ -106,7 +106,11 @@ fn intercept_data_access(
             }
             if in_stack(addr) {
                 let extra = scache.access(ep, addr, |a, len| {
-                    machine.mem.read_bytes(a, len).expect("stack mapped").to_vec()
+                    machine
+                        .mem
+                        .read_bytes(a, len)
+                        .expect("stack mapped")
+                        .to_vec()
                 })?;
                 machine.stats.cycles += extra;
                 // Fall through to normal execution against local memory.
@@ -137,7 +141,11 @@ fn intercept_data_access(
             }
             if in_stack(addr) {
                 let extra = scache.access(ep, addr, |a, len| {
-                    machine.mem.read_bytes(a, len).expect("stack mapped").to_vec()
+                    machine
+                        .mem
+                        .read_bytes(a, len)
+                        .expect("stack mapped")
+                        .to_vec()
                 })?;
                 machine.stats.cycles += extra;
             }
@@ -149,11 +157,7 @@ fn intercept_data_access(
 
 /// Pin every 4-byte global object (scalar) — the Figure 10 "constant
 /// address known to be in-cache" specialisation target set.
-fn pin_scalars(
-    image: &Image,
-    dcache: &mut Dcache,
-    ep: &mut McEndpoint,
-) -> Result<u64, CacheError> {
+fn pin_scalars(image: &Image, dcache: &mut Dcache, ep: &mut McEndpoint) -> Result<u64, CacheError> {
     let mut cycles = 0;
     for sym in &image.symbols {
         if sym.kind == SymKind::Object && sym.size == 4 {
@@ -203,12 +207,7 @@ impl SoftDcacheSystem {
                 return Err(CacheError::OutOfFuel);
             }
             let pc = machine.cpu.pc;
-            let word = machine
-                .mem
-                .read_u32(pc)
-                .map_err(|fault| CacheError::Sim(SimError::FetchFault { pc, fault }))?;
-            let inst =
-                decode(word).map_err(|_| CacheError::Sim(SimError::IllegalInst { pc, word }))?;
+            let inst = machine.peek_inst().map_err(CacheError::Sim)?;
             if intercept_data_access(
                 &mut machine,
                 &mut dcache,
@@ -298,13 +297,7 @@ impl FullSoftCacheSystem {
             if machine.stats.instructions >= fuel {
                 return Err(CacheError::OutOfFuel);
             }
-            let pc = machine.cpu.pc;
-            let word = machine
-                .mem
-                .read_u32(pc)
-                .map_err(|fault| CacheError::Sim(SimError::FetchFault { pc, fault }))?;
-            let inst =
-                decode(word).map_err(|_| CacheError::Sim(SimError::IllegalInst { pc, word }))?;
+            let inst = machine.peek_inst().map_err(CacheError::Sim)?;
             if intercept_data_access(
                 &mut machine,
                 &mut dcache,
@@ -387,7 +380,10 @@ int main() {
         let out = sys.run(&[]).unwrap();
         assert_eq!(out.exit_code, want_code);
         assert_eq!(out.output, want_out);
-        assert!(out.dcache.accesses > 200, "array traffic went through the dcache");
+        assert!(
+            out.dcache.accesses > 200,
+            "array traffic went through the dcache"
+        );
         assert!(out.dcache.misses > 0);
         assert!(
             out.dcache.fast_hits > out.dcache.slow_hits,
@@ -505,7 +501,8 @@ _start: la t0, buf
 buf:    .word 1, 2
 "#;
         let image = assemble(src).unwrap();
-        let mut sys = SoftDcacheSystem::new(image, DcacheConfig::default(), ScacheConfig::default());
+        let mut sys =
+            SoftDcacheSystem::new(image, DcacheConfig::default(), ScacheConfig::default());
         let err = sys.run(&[]).unwrap_err();
         assert!(
             matches!(err, CacheError::Sim(SimError::DataFault { .. })),

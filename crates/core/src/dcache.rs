@@ -313,11 +313,7 @@ impl Dcache {
 
         *extra += self.cfg.check_cycles;
         self.stats.onchip_cycles += self.cfg.check_cycles;
-        let pred = self
-            .predictions
-            .get(&site)
-            .copied()
-            .unwrap_or_default();
+        let pred = self.predictions.get(&site).copied().unwrap_or_default();
 
         // Fast path: predicted index(es).
         let mut candidates: [Option<u32>; 2] = [None, None];
@@ -484,17 +480,15 @@ mod tests {
     use softcache_isa::layout::DATA_BASE;
 
     fn setup(cfg: DcacheConfig) -> (Dcache, McEndpoint) {
-        let image = assemble(
-            "_start: halt\n.data\narr: .space 4096",
-        )
-        .unwrap();
+        let image = assemble("_start: halt\n.data\narr: .space 4096").unwrap();
         (Dcache::new(cfg), McEndpoint::direct(Mc::new(image)))
     }
 
     #[test]
     fn read_after_write_roundtrip() {
         let (mut dc, mut ep) = setup(DcacheConfig::default());
-        dc.write(&mut ep, 0x100, DATA_BASE + 8, 4, 0xDEADBEEF).unwrap();
+        dc.write(&mut ep, 0x100, DATA_BASE + 8, 4, 0xDEADBEEF)
+            .unwrap();
         let (v, _) = dc.read(&mut ep, 0x104, DATA_BASE + 8, 4).unwrap();
         assert_eq!(v, 0xDEADBEEF);
         // Byte granular.
@@ -540,10 +534,7 @@ mod tests {
 
     #[test]
     fn stride_prediction_wins_on_sequential_scan() {
-        for (pred, expect_fast) in [
-            (Prediction::Stride, true),
-            (Prediction::None, false),
-        ] {
+        for (pred, expect_fast) in [(Prediction::Stride, true), (Prediction::None, false)] {
             let cfg = DcacheConfig {
                 prediction: pred,
                 block_bytes: 32,
@@ -622,7 +613,8 @@ mod tests {
         };
         let (mut dc, mut ep) = setup(cfg);
         let mut cyc = 0;
-        dc.pin(&mut ep, (DATA_BASE, DATA_BASE + 32), &mut cyc).unwrap();
+        dc.pin(&mut ep, (DATA_BASE, DATA_BASE + 32), &mut cyc)
+            .unwrap();
         // Thrash the rest of the cache.
         for i in 1..20u32 {
             dc.read(&mut ep, 0x700, DATA_BASE + i * 32, 4).unwrap();
@@ -630,7 +622,10 @@ mod tests {
         let misses_before = dc.stats.misses;
         let (_, extra) = dc.read(&mut ep, 0x700, DATA_BASE + 4, 4).unwrap();
         assert_eq!(extra, 0, "specialised access: zero check cycles");
-        assert_eq!(dc.stats.misses, misses_before, "pinned block still resident");
+        assert_eq!(
+            dc.stats.misses, misses_before,
+            "pinned block still resident"
+        );
         assert!(dc.stats.pinned_hits >= 1);
     }
 
@@ -638,7 +633,8 @@ mod tests {
     fn flush_dirty_persists_everything() {
         let (mut dc, mut ep) = setup(DcacheConfig::default());
         for i in 0..8u32 {
-            dc.write(&mut ep, 0x800, DATA_BASE + i * 32, 4, i + 1000).unwrap();
+            dc.write(&mut ep, 0x800, DATA_BASE + i * 32, 4, i + 1000)
+                .unwrap();
         }
         dc.flush_dirty(&mut ep).unwrap();
         assert_eq!(dc.stats.writebacks, 8);
@@ -678,7 +674,8 @@ mod write_policy_tests {
     #[test]
     fn write_through_is_immediately_visible_on_server() {
         let (mut dc, mut ep) = setup(WritePolicy::WriteThrough);
-        dc.write(&mut ep, 0x100, DATA_BASE + 8, 4, 0xABCD1234).unwrap();
+        dc.write(&mut ep, 0x100, DATA_BASE + 8, 4, 0xABCD1234)
+            .unwrap();
         assert_eq!(server_word(&mut ep, DATA_BASE + 8), 0xABCD1234);
         assert_eq!(dc.stats.writebacks, 1);
         // flush_dirty has nothing to do.
@@ -691,7 +688,11 @@ mod write_policy_tests {
     fn write_back_defers_until_eviction_or_flush() {
         let (mut dc, mut ep) = setup(WritePolicy::WriteBack);
         dc.write(&mut ep, 0x100, DATA_BASE + 8, 4, 77).unwrap();
-        assert_eq!(server_word(&mut ep, DATA_BASE + 8), 0, "not yet written back");
+        assert_eq!(
+            server_word(&mut ep, DATA_BASE + 8),
+            0,
+            "not yet written back"
+        );
         dc.flush_dirty(&mut ep).unwrap();
         assert_eq!(server_word(&mut ep, DATA_BASE + 8), 77);
     }
@@ -701,8 +702,10 @@ mod write_policy_tests {
         let (mut dc, mut ep) = setup(WritePolicy::WriteThrough);
         let (mut dc2, mut ep2) = setup(WritePolicy::WriteBack);
         for i in 0..50u32 {
-            dc.write(&mut ep, 0x100, DATA_BASE + (i % 4) * 4, 4, i).unwrap();
-            dc2.write(&mut ep2, 0x100, DATA_BASE + (i % 4) * 4, 4, i).unwrap();
+            dc.write(&mut ep, 0x100, DATA_BASE + (i % 4) * 4, 4, i)
+                .unwrap();
+            dc2.write(&mut ep2, 0x100, DATA_BASE + (i % 4) * 4, 4, i)
+                .unwrap();
         }
         assert_eq!(dc.stats.writebacks, 50, "one forward per store");
         assert_eq!(dc2.stats.writebacks, 0, "all absorbed by the cache");

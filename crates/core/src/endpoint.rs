@@ -87,18 +87,13 @@ impl McEndpoint {
                             if frame.len() < 4 {
                                 continue; // runt; ignore
                             }
-                            let rseq =
-                                u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+                            let rseq = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
                             if rseq != id {
                                 continue; // stale duplicate from a retry
                             }
                             let reply =
                                 Reply::decode(&frame[4..]).map_err(|_| CacheError::Proto)?;
-                            return Ok((
-                                reply,
-                                req_frame.len() as u32,
-                                (frame.len() - 4) as u32,
-                            ));
+                            return Ok((reply, req_frame.len() as u32, (frame.len() - 4) as u32));
                         }
                         Err(NetError::Timeout) => {
                             attempts += 1;

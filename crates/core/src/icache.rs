@@ -159,19 +159,24 @@ impl SoftIcacheSystem {
         machine.cpu.pc = entry;
 
         let fuel = self.cfg.fuel;
+        let limit = fuel.min(cap.unwrap_or(u64::MAX));
         let exit_code = loop {
-            if let Some(cap) = cap {
-                if machine.stats.instructions >= cap {
+            if machine.stats.instructions >= limit {
+                if cap.is_some_and(|c| machine.stats.instructions >= c) {
                     break 0;
                 }
-            }
-            if machine.stats.instructions >= fuel {
                 return Err(CacheError::OutOfFuel);
             }
-            if track_power {
+            // The power model needs every fetch PC, so it keeps the
+            // per-step loop; otherwise whole blocks run between checks.
+            let step = if track_power {
                 cc.power_access(machine.cpu.pc, machine.stats.cycles);
-            }
-            match machine.step()? {
+                machine.step()?
+            } else {
+                let batch = (limit - machine.stats.instructions).min(Machine::BLOCK_STEPS);
+                machine.run_block(batch)?
+            };
+            match step {
                 Step::Running => {}
                 Step::Exited(code) => break code,
                 Step::Trapped(Trap::Miss { idx, .. }) => {
@@ -528,16 +533,15 @@ int main() { return fib(10); }
         let src = "_start: li t0, 100\n.Ll: addi t0, t0, -1\n bnez t0, .Ll\n li a0, 0\n ecall 0";
         let out = run_asm(src, IcacheConfig::default(), &[]);
         let mr = out.tcache_miss_rate_percent();
-        assert!(mr > 0.0 && mr < 5.0, "few translations over many instructions: {mr}");
+        assert!(
+            mr > 0.0 && mr < 5.0,
+            "few translations over many instructions: {mr}"
+        );
     }
 
     #[test]
     fn link_accounting_present() {
-        let out = run_asm(
-            "_start: li a0, 1\n ecall 0",
-            IcacheConfig::default(),
-            &[],
-        );
+        let out = run_asm("_start: li a0, 1\n ecall 0", IcacheConfig::default(), &[]);
         assert!(out.cache.link.messages >= 2);
         assert_eq!(out.cache.link.overhead_per_rpc(), 60.0);
         assert!(out.cache.miss_cycles > 0);
@@ -591,7 +595,11 @@ int main() {
             report.mean_awake_banks
         );
         assert!(report.energy_mj < report.hardware_baseline_mj);
-        assert!(report.savings_fraction() > 0.5, "{}", report.savings_fraction());
+        assert!(
+            report.savings_fraction() > 0.5,
+            "{}",
+            report.savings_fraction()
+        );
         let chip = report.chip_power_savings_fraction();
         assert!(chip > 0.2 && chip < 0.45, "chip-level savings {chip}");
     }
@@ -601,9 +609,7 @@ int main() {
         let src = "int main() { return 37; }";
         let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
         let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
-        let (out, _) = sys
-            .run_with_power(&[], BankConfig::default())
-            .unwrap();
+        let (out, _) = sys.run_with_power(&[], BankConfig::default()).unwrap();
         assert_eq!(out.exit_code, 37);
     }
 }
@@ -728,10 +734,7 @@ mod measured_tests {
 
     #[test]
     fn run_measured_stops_at_cap_with_stats() {
-        let image = assemble(
-            "_start: li t0, 0\n.Ll: addi t0, t0, 1\n j .Ll",
-        )
-        .unwrap();
+        let image = assemble("_start: li t0, 0\n.Ll: addi t0, t0, 1\n j .Ll").unwrap();
         let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
         let out = sys.run_measured(&[], 10_000).unwrap();
         assert_eq!(out.exit_code, 0, "capped runs report exit 0");

@@ -258,8 +258,7 @@ impl Mc {
                 break;
             }
             let last_addr = cur + (len - 1) * 4;
-            let last = decode(self.image.text_word(last_addr).expect("scanned"))
-                .expect("scanned");
+            let last = decode(self.image.text_word(last_addr).expect("scanned")).expect("scanned");
             // Chains continue through conditional branches (fallthrough)
             // and calls (return continuation); anything else ends the
             // chunk.
@@ -403,11 +402,15 @@ impl Mc {
                     }
                 }
                 cf::CtrlFlow::IndirectJump => {
-                    let Inst::Jr { rs } = term else { unreachable!() };
+                    let Inst::Jr { rs } = term else {
+                        unreachable!()
+                    };
                     words[term_slot as usize] = encode(Inst::Jrh { rs });
                 }
                 cf::CtrlFlow::IndirectCall => {
-                    let Inst::Jalr { rs } = term else { unreachable!() };
+                    let Inst::Jalr { rs } = term else {
+                        unreachable!()
+                    };
                     words[term_slot as usize] = encode(Inst::Jalrh { rs });
                     // Return lands on the slot after the call: a fallthrough
                     // slot pointing at the original continuation.
@@ -471,7 +474,6 @@ impl Mc {
     pub(crate) fn mirror_get(&self, orig: u32) -> Option<u32> {
         self.mirror.get(&orig).copied()
     }
-
 }
 
 /// Emit the fallthrough slot at `slot`: a direct jump when the continuation
@@ -534,14 +536,8 @@ _start: addi t0, t0, 1
         assert_eq!(mc.block_body_len(TEXT_BASE + 12).unwrap(), (2, true));
         // A block can start mid-way through another.
         assert_eq!(mc.block_body_len(TEXT_BASE + 4).unwrap(), (2, true));
-        assert_eq!(
-            mc.block_body_len(TEXT_BASE + 2),
-            Err(errcode::BAD_ADDRESS)
-        );
-        assert_eq!(
-            mc.block_body_len(0x9999_0000),
-            Err(errcode::BAD_ADDRESS)
-        );
+        assert_eq!(mc.block_body_len(TEXT_BASE + 2), Err(errcode::BAD_ADDRESS));
+        assert_eq!(mc.block_body_len(0x9999_0000), Err(errcode::BAD_ADDRESS));
     }
 
     #[test]
@@ -557,7 +553,11 @@ _start: addi t0, t0, 1
             other => panic!("{other:?}"),
         };
         assert_eq!(chunk.body_words, 2);
-        assert_eq!(chunk.words.len(), 3, "body + fallthrough (taken is self-resolved)");
+        assert_eq!(
+            chunk.words.len(),
+            3,
+            "body + fallthrough (taken is self-resolved)"
+        );
         // The branch targets the block itself, which just became resident:
         // it must be retargeted at dest directly.
         let b = decode(chunk.words[1]).unwrap();
@@ -672,7 +672,10 @@ far:    halt
             dest: 0x40_0000,
         });
         assert_eq!(mc.mirror_len(), 1);
-        assert_eq!(mc.handle(Request::Invalidate { orig_pc: TEXT_BASE }), Reply::Ack);
+        assert_eq!(
+            mc.handle(Request::Invalidate { orig_pc: TEXT_BASE }),
+            Reply::Ack
+        );
         assert_eq!(mc.mirror_len(), 0);
         let _ = mc.handle(Request::FetchBlock {
             orig_pc: TEXT_BASE,

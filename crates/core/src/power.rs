@@ -29,8 +29,7 @@ pub mod strongarm {
     /// Write buffer fraction of chip power.
     pub const WRITE_BUFFER_FRACTION: f64 = 0.02;
     /// Everything the softcache can convert to gateable SRAM.
-    pub const TOTAL_CACHE_FRACTION: f64 =
-        ICACHE_FRACTION + DCACHE_FRACTION + WRITE_BUFFER_FRACTION;
+    pub const TOTAL_CACHE_FRACTION: f64 = ICACHE_FRACTION + DCACHE_FRACTION + WRITE_BUFFER_FRACTION;
 }
 
 /// Configuration of the banked SRAM.
@@ -184,8 +183,7 @@ impl BankModel {
     pub fn energy_mj(&self, clock_hz: f64) -> f64 {
         let secs_awake_banks = self.awake_cycle_integral as f64 / clock_hz;
         let leakage_mj = self.cfg.leakage_mw_per_bank * secs_awake_banks;
-        let dynamic_mj =
-            self.accesses.iter().sum::<u64>() as f64 * self.cfg.access_nj * 1e-6;
+        let dynamic_mj = self.accesses.iter().sum::<u64>() as f64 * self.cfg.access_nj * 1e-6;
         leakage_mj + dynamic_mj
     }
 

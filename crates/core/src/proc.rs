@@ -57,10 +57,7 @@ pub(crate) fn rewrite_proc(mc: &mut Mc, orig_pc: u32, _dest: u32) -> Result<Chun
     let mut exits = Vec::new();
     for i in 0..n {
         let addr = start + i * 4;
-        let word = mc
-            .image_ref()
-            .text_word(addr)
-            .ok_or(errcode::BAD_ADDRESS)?;
+        let word = mc.image_ref().text_word(addr).ok_or(errcode::BAD_ADDRESS)?;
         let inst = decode(word).map_err(|_| errcode::BAD_INSTRUCTION)?;
         match cf::classify(inst, addr) {
             cf::CtrlFlow::Call { target } => {
@@ -157,7 +154,10 @@ pub struct ProcStats {
 enum RegionKind {
     Free,
     /// A resident procedure keyed by its entry address.
-    Proc { func: u32, last_use: u64 },
+    Proc {
+        func: u32,
+        last_use: u64,
+    },
     /// A pinned redirector pair (never evicted) — the paper's §4 pinning
     /// capability in action.
     Pinned,
@@ -416,12 +416,7 @@ impl ProcCc {
     }
 
     /// Write one redirector word.
-    fn write_redir_word(
-        &mut self,
-        machine: &mut Machine,
-        ridx: usize,
-        slot: RedirSlot,
-    ) {
+    fn write_redir_word(&mut self, machine: &mut Machine, ridx: usize, slot: RedirSlot) {
         let r = self.redirectors[ridx];
         let (addr, target_orig) = match slot {
             RedirSlot::Callee => (r.addr, r.callee_orig),
@@ -477,7 +472,10 @@ impl ProcCc {
             }
         }
         if trace_on() {
-            eprintln!("[proc] evict func {:#x} (tc {:#x}+{})", func, proc.tc_start, proc.orig_size);
+            eprintln!(
+                "[proc] evict func {:#x} (tc {:#x}+{})",
+                func, proc.tc_start, proc.orig_size
+            );
         }
         self.stats.evictions += 1;
         self.stats.eviction_cycles.push(machine.stats.cycles);
@@ -692,7 +690,8 @@ impl ProcCacheSystem {
             if machine.stats.instructions >= fuel {
                 return Err(CacheError::OutOfFuel);
             }
-            match machine.step()? {
+            let batch = (fuel - machine.stats.instructions).min(Machine::BLOCK_STEPS);
+            match machine.run_block(batch)? {
                 Step::Running => {}
                 Step::Exited(code) => break code,
                 Step::Trapped(Trap::Miss { idx, .. }) => {
@@ -899,12 +898,18 @@ int main() { return f(getc()); }
         let b = h.carve(
             h.find_free(16).unwrap(),
             16,
-            RegionKind::Proc { func: 1, last_use: 1 },
+            RegionKind::Proc {
+                func: 1,
+                last_use: 1,
+            },
         );
         let c = h.carve(
             h.find_free(32).unwrap(),
             32,
-            RegionKind::Proc { func: 2, last_use: 2 },
+            RegionKind::Proc {
+                func: 2,
+                last_use: 2,
+            },
         );
         assert_eq!((b, c), (0, 16));
         assert!(h.find_free(8).is_none(), "full");
@@ -919,9 +924,23 @@ int main() { return f(getc()); }
         assert!(h.find_free(48).is_some());
         // LRU picks the oldest.
         let f = h.find_free(48).unwrap();
-        h.carve(f, 24, RegionKind::Proc { func: 3, last_use: 5 });
+        h.carve(
+            f,
+            24,
+            RegionKind::Proc {
+                func: 3,
+                last_use: 5,
+            },
+        );
         let f = h.find_free(24).unwrap();
-        h.carve(f, 24, RegionKind::Proc { func: 4, last_use: 4 });
+        h.carve(
+            f,
+            24,
+            RegionKind::Proc {
+                func: 4,
+                last_use: 4,
+            },
+        );
         let lru = h.lru_proc().unwrap();
         assert!(matches!(
             h.regions[lru].kind,

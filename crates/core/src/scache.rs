@@ -217,7 +217,9 @@ mod tests {
         let mut sc = Scache::new(cfg);
         let mut ep = endpoint();
         let marker = |addr: u32, len: u32| -> Vec<u8> {
-            (0..len).map(|i| (addr.wrapping_add(i) % 251) as u8).collect()
+            (0..len)
+                .map(|i| (addr.wrapping_add(i) % 251) as u8)
+                .collect()
         };
         sc.access(&mut ep, STACK_TOP - 4096, marker).unwrap();
         // Ask the MC for the spilled range directly and verify contents.

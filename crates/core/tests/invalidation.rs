@@ -95,10 +95,9 @@ fn native_exit(src: &str) -> i32 {
 #[test]
 fn invalidating_absent_chunk_is_noop() {
     let mut d = Driver::new(LOOPY, 48 * 1024);
-    let hit = d
-        .cc
-        .invalidate_chunk(&mut d.machine, &mut d.ep, 0xDEAD_BEE0)
-        .unwrap();
+    let hit =
+        d.cc.invalidate_chunk(&mut d.machine, &mut d.ep, 0xDEAD_BEE0)
+            .unwrap();
     assert!(!hit);
     assert_eq!(d.run_to_exit(), native_exit(LOOPY));
 }
@@ -117,7 +116,9 @@ fn invalidate_resident_chunk_retranslates_and_preserves_semantics() {
     let image = minic::compile_to_image(LOOPY, &minic::Options::default()).unwrap();
     let helper = image.symbol("helper").unwrap().addr;
     assert!(d.cc.is_resident(helper), "helper entry block is hot");
-    let hit = d.cc.invalidate_chunk(&mut d.machine, &mut d.ep, helper).unwrap();
+    let hit =
+        d.cc.invalidate_chunk(&mut d.machine, &mut d.ep, helper)
+            .unwrap();
     assert!(hit);
     assert!(!d.cc.is_resident(helper));
     assert_eq!(d.cc.stats.chunk_invalidations, 1);

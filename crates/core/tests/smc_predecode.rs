@@ -1,0 +1,179 @@
+//! The decode cache meets the rewriting runtime.
+//!
+//! The CC modifies tcache code at runtime: miss stubs are backpatched into
+//! direct branches once the target chunk is resident, and invalidation
+//! rewrites resident words back into stubs. The predecoded fast path
+//! memoises decoded instructions, so these tests pin down the contract
+//! that every patch is observed — a stale predecoded word would either
+//! loop on a dead stub or jump into reclaimed tcache space.
+
+use softcache_core::cc::{Cc, IcacheConfig};
+use softcache_core::endpoint::McEndpoint;
+use softcache_core::mc::Mc;
+use softcache_minic as minic;
+use softcache_net::LinkModel;
+use softcache_sim::{ExecStats, Machine, Step, Trap};
+
+const SRC: &str = r#"
+int mix(int x) { return x * 7 + 3; }
+int spin(int x) {
+    int i;
+    for (i = 0; i < 40; i = i + 1) x = mix(x) % 9973;
+    return x;
+}
+int main() {
+    int i; int s;
+    s = 1;
+    for (i = 0; i < 50; i = i + 1) s = (s + spin(s + i)) % 100000;
+    return s % 128;
+}
+"#;
+
+fn client(tcache_size: u32) -> (Machine, Cc, McEndpoint) {
+    let image = minic::compile_to_image(SRC, &minic::Options::default()).unwrap();
+    let cfg = IcacheConfig {
+        tcache_size,
+        link: LinkModel::free(),
+        ..IcacheConfig::default()
+    };
+    let mut machine = Machine::load_client(&image, &[]);
+    let mut cc = Cc::new(cfg);
+    let mut ep = McEndpoint::direct(Mc::new(image.clone()));
+    let entry = cc.ensure(&mut machine, &mut ep, image.entry).unwrap();
+    machine.cpu.pc = entry;
+    (machine, cc, ep)
+}
+
+fn native_exit() -> i32 {
+    let image = minic::compile_to_image(SRC, &minic::Options::default()).unwrap();
+    let mut m = Machine::load_native(&image, &[]);
+    m.run_native(200_000_000).unwrap()
+}
+
+/// Service a trap the way the client runtime does. Returns the exit code
+/// once the program finishes.
+fn service(step: Step, machine: &mut Machine, cc: &mut Cc, ep: &mut McEndpoint) -> Option<i32> {
+    match step {
+        Step::Running => None,
+        Step::Exited(code) => Some(code),
+        Step::Trapped(Trap::Miss { idx, .. }) => {
+            cc.handle_miss(machine, ep, idx).unwrap();
+            None
+        }
+        Step::Trapped(Trap::HashJump { target, .. })
+        | Step::Trapped(Trap::HashCall { target, .. }) => {
+            let tc = cc.hash_jump(machine, ep, target).unwrap();
+            machine.cpu.pc = tc;
+            None
+        }
+        Step::Trapped(t) => panic!("unexpected trap {t:?}"),
+    }
+}
+
+/// A miss stub that the fast path has already executed (and therefore
+/// predecoded) is backpatched by the CC; re-execution must observe the
+/// patched word, not the memoised stub.
+#[test]
+fn backpatched_stub_is_observed_by_predecoded_path() {
+    let (mut machine, mut cc, mut ep) = client(48 * 1024);
+
+    // Drive with the predecoded fast path until the first miss stub fires.
+    let (idx, at) = loop {
+        match machine.step().unwrap() {
+            Step::Running => {}
+            Step::Trapped(Trap::Miss { idx, at }) => break (idx, at),
+            s => {
+                service(s, &mut machine, &mut cc, &mut ep);
+            }
+        }
+    };
+
+    // The stub word reached execution through the decode cache (the trap
+    // proves it was fetched and decoded on the fast path).
+    let stub_word = machine.mem.read_u32(at).unwrap();
+    assert_eq!(
+        softcache_isa::decode(stub_word).unwrap(),
+        softcache_isa::Inst::Miss { idx },
+        "trap came from a decoded miss stub"
+    );
+    assert!(
+        machine.mem.is_code_watched(at),
+        "tcache words sit behind the code-write barrier"
+    );
+
+    // Servicing the miss installs the target chunk and backpatches the
+    // branch site that reached the stub — runtime writes into code the
+    // fast path has already memoised. Every such write must pass through
+    // the generation barrier so stale decodes are dropped.
+    let gen_before = machine.mem.code_gen();
+    cc.handle_miss(&mut machine, &mut ep, idx).unwrap();
+    assert!(
+        machine.mem.code_gen() > gen_before,
+        "CC code writes bump the invalidation generation"
+    );
+
+    // Keep driving exclusively through the predecoded path. If a stale
+    // decode were replayed the program would re-trap on dead stubs or
+    // jump into reclaimed space; instead it must run to the native answer
+    // and exercise real backpatching along the way.
+    let mut exit = None;
+    for _ in 0..2_000_000 {
+        let s = machine.step().unwrap();
+        if let Some(code) = service(s, &mut machine, &mut cc, &mut ep) {
+            exit = Some(code);
+            break;
+        }
+    }
+    assert!(cc.stats.patches > 0, "run exercised backpatching");
+    assert_eq!(exit, Some(native_exit()), "program semantics preserved");
+}
+
+/// Full differential run of the softcache client: predecoded fast path vs
+/// the original fetch+decode slow path must agree bit-for-bit — exit code,
+/// cycle count, every counter, and every CC statistic.
+#[test]
+fn predecoded_client_matches_slow_path_exactly() {
+    let run = |fast: bool| -> (i32, ExecStats, u64, u64, u64) {
+        let (mut machine, mut cc, mut ep) = client(8 * 1024);
+        let exit = loop {
+            let s = if fast {
+                machine.step().unwrap()
+            } else {
+                machine.step_slow().unwrap()
+            };
+            if let Some(code) = service(s, &mut machine, &mut cc, &mut ep) {
+                break code;
+            }
+            assert!(machine.stats.instructions < 200_000_000, "runaway");
+        };
+        (
+            exit,
+            machine.stats,
+            cc.stats.translations,
+            cc.stats.miss_traps,
+            cc.stats.patches,
+        )
+    };
+    let fast = run(true);
+    let slow = run(false);
+    assert_eq!(fast, slow, "fast path diverged from slow path");
+    assert_eq!(fast.0, native_exit(), "softcache run matches native");
+    assert!(fast.4 > 0, "run exercised backpatching");
+}
+
+/// The small-tcache regime forces eviction + retranslation: stub words are
+/// rewritten back and forth while the decode cache keeps memoising them.
+#[test]
+fn thrashing_tcache_never_replays_stale_decodes() {
+    let want = native_exit();
+    let (mut machine, mut cc, mut ep) = client(2048);
+    let exit = loop {
+        let s = machine.step().unwrap();
+        if let Some(code) = service(s, &mut machine, &mut cc, &mut ep) {
+            break code;
+        }
+        assert!(machine.stats.instructions < 200_000_000, "runaway");
+    };
+    assert_eq!(exit, want);
+    assert!(cc.stats.flushes + cc.stats.chunk_invalidations > 0 || cc.stats.translations > 3);
+}

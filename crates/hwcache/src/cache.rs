@@ -47,7 +47,10 @@ impl SetAssocCache {
     /// must be consistent (`size >= block * ways`).
     pub fn new(size_bytes: u32, block_bytes: u32, ways: usize) -> SetAssocCache {
         assert!(size_bytes.is_power_of_two(), "size must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block must be a power of two"
+        );
         assert!(ways.is_power_of_two(), "ways must be a power of two");
         assert!(
             size_bytes >= block_bytes * ways as u32,

@@ -23,12 +23,7 @@ pub struct TagOverhead {
 
 /// Compute the tag overhead of a set-associative cache for `addr_bits`-bit
 /// physical addresses. Includes one valid bit per block.
-pub fn tag_overhead(
-    size_bytes: u32,
-    block_bytes: u32,
-    ways: u32,
-    addr_bits: u32,
-) -> TagOverhead {
+pub fn tag_overhead(size_bytes: u32, block_bytes: u32, ways: u32, addr_bits: u32) -> TagOverhead {
     assert!(size_bytes.is_power_of_two() && block_bytes.is_power_of_two());
     assert!(ways.is_power_of_two() && size_bytes >= block_bytes * ways);
     let blocks = size_bytes / block_bytes;
@@ -75,7 +70,10 @@ mod tests {
         let small = tag_overhead(128, 16, 1, 32);
         assert_eq!(small.tag_bits_per_block, 32 - 4 - 3 + 1);
         let big = tag_overhead(128 * 1024, 16, 1, 32);
-        assert!(big.fraction < small.fraction, "bigger cache, fewer tag bits");
+        assert!(
+            big.fraction < small.fraction,
+            "bigger cache, fewer tag bits"
+        );
     }
 
     #[test]

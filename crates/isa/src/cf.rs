@@ -120,9 +120,7 @@ pub fn retarget(word: u32, pc: u32, new_target: u32) -> Result<u32, RetargetErro
     let inst = decode(word).map_err(|_| RetargetError::Invalid)?;
     let off = rel_offset(pc, new_target).ok_or(RetargetError::Misaligned)?;
     let patched = match inst {
-        Inst::Branch {
-            cond, rs1, rs2, ..
-        } => {
+        Inst::Branch { cond, rs1, rs2, .. } => {
             if !(-32768..=32767).contains(&off) {
                 return Err(RetargetError::OutOfRange {
                     pc,
@@ -209,7 +207,10 @@ mod tests {
             CtrlFlow::Branch { taken: 0x2004 }
         );
         assert_eq!(classify(Inst::Ret, pc), CtrlFlow::Return);
-        assert_eq!(classify(Inst::Jr { rs: Reg::T0 }, pc), CtrlFlow::IndirectJump);
+        assert_eq!(
+            classify(Inst::Jr { rs: Reg::T0 }, pc),
+            CtrlFlow::IndirectJump
+        );
         assert_eq!(classify(Inst::Nop, pc), CtrlFlow::None);
         assert_eq!(classify(Inst::Miss { idx: 0 }, pc), CtrlFlow::Stop);
     }
@@ -238,10 +239,7 @@ mod tests {
 
         let j = encode(Inst::Jal { off: 0 });
         let patched = retarget(j, pc, 0x10_0000).unwrap();
-        assert_eq!(
-            direct_target(decode(patched).unwrap(), pc),
-            Some(0x10_0000)
-        );
+        assert_eq!(direct_target(decode(patched).unwrap(), pc), Some(0x10_0000));
     }
 
     #[test]

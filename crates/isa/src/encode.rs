@@ -404,13 +404,23 @@ mod tests {
                 .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
             (any_alu_op(), any_reg(), any_reg(), -32768i32..=32767).prop_map(
                 |(op, rd, rs1, imm)| {
-                    let imm = if op.imm_zero_extends() { imm & 0xFFFF } else { imm };
+                    let imm = if op.imm_zero_extends() {
+                        imm & 0xFFFF
+                    } else {
+                        imm
+                    };
                     Inst::AluImm { op, rd, rs1, imm }
                 }
             ),
             (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-            (any_width(), any::<bool>(), any_reg(), any_reg(), any::<i16>()).prop_map(
-                |(width, s, rd, base, off)| {
+            (
+                any_width(),
+                any::<bool>(),
+                any_reg(),
+                any_reg(),
+                any::<i16>()
+            )
+                .prop_map(|(width, s, rd, base, off)| {
                     let signed = s || width == MemWidth::W;
                     Inst::Load {
                         width,
@@ -419,8 +429,7 @@ mod tests {
                         base,
                         off,
                     }
-                }
-            ),
+                }),
             (any_width(), any_reg(), any_reg(), any::<i16>()).prop_map(
                 |(width, src, base, off)| Inst::Store {
                     width,

@@ -151,7 +151,10 @@ mod tests {
         assert!(img.symbol("nope").is_none());
         assert_eq!(img.function_at(TEXT_BASE + 4).unwrap().name, "main");
         assert_eq!(img.function_at(TEXT_BASE + 8).unwrap().name, "helper");
-        assert!(img.function_at(DATA_BASE).is_none(), "objects aren't functions");
+        assert!(
+            img.function_at(DATA_BASE).is_none(),
+            "objects aren't functions"
+        );
         let fs = img.functions();
         assert_eq!(fs.len(), 2);
         assert_eq!(fs[0].name, "main");

@@ -468,12 +468,41 @@ mod display_tests {
     #[test]
     fn every_instruction_formats() {
         let insts = [
-            Inst::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::A0, rs2: Reg::A1 },
-            Inst::AluImm { op: AluOp::Xor, rd: Reg::T0, rs1: Reg::T0, imm: 0xff },
-            Inst::Lui { rd: Reg::S0, imm: 0x1234 },
-            Inst::Load { width: MemWidth::H, signed: false, rd: Reg::T1, base: Reg::SP, off: -8 },
-            Inst::Store { width: MemWidth::B, src: Reg::A0, base: Reg::FP, off: 12 },
-            Inst::Branch { cond: BranchCond::Geu, rs1: Reg::T0, rs2: Reg::T1, off: -3 },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            Inst::AluImm {
+                op: AluOp::Xor,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: 0xff,
+            },
+            Inst::Lui {
+                rd: Reg::S0,
+                imm: 0x1234,
+            },
+            Inst::Load {
+                width: MemWidth::H,
+                signed: false,
+                rd: Reg::T1,
+                base: Reg::SP,
+                off: -8,
+            },
+            Inst::Store {
+                width: MemWidth::B,
+                src: Reg::A0,
+                base: Reg::FP,
+                off: 12,
+            },
+            Inst::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                off: -3,
+            },
             Inst::J { off: 5 },
             Inst::Jal { off: -1 },
             Inst::Jr { rs: Reg::T2 },

@@ -431,24 +431,16 @@ impl<'a> Gen<'a> {
                 Ok(())
             }
             Stmt::Break => {
-                let (lend, _) = self
-                    .loops
-                    .last()
-                    .cloned()
-                    .ok_or_else(|| CodegenError {
-                        msg: "break outside loop".into(),
-                    })?;
+                let (lend, _) = self.loops.last().cloned().ok_or_else(|| CodegenError {
+                    msg: "break outside loop".into(),
+                })?;
                 self.emit(&format!("j {lend}"));
                 Ok(())
             }
             Stmt::Continue => {
-                let (_, lcont) = self
-                    .loops
-                    .last()
-                    .cloned()
-                    .ok_or_else(|| CodegenError {
-                        msg: "continue outside loop".into(),
-                    })?;
+                let (_, lcont) = self.loops.last().cloned().ok_or_else(|| CodegenError {
+                    msg: "continue outside loop".into(),
+                })?;
                 self.emit(&format!("j {lcont}"));
                 Ok(())
             }

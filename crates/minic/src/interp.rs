@@ -227,7 +227,8 @@ impl<'a> Interp<'a> {
                 Flow::Normal(args[0])
             }
             "puti" => {
-                self.output.extend_from_slice(args[0].to_string().as_bytes());
+                self.output
+                    .extend_from_slice(args[0].to_string().as_bytes());
                 Flow::Normal(args[0])
             }
             "getc" => {
@@ -420,12 +421,9 @@ pub fn run(
         output: Vec::new(),
         fuel,
     };
-    let main = *interp
-        .func_by_name
-        .get("main")
-        .ok_or_else(|| InterpError {
-            msg: "no `main` function".into(),
-        })?;
+    let main = *interp.func_by_name.get("main").ok_or_else(|| InterpError {
+        msg: "no `main` function".into(),
+    })?;
     let code = match interp.call_indexed(main, &[])? {
         Flow::Normal(v) | Flow::Return(v) | Flow::Exit(v) => v,
         _ => unreachable!(),

@@ -403,12 +403,10 @@ mod tests {
 
     #[test]
     fn chars() {
-        assert_eq!(toks("'a' '\\n' '\\''"), vec![
-            Tok::Num(97),
-            Tok::Num(10),
-            Tok::Num(39),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("'a' '\\n' '\\''"),
+            vec![Tok::Num(97), Tok::Num(10), Tok::Num(39), Tok::Eof]
+        );
         assert!(lex("'ab'").is_err());
         assert!(lex("'").is_err());
     }
@@ -419,12 +417,15 @@ mod tests {
             toks("<<=>>"),
             vec![Tok::Shl, Tok::Assign, Tok::Shr, Tok::Eof]
         );
-        assert_eq!(toks("a<=b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Le,
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a<=b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
         assert_eq!(toks("&&&"), vec![Tok::AndAnd, Tok::Amp, Tok::Eof]);
     }
 

@@ -91,7 +91,10 @@ mod tests {
     /// Differential check: compiled-on-simulator must match the interpreter.
     fn differential(src: &str, input: &[u8]) {
         let want = run_interp(src, input);
-        for opts in [Options { jump_tables: true }, Options { jump_tables: false }] {
+        for opts in [
+            Options { jump_tables: true },
+            Options { jump_tables: false },
+        ] {
             let got = run_compiled(src, input, &opts);
             assert_eq!(
                 got, want,

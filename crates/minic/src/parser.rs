@@ -592,7 +592,9 @@ mod tests {
     fn function_with_params() {
         let p = parse("int add(int a, int b) { return a + b; }").unwrap();
         assert_eq!(p.functions[0].params, vec!["a", "b"]);
-        assert!(parse("int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }").is_err());
+        assert!(
+            parse("int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }").is_err()
+        );
     }
 
     #[test]
@@ -664,7 +666,9 @@ int f(int n) {
 
     #[test]
     fn addr_of_and_callptr() {
-        let p = parse("int g(int x) { return x; } int f() { int p; p = &g; return callptr(p, 5); }").unwrap();
+        let p =
+            parse("int g(int x) { return x; } int f() { int p; p = &g; return callptr(p, 5); }")
+                .unwrap();
         match &p.functions[1].body[2] {
             Stmt::Return(Some(Expr::CallPtr(t, args))) => {
                 assert!(matches!(**t, Expr::Var(_)));

@@ -71,9 +71,7 @@ impl Checker<'_> {
         }
         match self.syms.globals.get(name) {
             Some(g) if g.array_len.is_none() => Ok(()),
-            Some(_) => self.err(format!(
-                "`{name}` is an array; index it or take no value"
-            )),
+            Some(_) => self.err(format!("`{name}` is an array; index it or take no value")),
             None => self.err(format!("undefined variable `{name}`")),
         }
     }
@@ -369,17 +367,14 @@ mod tests {
             "minic arms auto-break; break needs a loop"
         );
         assert!(
-            check("int f(int n) { while (1) { switch (n) { case 1: break; } } return 0; }")
-                .is_ok()
+            check("int f(int n) { while (1) { switch (n) { case 1: break; } } return 0; }").is_ok()
         );
     }
 
     #[test]
     fn switch_well_formedness() {
         assert!(check("int f(int n) { switch (n) { case 1: case 1: } return 0; }").is_err());
-        assert!(
-            check("int f(int n) { switch (n) { default: default: } return 0; }").is_err()
-        );
+        assert!(check("int f(int n) { switch (n) { default: default: } return 0; }").is_err());
     }
 
     #[test]

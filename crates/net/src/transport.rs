@@ -2,11 +2,8 @@
 //! controller.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
-
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Fixed per-frame protocol overhead in bytes. A request/reply pair costs
 /// `2 * HEADER_BYTES = 60` bytes — the paper's measured "60 application
@@ -70,7 +67,10 @@ pub fn loopback_pair() -> (Loopback, Loopback) {
             shared: shared.clone(),
             is_a: true,
         },
-        Loopback { shared, is_a: false },
+        Loopback {
+            shared,
+            is_a: false,
+        },
     )
 }
 
@@ -87,7 +87,11 @@ impl Transport for Loopback {
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {
         let mut s = self.shared.lock().expect("loopback poisoned");
-        let q = if self.is_a { &mut s.b_to_a } else { &mut s.a_to_b };
+        let q = if self.is_a {
+            &mut s.b_to_a
+        } else {
+            &mut s.a_to_b
+        };
         q.pop_front().ok_or(NetError::Timeout)
     }
 
@@ -103,48 +107,115 @@ impl Transport for Loopback {
 
 // ---- threaded channel transport ----
 
-/// One endpoint of a crossbeam-channel transport (the two-board ARM
+/// One direction of the threaded transport: an unbounded frame queue plus a
+/// condvar so the receiver can block with a timeout.
+struct Channel {
+    state: Mutex<ChannelState>,
+    ready: Condvar,
+}
+
+struct ChannelState {
+    queue: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Channel> {
+        Arc::new(Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("channel poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One endpoint of a blocking cross-thread transport (the two-board ARM
 /// configuration: MC and CC on separate threads).
 pub struct ChannelTransport {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Arc<Channel>,
+    rx: Arc<Channel>,
     timeout: Duration,
 }
 
 /// Create a connected threaded pair `(cc_end, mc_end)` with a receive
 /// timeout (so a dead peer turns into [`NetError::Timeout`], not a hang).
 pub fn thread_pair(timeout: Duration) -> (ChannelTransport, ChannelTransport) {
-    let (atx, arx) = unbounded();
-    let (btx, brx) = unbounded();
+    let a_to_b = Channel::new();
+    let b_to_a = Channel::new();
     (
         ChannelTransport {
-            tx: atx,
-            rx: brx,
+            tx: a_to_b.clone(),
+            rx: b_to_a.clone(),
             timeout,
         },
         ChannelTransport {
-            tx: btx,
-            rx: arx,
+            tx: b_to_a,
+            rx: a_to_b,
             timeout,
         },
     )
 }
 
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        // Wake and fail the peer in both directions.
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
 impl Transport for ChannelTransport {
     fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
-        self.tx.send(frame).map_err(|_| NetError::Disconnected)
+        let mut s = self.tx.state.lock().expect("channel poisoned");
+        if s.closed {
+            return Err(NetError::Disconnected);
+        }
+        s.queue.push_back(frame);
+        self.tx.ready.notify_all();
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {
-        match self.rx.recv_timeout(self.timeout) {
-            Ok(f) => Ok(f),
-            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        let deadline = Instant::now() + self.timeout;
+        let mut s = self.rx.state.lock().expect("channel poisoned");
+        loop {
+            // Buffered frames are delivered even after the peer is gone,
+            // matching channel recv semantics.
+            if let Some(frame) = s.queue.pop_front() {
+                return Ok(frame);
+            }
+            if s.closed {
+                return Err(NetError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let (guard, wait) = self
+                .rx
+                .ready
+                .wait_timeout(s, deadline - now)
+                .expect("channel poisoned");
+            s = guard;
+            if wait.timed_out() && s.queue.is_empty() {
+                return if s.closed {
+                    Err(NetError::Disconnected)
+                } else {
+                    Err(NetError::Timeout)
+                };
+            }
         }
     }
 
     fn pending(&self) -> usize {
-        self.rx.len()
+        self.rx.state.lock().expect("channel poisoned").queue.len()
     }
 }
 

@@ -55,15 +55,22 @@ impl CostModel {
                 _ => {}
             },
             Inst::Branch { .. } if taken => c += self.taken_extra,
-            Inst::J { .. }
-            | Inst::Jal { .. }
-            | Inst::Jr { .. }
-            | Inst::Jalr { .. }
-            | Inst::Ret => c += self.taken_extra,
+            Inst::J { .. } | Inst::Jal { .. } | Inst::Jr { .. } | Inst::Jalr { .. } | Inst::Ret => {
+                c += self.taken_extra
+            }
             Inst::Ecall { .. } => c += self.ecall_extra,
             _ => {}
         }
         c
+    }
+
+    /// Both cycle charges for `inst` as `(not_taken, taken)` — precomputed
+    /// once per decode by the predecoded fast path so the hot loop picks a
+    /// cost with one conditional move instead of re-matching the opcode.
+    /// The pair differs only for conditional branches.
+    #[inline]
+    pub fn cycle_pair(&self, inst: Inst) -> (u64, u64) {
+        (self.cycles_for(inst, false), self.cycles_for(inst, true))
     }
 
     /// Convert a cycle count to seconds at this model's clock.

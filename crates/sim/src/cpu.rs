@@ -119,35 +119,41 @@ impl Cpu {
         }
     }
 
-    /// Read a register (`zero` always reads 0).
+    /// Read a register (`zero` always reads 0). Every constructible [`Reg`]
+    /// is `< 32`, so the mask is a no-op that replaces the bounds check.
     #[inline]
     pub fn get(&self, r: Reg) -> i32 {
-        self.regs[r.index()]
+        self.regs[r.index() & (Reg::COUNT - 1)]
     }
 
     /// Write a register (writes to `zero` are discarded).
     #[inline]
     pub fn set(&mut self, r: Reg, v: i32) {
         if r != Reg::ZERO {
-            self.regs[r.index()] = v;
+            self.regs[r.index() & (Reg::COUNT - 1)] = v;
         }
     }
 
     /// Execute one instruction. Returns the decoded instruction (so the
-    /// caller can account costs) and the control outcome.
+    /// caller can account costs), the control outcome, and whether a
+    /// conditional branch was taken.
     #[inline]
-    pub fn step(&mut self, mem: &mut Memory) -> Result<(Inst, Next), SimError> {
+    pub fn step(&mut self, mem: &mut Memory) -> Result<(Inst, Next, bool), SimError> {
         let pc = self.pc;
         let word = mem
             .read_u32(pc)
             .map_err(|fault| SimError::FetchFault { pc, fault })?;
         let inst = decode(word).map_err(|_| SimError::IllegalInst { pc, word })?;
-        let next = self.execute(inst, mem)?;
-        Ok((inst, next))
+        let (next, taken) = self.execute(inst, mem)?;
+        Ok((inst, next, taken))
     }
 
     /// Execute an already-decoded instruction located at the current PC.
-    pub fn execute(&mut self, inst: Inst, mem: &mut Memory) -> Result<Next, SimError> {
+    /// The returned flag is true exactly when `inst` is a conditional
+    /// branch whose condition held — reported directly rather than inferred
+    /// from the PC, so a taken branch targeting its own fall-through is
+    /// still counted (and billed) as taken.
+    pub fn execute(&mut self, inst: Inst, mem: &mut Memory) -> Result<(Next, bool), SimError> {
         let pc = self.pc;
         let next_pc = pc.wrapping_add(INST_BYTES);
         match inst {
@@ -198,9 +204,9 @@ impl Cpu {
             } => {
                 if cond.eval(self.get(rs1), self.get(rs2)) {
                     self.pc = rel_target(pc, off as i32);
-                } else {
-                    self.pc = next_pc;
+                    return Ok((Next::Continue, true));
                 }
+                self.pc = next_pc;
             }
             Inst::J { off } => {
                 self.pc = rel_target(pc, off);
@@ -222,26 +228,26 @@ impl Cpu {
             }
             Inst::Ecall { code } => {
                 self.pc = next_pc;
-                return Ok(Next::Trap(Trap::Ecall { code }));
+                return Ok((Next::Trap(Trap::Ecall { code }), false));
             }
-            Inst::Halt => return Ok(Next::Halted),
+            Inst::Halt => return Ok((Next::Halted, false)),
             Inst::Nop => {
                 self.pc = next_pc;
             }
             Inst::Miss { idx } => {
-                return Ok(Next::Trap(Trap::Miss { idx, at: pc }));
+                return Ok((Next::Trap(Trap::Miss { idx, at: pc }), false));
             }
             Inst::Jrh { rs } => {
                 let target = self.get(rs) as u32;
-                return Ok(Next::Trap(Trap::HashJump { target, at: pc }));
+                return Ok((Next::Trap(Trap::HashJump { target, at: pc }), false));
             }
             Inst::Jalrh { rs } => {
                 let target = self.get(rs) as u32;
                 self.set(Reg::RA, next_pc as i32);
-                return Ok(Next::Trap(Trap::HashCall { target, at: pc }));
+                return Ok((Next::Trap(Trap::HashCall { target, at: pc }), false));
             }
         }
-        Ok(Next::Continue)
+        Ok((Next::Continue, false))
     }
 }
 
@@ -296,7 +302,7 @@ mod tests {
         let (mut cpu, mut mem) = machine_with(&code);
         let mut steps = 0;
         loop {
-            let (_, next) = cpu.step(&mut mem).unwrap();
+            let (_, next, _) = cpu.step(&mut mem).unwrap();
             steps += 1;
             assert!(steps < 100, "runaway loop");
             if next == Next::Halted {
@@ -322,7 +328,7 @@ mod tests {
         assert_eq!(cpu.get(Reg::RA), 4);
         cpu.step(&mut mem).unwrap();
         assert_eq!(cpu.pc, 4);
-        let (_, n) = cpu.step(&mut mem).unwrap();
+        let (_, n, _) = cpu.step(&mut mem).unwrap();
         assert_eq!(n, Next::Halted);
     }
 
@@ -371,10 +377,10 @@ mod tests {
             encode(Inst::Miss { idx: 99 }),
         ];
         let (mut cpu, mut mem) = machine_with(&code);
-        let (_, n) = cpu.step(&mut mem).unwrap();
+        let (_, n, _) = cpu.step(&mut mem).unwrap();
         assert_eq!(n, Next::Trap(Trap::Ecall { code: 7 }));
         assert_eq!(cpu.pc, 4, "ecall advances pc");
-        let (_, n) = cpu.step(&mut mem).unwrap();
+        let (_, n, _) = cpu.step(&mut mem).unwrap();
         assert_eq!(n, Next::Trap(Trap::Miss { idx: 99, at: 4 }));
         assert_eq!(cpu.pc, 4, "miss leaves pc at the stub");
     }
@@ -393,7 +399,7 @@ mod tests {
         ];
         let (mut cpu, mut mem) = machine_with(&code);
         cpu.step(&mut mem).unwrap();
-        let (_, n) = cpu.step(&mut mem).unwrap();
+        let (_, n, _) = cpu.step(&mut mem).unwrap();
         assert_eq!(
             n,
             Next::Trap(Trap::HashJump {
@@ -403,7 +409,7 @@ mod tests {
         );
         // Manually advance over the jrh to test jalrh.
         cpu.pc = 8;
-        let (_, n) = cpu.step(&mut mem).unwrap();
+        let (_, n, _) = cpu.step(&mut mem).unwrap();
         assert_eq!(
             n,
             Next::Trap(Trap::HashCall {
@@ -419,7 +425,7 @@ mod tests {
         let code = [encode(Inst::Jalrh { rs: Reg::RA })];
         let (mut cpu, mut mem) = machine_with(&code);
         cpu.set(Reg::RA, 0x300);
-        let (_, n) = cpu.step(&mut mem).unwrap();
+        let (_, n, _) = cpu.step(&mut mem).unwrap();
         assert_eq!(
             n,
             Next::Trap(Trap::HashCall {

@@ -12,12 +12,14 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod decode_cache;
 pub mod machine;
 pub mod mem;
 pub mod profile;
 
 pub use cost::CostModel;
 pub use cpu::{Cpu, Next, SimError, Trap};
+pub use decode_cache::DecodeCache;
 pub use machine::{syscall, Env, ExecStats, Machine, RunError, Step};
 pub use mem::{MemFault, Memory};
 pub use profile::{Profile, Profiler};

@@ -7,11 +7,16 @@
 
 use crate::cost::CostModel;
 use crate::cpu::{Cpu, Next, SimError, Trap};
+use crate::decode_cache::DecodeCache;
 use crate::mem::Memory;
+use softcache_isa::cf::rel_target;
 use softcache_isa::image::Image;
 use softcache_isa::inst::Inst;
-use softcache_isa::layout::{FP_SENTINEL, MEM_SIZE, STACK_TOP};
+use softcache_isa::layout::{
+    DATA_BASE, FP_SENTINEL, MEM_SIZE, STACK_FLOOR, STACK_TOP, TCACHE_BASE,
+};
 use softcache_isa::reg::Reg;
+use softcache_isa::INST_BYTES;
 
 /// Environment-call service numbers.
 pub mod syscall {
@@ -158,6 +163,9 @@ pub struct Machine {
     pub cost: CostModel,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// Predecoded fast-path instruction cache (invalidated through the
+    /// [`Memory`] code-write barrier).
+    decode: DecodeCache,
 }
 
 impl Machine {
@@ -192,12 +200,19 @@ impl Machine {
         let mut cpu = Cpu::new(0);
         cpu.set(Reg::SP, STACK_TOP as i32);
         cpu.set(Reg::FP, FP_SENTINEL as i32);
+        let mut mem = Memory::new(MEM_SIZE);
+        // Code lives in original text (below the data segment) and in the
+        // translation cache; only writes there need to invalidate decodes,
+        // so the hot data/stack stores skip the generation bump.
+        mem.set_code_watch([(0, DATA_BASE), (TCACHE_BASE, STACK_FLOOR)]);
+        let cost = CostModel::default();
         Machine {
             cpu,
-            mem: Memory::new(MEM_SIZE),
+            mem,
             env: Env::with_input(input),
-            cost: CostModel::default(),
+            cost,
             stats: ExecStats::default(),
+            decode: DecodeCache::new(cost),
         }
     }
 
@@ -228,16 +243,39 @@ impl Machine {
         Step::Running
     }
 
-    /// Execute one instruction, accounting statistics and servicing
-    /// `ecall`s. Softcache traps surface as [`Step::Trapped`].
+    /// Execute one instruction through the predecoded fast path,
+    /// accounting statistics and servicing `ecall`s. Softcache traps
+    /// surface as [`Step::Trapped`].
     #[inline]
     pub fn step(&mut self) -> Result<Step, SimError> {
-        let pc_before = self.cpu.pc;
-        let (inst, next) = self.cpu.step(&mut self.mem)?;
-        let taken = matches!(inst, Inst::Branch { .. })
-            && self.cpu.pc != pc_before.wrapping_add(4);
+        self.decode.sync(&mut self.mem, &self.cost);
+        self.step_synced()
+    }
+
+    /// Fast-path step assuming the decode cache already matches the cost
+    /// model; only the (one-compare) code-generation check runs per step.
+    #[inline]
+    fn step_synced(&mut self) -> Result<Step, SimError> {
+        self.decode.sync_code(&mut self.mem);
+        let (inst, cost, cost_taken) = self.decode.fetch(self.cpu.pc, &self.mem)?;
+        let (next, taken) = self.cpu.execute(inst, &mut self.mem)?;
+        self.stats.account(inst, taken);
+        self.stats.cycles += if taken { cost_taken } else { cost };
+        self.finish(next)
+    }
+
+    /// Execute one instruction through the original fetch+decode slow path.
+    /// Kept alive as the reference semantics: differential tests assert the
+    /// fast path produces bit-identical cycles, stats and output.
+    pub fn step_slow(&mut self) -> Result<Step, SimError> {
+        let (inst, next, taken) = self.cpu.step(&mut self.mem)?;
         self.stats.account(inst, taken);
         self.stats.cycles += self.cost.cycles_for(inst, taken);
+        self.finish(next)
+    }
+
+    #[inline]
+    fn finish(&mut self, next: Next) -> Result<Step, SimError> {
         match next {
             Next::Continue => Ok(Step::Running),
             Next::Halted => {
@@ -249,10 +287,200 @@ impl Machine {
         }
     }
 
+    /// The decoded instruction at the current PC, via the decode cache,
+    /// without executing it. Lets drivers that inspect every instruction
+    /// (the software data-cache runtimes) share the fast path.
+    #[inline]
+    pub fn peek_inst(&mut self) -> Result<Inst, SimError> {
+        self.decode.sync(&mut self.mem, &self.cost);
+        self.decode.fetch(self.cpu.pc, &self.mem).map(|(i, _, _)| i)
+    }
+
+    /// Drop every predecoded instruction (normally unnecessary — the
+    /// [`Memory`] write barrier invalidates automatically).
+    pub fn flush_decode_cache(&mut self) {
+        self.decode.flush();
+    }
+
+    /// Generic tail of a fast-path step for the variants the fused
+    /// [`Machine::run_block`] loop does not inline (traps, halts,
+    /// environment calls): execute + classify + bill, exactly as
+    /// [`Machine::step`] would.
+    fn step_rest(&mut self, inst: Inst, cost: u64, cost_taken: u64) -> Result<Step, SimError> {
+        let (next, taken) = self.cpu.execute(inst, &mut self.mem)?;
+        self.stats.account(inst, taken);
+        self.stats.cycles += if taken { cost_taken } else { cost };
+        self.finish(next)
+    }
+
+    /// Run up to `max_steps` fast-path steps, stopping early on exit or
+    /// trap. Returns [`Step::Running`] exactly when the whole budget was
+    /// consumed. This is the interpreter's hot loop: the common instruction
+    /// variants are executed inline off the predecoded slot with their
+    /// statistics bumped in the matching arm, so each retired instruction
+    /// dispatches on its opcode once (instead of execute + account + cost
+    /// re-matching it), and the instruction/cycle totals accumulate in
+    /// locals flushed at block exit. Accounting is bit-identical to
+    /// [`Machine::step_slow`] — the differential tests hold it there.
+    pub fn run_block(&mut self, max_steps: u64) -> Result<Step, SimError> {
+        self.decode.sync(&mut self.mem, &self.cost);
+        let mut done = 0u64; // steps retired this block
+        let mut insts = 0u64; // retired since the last stats flush
+        let mut cycles = 0u64;
+        let result = 'run: {
+            while done < max_steps {
+                let pc = self.cpu.pc;
+                let (inst, cost, cost_taken) = match self.decode.fetch(pc, &self.mem) {
+                    Ok(t) => t,
+                    Err(e) => break 'run Err(e),
+                };
+                let next_pc = pc.wrapping_add(INST_BYTES);
+                match inst {
+                    Inst::Alu { op, rd, rs1, rs2 } => {
+                        let v = op.eval(self.cpu.get(rs1), self.cpu.get(rs2));
+                        self.cpu.set(rd, v);
+                        self.cpu.pc = next_pc;
+                    }
+                    Inst::AluImm { op, rd, rs1, imm } => {
+                        let v = op.eval(self.cpu.get(rs1), imm);
+                        self.cpu.set(rd, v);
+                        self.cpu.pc = next_pc;
+                    }
+                    Inst::Lui { rd, imm } => {
+                        self.cpu.set(rd, ((imm as u32) << 16) as i32);
+                        self.cpu.pc = next_pc;
+                    }
+                    Inst::Load {
+                        width,
+                        signed,
+                        rd,
+                        base,
+                        off,
+                    } => {
+                        let addr = (self.cpu.get(base) as u32).wrapping_add(off as i32 as u32);
+                        match self.mem.load(addr, width, signed) {
+                            Ok(v) => {
+                                self.cpu.set(rd, v);
+                                self.cpu.pc = next_pc;
+                                self.stats.loads += 1;
+                            }
+                            Err(fault) => break 'run Err(SimError::DataFault { pc, fault }),
+                        }
+                    }
+                    Inst::Store {
+                        width,
+                        src,
+                        base,
+                        off,
+                    } => {
+                        let addr = (self.cpu.get(base) as u32).wrapping_add(off as i32 as u32);
+                        match self.mem.store(addr, width, self.cpu.get(src)) {
+                            Ok(()) => {
+                                self.cpu.pc = next_pc;
+                                self.stats.stores += 1;
+                                // The store may have patched code
+                                // (self-modifying programs); one compare
+                                // when it did not.
+                                if self.decode.stale(&self.mem) {
+                                    self.decode.sync_code(&mut self.mem);
+                                }
+                            }
+                            Err(fault) => break 'run Err(SimError::DataFault { pc, fault }),
+                        }
+                    }
+                    Inst::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        off,
+                    } => {
+                        self.stats.branches += 1;
+                        if cond.eval(self.cpu.get(rs1), self.cpu.get(rs2)) {
+                            self.stats.taken_branches += 1;
+                            self.cpu.pc = rel_target(pc, off as i32);
+                            done += 1;
+                            insts += 1;
+                            cycles += cost_taken;
+                            continue;
+                        }
+                        self.cpu.pc = next_pc;
+                    }
+                    Inst::J { off } => {
+                        self.cpu.pc = rel_target(pc, off);
+                    }
+                    Inst::Jal { off } => {
+                        self.cpu.set(Reg::RA, next_pc as i32);
+                        self.cpu.pc = rel_target(pc, off);
+                        self.stats.calls += 1;
+                    }
+                    Inst::Jr { rs } => {
+                        self.cpu.pc = self.cpu.get(rs) as u32;
+                    }
+                    Inst::Jalr { rs } => {
+                        let target = self.cpu.get(rs) as u32;
+                        self.cpu.set(Reg::RA, next_pc as i32);
+                        self.cpu.pc = target;
+                        self.stats.calls += 1;
+                    }
+                    Inst::Ret => {
+                        self.cpu.pc = self.cpu.get(Reg::RA) as u32;
+                        self.stats.returns += 1;
+                    }
+                    Inst::Nop => {
+                        self.cpu.pc = next_pc;
+                    }
+                    // Rare control — halts, environment calls, softcache
+                    // traps — takes the generic path. Flush the local
+                    // accumulators first: `step_rest` bills through
+                    // `self.stats`, and an `ecall` may read the cycle
+                    // counter.
+                    other => {
+                        self.stats.instructions += insts;
+                        self.stats.cycles += cycles;
+                        insts = 0;
+                        cycles = 0;
+                        match self.step_rest(other, cost, cost_taken) {
+                            Ok(Step::Running) => {
+                                done += 1;
+                                // The handler may have touched memory.
+                                self.decode.sync_code(&mut self.mem);
+                                continue;
+                            }
+                            Ok(stop) => break 'run Ok(stop),
+                            Err(e) => break 'run Err(e),
+                        }
+                    }
+                }
+                done += 1;
+                insts += 1;
+                cycles += cost;
+            }
+            Ok(Step::Running)
+        };
+        self.stats.instructions += insts;
+        self.stats.cycles += cycles;
+        result
+    }
+
+    /// Batch size for block runs: long enough to amortise loop entry,
+    /// short enough that fuel checks stay responsive.
+    pub const BLOCK_STEPS: u64 = 4096;
+
     /// Run natively until exit. Softcache traps are errors here (native
     /// images contain no rewritten instructions).
     pub fn run_native(&mut self, fuel: u64) -> Result<i32, RunError> {
-        self.run_native_traced(fuel, |_| {})
+        let mut remaining = fuel;
+        while remaining > 0 {
+            let batch = remaining.min(Self::BLOCK_STEPS);
+            match self.run_block(batch)? {
+                Step::Running => remaining -= batch,
+                Step::Exited(code) => return Ok(code),
+                Step::Trapped(t) => return Err(RunError::UnexpectedTrap(t)),
+            }
+        }
+        Err(RunError::OutOfFuel {
+            executed: self.stats.instructions,
+        })
     }
 
     /// Run natively, invoking `fetch_hook` with the PC of every executed
@@ -262,14 +490,14 @@ impl Machine {
         fuel: u64,
         mut fetch_hook: impl FnMut(u32),
     ) -> Result<i32, RunError> {
-        for executed in 0..fuel {
+        self.decode.sync(&mut self.mem, &self.cost);
+        for _ in 0..fuel {
             fetch_hook(self.cpu.pc);
-            match self.step()? {
+            match self.step_synced()? {
                 Step::Running => {}
                 Step::Exited(code) => return Ok(code),
                 Step::Trapped(t) => return Err(RunError::UnexpectedTrap(t)),
             }
-            let _ = executed;
         }
         Err(RunError::OutOfFuel {
             executed: self.stats.instructions,
@@ -369,10 +597,7 @@ buf:    .space 4
     fn fuel_exhaustion() {
         let img = assemble("_start: j _start").unwrap();
         let mut m = Machine::load_native(&img, &[]);
-        assert!(matches!(
-            m.run_native(100),
-            Err(RunError::OutOfFuel { .. })
-        ));
+        assert!(matches!(m.run_native(100), Err(RunError::OutOfFuel { .. })));
     }
 
     #[test]

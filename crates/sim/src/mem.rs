@@ -32,17 +32,34 @@ impl std::fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
-/// Byte-addressable little-endian memory.
+/// Byte-addressable little-endian memory with a code-write barrier.
+///
+/// The barrier exists for the predecoded fast path: any write landing in a
+/// *watched* range (by default, all of memory; the [`crate::Machine`]
+/// narrows it to the text + tcache regions) bumps a generation counter and
+/// widens a dirty span, so a decode cache can invalidate exactly the code
+/// the cache controller backpatched and nothing else.
 #[derive(Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// `[lo, hi)` address ranges whose writes count as code writes.
+    watch: [(u32, u32); 2],
+    code_gen: u64,
+    dirty_lo: u32,
+    dirty_hi: u32,
 }
 
 impl Memory {
-    /// Allocate `size` bytes of zeroed memory.
+    /// Allocate `size` bytes of zeroed memory. All writes are initially
+    /// treated as code writes (safe default); see
+    /// [`Memory::set_code_watch`].
     pub fn new(size: u32) -> Memory {
         Memory {
             bytes: vec![0; size as usize],
+            watch: [(0, u32::MAX), (0, 0)],
+            code_gen: 0,
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
         }
     }
 
@@ -51,10 +68,62 @@ impl Memory {
         self.bytes.len() as u32
     }
 
+    /// Restrict the code-write barrier to the given `[lo, hi)` ranges.
+    /// Writes outside every range no longer bump the generation — callers
+    /// must guarantee no code is ever fetched from unwatched addresses
+    /// while a decode cache is live (the decode cache refuses to memoise
+    /// unwatched PCs, so a wrong guess costs speed, not correctness).
+    pub fn set_code_watch(&mut self, ranges: [(u32, u32); 2]) {
+        self.watch = ranges;
+        // Anything cached under the old watch policy may now be invisible
+        // to the barrier; force consumers to resynchronise.
+        self.code_gen += 1;
+        self.dirty_lo = 0;
+        self.dirty_hi = u32::MAX;
+    }
+
+    /// True if `addr` lies in a watched (code) range.
+    #[inline]
+    pub fn is_code_watched(&self, addr: u32) -> bool {
+        let [(a_lo, a_hi), (b_lo, b_hi)] = self.watch;
+        (addr >= a_lo && addr < a_hi) || (addr >= b_lo && addr < b_hi)
+    }
+
+    /// Generation counter bumped by every watched write.
+    #[inline]
+    pub fn code_gen(&self) -> u64 {
+        self.code_gen
+    }
+
+    /// The accumulated dirty code span `[lo, hi)` since the last take,
+    /// reset to empty. `None` when no watched write happened.
+    pub fn take_dirty_code(&mut self) -> Option<(u32, u32)> {
+        if self.dirty_lo >= self.dirty_hi {
+            return None;
+        }
+        let span = (self.dirty_lo, self.dirty_hi);
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+        Some(span)
+    }
+
+    #[inline]
+    fn note_write(&mut self, addr: u32, len: u32) {
+        let end = addr.saturating_add(len);
+        let [(a_lo, a_hi), (b_lo, b_hi)] = self.watch;
+        if (addr < a_hi && end > a_lo) || (addr < b_hi && end > b_lo) {
+            self.code_gen += 1;
+            self.dirty_lo = self.dirty_lo.min(addr);
+            self.dirty_hi = self.dirty_hi.max(end);
+        }
+    }
+
     #[inline]
     fn check(&self, addr: u32, width: u32) -> Result<usize, MemFault> {
         let a = addr as usize;
-        if a.checked_add(width as usize).is_none_or(|end| end > self.bytes.len()) {
+        if a.checked_add(width as usize)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(MemFault::OutOfRange { addr });
         }
         if !addr.is_multiple_of(width) {
@@ -79,6 +148,7 @@ impl Memory {
     #[inline]
     pub fn write_u32(&mut self, addr: u32, val: u32) -> Result<(), MemFault> {
         let a = self.check(addr, 4)?;
+        self.note_write(addr, 4);
         self.bytes[a..a + 4].copy_from_slice(&val.to_le_bytes());
         Ok(())
     }
@@ -94,6 +164,7 @@ impl Memory {
     #[inline]
     pub fn write_u16(&mut self, addr: u32, val: u16) -> Result<(), MemFault> {
         let a = self.check(addr, 2)?;
+        self.note_write(addr, 2);
         self.bytes[a..a + 2].copy_from_slice(&val.to_le_bytes());
         Ok(())
     }
@@ -109,6 +180,7 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u32, val: u8) -> Result<(), MemFault> {
         let a = self.check(addr, 1)?;
+        self.note_write(addr, 1);
         self.bytes[a] = val;
         Ok(())
     }
@@ -139,9 +211,12 @@ impl Memory {
     /// Copy a byte slice into memory at `addr`.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemFault> {
         let a = addr as usize;
-        if a.checked_add(bytes.len()).is_none_or(|e| e > self.bytes.len()) {
+        if a.checked_add(bytes.len())
+            .is_none_or(|e| e > self.bytes.len())
+        {
             return Err(MemFault::OutOfRange { addr });
         }
+        self.note_write(addr, bytes.len() as u32);
         self.bytes[a..a + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -151,8 +226,14 @@ impl Memory {
         if !addr.is_multiple_of(4) {
             return Err(MemFault::Misaligned { addr, align: 4 });
         }
+        let a = addr as usize;
+        let len = words.len() * 4;
+        if a.checked_add(len).is_none_or(|e| e > self.bytes.len()) {
+            return Err(MemFault::OutOfRange { addr });
+        }
+        self.note_write(addr, len as u32);
         for (i, &w) in words.iter().enumerate() {
-            self.write_u32(addr + (i as u32) * 4, w)?;
+            self.bytes[a + i * 4..a + i * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }
         Ok(())
     }
@@ -160,7 +241,9 @@ impl Memory {
     /// Read `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MemFault> {
         let a = addr as usize;
-        if a.checked_add(len as usize).is_none_or(|e| e > self.bytes.len()) {
+        if a.checked_add(len as usize)
+            .is_none_or(|e| e > self.bytes.len())
+        {
             return Err(MemFault::OutOfRange { addr });
         }
         Ok(&self.bytes[a..a + len as usize])
@@ -196,10 +279,7 @@ mod tests {
     #[test]
     fn faults() {
         let mut m = Memory::new(16);
-        assert_eq!(
-            m.read_u32(16),
-            Err(MemFault::OutOfRange { addr: 16 })
-        );
+        assert_eq!(m.read_u32(16), Err(MemFault::OutOfRange { addr: 16 }));
         assert_eq!(
             m.read_u32(2),
             Err(MemFault::Misaligned { addr: 2, align: 4 })

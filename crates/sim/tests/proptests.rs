@@ -48,6 +48,82 @@ proptest! {
         }
     }
 
+    /// The predecoded fast path is bit-identical to the fetch+decode slow
+    /// path on arbitrary programs: same step outcomes, same faults, same
+    /// registers, same stats, same cycles — even on garbage code, and even
+    /// when the program overwrites its own text (the write barrier must
+    /// invalidate memoised decodes).
+    #[test]
+    fn fast_path_matches_slow_path_on_garbage(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        patches in prop::collection::vec((0u32..64, any::<u32>()), 0..4),
+    ) {
+        let image = softcache_isa::Image {
+            entry: softcache_isa::layout::TEXT_BASE,
+            text_base: softcache_isa::layout::TEXT_BASE,
+            text: words.clone(),
+            data_base: softcache_isa::layout::DATA_BASE,
+            data: vec![],
+            symbols: vec![],
+        };
+        let mut fast = Machine::load_native(&image, b"in");
+        let mut slow = Machine::load_native(&image, b"in");
+        for (i, &(slot, val)) in patches.iter().enumerate() {
+            // Interleave external code writes (as the CC does when it
+            // backpatches) with execution.
+            let steps = 40 * (i + 1);
+            for _ in 0..steps {
+                let f = fast.step();
+                let s = slow.step_slow();
+                prop_assert_eq!(&f, &s, "step outcome diverged");
+                if !matches!(f, Ok(Step::Running)) {
+                    break;
+                }
+            }
+            let addr = image.text_base + (slot % words.len() as u32) * 4;
+            let _ = fast.mem.write_u32(addr, val);
+            let _ = slow.mem.write_u32(addr, val);
+        }
+        for _ in 0..300 {
+            let f = fast.step();
+            let s = slow.step_slow();
+            prop_assert_eq!(&f, &s, "step outcome diverged");
+            if !matches!(f, Ok(Step::Running)) {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        prop_assert_eq!(fast.cpu.pc, slow.cpu.pc);
+        prop_assert_eq!(fast.env.output, slow.env.output);
+    }
+
+    /// Same equivalence on well-formed programs run to completion via the
+    /// batched block runner (`run_native`) rather than single-stepping.
+    #[test]
+    fn block_runner_matches_slow_path_on_real_programs(
+        n in 1u32..120,
+        stride in 1i32..7,
+    ) {
+        let src = format!(
+            "_start: li t0, {n}\n li t1, 0\n.Ll: addi t1, t1, {stride}\n \
+             addi t0, t0, -1\n bnez t0, .Ll\n mv a0, t1\n ecall 0"
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut fast = Machine::load_native(&image, &[]);
+        let fast_exit = fast.run_native(1_000_000).unwrap();
+        let mut slow = Machine::load_native(&image, &[]);
+        let slow_exit = loop {
+            match slow.step_slow().unwrap() {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                s => return Err(TestCaseError::fail(format!("{s:?}"))),
+            }
+        };
+        prop_assert_eq!(fast_exit, slow_exit);
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        prop_assert_eq!(fast_exit, n as i32 * stride);
+    }
+
     /// Cycle accounting is monotone and at least one per instruction.
     #[test]
     fn cycles_dominate_instructions(n in 1u32..200) {

@@ -88,14 +88,31 @@ fn text_input(scale: u32) -> Vec<u8> {
     // LZW/LZSS compressors.
     let mut rng = StdRng::seed_from_u64(0x5eed_c0de);
     let words = [
-        "the", "quick", "sensor", "network", "cache", "rewriting", "embedded", "server",
-        "memory", "hierarchy", "binary", "miss", "hit", "block", "translate",
+        "the",
+        "quick",
+        "sensor",
+        "network",
+        "cache",
+        "rewriting",
+        "embedded",
+        "server",
+        "memory",
+        "hierarchy",
+        "binary",
+        "miss",
+        "hit",
+        "block",
+        "translate",
     ];
     let mut out = Vec::with_capacity((scale as usize) * 64);
     while out.len() < (scale as usize) * 64 {
         let w = words[rng.gen_range(0..words.len())];
         out.extend_from_slice(w.as_bytes());
-        out.push(if rng.gen_range(0..8) == 0 { b'\n' } else { b' ' });
+        out.push(if rng.gen_range(0..8) == 0 {
+            b'\n'
+        } else {
+            b' '
+        });
     }
     out
 }
@@ -123,10 +140,10 @@ fn adpcm_stream_input(scale: u32) -> Vec<u8> {
     let steptab: [i32; 89] = [
         7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
         66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
-        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
-        1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
-        7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623,
-        27086, 29794, 32767,
+        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878,
+        2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845,
+        8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+        29794, 32767,
     ];
     let idxtab: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
     let mut valpred = 0i32;
@@ -169,7 +186,9 @@ fn adpcm_stream_input(scale: u32) -> Vec<u8> {
         delta as u8
     };
     let mut out = Vec::new();
-    let mut it = pcm.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]]) as i32);
+    let mut it = pcm
+        .chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]) as i32);
     while let Some(a) = it.next() {
         let c0 = encode(a);
         let c1 = it.next().map(&mut encode).unwrap_or(0);
@@ -185,7 +204,9 @@ fn image_input(_scale: u32) -> Vec<u8> {
     let mut out = vec![w as u8, h as u8];
     for y in 0..h {
         for x in 0..w {
-            let v = 100 + (x * 3 + y * 2) as i32 % 80 + ((x / 8 + y / 8) % 2) as i32 * 20
+            let v = 100
+                + (x * 3 + y * 2) as i32 % 80
+                + ((x / 8 + y / 8) % 2) as i32 * 20
                 + rng.gen_range(-6..6);
             out.push(v.clamp(0, 255) as u8);
         }
@@ -206,9 +227,8 @@ fn frames_input(_scale: u32) -> Vec<u8> {
     // motion estimation finds the shift.
     let mut rng = StdRng::seed_from_u64(99);
     let (w, h) = (48i32, 32i32);
-    let pix = |x: i32, y: i32| -> u8 {
-        (((x * 5 + y * 7) % 120 + ((x / 6) % 3) * 25 + 60) & 0xff) as u8
-    };
+    let pix =
+        |x: i32, y: i32| -> u8 { (((x * 5 + y * 7) % 120 + ((x / 6) % 3) * 25 + 60) & 0xff) as u8 };
     let mut out = Vec::with_capacity((w * h * 2) as usize);
     for y in 0..h {
         for x in 0..w {
@@ -399,7 +419,10 @@ mod tests {
                 shifted += 1;
             }
         }
-        assert!(shifted >= 2, "only {shifted} macroblocks found the (-2,-1) shift");
+        assert!(
+            shifted >= 2,
+            "only {shifted} macroblocks found the (-2,-1) shift"
+        );
     }
 
     #[test]
@@ -474,15 +497,9 @@ mod coldlib_tests {
     fn coldlib_functions_actually_work() {
         // The cold code must be *real* code, not filler: drive its
         // self-test through a tiny main.
-        let src = format!(
-            "int main() {{ return cold_selftest(); }}\n{}",
-            COLDLIB
-        );
-        let img = softcache_minic::compile_to_image(
-            &src,
-            &softcache_minic::Options::default(),
-        )
-        .unwrap();
+        let src = format!("int main() {{ return cold_selftest(); }}\n{}", COLDLIB);
+        let img =
+            softcache_minic::compile_to_image(&src, &softcache_minic::Options::default()).unwrap();
         let mut m = Machine::load_native(&img, &[]);
         let code = m.run_native(50_000_000).unwrap();
         assert_eq!(code, 1, "cold_selftest must pass");

@@ -28,8 +28,8 @@ int main() {
 
 fn main() {
     // 1. Compile: minic -> eRISC assembly -> linked image.
-    let image = minic::compile_to_image(PROGRAM, &minic::Options::default())
-        .expect("program compiles");
+    let image =
+        minic::compile_to_image(PROGRAM, &minic::Options::default()).expect("program compiles");
     println!(
         "compiled: {} bytes of text, {} bytes of data",
         image.text_bytes(),

@@ -1,0 +1,232 @@
+//! A self-contained, dependency-free benchmarking shim.
+//!
+//! This container has no access to crates.io, so the workspace vendors the
+//! subset of the `criterion` 0.5 API its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. It measures wall time with
+//! `std::time::Instant` and prints mean/min/max per benchmark — no HTML
+//! reports, no statistics engine, but the same bench sources compile and
+//! produce usable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement markers (only wall time is supported).
+
+    /// Wall-clock measurement marker.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// routine invocation regardless of variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.samples.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.samples.push(t0.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &b.samples);
+        self
+    }
+
+    /// Finish the group (no-op; reports are printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{name:<44} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+        samples.len()
+    );
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; cargo's own `--bench` flag is skipped.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.matches(&id) {
+            let mut b = Bencher {
+                samples: Vec::with_capacity(self.default_sample_size),
+                target_samples: self.default_sample_size,
+            };
+            f(&mut b);
+            report(&id, &b.samples);
+        }
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner the `criterion_main!` macro
+/// can invoke.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (std's implementation).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_times() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(4);
+        let mut count = 0u32;
+        g.bench_function("iter", |b| b.iter(|| count += 1));
+        assert_eq!(count, 4);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 2u32, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

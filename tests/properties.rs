@@ -113,16 +113,27 @@ fn random_program() -> impl Strategy<Value = String> {
         (-100i32..100).prop_map(|n| n.to_string()),
         (0usize..4).prop_map(|v| format!("v{v}")),
     ];
-    let expr = (expr_leaf.clone(), prop_oneof![
-        Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
-        Just("&"), Just("|"), Just("^"), Just("<"), Just("=="),
-    ], expr_leaf)
+    let expr = (
+        expr_leaf.clone(),
+        prop_oneof![
+            Just("+"),
+            Just("-"),
+            Just("*"),
+            Just("/"),
+            Just("%"),
+            Just("&"),
+            Just("|"),
+            Just("^"),
+            Just("<"),
+            Just("=="),
+        ],
+        expr_leaf,
+    )
         .prop_map(|(a, op, b)| format!("({a} {op} {b})"));
     let stmt = prop_oneof![
         ((0usize..4), expr.clone()).prop_map(|(v, e)| format!("v{v} = {e};")),
-        ((0usize..4), expr.clone(), (0usize..4), expr.clone()).prop_map(
-            |(c, ce, v, e)| format!("if (v{c} > 0) v{v} = {e}; else v{v} = {ce};")
-        ),
+        ((0usize..4), expr.clone(), (0usize..4), expr.clone())
+            .prop_map(|(c, ce, v, e)| format!("if (v{c} > 0) v{v} = {e}; else v{v} = {ce};")),
         ((0usize..4), (1u32..8), expr.clone()).prop_map(|(v, n, e)| {
             format!("for (it = 0; it < {n}; it = it + 1) v{v} = v{v} + {e};")
         }),

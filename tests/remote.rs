@@ -13,7 +13,12 @@ use softcache::sim::Machine;
 use softcache::workloads::by_name;
 use std::time::Duration;
 
-fn spawn_server(image: softcache::isa::Image) -> (std::thread::JoinHandle<u64>, softcache::net::transport::ChannelTransport) {
+fn spawn_server(
+    image: softcache::isa::Image,
+) -> (
+    std::thread::JoinHandle<u64>,
+    softcache::net::transport::ChannelTransport,
+) {
     let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(300));
     let handle = std::thread::spawn(move || {
         let mut mc = Mc::new(image);
@@ -82,8 +87,7 @@ fn workload_over_remote_proc_cache_with_paging() {
         memory_bytes: image.text_bytes() * 3 / 4, // forces eviction
         ..ProcConfig::default()
     };
-    let mut sys =
-        ProcCacheSystem::with_endpoint(image, cfg, McEndpoint::remote(Box::new(cc_t)));
+    let mut sys = ProcCacheSystem::with_endpoint(image, cfg, McEndpoint::remote(Box::new(cc_t)));
     let out = sys.run(&input).unwrap();
     assert_eq!(out.exit_code, want);
     assert_eq!(out.output, native.env.output);
