@@ -19,6 +19,7 @@ fn main() {
         "fig8",
         "fig9",
         "net-overhead",
+        "faults",
         "dcache",
         "guarantees",
         "ablations",
@@ -58,6 +59,9 @@ fn main() {
     }
     if run("net-overhead") {
         net_overhead();
+    }
+    if run("faults") {
+        faults();
     }
     if run("dcache") {
         dcache();
@@ -241,6 +245,35 @@ fn net_overhead() {
         "measured: {} bytes per request/reply exchange (paper: 60 bytes)",
         exp::net_overhead()
     );
+}
+
+fn faults() {
+    header("Fault tolerance — adpcmenc over a faulty link (output verified identical)");
+    let rows = exp::fault_tolerance();
+    let mut t = vec![vec![
+        "fault plan".to_string(),
+        "events".to_string(),
+        "retries".to_string(),
+        "crc drops".to_string(),
+        "resyncs".to_string(),
+        "recovery cyc".to_string(),
+        "rel. time".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.label.to_string(),
+            r.events.to_string(),
+            r.retries.to_string(),
+            r.crc_drops.to_string(),
+            r.resyncs.to_string(),
+            r.backoff_cycles.to_string(),
+            format!("{:.3}x", r.relative_time),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!("\nEvery row produced byte-identical output: corruption, loss, reordering");
+    println!("and MC restarts degrade into the recovery cycles above, never into a");
+    println!("wrong result. The epoch handshake turns a restart into one resync.");
 }
 
 fn dcache() {

@@ -377,6 +377,128 @@ pub fn net_overhead() -> f64 {
     out.cache.link.overhead_per_rpc()
 }
 
+// -------------------------------------------------- fault-tolerance sweep
+
+/// One row of the fault-tolerance experiment: a workload over a link with
+/// a deterministic fault schedule, compared against the clean run.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Fault-plan label.
+    pub label: &'static str,
+    /// Session recovery events (retries + drops discarded + resyncs ...).
+    pub events: u64,
+    /// Counted retransmissions.
+    pub retries: u64,
+    /// Frames discarded for checksum mismatch.
+    pub crc_drops: u64,
+    /// Full invalidate-and-refetch resyncs (MC restarts survived).
+    pub resyncs: u64,
+    /// Extra simulated cycles attributable to recovery.
+    pub backoff_cycles: u64,
+    /// Execution time relative to the clean-link run.
+    pub relative_time: f64,
+}
+
+/// Robustness sweep: the same workload under escalating link faults and an
+/// MC that crash-restarts mid-run. Output is verified byte-identical to
+/// the clean run in every row — faults degrade into latency, never into
+/// wrong results — and the extra latency is exactly the recovery ledger.
+pub fn fault_tolerance() -> Vec<FaultRow> {
+    use softcache_core::endpoint::{serve_bounded, McEndpoint};
+    use softcache_core::mc::Mc;
+    use softcache_net::{thread_pair, FaultPlan, FaultyTransport, LinkPolicy};
+    use std::time::Duration;
+
+    let w = by_name("adpcmenc").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+
+    // `crashes > 0`: the MC serves 12 requests, dies, and comes back with
+    // the next epoch — that many times — then stays up.
+    let run = |plan: FaultPlan, crashes: u32| {
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(10));
+        let img = image.clone();
+        let server = std::thread::spawn(move || {
+            for life in 0..=crashes {
+                let mut mc = Mc::new(img.clone());
+                mc.set_epoch(life + 1);
+                let bound = if life == crashes { u64::MAX } else { 12 };
+                if serve_bounded(&mut mc, &mut mc_t, bound).disconnected {
+                    return;
+                }
+            }
+        });
+        let cfg = IcacheConfig {
+            link_policy: LinkPolicy::eager(400),
+            ..IcacheConfig::default()
+        };
+        let faulty = FaultyTransport::new(cc_t, plan);
+        let mut sys = SoftIcacheSystem::with_endpoint(
+            image.clone(),
+            cfg,
+            McEndpoint::remote(Box::new(faulty)),
+        );
+        let out = sys.run(&input).expect("run survives the fault plan");
+        drop(sys);
+        server.join().expect("server thread");
+        out
+    };
+
+    let plans: [(&'static str, FaultPlan, u32); 5] = [
+        ("clean link", FaultPlan::clean(1), 0),
+        (
+            "corruption 6%",
+            FaultPlan {
+                corrupt_per_mille: 60,
+                ..FaultPlan::clean(2)
+            },
+            0,
+        ),
+        (
+            "loss 2% + dup 4%",
+            FaultPlan {
+                drop_per_mille: 20,
+                dup_per_mille: 40,
+                ..FaultPlan::clean(3)
+            },
+            0,
+        ),
+        (
+            "reorder 3% + delay 3%",
+            FaultPlan {
+                reorder_per_mille: 30,
+                delay_per_mille: 30,
+                ..FaultPlan::clean(4)
+            },
+            0,
+        ),
+        ("MC crash-restart x3", FaultPlan::clean(5), 3),
+    ];
+
+    let clean = run(plans[0].1, 0);
+    plans
+        .iter()
+        .map(|&(label, plan, crashes)| {
+            let out = run(plan, crashes);
+            assert_eq!(
+                out.output, clean.output,
+                "{label}: faults must never change program output"
+            );
+            assert_eq!(out.exit_code, clean.exit_code, "{label}: exit code");
+            let s = out.cache.link.session;
+            FaultRow {
+                label,
+                events: s.events(),
+                retries: s.retries,
+                crc_drops: s.crc_drops,
+                resyncs: s.resyncs,
+                backoff_cycles: s.backoff_cycles,
+                relative_time: out.exec.cycles as f64 / clean.exec.cycles as f64,
+            }
+        })
+        .collect()
+}
+
 // --------------------------------------------------- Figure 10 / §3 dcache
 
 /// One prediction-policy row of the data-cache experiment.

@@ -16,7 +16,7 @@ use softcache_isa::inst::Inst;
 use softcache_isa::layout::{FP_SENTINEL, STACK_TOP};
 use softcache_isa::reg::Reg;
 use softcache_isa::{cf, encode};
-use softcache_net::{LinkModel, LinkStats, NetError};
+use softcache_net::{LinkModel, LinkPolicy, LinkStats, NetError};
 use softcache_sim::{Machine, SimError};
 use std::collections::HashMap;
 
@@ -29,6 +29,9 @@ pub struct IcacheConfig {
     pub tcache_size: u32,
     /// MC↔CC link cost model.
     pub link: LinkModel,
+    /// Retry/backoff policy for the remote MC endpoint (ignored when the
+    /// MC is fused in-process).
+    pub link_policy: LinkPolicy,
     /// Fixed CC-side cycles per serviced miss (trap entry, record lookup,
     /// patching).
     pub miss_handler_cycles: u64,
@@ -46,6 +49,7 @@ impl Default for IcacheConfig {
             tcache_base: softcache_isa::layout::TCACHE_BASE,
             tcache_size: 48 * 1024,
             link: LinkModel::default(),
+            link_policy: LinkPolicy::default(),
             miss_handler_cycles: 60,
             hash_lookup_cycles: 12,
             install_cycles_per_word: 2,
@@ -103,6 +107,9 @@ pub enum CacheError {
     OutOfFuel,
     /// A trap referenced an unknown miss record (corrupted tcache).
     BadMissRecord(u32),
+    /// The MC's session epoch changed: it restarted and lost its residence
+    /// mirror. The CC must resync (full local invalidate) and retry.
+    McRestarted,
 }
 
 impl std::fmt::Display for CacheError {
@@ -120,6 +127,7 @@ impl std::fmt::Display for CacheError {
             CacheError::Sim(e) => write!(f, "{e}"),
             CacheError::OutOfFuel => write!(f, "instruction budget exhausted"),
             CacheError::BadMissRecord(idx) => write!(f, "unknown miss record {idx}"),
+            CacheError::McRestarted => write!(f, "memory controller restarted (epoch changed)"),
         }
     }
 }
@@ -239,12 +247,16 @@ impl Cc {
     }
 
     fn rpc(&mut self, ep: &mut McEndpoint, req: &Request) -> Result<(Reply, u64), CacheError> {
-        let (reply, req_bytes, rep_bytes) = ep.rpc(req)?;
-        let stall = self
-            .stats
-            .link
-            .record_rpc(&self.cfg.link, req_bytes, rep_bytes);
-        Ok((reply, stall))
+        let out = ep.rpc(req)?;
+        let stall = self.stats.link.record_attempts(
+            &self.cfg.link,
+            out.req_bytes,
+            out.rep_bytes,
+            out.attempts,
+            out.backoff,
+        );
+        self.stats.link.session.absorb(&out.session);
+        Ok((out.reply, stall))
     }
 
     /// Chunk id containing tcache address `addr`, if any.
@@ -293,7 +305,18 @@ impl Cc {
                 orig_pc: orig,
                 dest,
             };
-            let (reply, stall) = self.rpc(ep, &req)?;
+            let (reply, stall) = match self.rpc(ep, &req) {
+                Ok(x) => x,
+                Err(CacheError::McRestarted) => {
+                    // The MC came back empty-handed: nothing it resolved
+                    // for us is trustworthy any more. Drop everything
+                    // locally and retry this fetch against the fresh MC.
+                    self.resync(machine);
+                    flushed = false;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             self.stats.miss_cycles += stall;
             machine.stats.cycles += stall;
             let chunk = match reply {
@@ -534,40 +557,74 @@ impl Cc {
         self.stats.ra_redirects += 1;
     }
 
-    /// Flush the entire tcache. Live return addresses are mapped back to
-    /// original addresses *before* the state is cleared and redirected to
-    /// fresh trampolines after.
-    pub fn flush(&mut self, machine: &mut Machine, ep: &mut McEndpoint) -> Result<(), CacheError> {
-        // 1. Collect return addresses while the tc→orig mapping still exists.
-        let pending: Vec<(RaLoc, u32)> = self
-            .ra_locations(machine)
+    /// Collect live return addresses pointing into the tcache, mapped back
+    /// to original-program addresses (must run while the tc→orig mapping
+    /// still exists).
+    fn collect_tcache_ras(&self, machine: &Machine) -> Vec<(RaLoc, u32)> {
+        self.ra_locations(machine)
             .into_iter()
             .filter(|&(_, v)| self.in_tcache(v))
             .filter_map(|(loc, v)| self.tc_to_orig(v).map(|o| (loc, o)))
-            .collect();
-        // 2. Clear everything.
+            .collect()
+    }
+
+    /// Drop every chunk, record and trampoline and reset the allocation
+    /// pointer — the local half of both [`Cc::flush`] and [`Cc::resync`].
+    fn reset_local(&mut self) {
         self.chunks.clear();
         self.map.clear();
         self.records.clear();
         self.trampolines.clear();
         self.next_free = self.cfg.tcache_base;
         self.generation += 1;
-        self.stats.flushes += 1;
         if let Some(p) = &mut self.power {
             p.release_all();
         }
-        let (reply, stall) = self.rpc(ep, &Request::InvalidateAll)?;
-        machine.stats.cycles += stall;
-        if !matches!(reply, Reply::Ack) {
-            return Err(CacheError::Proto);
-        }
-        // 3. Re-point return addresses at trampolines.
+    }
+
+    /// Re-point previously collected return addresses at fresh trampolines
+    /// in the (now empty) tcache.
+    fn retrampoline(&mut self, machine: &mut Machine, pending: Vec<(RaLoc, u32)>) {
         for (loc, orig) in pending {
             let stub = self
                 .trampoline_for(machine, orig)
                 .expect("fresh tcache has room for trampolines");
             self.write_ra(machine, loc, stub);
         }
+    }
+
+    /// Recover from an MC restart: the new MC's mirror is empty, so every
+    /// locally cached translation is unverifiable. Drop them all (return
+    /// addresses are preserved via trampolines, exactly as in a capacity
+    /// flush) and let execution refetch on demand. No RPC is needed — the
+    /// fresh MC has nothing to invalidate.
+    pub fn resync(&mut self, machine: &mut Machine) {
+        let pending = self.collect_tcache_ras(machine);
+        self.reset_local();
+        self.stats.link.session.resyncs += 1;
+        self.retrampoline(machine, pending);
+    }
+
+    /// Flush the entire tcache. Live return addresses are mapped back to
+    /// original addresses *before* the state is cleared and redirected to
+    /// fresh trampolines after.
+    pub fn flush(&mut self, machine: &mut Machine, ep: &mut McEndpoint) -> Result<(), CacheError> {
+        let pending = self.collect_tcache_ras(machine);
+        self.reset_local();
+        self.stats.flushes += 1;
+        match self.rpc(ep, &Request::InvalidateAll) {
+            Ok((reply, stall)) => {
+                machine.stats.cycles += stall;
+                if !matches!(reply, Reply::Ack) {
+                    return Err(CacheError::Proto);
+                }
+            }
+            // A restarted MC has an empty mirror — the invalidation we were
+            // about to request already happened, just more thoroughly.
+            Err(CacheError::McRestarted) => self.stats.link.session.resyncs += 1,
+            Err(e) => return Err(e),
+        }
+        self.retrampoline(machine, pending);
         Ok(())
     }
 
@@ -664,10 +721,17 @@ impl Cc {
         if let Some(p) = &mut self.power {
             p.release(chunk.tc_start, chunk.n_words * 4);
         }
-        let (reply, stall) = self.rpc(ep, &Request::Invalidate { orig_pc: orig })?;
-        machine.stats.cycles += stall;
-        if !matches!(reply, Reply::Ack) {
-            return Err(CacheError::Proto);
+        match self.rpc(ep, &Request::Invalidate { orig_pc: orig }) {
+            Ok((reply, stall)) => {
+                machine.stats.cycles += stall;
+                if !matches!(reply, Reply::Ack) {
+                    return Err(CacheError::Proto);
+                }
+            }
+            // The MC restarted: the chunk is gone from its mirror along
+            // with everything else. Resync the rest of our state too.
+            Err(CacheError::McRestarted) => self.resync(machine),
+            Err(e) => return Err(e),
         }
         Ok(true)
     }

@@ -252,24 +252,38 @@ impl Dcache {
             let b = self.blocks.remove(victim);
             if b.dirty {
                 let addr = b.tag * self.cfg.block_bytes;
-                let (reply, req_b, rep_b) = ep.rpc(&Request::WriteData {
+                let out = ep.rpc(&Request::WriteData {
                     addr,
                     bytes: b.data,
                 })?;
-                *extra_cycles += self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
-                if !matches!(reply, Reply::Ack) {
+                *extra_cycles += self.stats.link.record_attempts(
+                    &self.cfg.link,
+                    out.req_bytes,
+                    out.rep_bytes,
+                    out.attempts,
+                    out.backoff,
+                );
+                self.stats.link.session.absorb(&out.session);
+                if !matches!(out.reply, Reply::Ack) {
                     return Err(CacheError::Proto);
                 }
                 self.stats.writebacks += 1;
             }
         }
         let addr = tag * self.cfg.block_bytes;
-        let (reply, req_b, rep_b) = ep.rpc(&Request::FetchData {
+        let out = ep.rpc(&Request::FetchData {
             addr,
             len: self.cfg.block_bytes,
         })?;
-        *extra_cycles += self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
-        let data = match reply {
+        *extra_cycles += self.stats.link.record_attempts(
+            &self.cfg.link,
+            out.req_bytes,
+            out.rep_bytes,
+            out.attempts,
+            out.backoff,
+        );
+        self.stats.link.session.absorb(&out.session);
+        let data = match out.reply {
             Reply::Data(d) if d.len() == self.cfg.block_bytes as usize => d,
             Reply::Err(code) => return Err(CacheError::Mc(code)),
             _ => return Err(CacheError::Proto),
@@ -431,9 +445,16 @@ impl Dcache {
             WritePolicy::WriteBack => b.dirty = true,
             WritePolicy::WriteThrough => {
                 let bytes = value.to_le_bytes()[..width as usize].to_vec();
-                let (reply, req_b, rep_b) = ep.rpc(&Request::WriteData { addr, bytes })?;
-                extra += self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
-                if !matches!(reply, Reply::Ack) {
+                let out = ep.rpc(&Request::WriteData { addr, bytes })?;
+                extra += self.stats.link.record_attempts(
+                    &self.cfg.link,
+                    out.req_bytes,
+                    out.rep_bytes,
+                    out.attempts,
+                    out.backoff,
+                );
+                self.stats.link.session.absorb(&out.session);
+                if !matches!(out.reply, Reply::Ack) {
                     return Err(CacheError::Proto);
                 }
                 self.stats.writebacks += 1;
@@ -449,12 +470,19 @@ impl Dcache {
         for b in &mut self.blocks {
             if b.dirty {
                 let addr = b.tag * self.cfg.block_bytes;
-                let (reply, req_b, rep_b) = ep.rpc(&Request::WriteData {
+                let out = ep.rpc(&Request::WriteData {
                     addr,
                     bytes: b.data.clone(),
                 })?;
-                let _ = self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
-                if !matches!(reply, Reply::Ack) {
+                let _ = self.stats.link.record_attempts(
+                    &self.cfg.link,
+                    out.req_bytes,
+                    out.rep_bytes,
+                    out.attempts,
+                    out.backoff,
+                );
+                self.stats.link.session.absorb(&out.session);
+                if !matches!(out.reply, Reply::Ack) {
                     return Err(CacheError::Proto);
                 }
                 b.dirty = false;
@@ -665,7 +693,7 @@ mod write_policy_tests {
     }
 
     fn server_word(ep: &mut McEndpoint, addr: u32) -> u32 {
-        match ep.rpc(&Request::FetchData { addr, len: 4 }).unwrap().0 {
+        match ep.rpc(&Request::FetchData { addr, len: 4 }).unwrap().reply {
             Reply::Data(d) => u32::from_le_bytes(d.try_into().unwrap()),
             other => panic!("{other:?}"),
         }

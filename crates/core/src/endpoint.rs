@@ -9,17 +9,62 @@
 //!   path is exercised and byte-accounted identically.
 //! * **Remote** ([`McEndpoint::Remote`]): MC behind a [`Transport`] —
 //!   typically a crossbeam channel pair with the MC's serve loop on another
-//!   thread (§2.3, ARM prototype: two Skiff boards on Ethernet). Requests
-//!   carry sequence numbers; lost frames are retried and stale replies
-//!   discarded, so a lossy link degrades to latency, never to corruption.
+//!   thread (§2.3, ARM prototype: two Skiff boards on Ethernet).
+//!
+//! The remote path wraps every frame in the session envelope
+//! (`seq | epoch | crc32 | payload`, see `softcache_net::envelope`):
+//!
+//! * CRC failures turn wire corruption into detectable loss — the frame is
+//!   dropped and retransmission resolves it, so a faulty link degrades to
+//!   latency, never to tcache corruption;
+//! * sequence numbers discard stale/duplicated/reordered replies;
+//! * the server epoch in every reply makes MC restarts observable: an
+//!   epoch change means the MC lost its residence mirror, so the endpoint
+//!   adopts the new epoch and surfaces [`CacheError::McRestarted`], which
+//!   the CC answers with a full local resync (invalidate + refetch).
+//!
+//! Retries use the bounded exponential backoff of [`LinkPolicy`], with
+//!   deterministic jitter so runs replay identically.
 
 use crate::cc::CacheError;
 use crate::mc::Mc;
 use crate::protocol::{Reply, Request};
-use softcache_net::{NetError, Transport};
+use softcache_net::envelope::{open, seal, EnvelopeError};
+use softcache_net::{LinkPolicy, NetError, SessionCounters, Transport};
+use std::time::Duration;
 
-/// How many times a remote RPC is retried on timeout before giving up.
-const DEFAULT_RETRIES: u32 = 3;
+/// Everything one request/reply exchange produced: the reply, the payload
+/// sizes for byte accounting, how hard the session layer had to work to
+/// get it, and the recovery events it logged along the way.
+#[derive(Clone, Debug)]
+pub struct RpcOutcome {
+    /// The decoded reply.
+    pub reply: Reply,
+    /// Request payload bytes (excluding the 12-byte envelope, which is
+    /// part of the modeled per-message header).
+    pub req_bytes: u32,
+    /// Reply payload bytes.
+    pub rep_bytes: u32,
+    /// Wire attempts made (1 = no retransmission).
+    pub attempts: u32,
+    /// Total backoff wall-time slept between attempts.
+    pub backoff: Duration,
+    /// Session recovery events observed during this exchange.
+    pub session: SessionCounters,
+}
+
+impl RpcOutcome {
+    fn direct(reply: Reply, req_bytes: u32, rep_bytes: u32) -> RpcOutcome {
+        RpcOutcome {
+            reply,
+            req_bytes,
+            rep_bytes,
+            attempts: 1,
+            backoff: Duration::ZERO,
+            session: SessionCounters::default(),
+        }
+    }
+}
 
 /// The CC's connection to the MC.
 pub enum McEndpoint {
@@ -31,8 +76,10 @@ pub enum McEndpoint {
         transport: Box<dyn Transport>,
         /// Next sequence number.
         seq: u32,
-        /// Retries on timeout.
-        retries: u32,
+        /// Retry/backoff policy.
+        policy: LinkPolicy,
+        /// Last epoch seen from the server (`None` until the handshake).
+        epoch: Option<u32>,
     },
 }
 
@@ -42,12 +89,25 @@ impl McEndpoint {
         McEndpoint::Direct(Box::new(mc))
     }
 
-    /// Remote MC over `transport`.
+    /// Remote MC over `transport`, with the default [`LinkPolicy`].
     pub fn remote(transport: Box<dyn Transport>) -> McEndpoint {
+        McEndpoint::remote_with_policy(transport, LinkPolicy::default())
+    }
+
+    /// Remote MC over `transport` under `policy`.
+    pub fn remote_with_policy(transport: Box<dyn Transport>, policy: LinkPolicy) -> McEndpoint {
         McEndpoint::Remote {
             transport,
             seq: 0,
-            retries: DEFAULT_RETRIES,
+            policy,
+            epoch: None,
+        }
+    }
+
+    /// Replace the retry/backoff policy (no-op for the fused MC).
+    pub fn set_policy(&mut self, new: LinkPolicy) {
+        if let McEndpoint::Remote { policy, .. } = self {
+            *policy = new;
         }
     }
 
@@ -59,79 +119,201 @@ impl McEndpoint {
         }
     }
 
-    /// Perform one request/reply exchange. Returns the reply plus the
-    /// request/reply payload sizes for link accounting.
-    pub fn rpc(&mut self, req: &Request) -> Result<(Reply, u32, u32), CacheError> {
-        let req_frame = req.encode();
+    /// The server epoch this endpoint last observed (None for the fused
+    /// MC or before the first remote exchange).
+    pub fn observed_epoch(&self) -> Option<u32> {
+        match self {
+            McEndpoint::Direct(_) => None,
+            McEndpoint::Remote { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Perform one request/reply exchange.
+    ///
+    /// On the remote path the first exchange is preceded by a lazy
+    /// [`Request::Hello`] handshake to learn the server epoch (the
+    /// handshake's payload bytes are not accounted — it happens once per
+    /// session — but its recovery events are folded into the outcome). An
+    /// epoch change on any later reply surfaces as
+    /// [`CacheError::McRestarted`] after the new epoch is adopted, so the
+    /// caller can resync and simply retry the same request.
+    pub fn rpc(&mut self, req: &Request) -> Result<RpcOutcome, CacheError> {
         match self {
             McEndpoint::Direct(mc) => {
+                let req_frame = req.encode();
                 let rep_frame = mc.handle_frame(&req_frame);
                 let reply = Reply::decode(&rep_frame).map_err(|_| CacheError::Proto)?;
-                Ok((reply, req_frame.len() as u32, rep_frame.len() as u32))
+                Ok(RpcOutcome::direct(
+                    reply,
+                    req_frame.len() as u32,
+                    rep_frame.len() as u32,
+                ))
             }
             McEndpoint::Remote {
                 transport,
                 seq,
-                retries,
+                policy,
+                epoch,
             } => {
-                *seq += 1;
-                let id = *seq;
-                let mut wire = Vec::with_capacity(4 + req_frame.len());
-                wire.extend_from_slice(&id.to_le_bytes());
-                wire.extend_from_slice(&req_frame);
-                let mut attempts = 0;
-                transport.send(wire.clone()).map_err(CacheError::Net)?;
-                loop {
-                    match transport.recv() {
-                        Ok(frame) => {
-                            if frame.len() < 4 {
-                                continue; // runt; ignore
-                            }
-                            let rseq = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
-                            if rseq != id {
-                                continue; // stale duplicate from a retry
-                            }
-                            let reply =
-                                Reply::decode(&frame[4..]).map_err(|_| CacheError::Proto)?;
-                            return Ok((reply, req_frame.len() as u32, (frame.len() - 4) as u32));
-                        }
-                        Err(NetError::Timeout) => {
-                            attempts += 1;
-                            if attempts > *retries {
-                                return Err(CacheError::Net(NetError::Timeout));
-                            }
-                            transport.send(wire.clone()).map_err(CacheError::Net)?;
-                        }
-                        Err(e) => return Err(CacheError::Net(e)),
+                let mut hello_events = SessionCounters::default();
+                if epoch.is_none() && !matches!(req, Request::Hello) {
+                    let hello =
+                        remote_rpc(transport.as_mut(), seq, policy, epoch, &Request::Hello)?;
+                    hello_events = hello.session;
+                    match hello.reply {
+                        Reply::Welcome { epoch: e } => *epoch = Some(e),
+                        _ => return Err(CacheError::Proto),
                     }
                 }
+                let mut out = remote_rpc(transport.as_mut(), seq, policy, epoch, req)?;
+                out.session.absorb(&hello_events);
+                if matches!(req, Request::Hello) {
+                    if let Reply::Welcome { epoch: e } = out.reply {
+                        *epoch = Some(e);
+                    }
+                }
+                Ok(out)
             }
         }
     }
 }
 
-/// Serve MC requests over a transport until the peer disconnects. Run this
-/// on the server thread in the remote configuration.
-pub fn serve(mc: &mut Mc, transport: &mut dyn Transport) {
+/// One enveloped exchange over `transport` with retry, backoff, CRC-drop
+/// retransmission, stale-reply discard and epoch-mismatch detection.
+fn remote_rpc(
+    transport: &mut dyn Transport,
+    seq: &mut u32,
+    policy: &LinkPolicy,
+    epoch: &mut Option<u32>,
+    req: &Request,
+) -> Result<RpcOutcome, CacheError> {
+    *seq += 1;
+    let id = *seq;
+    let req_frame = req.encode();
+    let wire = seal(id, epoch.unwrap_or(0), &req_frame);
+    let mut session = SessionCounters::default();
+    let mut attempts: u32 = 1;
+    let mut backoff = Duration::ZERO;
+
+    // Retransmit the request, bounded by the policy. Returns false once
+    // the retry budget is exhausted.
+    macro_rules! retransmit {
+        () => {{
+            attempts += 1;
+            if attempts > policy.retries + 1 {
+                return Err(CacheError::Net(NetError::Timeout));
+            }
+            session.retries += 1;
+            let wait = policy.backoff_for(id, attempts);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            backoff += wait;
+            transport.send(wire.clone()).map_err(CacheError::Net)?;
+        }};
+    }
+
+    transport.send(wire.clone()).map_err(CacheError::Net)?;
     loop {
         match transport.recv() {
-            Ok(frame) => {
-                if frame.len() < 4 {
+            Ok(frame) => match open(&frame) {
+                Ok(env) => {
+                    if env.seq != id {
+                        // Stale reply from a retransmitted earlier exchange
+                        // (or a reordered duplicate): discard and keep
+                        // listening.
+                        session.reorders_discarded += 1;
+                        continue;
+                    }
+                    if let Some(known) = *epoch {
+                        if env.epoch != known {
+                            // The MC restarted between our exchanges: its
+                            // residence mirror is gone, so every patched
+                            // branch the CC holds is now unverifiable.
+                            // Adopt the new epoch and let the CC resync.
+                            *epoch = Some(env.epoch);
+                            return Err(CacheError::McRestarted);
+                        }
+                    }
+                    let reply = Reply::decode(env.payload).map_err(|_| CacheError::Proto)?;
+                    return Ok(RpcOutcome {
+                        reply,
+                        req_bytes: req_frame.len() as u32,
+                        rep_bytes: env.payload.len() as u32,
+                        attempts,
+                        backoff,
+                        session,
+                    });
+                }
+                Err(EnvelopeError::Runt) => {
+                    session.runt_frames += 1;
                     continue;
                 }
-                let seq = &frame[0..4];
-                let rep = mc.handle_frame(&frame[4..]);
-                let mut wire = Vec::with_capacity(4 + rep.len());
-                wire.extend_from_slice(seq);
-                wire.extend_from_slice(&rep);
-                if transport.send(wire).is_err() {
-                    return;
+                Err(EnvelopeError::BadCrc) => {
+                    // Corruption on the wire: the reply is untrustworthy,
+                    // so treat it exactly like loss and retransmit.
+                    session.crc_drops += 1;
+                    retransmit!();
                 }
+            },
+            Err(NetError::Timeout) => {
+                session.timeouts += 1;
+                retransmit!();
             }
-            Err(NetError::Timeout) => continue,
-            Err(NetError::Disconnected) => return,
+            Err(e) => return Err(CacheError::Net(e)),
         }
     }
+}
+
+/// What a serve loop saw before it returned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests answered.
+    pub served: u64,
+    /// Frames shorter than the envelope header (dropped).
+    pub runt_frames: u64,
+    /// Frames dropped for CRC mismatch (the client retransmits).
+    pub crc_drops: u64,
+    /// True when the loop ended because the peer disconnected (false when
+    /// the request bound was reached).
+    pub disconnected: bool,
+}
+
+/// Serve up to `max_requests` MC requests over a transport. Corrupt and
+/// runt frames are dropped (and counted) — the client's retry layer
+/// resolves them. Returns when the bound is hit or the peer disconnects;
+/// the crash-restart harness uses the bound as a deterministic crash
+/// point.
+pub fn serve_bounded(mc: &mut Mc, transport: &mut dyn Transport, max_requests: u64) -> ServeReport {
+    let mut report = ServeReport::default();
+    while report.served < max_requests {
+        match transport.recv() {
+            Ok(frame) => match open(&frame) {
+                Ok(env) => {
+                    let rep = mc.handle_frame(env.payload);
+                    if transport.send(seal(env.seq, mc.epoch(), &rep)).is_err() {
+                        report.disconnected = true;
+                        return report;
+                    }
+                    report.served += 1;
+                }
+                Err(EnvelopeError::Runt) => report.runt_frames += 1,
+                Err(EnvelopeError::BadCrc) => report.crc_drops += 1,
+            },
+            Err(NetError::Timeout) => continue,
+            Err(NetError::Disconnected) => {
+                report.disconnected = true;
+                return report;
+            }
+        }
+    }
+    report
+}
+
+/// Serve MC requests over a transport until the peer disconnects. Run this
+/// on the server thread in the remote configuration.
+pub fn serve(mc: &mut Mc, transport: &mut dyn Transport) -> ServeReport {
+    serve_bounded(mc, transport, u64::MAX)
 }
 
 #[cfg(test)]
@@ -139,7 +321,7 @@ mod tests {
     use super::*;
     use softcache_asm::assemble;
     use softcache_isa::layout::TEXT_BASE;
-    use softcache_net::{thread_pair, LossyTransport};
+    use softcache_net::{thread_pair, FaultPlan, FaultyTransport, LossyTransport};
     use std::time::Duration;
 
     fn test_mc() -> Mc {
@@ -149,14 +331,16 @@ mod tests {
     #[test]
     fn direct_rpc() {
         let mut ep = McEndpoint::direct(test_mc());
-        let (reply, req_b, rep_b) = ep
+        let out = ep
             .rpc(&Request::FetchBlock {
                 orig_pc: TEXT_BASE,
                 dest: 0x40_0000,
             })
             .unwrap();
-        assert!(matches!(reply, Reply::Chunk(_)));
-        assert!(req_b > 0 && rep_b > 0);
+        assert!(matches!(out.reply, Reply::Chunk(_)));
+        assert!(out.req_bytes > 0 && out.rep_bytes > 0);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.session.events(), 0);
     }
 
     #[test]
@@ -168,14 +352,15 @@ mod tests {
         });
         let mut ep = McEndpoint::remote(Box::new(cc_t));
         for _ in 0..3 {
-            let (reply, _, _) = ep
+            let out = ep
                 .rpc(&Request::FetchBlock {
                     orig_pc: TEXT_BASE,
                     dest: 0x40_0000,
                 })
                 .unwrap();
-            assert!(matches!(reply, Reply::Chunk(_)));
+            assert!(matches!(out.reply, Reply::Chunk(_)));
         }
+        assert_eq!(ep.observed_epoch(), Some(1), "handshake learned the epoch");
         drop(ep);
         server.join().unwrap();
     }
@@ -190,16 +375,82 @@ mod tests {
         // Drop every 2nd frame and duplicate every 3rd: the RPC layer must
         // still complete every exchange, in order.
         let lossy = LossyTransport::new(cc_t, 2, 3);
-        let mut ep = McEndpoint::remote(Box::new(lossy));
+        let mut ep = McEndpoint::remote_with_policy(Box::new(lossy), LinkPolicy::eager(16));
+        let mut events = 0;
         for i in 0..8 {
-            let (reply, _, _) = ep
+            let out = ep
                 .rpc(&Request::FetchBlock {
                     orig_pc: TEXT_BASE,
                     dest: 0x40_0000 + i * 16,
                 })
                 .unwrap_or_else(|e| panic!("rpc {i}: {e}"));
-            assert!(matches!(reply, Reply::Chunk(_)), "rpc {i}");
+            assert!(matches!(out.reply, Reply::Chunk(_)), "rpc {i}");
+            events += out.session.events();
         }
+        assert!(events > 0, "drops must be visible as recovery events");
+        drop(ep);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn corrupted_replies_are_dropped_and_retried() {
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(50));
+        let server = std::thread::spawn(move || {
+            let mut mc = test_mc();
+            serve(&mut mc, &mut mc_t)
+        });
+        let plan = FaultPlan {
+            corrupt_per_mille: 300,
+            ..FaultPlan::clean(11)
+        };
+        let faulty = FaultyTransport::new(cc_t, plan);
+        let counters = faulty.counters();
+        let mut ep = McEndpoint::remote_with_policy(Box::new(faulty), LinkPolicy::eager(64));
+        let mut drops = 0;
+        for i in 0..20 {
+            let out = ep
+                .rpc(&Request::FetchBlock {
+                    orig_pc: TEXT_BASE,
+                    dest: 0x40_0000 + i * 16,
+                })
+                .unwrap_or_else(|e| panic!("rpc {i}: {e}"));
+            assert!(matches!(out.reply, Reply::Chunk(_)), "rpc {i}");
+            drops += out.session.crc_drops;
+        }
+        let injected = counters.lock().unwrap().corrupted;
+        assert!(injected > 0, "the plan must actually corrupt frames");
+        assert!(drops > 0, "client-side CRC must catch reply corruption");
+        drop(ep);
+        let report = server.join().unwrap();
+        // Requests corrupted on the way out are dropped server-side.
+        assert!(report.served > 0);
+    }
+
+    #[test]
+    fn epoch_change_surfaces_as_restart() {
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(100));
+        let server = std::thread::spawn(move || {
+            // Serve the hello + one fetch in epoch 1, then "crash" and come
+            // back as a fresh MC in epoch 2.
+            let mut mc = test_mc();
+            serve_bounded(&mut mc, &mut mc_t, 2);
+            let mut mc = test_mc();
+            mc.set_epoch(2);
+            serve(&mut mc, &mut mc_t);
+        });
+        let mut ep = McEndpoint::remote(Box::new(cc_t));
+        let req = Request::FetchBlock {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+        };
+        ep.rpc(&req).unwrap();
+        assert_eq!(ep.observed_epoch(), Some(1));
+        let err = ep.rpc(&req).unwrap_err();
+        assert!(matches!(err, CacheError::McRestarted), "{err}");
+        assert_eq!(ep.observed_epoch(), Some(2), "new epoch adopted");
+        // After the (caller-driven) resync, the same request just works.
+        let out = ep.rpc(&req).unwrap();
+        assert!(matches!(out.reply, Reply::Chunk(_)));
         drop(ep);
         server.join().unwrap();
     }
@@ -208,7 +459,7 @@ mod tests {
     fn dead_server_times_out() {
         let (cc_t, mc_t) = thread_pair(Duration::from_millis(10));
         drop(mc_t);
-        let mut ep = McEndpoint::remote(Box::new(cc_t));
+        let mut ep = McEndpoint::remote_with_policy(Box::new(cc_t), LinkPolicy::eager(3));
         let err = ep.rpc(&Request::InvalidateAll).unwrap_err();
         assert!(matches!(err, CacheError::Net(_)));
     }

@@ -151,6 +151,7 @@ impl SoftIcacheSystem {
     ) -> Result<RunOutput, CacheError> {
         let mut machine = Machine::load_client(&self.image, input);
         let mut cc = Cc::new(self.cfg);
+        self.endpoint.set_policy(self.cfg.link_policy);
         let track_power = banks.is_some();
         if let Some(bcfg) = banks {
             cc.attach_power(BankModel::new(bcfg));

@@ -35,7 +35,7 @@ pub mod scache;
 pub use cc::{CacheError, Cc, IcacheConfig, IcacheStats};
 pub use datarun::{DataRunOutput, SoftDcacheSystem};
 pub use dcache::{Dcache, DcacheConfig, DcacheStats, Prediction, WritePolicy};
-pub use endpoint::{serve, McEndpoint};
+pub use endpoint::{serve, serve_bounded, McEndpoint, RpcOutcome, ServeReport};
 pub use icache::{RunOutput, SoftIcacheSystem};
 pub use mc::{ChunkStrategy, Mc, McStats};
 pub use power::{BankConfig, BankModel};

@@ -99,6 +99,10 @@ pub struct Mc {
     data: Vec<u8>,
     /// Chunk-formation strategy.
     strategy: ChunkStrategy,
+    /// Session epoch. A fresh MC process picks a new epoch; the CC sees it
+    /// in every reply envelope and treats a change as "the MC restarted
+    /// and lost its mirror" (full resync required).
+    epoch: u32,
     /// Statistics.
     pub stats: McStats,
 }
@@ -115,8 +119,20 @@ impl Mc {
             block_len: HashMap::new(),
             data,
             strategy: ChunkStrategy::BasicBlock,
+            epoch: 1,
             stats: McStats::default(),
         }
+    }
+
+    /// This MC's session epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Set the session epoch (a restarted MC must pick a value it has not
+    /// used before — the crash-restart harness increments it).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
     }
 
     /// Select the chunk-formation strategy (see [`ChunkStrategy`]).
@@ -196,6 +212,7 @@ impl Mc {
                     _ => Reply::Err(errcode::BAD_DATA_RANGE),
                 }
             }
+            Request::Hello => Reply::Welcome { epoch: self.epoch },
         }
     }
 

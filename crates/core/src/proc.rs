@@ -35,7 +35,7 @@ use softcache_isa::image::Image;
 use softcache_isa::inst::Inst;
 use softcache_isa::layout::TCACHE_BASE;
 use softcache_isa::{cf, decode, encode};
-use softcache_net::{LinkModel, LinkStats};
+use softcache_net::{LinkModel, LinkPolicy, LinkStats};
 use softcache_sim::{ExecStats, Machine, Step, Trap};
 use std::collections::HashMap;
 
@@ -108,6 +108,9 @@ pub struct ProcConfig {
     pub memory_bytes: u32,
     /// Link cost model.
     pub link: LinkModel,
+    /// Retry/backoff policy for the remote MC endpoint (ignored when the
+    /// MC is fused in-process).
+    pub link_policy: LinkPolicy,
     /// Fixed CC cycles per serviced miss.
     pub miss_handler_cycles: u64,
     /// Cycles per installed word.
@@ -122,6 +125,7 @@ impl Default for ProcConfig {
             base: TCACHE_BASE,
             memory_bytes: 16 * 1024,
             link: LinkModel::default(),
+            link_policy: LinkPolicy::default(),
             miss_handler_cycles: 60,
             install_cycles_per_word: 2,
             fuel: 2_000_000_000,
@@ -393,11 +397,41 @@ impl ProcCc {
         machine: &mut Machine,
         req: &Request,
     ) -> Result<Reply, CacheError> {
-        let (reply, req_b, rep_b) = ep.rpc(req)?;
-        let stall = self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
+        let out = ep.rpc(req)?;
+        let stall = self.stats.link.record_attempts(
+            &self.cfg.link,
+            out.req_bytes,
+            out.rep_bytes,
+            out.attempts,
+            out.backoff,
+        );
+        self.stats.link.session.absorb(&out.session);
         self.stats.miss_cycles += stall;
         machine.stats.cycles += stall;
-        Ok(reply)
+        Ok(out.reply)
+    }
+
+    /// Recover from an MC restart: drop every resident procedure (their
+    /// translations are unverifiable against the fresh MC) but keep the
+    /// pinned redirectors — return addresses on the stack point into them,
+    /// which is exactly why they are pinned. Every redirector word is
+    /// re-pointed; now-absent targets become fresh miss records that
+    /// refetch on demand.
+    fn resync(&mut self, machine: &mut Machine) {
+        while let Some(i) = self
+            .heap
+            .regions
+            .iter()
+            .position(|r| matches!(r.kind, RegionKind::Proc { .. }))
+        {
+            self.heap.release(i);
+        }
+        self.resident.clear();
+        for ridx in 0..self.redirectors.len() {
+            self.write_redir_word(machine, ridx, RedirSlot::Callee);
+            self.write_redir_word(machine, ridx, RedirSlot::Continuation);
+        }
+        self.stats.link.session.resyncs += 1;
     }
 
     /// Find the resident procedure containing `orig` and return the
@@ -479,9 +513,16 @@ impl ProcCc {
         }
         self.stats.evictions += 1;
         self.stats.eviction_cycles.push(machine.stats.cycles);
-        let reply = self.rpc(ep, machine, &Request::Invalidate { orig_pc: func })?;
-        if !matches!(reply, Reply::Ack) {
-            return Err(CacheError::Proto);
+        match self.rpc(ep, machine, &Request::Invalidate { orig_pc: func }) {
+            Ok(reply) => {
+                if !matches!(reply, Reply::Ack) {
+                    return Err(CacheError::Proto);
+                }
+            }
+            // The MC restarted: its mirror is already empty, and the rest
+            // of our residence state is just as stale as this one entry.
+            Err(CacheError::McRestarted) => self.resync(machine),
+            Err(e) => return Err(e),
         }
         Ok(())
     }
@@ -526,18 +567,20 @@ impl ProcCc {
         if let Some(tc) = self.resident_addr(orig) {
             return Ok(tc);
         }
-        let reply = self.rpc(
-            ep,
-            machine,
-            &Request::FetchProc {
-                orig_pc: orig,
-                dest: 0,
-            },
-        )?;
-        let chunk = match reply {
-            Reply::Chunk(c) => c,
-            Reply::Err(code) => return Err(CacheError::Mc(code)),
-            _ => return Err(CacheError::Proto),
+        let req = Request::FetchProc {
+            orig_pc: orig,
+            dest: 0,
+        };
+        let chunk = loop {
+            match self.rpc(ep, machine, &req) {
+                Ok(Reply::Chunk(c)) => break c,
+                Ok(Reply::Err(code)) => return Err(CacheError::Mc(code)),
+                Ok(_) => return Err(CacheError::Proto),
+                // MC restart: drop stale residence state and refetch from
+                // the fresh server.
+                Err(CacheError::McRestarted) => self.resync(machine),
+                Err(e) => return Err(e),
+            }
         };
         let bytes = chunk.words.len() as u32 * 4;
         // Phase 1: make sure every call site has a (pinned) redirector
@@ -683,6 +726,7 @@ impl ProcCacheSystem {
     pub fn run(&mut self, input: &[u8]) -> Result<ProcRunOutput, CacheError> {
         let mut machine = Machine::load_client(&self.image, input);
         let mut cc = ProcCc::new(self.cfg);
+        self.endpoint.set_policy(self.cfg.link_policy);
         let entry = cc.ensure(&mut machine, &mut self.endpoint, self.image.entry)?;
         machine.cpu.pc = entry;
         let fuel = self.cfg.fuel;

@@ -122,6 +122,10 @@ pub enum Request {
         /// The bytes.
         bytes: Vec<u8>,
     },
+    /// Session handshake: ask the MC for its current epoch. Sent once at
+    /// connection time; a later epoch change in any reply envelope tells
+    /// the CC the MC restarted.
+    Hello,
 }
 
 /// MC → CC replies.
@@ -135,6 +139,11 @@ pub enum Reply {
     Data(Vec<u8>),
     /// The request failed (bad address, chunk not found, ...).
     Err(u32),
+    /// Handshake answer: the MC's session epoch.
+    Welcome {
+        /// The serving MC's epoch (changes across restarts).
+        epoch: u32,
+    },
 }
 
 /// Protocol decode error.
@@ -172,6 +181,9 @@ impl Request {
             Request::WriteData { addr, bytes } => {
                 w.put_u8(6).put_u32(*addr).put_bytes(bytes);
             }
+            Request::Hello => {
+                w.put_u8(7);
+            }
         }
         w.finish()
     }
@@ -201,6 +213,7 @@ impl Request {
                 addr: r.u32().map_err(|_| ProtoError)?,
                 bytes: r.bytes().map_err(|_| ProtoError)?,
             },
+            7 => Request::Hello,
             _ => return Err(ProtoError),
         };
         if !r.at_end() {
@@ -243,6 +256,9 @@ impl Reply {
             }
             Reply::Err(code) => {
                 w.put_u8(4).put_u32(*code);
+            }
+            Reply::Welcome { epoch } => {
+                w.put_u8(5).put_u32(*epoch);
             }
         }
         w.finish()
@@ -291,6 +307,9 @@ impl Reply {
             2 => Reply::Ack,
             3 => Reply::Data(r.bytes().map_err(|_| ProtoError)?),
             4 => Reply::Err(r.u32().map_err(|_| ProtoError)?),
+            5 => Reply::Welcome {
+                epoch: r.u32().map_err(|_| ProtoError)?,
+            },
             _ => return Err(ProtoError),
         };
         if !r.at_end() {
@@ -325,6 +344,7 @@ mod tests {
                 addr: 0x10_0040,
                 bytes: vec![1, 2, 3],
             },
+            Request::Hello,
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -336,6 +356,7 @@ mod tests {
         let reps = [
             Reply::Ack,
             Reply::Err(7),
+            Reply::Welcome { epoch: 3 },
             Reply::Data(vec![9, 8, 7]),
             Reply::Chunk(ChunkPayload {
                 orig_start: 0x1000,

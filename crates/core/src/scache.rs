@@ -111,12 +111,19 @@ impl Scache {
             if self.hi > spill_lo {
                 let bytes = stack_bytes(spill_lo, self.hi - spill_lo);
                 let n = bytes.len() as u64;
-                let (reply, req_b, rep_b) = ep.rpc(&Request::WriteData {
+                let out = ep.rpc(&Request::WriteData {
                     addr: spill_lo,
                     bytes,
                 })?;
-                extra += self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
-                if !matches!(reply, Reply::Ack) {
+                extra += self.stats.link.record_attempts(
+                    &self.cfg.link,
+                    out.req_bytes,
+                    out.rep_bytes,
+                    out.attempts,
+                    out.backoff,
+                );
+                self.stats.link.session.absorb(&out.session);
+                if !matches!(out.reply, Reply::Ack) {
                     return Err(CacheError::Proto);
                 }
                 self.stats.bytes_spilled += n;
@@ -131,12 +138,19 @@ impl Scache {
             let fetch_lo = self.hi.max(new_lo);
             if new_hi > fetch_lo {
                 let len = new_hi - fetch_lo;
-                let (reply, req_b, rep_b) = ep.rpc(&Request::FetchData {
+                let out = ep.rpc(&Request::FetchData {
                     addr: fetch_lo,
                     len,
                 })?;
-                extra += self.stats.link.record_rpc(&self.cfg.link, req_b, rep_b);
-                match reply {
+                extra += self.stats.link.record_attempts(
+                    &self.cfg.link,
+                    out.req_bytes,
+                    out.rep_bytes,
+                    out.attempts,
+                    out.backoff,
+                );
+                self.stats.link.session.absorb(&out.session);
+                match out.reply {
                     Reply::Data(d) if d.len() == len as usize => {
                         self.stats.bytes_filled += len as u64;
                     }
@@ -223,13 +237,13 @@ mod tests {
         };
         sc.access(&mut ep, STACK_TOP - 4096, marker).unwrap();
         // Ask the MC for the spilled range directly and verify contents.
-        let (reply, _, _) = ep
+        let out = ep
             .rpc(&crate::protocol::Request::FetchData {
                 addr: STACK_TOP - 64,
                 len: 32,
             })
             .unwrap();
-        match reply {
+        match out.reply {
             crate::protocol::Reply::Data(d) => {
                 let want = marker(STACK_TOP - 64, 32);
                 assert_eq!(d, want);

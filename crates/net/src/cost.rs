@@ -6,7 +6,9 @@
 //! [`LinkStats`] accumulates the byte accounting used by the paper's
 //! network-overhead measurement (§2.4).
 
+use crate::session::SessionCounters;
 use crate::transport::HEADER_BYTES;
+use std::time::Duration;
 
 /// Parameters of the MC↔CC link.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,15 +68,40 @@ pub struct LinkStats {
     pub overhead_bytes: u64,
     /// Stall cycles charged to the client.
     pub stall_cycles: u64,
+    /// Session-layer recovery events (retries, corruption drops, resyncs).
+    pub session: SessionCounters,
 }
 
 impl LinkStats {
     /// Record a request/reply exchange.
     pub fn record_rpc(&mut self, model: &LinkModel, req_payload: u32, rep_payload: u32) -> u64 {
-        self.messages += 2;
-        self.payload_bytes += (req_payload + rep_payload) as u64;
-        self.overhead_bytes += 2 * HEADER_BYTES as u64;
-        let cycles = model.rpc_cycles(req_payload, rep_payload);
+        self.record_attempts(model, req_payload, rep_payload, 1, Duration::ZERO)
+    }
+
+    /// Record an exchange that took `attempts` tries (1 = no retry), with
+    /// `backoff` of real-time waiting between them. Every attempt is a
+    /// full round trip on the wire, so each one is charged the same RTT
+    /// stall as the first (the paper's ~1 ms figure), and the backoff wait
+    /// converts to client cycles on top; the extra beyond the first
+    /// attempt is also recorded in `session.backoff_cycles` so lossy-link
+    /// overhead stays separable from clean-link cost.
+    pub fn record_attempts(
+        &mut self,
+        model: &LinkModel,
+        req_payload: u32,
+        rep_payload: u32,
+        attempts: u32,
+        backoff: Duration,
+    ) -> u64 {
+        let n = attempts.max(1) as u64;
+        self.messages += 2 * n;
+        self.payload_bytes += n * (req_payload + rep_payload) as u64;
+        self.overhead_bytes += n * 2 * HEADER_BYTES as u64;
+        let rtt = model.rpc_cycles(req_payload, rep_payload);
+        let backoff_cycles = (backoff.as_secs_f64() * model.clock_hz).round() as u64;
+        let extra = (n - 1) * rtt + backoff_cycles;
+        self.session.backoff_cycles += extra;
+        let cycles = rtt + extra;
         self.stall_cycles += cycles;
         cycles
     }
@@ -120,6 +147,26 @@ mod tests {
             large - small,
             (1000.0 * 8.0 / 1e6 * 1e6) as u64,
             "extra cycles = extra bits / bandwidth * clock"
+        );
+    }
+
+    #[test]
+    fn retries_charge_extra_round_trips() {
+        let model = LinkModel::default();
+        let mut clean = LinkStats::default();
+        let mut lossy = LinkStats::default();
+        let one = clean.record_rpc(&model, 8, 200);
+        let three = lossy.record_attempts(&model, 8, 200, 3, Duration::ZERO);
+        assert_eq!(three, 3 * one, "each attempt is a full RTT");
+        assert_eq!(lossy.session.backoff_cycles, 2 * one);
+        assert_eq!(lossy.stall_cycles - lossy.session.backoff_cycles, one);
+        assert_eq!(lossy.messages, 6);
+        // Backoff waits convert to cycles at the client clock.
+        let mut waited = LinkStats::default();
+        waited.record_attempts(&model, 0, 0, 1, Duration::from_millis(1));
+        assert_eq!(
+            waited.session.backoff_cycles,
+            (0.001 * model.clock_hz) as u64
         );
     }
 

@@ -1,0 +1,188 @@
+//! The session-layer wire envelope.
+//!
+//! Every frame on the MC↔CC link is wrapped in a fixed 12-byte envelope:
+//!
+//! ```text
+//! +--------+--------+--------+----------------+
+//! | seq u32| epoch  | crc32  | payload ...    |
+//! +--------+--------+--------+----------------+
+//! ```
+//!
+//! * `seq` — request sequence number; replies echo the request's value, so
+//!   stale retransmissions and reordered frames are discarded by number.
+//! * `epoch` — the server's session epoch. A restarted MC serves a new
+//!   epoch, which the CC detects as a mismatch and answers with a full
+//!   invalidate-and-refetch resync.
+//! * `crc` — CRC-32 (IEEE 802.3) over `seq`, `epoch` and the payload. A
+//!   flipped bit anywhere in the frame fails the check and the frame is
+//!   dropped, turning corruption into loss, which the retry layer already
+//!   handles; it can never decode into a wrong-but-plausible chunk.
+//!
+//! All fields are little-endian, like the rest of the protocol.
+
+/// Size of the envelope header in bytes (`seq` + `epoch` + `crc`).
+pub const ENVELOPE_BYTES: u32 = 12;
+
+const CRC_POLY: u32 = 0xEDB8_8320; // reflected IEEE 802.3 polynomial
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                CRC_POLY ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+fn crc_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc_update(!0, bytes)
+}
+
+fn envelope_crc(seq: u32, epoch: u32, payload: &[u8]) -> u32 {
+    let mut c = !0u32;
+    c = crc_update(c, &seq.to_le_bytes());
+    c = crc_update(c, &epoch.to_le_bytes());
+    c = crc_update(c, payload);
+    !c
+}
+
+/// A decoded envelope, borrowing its payload from the wire frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope<'a> {
+    /// Sequence number (replies echo the request's).
+    pub seq: u32,
+    /// Sender's session epoch.
+    pub epoch: u32,
+    /// The protocol frame carried inside.
+    pub payload: &'a [u8],
+}
+
+/// Why an envelope failed to open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Shorter than the fixed header.
+    Runt,
+    /// Checksum mismatch (corruption or truncation).
+    BadCrc,
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Runt => write!(f, "runt frame (shorter than envelope header)"),
+            EnvelopeError::BadCrc => write!(f, "envelope checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Wrap `payload` in an envelope.
+pub fn seal(seq: u32, epoch: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_BYTES as usize + payload.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&envelope_crc(seq, epoch, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Open a wire frame, verifying length and checksum.
+pub fn open(frame: &[u8]) -> Result<Envelope<'_>, EnvelopeError> {
+    if frame.len() < ENVELOPE_BYTES as usize {
+        return Err(EnvelopeError::Runt);
+    }
+    let word = |i: usize| u32::from_le_bytes([frame[i], frame[i + 1], frame[i + 2], frame[i + 3]]);
+    let (seq, epoch, crc) = (word(0), word(4), word(8));
+    let payload = &frame[ENVELOPE_BYTES as usize..];
+    if envelope_crc(seq, epoch, payload) != crc {
+        return Err(EnvelopeError::BadCrc);
+    }
+    Ok(Envelope {
+        seq,
+        epoch,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let frame = seal(7, 3, b"hello");
+        let env = open(&frame).unwrap();
+        assert_eq!(env.seq, 7);
+        assert_eq!(env.epoch, 3);
+        assert_eq!(env.payload, b"hello");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = seal(u32::MAX, 0, &[]);
+        let env = open(&frame).unwrap();
+        assert_eq!(env.seq, u32::MAX);
+        assert!(env.payload.is_empty());
+    }
+
+    #[test]
+    fn runt_rejected() {
+        for n in 0..ENVELOPE_BYTES as usize {
+            assert_eq!(open(&vec![0u8; n]), Err(EnvelopeError::Runt));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_detected() {
+        // CRC-32 detects all single-bit errors: flipping any one bit in
+        // the whole frame (header or payload) must fail the open.
+        let frame = seal(0x1234_5678, 42, b"some chunk payload bytes");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    open(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let frame = seal(1, 1, b"payload");
+        for n in ENVELOPE_BYTES as usize..frame.len() {
+            assert!(open(&frame[..n]).is_err(), "truncation to {n} undetected");
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Deterministic fault injection for the MC↔CC link.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and injects corruption (bit
+//! flips), drops, duplicates, reorders, delivery delays and full partition
+//! windows, all scheduled by a seeded SplitMix64 stream — the same
+//! generator the vendored shims use, so a given [`FaultPlan`] replays an
+//! identical fault schedule on every run. No `rand`, no wall-clock
+//! dependence: decisions are a pure function of the seed and the sequence
+//! of send/recv operations.
+
+use crate::session::mix64;
+use crate::transport::{NetError, Transport};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A deterministic schedule of link faults. Rates are per-mille per
+/// operation; the partition window is expressed in operation counts
+/// (each `send` or `recv` call advances the counter by one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Chance (‰) of flipping one random bit of a frame, each direction.
+    pub corrupt_per_mille: u32,
+    /// Chance (‰) of losing a frame entirely.
+    pub drop_per_mille: u32,
+    /// Chance (‰) of sending a frame twice.
+    pub dup_per_mille: u32,
+    /// Chance (‰) of swapping a frame with the next one.
+    pub reorder_per_mille: u32,
+    /// Chance (‰) of delaying an inbound frame past one receive timeout.
+    pub delay_per_mille: u32,
+    /// Half-open window `[start, end)` of operation indices during which
+    /// the link is fully partitioned: sends vanish, receives time out.
+    pub partition: Option<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (baseline).
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            corrupt_per_mille: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            delay_per_mille: 0,
+            partition: None,
+        }
+    }
+}
+
+/// How many faults of each kind a [`FaultyTransport`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Operations (sends + recvs) observed.
+    pub events: u64,
+    /// Frames with one bit flipped.
+    pub corrupted: u64,
+    /// Frames silently lost.
+    pub dropped: u64,
+    /// Frames sent twice.
+    pub duplicated: u64,
+    /// Frames swapped with their successor.
+    pub reordered: u64,
+    /// Inbound frames held past one timeout.
+    pub delayed: u64,
+    /// Operations swallowed by the partition window.
+    pub partitioned: u64,
+}
+
+/// Wraps a transport with the fault schedule of a [`FaultPlan`].
+///
+/// Cloneable [`FaultyTransport::counters`] handles survive the transport
+/// being moved into an endpoint, so tests can assert that the schedule
+/// actually fired.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    rng: u64,
+    ops: u64,
+    /// Inbound frames ready for delivery (delayed or reorder-deferred).
+    pending_in: VecDeque<Vec<u8>>,
+    /// Outbound frame held back to swap with the next send.
+    held_out: Option<Vec<u8>>,
+    counters: Arc<Mutex<FaultCounters>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            plan,
+            rng: plan.seed ^ 0x9E37_79B9_7F4A_7C15,
+            ops: 0,
+            pending_in: VecDeque::new(),
+            held_out: None,
+            counters: Arc::new(Mutex::new(FaultCounters::default())),
+        }
+    }
+
+    /// A handle on the injection counters (clone it before moving the
+    /// transport into an endpoint).
+    pub fn counters(&self) -> Arc<Mutex<FaultCounters>> {
+        self.counters.clone()
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = mix64(self.rng);
+        self.rng
+    }
+
+    /// Roll one fault decision. Always consumes one random number so the
+    /// schedule stays aligned across plans that share a seed.
+    fn roll(&mut self, per_mille: u32) -> bool {
+        (self.next_rand() % 1000) < per_mille as u64
+    }
+
+    fn partitioned(&self, op: u64) -> bool {
+        self.plan
+            .partition
+            .map(|(start, end)| (start..end).contains(&op))
+            .unwrap_or(false)
+    }
+
+    fn with_counters(&self, f: impl FnOnce(&mut FaultCounters)) {
+        let mut c = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut c);
+    }
+
+    fn flip_random_bit(&mut self, frame: &mut [u8]) {
+        if frame.is_empty() {
+            return;
+        }
+        let bit = self.next_rand() % (frame.len() as u64 * 8);
+        frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, mut frame: Vec<u8>) -> Result<(), NetError> {
+        let op = self.ops;
+        self.ops += 1;
+        self.with_counters(|c| c.events += 1);
+        if self.partitioned(op) {
+            self.with_counters(|c| c.partitioned += 1);
+            return Ok(()); // vanishes into the partition
+        }
+        // Fixed roll order keeps the schedule deterministic.
+        let corrupt = self.roll(self.plan.corrupt_per_mille);
+        let drop = self.roll(self.plan.drop_per_mille);
+        let dup = self.roll(self.plan.dup_per_mille);
+        let reorder = self.roll(self.plan.reorder_per_mille);
+        let _ = self.roll(self.plan.delay_per_mille); // delay is inbound-only
+        if drop {
+            self.with_counters(|c| c.dropped += 1);
+            return Ok(());
+        }
+        if corrupt {
+            self.flip_random_bit(&mut frame);
+            self.with_counters(|c| c.corrupted += 1);
+        }
+        if dup {
+            self.with_counters(|c| c.duplicated += 1);
+            self.inner.send(frame.clone())?;
+        }
+        if reorder && self.held_out.is_none() {
+            // Hold the frame; it goes out *after* the next send. If no
+            // further send comes, the peer's silence turns into a timeout
+            // and the retry layer resends — held frames can delay, never
+            // wedge.
+            self.with_counters(|c| c.reordered += 1);
+            self.held_out = Some(frame);
+            return Ok(());
+        }
+        self.inner.send(frame)?;
+        if let Some(held) = self.held_out.take() {
+            self.inner.send(held)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let op = self.ops;
+        self.ops += 1;
+        self.with_counters(|c| c.events += 1);
+        if self.partitioned(op) {
+            self.with_counters(|c| c.partitioned += 1);
+            return Err(NetError::Timeout);
+        }
+        if let Some(frame) = self.pending_in.pop_front() {
+            return Ok(frame);
+        }
+        let mut frame = self.inner.recv()?;
+        let corrupt = self.roll(self.plan.corrupt_per_mille);
+        let drop = self.roll(self.plan.drop_per_mille);
+        let _ = self.roll(self.plan.dup_per_mille); // duplication is outbound-only
+        let reorder = self.roll(self.plan.reorder_per_mille);
+        let delay = self.roll(self.plan.delay_per_mille);
+        if drop {
+            self.with_counters(|c| c.dropped += 1);
+            return Err(NetError::Timeout);
+        }
+        if corrupt {
+            self.flip_random_bit(&mut frame);
+            self.with_counters(|c| c.corrupted += 1);
+        }
+        if delay {
+            self.with_counters(|c| c.delayed += 1);
+            self.pending_in.push_back(frame);
+            return Err(NetError::Timeout);
+        }
+        if reorder {
+            // Deliver the *next* frame first if one is already queued.
+            if let Ok(next) = self.inner.recv() {
+                self.with_counters(|c| c.reordered += 1);
+                self.pending_in.push_back(frame);
+                return Ok(next);
+            }
+        }
+        Ok(frame)
+    }
+
+    fn pending(&self) -> usize {
+        self.pending_in.len() + self.inner.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::loopback_pair;
+
+    fn harsh_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            corrupt_per_mille: 200,
+            drop_per_mille: 150,
+            dup_per_mille: 100,
+            reorder_per_mille: 100,
+            delay_per_mille: 100,
+            partition: None,
+        }
+    }
+
+    type Schedule = (Vec<Vec<u8>>, Vec<Result<Vec<u8>, NetError>>, FaultCounters);
+
+    /// Drive a scripted op sequence and record what the other end (and
+    /// this end) observe.
+    fn run_script(seed: u64) -> Schedule {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyTransport::new(a, harsh_plan(seed));
+        let handle = faulty.counters();
+        let mut seen_by_b = Vec::new();
+        let mut seen_by_a = Vec::new();
+        for i in 0..200u32 {
+            faulty.send(vec![i as u8, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+            while let Ok(f) = b.recv() {
+                seen_by_b.push(f);
+            }
+            b.send(vec![0xAA, i as u8, 9, 9]).unwrap();
+            seen_by_a.push(faulty.recv());
+        }
+        let c = *handle.lock().unwrap();
+        (seen_by_b, seen_by_a, c)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let (b1, a1, c1) = run_script(42);
+        let (b2, a2, c2) = run_script(42);
+        assert_eq!(b1, b2, "outbound fault schedule must replay identically");
+        assert_eq!(a1, a2, "inbound fault schedule must replay identically");
+        assert_eq!(c1, c2);
+        assert!(c1.corrupted > 0 && c1.dropped > 0, "plan actually fired");
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let (b1, _, _) = run_script(42);
+        let (b2, _, _) = run_script(43);
+        assert_ne!(b1, b2, "seeds must matter");
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyTransport::new(a, FaultPlan::clean(1));
+        for i in 0..50u8 {
+            faulty.send(vec![i]).unwrap();
+            assert_eq!(b.recv().unwrap(), vec![i]);
+            b.send(vec![i, i]).unwrap();
+            assert_eq!(faulty.recv().unwrap(), vec![i, i]);
+        }
+    }
+
+    #[test]
+    fn partition_window_swallows_everything_then_heals() {
+        let (a, mut b) = loopback_pair();
+        let plan = FaultPlan {
+            partition: Some((2, 6)),
+            ..FaultPlan::clean(7)
+        };
+        let mut faulty = FaultyTransport::new(a, plan);
+        let handle = faulty.counters();
+        faulty.send(vec![1]).unwrap(); // op 0: delivered
+        assert_eq!(b.recv().unwrap(), vec![1]); // (peer side, no op count)
+        b.send(vec![2]).unwrap();
+        assert_eq!(faulty.recv().unwrap(), vec![2]); // op 1: delivered
+        faulty.send(vec![3]).unwrap(); // op 2: partitioned
+        assert_eq!(b.recv(), Err(NetError::Timeout));
+        b.send(vec![4]).unwrap();
+        assert_eq!(faulty.recv(), Err(NetError::Timeout)); // op 3
+        assert_eq!(faulty.recv(), Err(NetError::Timeout)); // op 4
+        assert_eq!(faulty.recv(), Err(NetError::Timeout)); // op 5
+        assert_eq!(faulty.recv().unwrap(), vec![4]); // op 6: healed
+        assert_eq!(handle.lock().unwrap().partitioned, 4);
+    }
+
+    #[test]
+    fn delayed_frame_arrives_after_timeout() {
+        let (a, mut b) = loopback_pair();
+        let plan = FaultPlan {
+            delay_per_mille: 1000, // always delay
+            ..FaultPlan::clean(3)
+        };
+        let mut faulty = FaultyTransport::new(a, plan);
+        b.send(vec![9]).unwrap();
+        assert_eq!(faulty.recv(), Err(NetError::Timeout), "held once");
+        assert_eq!(faulty.recv().unwrap(), vec![9], "then delivered");
+    }
+}

@@ -11,6 +11,12 @@
 //!   prototype "jumps back and forth"), crossbeam channels (the two-board
 //!   ARM setup, one thread per controller), and a lossy wrapper for
 //!   failure-injection tests;
+//! * [`envelope`] — the session-layer wire envelope (sequence number,
+//!   server epoch, CRC-32) that turns corruption into detectable loss and
+//!   makes MC restarts observable;
+//! * [`fault`] — deterministic seeded fault injection (bit flips, drops,
+//!   duplicates, reorders, delays, partition windows);
+//! * [`session`] — retry/backoff policy and recovery-event counters;
 //! * [`cost`] — the link cost model (latency + bandwidth + per-message
 //!   overhead) that converts transfers into embedded-core cycles.
 
@@ -18,11 +24,16 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod envelope;
+pub mod fault;
 pub mod frame;
+pub mod session;
 pub mod transport;
 
 pub use cost::{LinkModel, LinkStats};
+pub use fault::{FaultCounters, FaultPlan, FaultyTransport};
 pub use frame::{FrameReader, FrameWriter};
+pub use session::{LinkPolicy, SessionCounters};
 pub use transport::{
     loopback_pair, thread_pair, LossyTransport, NetError, Transport, HEADER_BYTES,
 };

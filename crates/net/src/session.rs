@@ -1,0 +1,170 @@
+//! Session-layer policy and counters.
+//!
+//! [`LinkPolicy`] configures how the CC's endpoint retries a lost exchange
+//! (bounded exponential backoff with deterministic jitter), and
+//! [`SessionCounters`] records every recovery event so link health is
+//! externally observable next to the ordinary traffic stats.
+
+use std::time::Duration;
+
+/// Retry/backoff policy for the remote MC endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkPolicy {
+    /// Retransmissions allowed per exchange before giving up (the first
+    /// attempt is not a retry).
+    pub retries: u32,
+    /// Backoff after the first timeout; doubles per retry.
+    pub base_timeout: Duration,
+    /// Ceiling on any single backoff wait.
+    pub max_backoff: Duration,
+}
+
+impl Default for LinkPolicy {
+    fn default() -> LinkPolicy {
+        LinkPolicy {
+            retries: 8,
+            base_timeout: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// SplitMix64 — the same deterministic mixer the vendored shims use; no
+/// `rand` anywhere near the hot path.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LinkPolicy {
+    /// A policy that retries aggressively with no real-time waiting —
+    /// useful in tests where the fault schedule, not wall-clock pacing,
+    /// drives recovery.
+    pub fn eager(retries: u32) -> LinkPolicy {
+        LinkPolicy {
+            retries,
+            base_timeout: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (2 = first retry) of exchange
+    /// `seq`: `min(base << (attempt-2), max)` scaled by a deterministic
+    /// jitter in `[0.5, 1.0)` derived from `(seq, attempt)`, so two clients
+    /// hammering a restarted MC do not retry in lockstep yet every run
+    /// with the same schedule waits identically.
+    pub fn backoff_for(&self, seq: u32, attempt: u32) -> Duration {
+        if self.base_timeout.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(2).min(20);
+        let raw = self
+            .base_timeout
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let h = mix64(((seq as u64) << 32) | attempt as u64);
+        let jitter = 0.5 + (h % 1000) as f64 / 2000.0;
+        raw.mul_f64(jitter)
+    }
+}
+
+/// Recovery-event counters for one MC↔CC session, accumulated alongside
+/// the byte-level [`crate::LinkStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Retransmitted requests.
+    pub retries: u64,
+    /// Receive timeouts observed.
+    pub timeouts: u64,
+    /// Frames dropped for checksum mismatch (corruption on the wire).
+    pub crc_drops: u64,
+    /// Frames discarded for a stale/mismatched sequence number.
+    pub reorders_discarded: u64,
+    /// Frames shorter than the envelope header.
+    pub runt_frames: u64,
+    /// Full resyncs after an MC epoch change (restart detected).
+    pub resyncs: u64,
+    /// Simulated-time cycles charged for retry round trips and backoff
+    /// waits (on top of the first attempt's stall).
+    pub backoff_cycles: u64,
+}
+
+impl SessionCounters {
+    /// Add `delta` field-wise.
+    pub fn absorb(&mut self, delta: &SessionCounters) {
+        self.retries += delta.retries;
+        self.timeouts += delta.timeouts;
+        self.crc_drops += delta.crc_drops;
+        self.reorders_discarded += delta.reorders_discarded;
+        self.runt_frames += delta.runt_frames;
+        self.resyncs += delta.resyncs;
+        self.backoff_cycles += delta.backoff_cycles;
+    }
+
+    /// Total recovery events (excluding the cycle ledger) — a quick
+    /// "did anything go wrong on the link" health indicator.
+    pub fn events(&self) -> u64 {
+        self.retries
+            + self.timeouts
+            + self.crc_drops
+            + self.reorders_discarded
+            + self.runt_frames
+            + self.resyncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let p = LinkPolicy {
+            retries: 10,
+            base_timeout: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(16),
+        };
+        let b2 = p.backoff_for(1, 2);
+        let b5 = p.backoff_for(1, 5);
+        let b9 = p.backoff_for(1, 9);
+        assert!(b2 >= Duration::from_millis(1), "jitter lower bound");
+        assert!(b5 > b2);
+        // Saturated at max_backoff (before jitter shrinks it below 8ms).
+        assert!(b9 <= Duration::from_millis(16));
+        assert!(b9 >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = LinkPolicy::default();
+        assert_eq!(p.backoff_for(7, 3), p.backoff_for(7, 3));
+        assert_ne!(p.backoff_for(7, 3), p.backoff_for(8, 3), "jitter varies");
+    }
+
+    #[test]
+    fn eager_policy_never_waits() {
+        let p = LinkPolicy::eager(100);
+        assert_eq!(p.backoff_for(1, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn counters_absorb() {
+        let mut a = SessionCounters::default();
+        let d = SessionCounters {
+            retries: 1,
+            timeouts: 2,
+            crc_drops: 3,
+            reorders_discarded: 4,
+            runt_frames: 5,
+            resyncs: 6,
+            backoff_cycles: 7,
+        };
+        a.absorb(&d);
+        a.absorb(&d);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.backoff_cycles, 14);
+        assert_eq!(a.events(), 42);
+    }
+}

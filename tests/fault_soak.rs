@@ -1,0 +1,359 @@
+//! Fault-injection soak tests: real workloads over a link that corrupts,
+//! drops, duplicates, reorders, delays, partitions — and an MC that
+//! crash-restarts mid-run. In every case the program's output must be
+//! byte-identical to the native run (faults degrade to latency, never to
+//! tcache corruption), and the session layer must account for what it
+//! survived.
+
+use softcache::core::endpoint::{serve, serve_bounded, McEndpoint};
+use softcache::core::icache::SoftIcacheSystem;
+use softcache::core::mc::Mc;
+use softcache::core::IcacheConfig;
+use softcache::isa::Image;
+use softcache::net::transport::ChannelTransport;
+use softcache::net::{thread_pair, FaultPlan, FaultyTransport, LinkPolicy, LossyTransport};
+use softcache::sim::Machine;
+use softcache::workloads::by_name;
+use std::time::Duration;
+
+/// Receive timeout for the threaded link. Injected drops become real waits
+/// of this length, so it is kept short.
+const RECV_TIMEOUT: Duration = Duration::from_millis(10);
+
+fn native_run(image: &Image, input: &[u8]) -> (i32, Vec<u8>) {
+    let mut m = Machine::load_native(image, input);
+    let code = m.run_native(200_000_000).unwrap();
+    (code, m.env.output.clone())
+}
+
+fn spawn_server(image: Image) -> (std::thread::JoinHandle<()>, ChannelTransport) {
+    let (cc_t, mut mc_t) = thread_pair(RECV_TIMEOUT);
+    let handle = std::thread::spawn(move || {
+        let mut mc = Mc::new(image);
+        serve(&mut mc, &mut mc_t);
+    });
+    (handle, cc_t)
+}
+
+/// An eager config: plenty of retries, no wall-clock backoff — the fault
+/// schedule, not real-time pacing, drives recovery in tests.
+fn soak_config() -> IcacheConfig {
+    IcacheConfig {
+        link_policy: LinkPolicy::eager(400),
+        ..IcacheConfig::default()
+    }
+}
+
+/// Run `workload` over a faulty remote link and check byte-identical
+/// output. Returns the recovery-event count the session layer logged.
+fn soak_one(workload: &str, scale: u32, plan: FaultPlan) -> u64 {
+    let w = by_name(workload).unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let (server, cc_t) = spawn_server(image.clone());
+    let faulty = FaultyTransport::new(cc_t, plan);
+    let counters = faulty.counters();
+    let mut sys =
+        SoftIcacheSystem::with_endpoint(image, soak_config(), McEndpoint::remote(Box::new(faulty)));
+    let out = sys
+        .run(&input)
+        .unwrap_or_else(|e| panic!("{workload} under {plan:?}: {e}"));
+    assert_eq!(out.exit_code, want_code, "{workload} exit under {plan:?}");
+    assert_eq!(out.output, want_out, "{workload} output under {plan:?}");
+
+    let injected = *counters.lock().unwrap();
+    let events = out.cache.link.session.events();
+    let fired = injected.corrupted
+        + injected.dropped
+        + injected.duplicated
+        + injected.reordered
+        + injected.delayed;
+    if fired > 0 {
+        assert!(
+            events > 0,
+            "{workload}: {fired} injected faults must surface as session \
+             events, got none ({injected:?})"
+        );
+    }
+    drop(sys);
+    server.join().unwrap();
+    events
+}
+
+#[test]
+fn soak_corruption_across_seeds() {
+    for seed in [1, 2, 3, 4] {
+        let plan = FaultPlan {
+            corrupt_per_mille: 30,
+            ..FaultPlan::clean(seed)
+        };
+        soak_one("adpcmenc", 2, plan);
+    }
+}
+
+#[test]
+fn soak_loss_and_duplication_across_seeds() {
+    for seed in [10, 11, 12, 13] {
+        let plan = FaultPlan {
+            drop_per_mille: 25,
+            dup_per_mille: 40,
+            ..FaultPlan::clean(seed)
+        };
+        soak_one("adpcmdec", 2, plan);
+    }
+}
+
+#[test]
+fn soak_reorder_and_delay_across_seeds() {
+    for seed in [21, 22, 23, 24] {
+        let plan = FaultPlan {
+            reorder_per_mille: 30,
+            delay_per_mille: 30,
+            ..FaultPlan::clean(seed)
+        };
+        soak_one("gzip", 1, plan);
+    }
+}
+
+#[test]
+fn soak_everything_at_once() {
+    // All fault kinds simultaneously, several seeds. Rates are lower per
+    // kind so the compound rate stays survivable within the retry budget.
+    let mut total_events = 0;
+    for seed in [31, 32, 33, 34] {
+        let plan = FaultPlan {
+            corrupt_per_mille: 15,
+            drop_per_mille: 15,
+            dup_per_mille: 15,
+            reorder_per_mille: 15,
+            delay_per_mille: 15,
+            ..FaultPlan::clean(seed)
+        };
+        total_events += soak_one("adpcmenc", 1, plan);
+    }
+    assert!(
+        total_events > 0,
+        "the matrix must actually exercise recovery"
+    );
+}
+
+// ---- MC crash-restart ----
+
+/// A server that serves `crash_after` requests per life, then "crashes":
+/// the Mc (and its residence mirror) is dropped and a fresh one comes up
+/// with the next epoch. The transport survives, as a listening socket
+/// would.
+fn spawn_crashy_server(
+    image: Image,
+    crash_after: u64,
+    lives: u32,
+) -> (std::thread::JoinHandle<u32>, ChannelTransport) {
+    let (cc_t, mut mc_t) = thread_pair(RECV_TIMEOUT);
+    let handle = std::thread::spawn(move || {
+        let mut epoch = 1u32;
+        for _ in 0..lives {
+            let mut mc = Mc::new(image.clone());
+            mc.set_epoch(epoch);
+            if serve_bounded(&mut mc, &mut mc_t, crash_after).disconnected {
+                return epoch;
+            }
+            epoch += 1;
+        }
+        let mut mc = Mc::new(image.clone());
+        mc.set_epoch(epoch);
+        serve(&mut mc, &mut mc_t);
+        epoch
+    });
+    (handle, cc_t)
+}
+
+#[test]
+fn mc_crash_restart_mid_run_recovers_by_resync() {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    // Crash the MC every 12 requests for several lives: the run is
+    // guaranteed to straddle multiple epochs.
+    let (server, cc_t) = spawn_crashy_server(image.clone(), 12, 6);
+    let mut sys =
+        SoftIcacheSystem::with_endpoint(image, soak_config(), McEndpoint::remote(Box::new(cc_t)));
+    let out = sys.run(&input).unwrap();
+    assert_eq!(out.exit_code, want_code, "crash-restart must not corrupt");
+    assert_eq!(out.output, want_out);
+    assert!(
+        out.cache.link.session.resyncs > 0,
+        "the CC must have detected at least one restart"
+    );
+    drop(sys);
+    let final_epoch = server.join().unwrap();
+    assert!(final_epoch > 1, "the server actually restarted");
+}
+
+#[test]
+fn mc_crash_restart_under_a_lossy_link() {
+    // Restarts *and* frame loss at the same time.
+    let w = by_name("adpcmdec").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let (server, cc_t) = spawn_crashy_server(image.clone(), 15, 4);
+    let plan = FaultPlan {
+        drop_per_mille: 15,
+        corrupt_per_mille: 15,
+        ..FaultPlan::clean(99)
+    };
+    let faulty = FaultyTransport::new(cc_t, plan);
+    let mut sys =
+        SoftIcacheSystem::with_endpoint(image, soak_config(), McEndpoint::remote(Box::new(faulty)));
+    let out = sys.run(&input).unwrap();
+    assert_eq!(out.exit_code, want_code);
+    assert_eq!(out.output, want_out);
+    drop(sys);
+    server.join().unwrap();
+}
+
+// ---- degraded mode: partition tolerance ----
+
+/// The paper's residence guarantee, extended to the link: once the working
+/// set is tcache-resident, execution needs zero RPCs — so a link partition
+/// that starts after warm-up can never stop the program.
+#[test]
+fn full_partition_after_warmup_is_invisible() {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    // Pass 1 (clean): count how many transport operations a full run
+    // needs.
+    let (server, cc_t) = spawn_server(image.clone());
+    let clean = FaultyTransport::new(cc_t, FaultPlan::clean(0));
+    let ops_handle = clean.counters();
+    let mut sys = SoftIcacheSystem::with_endpoint(
+        image.clone(),
+        soak_config(),
+        McEndpoint::remote(Box::new(clean)),
+    );
+    let out1 = sys.run(&input).unwrap();
+    assert_eq!(out1.exit_code, want_code);
+    let total_ops = ops_handle.lock().unwrap().events;
+    drop(sys);
+    server.join().unwrap();
+    assert!(total_ops > 0);
+
+    // Pass 2: partition the link *forever* from exactly the operation
+    // where pass 1 stopped needing it. Execution is deterministic, so the
+    // rerun issues the same `total_ops` operations and then runs entirely
+    // out of the tcache — the partition must never be hit.
+    let (server, cc_t) = spawn_server(image.clone());
+    let plan = FaultPlan {
+        partition: Some((total_ops, u64::MAX)),
+        ..FaultPlan::clean(0)
+    };
+    let part = FaultyTransport::new(cc_t, plan);
+    let part_handle = part.counters();
+    let mut sys =
+        SoftIcacheSystem::with_endpoint(image, soak_config(), McEndpoint::remote(Box::new(part)));
+    let out2 = sys.run(&input).unwrap();
+    assert_eq!(out2.exit_code, want_code);
+    assert_eq!(out2.output, want_out);
+    assert_eq!(
+        part_handle.lock().unwrap().partitioned,
+        0,
+        "a resident working set must need zero link operations"
+    );
+    drop(sys);
+    server.join().unwrap();
+}
+
+#[test]
+fn transient_partition_mid_run_heals_via_retry() {
+    // A partition window during warm-up: the in-flight RPC rides it out on
+    // retries (each retry is one send + up to one recv, so the eager
+    // budget comfortably covers the window) and the run completes
+    // bit-identically.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let (server, cc_t) = spawn_server(image.clone());
+    let plan = FaultPlan {
+        partition: Some((20, 120)),
+        ..FaultPlan::clean(5)
+    };
+    let part = FaultyTransport::new(cc_t, plan);
+    let part_handle = part.counters();
+    let mut sys =
+        SoftIcacheSystem::with_endpoint(image, soak_config(), McEndpoint::remote(Box::new(part)));
+    let out = sys.run(&input).unwrap();
+    assert_eq!(out.exit_code, want_code);
+    assert_eq!(out.output, want_out);
+    assert!(
+        part_handle.lock().unwrap().partitioned > 0,
+        "the window must actually have been hit"
+    );
+    assert!(out.cache.link.session.retries > 0);
+    drop(sys);
+    server.join().unwrap();
+}
+
+// ---- simulated-time accounting ----
+
+/// Satellite check for the stall-cycle ledger: under `drop_every = 2`
+/// every lost exchange is charged full extra round trips in simulated
+/// time, and the extra is exactly the `backoff_cycles` ledger — so lossy
+/// stall == clean stall + ledger, cycle for cycle.
+#[test]
+fn retry_stalls_are_accounted_in_simulated_time() {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+
+    let run = |drop_every: u64| {
+        let (server, cc_t) = spawn_server(image.clone());
+        let lossy = LossyTransport::new(cc_t, drop_every, 0);
+        let mut sys = SoftIcacheSystem::with_endpoint(
+            image.clone(),
+            soak_config(),
+            McEndpoint::remote(Box::new(lossy)),
+        );
+        let out = sys.run(&input).unwrap();
+        drop(sys);
+        server.join().unwrap();
+        out
+    };
+
+    let clean = run(0);
+    let lossy = run(2);
+    assert_eq!(clean.output, lossy.output);
+    assert_eq!(
+        clean.cache.link.session.events(),
+        0,
+        "clean link logs no recovery events"
+    );
+    assert!(lossy.cache.link.session.retries > 0, "drops forced retries");
+    // Wire accounting charges every attempt: each retry is one extra
+    // request/reply pair on the link.
+    assert_eq!(
+        lossy.cache.link.messages,
+        clean.cache.link.messages + 2 * lossy.cache.link.session.retries,
+        "each retry must be accounted as a full extra exchange"
+    );
+    assert_eq!(
+        lossy.cache.link.stall_cycles,
+        clean.cache.link.stall_cycles + lossy.cache.link.session.backoff_cycles,
+        "lossy stall must be clean stall plus the backoff/retry ledger"
+    );
+    assert!(lossy.cache.link.stall_cycles > clean.cache.link.stall_cycles);
+    assert_eq!(
+        lossy.exec.cycles - lossy.cache.link.session.backoff_cycles,
+        clean.exec.cycles,
+        "total simulated time differs by exactly the ledger"
+    );
+}

@@ -5,6 +5,9 @@
 //! * Randomly generated minic programs must behave identically on the AST
 //!   interpreter, the native simulator, and the software instruction cache
 //!   (three-way differential testing of the whole stack).
+//! * The wire layer must be total: protocol decoders and the envelope
+//!   parser never panic on arbitrary bytes, and the seeded fault injector
+//!   replays the identical schedule for the identical seed.
 
 use proptest::prelude::*;
 use softcache::asm::assemble;
@@ -167,5 +170,138 @@ proptest! {
         let mut sys = SoftIcacheSystem::new(image, cfg);
         let out = sys.run(&[]).unwrap();
         prop_assert_eq!(out.exit_code, want.exit_code, "softcache vs interpreter");
+    }
+}
+
+// ---- wire-layer totality and determinism ----
+
+use softcache::core::{Reply, Request};
+use softcache::net::envelope::{open, seal, ENVELOPE_BYTES};
+use softcache::net::{loopback_pair, FaultPlan, FaultyTransport, NetError, Transport};
+
+fn any_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0u32..400,
+        0u32..400,
+        0u32..400,
+        0u32..400,
+        0u32..400,
+    )
+        .prop_map(|(seed, corrupt, drop, dup, reorder, delay)| FaultPlan {
+            seed,
+            corrupt_per_mille: corrupt,
+            drop_per_mille: drop,
+            dup_per_mille: dup,
+            reorder_per_mille: reorder,
+            delay_per_mille: delay,
+            partition: None,
+        })
+}
+
+/// One scripted ping-pong run of a [`FaultyTransport`] over a loopback
+/// link: everything either side observed, plus the injection counters.
+#[allow(clippy::type_complexity)]
+fn fault_schedule(
+    plan: FaultPlan,
+    frames: &[Vec<u8>],
+) -> (
+    Vec<Vec<u8>>,
+    Vec<Result<Vec<u8>, NetError>>,
+    softcache::net::FaultCounters,
+) {
+    let (a, mut b) = loopback_pair();
+    let mut faulty = FaultyTransport::new(a, plan);
+    let handle = faulty.counters();
+    let mut seen_by_b = Vec::new();
+    let mut seen_by_a = Vec::new();
+    for f in frames {
+        faulty.send(f.clone()).unwrap();
+        while let Ok(got) = b.recv() {
+            seen_by_b.push(got);
+        }
+        b.send(f.iter().rev().copied().collect()).unwrap();
+        seen_by_a.push(faulty.recv());
+    }
+    let c = *handle.lock().unwrap();
+    (seen_by_b, seen_by_a, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `Request::decode` is total: arbitrary bytes produce `Ok` or `Err`,
+    /// never a panic — a corrupted frame that slips past the CRC still
+    /// cannot take the MC down.
+    #[test]
+    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    /// `Reply::decode` is total for the same reason on the CC side.
+    #[test]
+    fn reply_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Reply::decode(&bytes);
+    }
+
+    /// The envelope parser is total on arbitrary bytes.
+    #[test]
+    fn envelope_open_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = open(&bytes);
+    }
+
+    /// Seal/open round-trips every payload, and any single flipped bit is
+    /// caught by the CRC (or shrinks the frame into a runt).
+    #[test]
+    fn envelope_roundtrips_and_crc_catches_any_bit_flip(
+        seq in any::<u32>(),
+        epoch in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        flip in any::<u64>(),
+    ) {
+        let frame = seal(seq, epoch, &payload);
+        prop_assert_eq!(frame.len(), payload.len() + ENVELOPE_BYTES as usize);
+        let env = open(&frame).unwrap();
+        prop_assert_eq!(env.seq, seq);
+        prop_assert_eq!(env.epoch, epoch);
+        prop_assert_eq!(env.payload, &payload[..]);
+
+        let bit = (flip % (frame.len() as u64 * 8)) as usize;
+        let mut bad = frame;
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open(&bad).is_err(), "flipped bit {} undetected", bit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A decodable request frame followed by trailing garbage must be
+    /// rejected — truncation/concatenation bugs cannot masquerade as
+    /// valid messages.
+    #[test]
+    fn request_decode_rejects_trailing_garbage(
+        addr in any::<u32>(),
+        len in any::<u32>(),
+        junk in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut frame = Request::FetchData { addr, len }.encode();
+        prop_assert!(Request::decode(&frame).is_ok());
+        frame.extend_from_slice(&junk);
+        prop_assert!(Request::decode(&frame).is_err());
+    }
+
+    /// The fault injector is a pure function of (seed, op sequence): the
+    /// same plan replays the identical schedule, byte for byte.
+    #[test]
+    fn fault_injection_replays_identically(
+        plan in any_fault_plan(),
+        frames in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..40),
+    ) {
+        let (b1, a1, c1) = fault_schedule(plan, &frames);
+        let (b2, a2, c2) = fault_schedule(plan, &frames);
+        prop_assert_eq!(b1, b2, "outbound schedule diverged");
+        prop_assert_eq!(a1, a2, "inbound schedule diverged");
+        prop_assert_eq!(c1, c2, "counters diverged");
     }
 }
