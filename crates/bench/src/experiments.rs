@@ -186,9 +186,9 @@ pub struct MissCurve {
 
 const FIG67_BENCHES: [(&str, u32); 4] = [
     ("adpcmenc", 8),
-    ("compress95", 8),
+    ("compress95", 64),
     ("hextobdd", 6),
-    ("mpeg2enc", 1),
+    ("mpeg2enc", 4),
 ];
 
 fn sweep_sizes() -> Vec<u32> {
@@ -497,6 +497,197 @@ pub fn fault_tolerance() -> Vec<FaultRow> {
             }
         })
         .collect()
+}
+
+// ------------------------------------------------------ batched-link sweep
+
+/// One row of the batched-link sweep: compress95 over the paper's modelled
+/// 10 Mbps link at one speculative-push depth.
+#[derive(Clone, Debug)]
+pub struct LinkRow {
+    /// Speculative-push depth (0 = the paper's one-chunk-per-miss protocol).
+    pub depth: u32,
+    /// Request/reply exchanges on the wire (messages / 2).
+    pub exchanges: u64,
+    /// Application payload bytes shipped.
+    pub payload_bytes: u64,
+    /// Protocol header bytes shipped (60 per exchange).
+    pub overhead_bytes: u64,
+    /// Link stall cycles — all of them warm-up, since the link is only
+    /// touched on a miss.
+    pub stall_cycles: u64,
+    /// Total miss-service cycles (handler + stall + install).
+    pub miss_cycles: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Chunks translated.
+    pub translations: u64,
+    /// Batched replies processed.
+    pub batches: u64,
+    /// Chunks speculatively pushed alongside demanded ones.
+    pub prefetched_chunks: u64,
+    /// Pushed chunks the program later entered.
+    pub prefetch_hits: u64,
+    /// Pushed chunks discarded without being entered.
+    pub prefetch_wastes: u64,
+}
+
+/// Batched-link sweep: compress95 on the fused MC with the default link
+/// model at push depths 0/1/2/4. Every run is pure simulation, so the rows
+/// are bit-deterministic; output is asserted byte-identical across depths,
+/// the prefetch ledger must balance, and the per-exchange header overhead
+/// stays at the paper's measured 60 bytes no matter how deep the batches.
+pub fn link_sweep(scale: u32) -> Vec<LinkRow> {
+    let w = by_name("compress95").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+    let results = par_map(&[0u32, 1, 2, 4], |&depth| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::default(),
+            prefetch_depth: depth,
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        let out = sys.run(&input).expect("link sweep run");
+        let l = out.cache.link;
+        assert_eq!(
+            l.prefetch_hits + l.prefetch_wastes,
+            l.prefetched_chunks,
+            "depth {depth}: prefetch ledger must balance"
+        );
+        assert_eq!(l.overhead_per_rpc(), 60.0, "depth {depth}: header overhead");
+        let row = LinkRow {
+            depth,
+            exchanges: l.messages / 2,
+            payload_bytes: l.payload_bytes,
+            overhead_bytes: l.overhead_bytes,
+            stall_cycles: l.stall_cycles,
+            miss_cycles: out.cache.miss_cycles,
+            cycles: out.exec.cycles,
+            instructions: out.exec.instructions,
+            translations: out.cache.translations,
+            batches: l.batches,
+            prefetched_chunks: l.prefetched_chunks,
+            prefetch_hits: l.prefetch_hits,
+            prefetch_wastes: l.prefetch_wastes,
+        };
+        (row, out.output)
+    });
+    for (_, output) in &results[1..] {
+        assert_eq!(&results[0].1, output, "push depth changed semantics");
+    }
+    results.into_iter().map(|(row, _)| row).collect()
+}
+
+// ------------------------------------------------------------ fan-in sweep
+
+/// One row of the fan-in sweep: N identical CC clients against one
+/// threaded MC server. All metrics are per-client simulated quantities,
+/// asserted identical across the N clients, so each row is deterministic
+/// regardless of thread scheduling.
+#[derive(Clone, Debug)]
+pub struct FaninRow {
+    /// Concurrent clients served.
+    pub clients: u32,
+    /// Speculative-push depth used by every client.
+    pub depth: u32,
+    /// Wire exchanges per client.
+    pub exchanges_per_client: u64,
+    /// Warm-up link stall cycles per client.
+    pub stall_cycles_per_client: u64,
+    /// Bytes on the wire per client (payload + headers).
+    pub wire_bytes_per_client: u64,
+    /// Total simulated cycles per client.
+    pub cycles_per_client: u64,
+    /// Chunks pushed to each client.
+    pub prefetched_per_client: u64,
+}
+
+/// Fan-in sweep: one [`McServer`] over a shared image serving 1/2/4/8
+/// concurrent adpcmenc clients at push depths 0 and 2. Every client's
+/// output is asserted byte-identical to a fused single-client run, and
+/// every client's simulated ledger is asserted identical to its siblings'
+/// — contention shifts wall-clock only, never simulated time.
+pub fn fanin_sweep() -> Vec<FaninRow> {
+    use softcache_core::endpoint::McEndpoint;
+    use softcache_core::McServer;
+    use softcache_net::{thread_pair, Transport};
+    use std::time::Duration;
+
+    let w = by_name("adpcmenc").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+
+    let mut solo = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
+    let want = solo.run(&input).expect("solo reference run");
+
+    let mut rows = Vec::new();
+    for &depth in &[0u32, 2] {
+        for &n in &[1u32, 2, 4, 8] {
+            let server = McServer::new(image.clone());
+            let mut server_ends: Vec<Box<dyn Transport>> = Vec::new();
+            let mut client_ends = Vec::new();
+            for _ in 0..n {
+                let (cc_t, mc_t) = thread_pair(Duration::from_secs(5));
+                server_ends.push(Box::new(mc_t));
+                client_ends.push(cc_t);
+            }
+            let outs: Vec<_> = std::thread::scope(|scope| {
+                let server_thread = scope.spawn(|| server.serve_clients(server_ends));
+                let handles: Vec<_> = client_ends
+                    .into_iter()
+                    .map(|cc_t| {
+                        let image = image.clone();
+                        let input = &input;
+                        scope.spawn(move || {
+                            let cfg = IcacheConfig {
+                                link: LinkModel::default(),
+                                prefetch_depth: depth,
+                                ..IcacheConfig::default()
+                            };
+                            let mut sys = SoftIcacheSystem::with_endpoint(
+                                image,
+                                cfg,
+                                McEndpoint::remote(Box::new(cc_t)),
+                            );
+                            sys.run(input).expect("fan-in client run")
+                        })
+                    })
+                    .collect();
+                let outs: Vec<_> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect();
+                for r in server_thread.join().expect("server thread") {
+                    assert!(r.disconnected, "client hangs up cleanly");
+                }
+                outs
+            });
+            for out in &outs {
+                assert_eq!(out.output, want.output, "fan-in changed semantics");
+                assert_eq!(out.exit_code, want.exit_code, "fan-in exit code");
+                assert_eq!(
+                    out.exec.cycles, outs[0].exec.cycles,
+                    "per-client determinism"
+                );
+                assert_eq!(out.cache.link, outs[0].cache.link, "per-client determinism");
+            }
+            let l = outs[0].cache.link;
+            rows.push(FaninRow {
+                clients: n,
+                depth,
+                exchanges_per_client: l.messages / 2,
+                stall_cycles_per_client: l.stall_cycles,
+                wire_bytes_per_client: l.payload_bytes + l.overhead_bytes,
+                cycles_per_client: outs[0].exec.cycles,
+                prefetched_per_client: l.prefetched_chunks,
+            });
+        }
+    }
+    rows
 }
 
 // --------------------------------------------------- Figure 10 / §3 dcache
@@ -1227,6 +1418,69 @@ mod tests {
             assert!(r.energy_mj < r.hardware_mj, "{}", r.name);
             assert!(r.chip_savings > 0.1 && r.chip_savings < strongarm_cache_fraction());
         }
+    }
+
+    #[test]
+    fn link_batching_cuts_warmup() {
+        let rows = link_sweep(8);
+        assert_eq!(rows.len(), 4);
+        let base = &rows[0];
+        assert_eq!(base.batches, 0, "depth 0 never batches");
+        assert_eq!(base.prefetched_chunks, 0);
+        let d2 = rows.iter().find(|r| r.depth == 2).unwrap();
+        assert!(d2.batches > 0);
+        assert!(d2.prefetch_hits > 0, "speculation must pay off sometimes");
+        // The headline acceptance: depth 2 cuts warm-up header bytes and
+        // stall cycles by at least 25% against the one-chunk protocol.
+        assert!(
+            d2.stall_cycles * 4 <= base.stall_cycles * 3,
+            "stall cycles {} vs {} — batching must cut warm-up >= 25%",
+            d2.stall_cycles,
+            base.stall_cycles
+        );
+        assert!(
+            d2.overhead_bytes * 4 <= base.overhead_bytes * 3,
+            "header bytes {} vs {} — batching must cut headers >= 25%",
+            d2.overhead_bytes,
+            base.overhead_bytes
+        );
+        assert!(d2.exchanges < base.exchanges);
+        // Steady state is untouched: instructions per non-miss cycle stays
+        // put (the pushed code is byte-identical to demand-fetched code).
+        let mips = |r: &LinkRow| r.instructions as f64 / (r.cycles - r.miss_cycles) as f64;
+        let ratio = mips(d2) / mips(base);
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "steady-state throughput drifted: {ratio}"
+        );
+    }
+
+    #[test]
+    fn fanin_rows_are_client_count_invariant() {
+        let rows = fanin_sweep();
+        assert_eq!(rows.len(), 8);
+        // Per-client simulated metrics cannot depend on how many siblings
+        // share the server (each client has its own MC state and epoch).
+        for depth in [0u32, 2] {
+            let group: Vec<_> = rows.iter().filter(|r| r.depth == depth).collect();
+            for r in &group[1..] {
+                assert_eq!(r.exchanges_per_client, group[0].exchanges_per_client);
+                assert_eq!(r.cycles_per_client, group[0].cycles_per_client);
+                assert_eq!(r.wire_bytes_per_client, group[0].wire_bytes_per_client);
+            }
+        }
+        let d0 = rows
+            .iter()
+            .find(|r| r.depth == 0 && r.clients == 4)
+            .unwrap();
+        let d2 = rows
+            .iter()
+            .find(|r| r.depth == 2 && r.clients == 4)
+            .unwrap();
+        assert!(d2.exchanges_per_client < d0.exchanges_per_client);
+        assert!(d2.stall_cycles_per_client < d0.stall_cycles_per_client);
+        assert!(d2.prefetched_per_client > 0);
+        assert_eq!(d0.prefetched_per_client, 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use softcache_isa::reg::Reg;
 use softcache_isa::{cf, encode};
 use softcache_net::{LinkModel, LinkPolicy, LinkStats, NetError};
 use softcache_sim::{Machine, SimError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of the software instruction cache.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +39,11 @@ pub struct IcacheConfig {
     pub hash_lookup_cycles: u64,
     /// Cycles per installed word (copy into tcache).
     pub install_cycles_per_word: u64,
+    /// Speculative-push depth: on a miss, ask the MC for up to this many
+    /// predicted-next chunks beyond the demanded one, shipped in one
+    /// batched reply. 0 disables batching (the paper's one-chunk-per-miss
+    /// protocol).
+    pub prefetch_depth: u32,
     /// Instruction budget for a run.
     pub fuel: u64,
 }
@@ -53,6 +58,7 @@ impl Default for IcacheConfig {
             miss_handler_cycles: 60,
             hash_lookup_cycles: 12,
             install_cycles_per_word: 2,
+            prefetch_depth: 0,
             fuel: 2_000_000_000,
         }
     }
@@ -179,6 +185,12 @@ pub struct Cc {
     trampolines: Vec<(u32, u32)>,
     next_free: u32,
     generation: u64,
+    /// Pushed chunks installed but not yet observed entered. An entry
+    /// leaves as a *hit* when the program reaches the chunk (miss stub,
+    /// hash lookup, or a later demand chunk resolving into it) and as a
+    /// *waste* when the chunk dies unentered (flush, resync, invalidation,
+    /// end of run).
+    pending_prefetch: HashSet<u32>,
     /// Optional banked-SRAM power model (§4): tracks which banks hold live
     /// tcache bytes so unused banks can be gated off.
     power: Option<BankModel>,
@@ -197,6 +209,7 @@ impl Cc {
             records: Vec::new(),
             trampolines: Vec::new(),
             generation: 0,
+            pending_prefetch: HashSet::new(),
             power: None,
             stats: IcacheStats::default(),
         }
@@ -296,14 +309,27 @@ impl Cc {
         orig: u32,
     ) -> Result<u32, CacheError> {
         if let Some(&tc) = self.map.get(&orig) {
+            if self.pending_prefetch.remove(&orig) {
+                self.stats.link.prefetch_hits += 1;
+            }
             return Ok(tc);
         }
         let mut flushed = false;
+        let mut batch_ok = self.cfg.prefetch_depth > 0;
         loop {
             let dest = self.next_free;
-            let req = Request::FetchBlock {
-                orig_pc: orig,
-                dest,
+            let req = if batch_ok {
+                Request::FetchBatch {
+                    orig_pc: orig,
+                    dest,
+                    max_chunks: self.cfg.prefetch_depth + 1,
+                    budget_bytes: self.end().saturating_sub(dest),
+                }
+            } else {
+                Request::FetchBlock {
+                    orig_pc: orig,
+                    dest,
+                }
             };
             let (reply, stall) = match self.rpc(ep, &req) {
                 Ok(x) => x,
@@ -315,16 +341,29 @@ impl Cc {
                     flushed = false;
                     continue;
                 }
+                Err(CacheError::Net(NetError::Timeout)) if batch_ok => {
+                    // The batched exchange exhausted its retries. The MC
+                    // may well have processed it (our reply lost on the
+                    // wire), leaving residence-mirror entries for pushed
+                    // chunks we never installed. Flush to clear them, then
+                    // degrade to the single-chunk protocol for this miss.
+                    self.stats.link.session.batch_fallbacks += 1;
+                    batch_ok = false;
+                    self.flush(machine, ep)?;
+                    flushed = true;
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             self.stats.miss_cycles += stall;
             machine.stats.cycles += stall;
-            let chunk = match reply {
-                Reply::Chunk(c) => c,
+            let chunks = match reply {
+                Reply::Chunk(c) => vec![c],
+                Reply::Batch(cs) if !cs.is_empty() => cs,
                 Reply::Err(code) => return Err(CacheError::Mc(code)),
                 _ => return Err(CacheError::Proto),
             };
-            let bytes = chunk.words.len() as u32 * 4;
+            let bytes = chunks[0].words.len() as u32 * 4;
             if dest + bytes > self.end() {
                 // A fresh tcache still holds the return-address trampolines
                 // the flush creates, so "fits" means fits in what a flush
@@ -341,16 +380,44 @@ impl Cc {
                 flushed = true;
                 continue;
             }
-            self.install(machine, chunk, dest)?;
+            let mut it = chunks.into_iter();
+            if it.len() > 1 || batch_ok {
+                self.stats.link.batches += 1;
+            }
+            let demand = it.next().expect("checked non-empty");
+            self.install(machine, demand, dest, self.cfg.miss_handler_cycles)?;
+            // Opportunistically install the pushed chunks right behind the
+            // demanded one. They consume only free space past `next_free`
+            // (the MC's byte budget was exactly our free space), so nothing
+            // live or pinned is ever evicted to make room for speculation.
+            for chunk in it {
+                let d = self.next_free;
+                let bytes = chunk.words.len() as u32 * 4;
+                if d + bytes > self.end() || self.map.contains_key(&chunk.orig_start) {
+                    // Unreachable with an honest MC: pushes are budget-
+                    // bounded and skip resident chunks.
+                    return Err(CacheError::Proto);
+                }
+                let orig_start = chunk.orig_start;
+                self.stats.link.prefetched_chunks += 1;
+                self.stats.link.prefetched_bytes += bytes as u64;
+                self.install(machine, chunk, d, 0)?;
+                self.pending_prefetch.insert(orig_start);
+            }
             return Ok(dest);
         }
     }
 
+    /// Install one rewritten chunk at `dest`. `handler_cycles` is the
+    /// fixed trap-servicing cost to charge: the demanded chunk of a fetch
+    /// pays `miss_handler_cycles`, a speculatively-pushed chunk pays 0 (no
+    /// trap ran for it — only the per-word copy cost applies).
     fn install(
         &mut self,
         machine: &mut Machine,
         chunk: ChunkPayload,
         dest: u32,
+        handler_cycles: u64,
     ) -> Result<(), CacheError> {
         let n_words = chunk.words.len() as u32;
         machine
@@ -398,11 +465,17 @@ impl Cc {
                     });
                 }
             }
+            // A demand chunk resolved straight into a pushed chunk reaches
+            // it without ever trapping — count the speculation as paid off
+            // now. (Pushed chunks resolving into each other don't count:
+            // they are themselves speculative.)
+            if handler_cycles != 0 && self.pending_prefetch.remove(&rr.orig_target) {
+                self.stats.link.prefetch_hits += 1;
+            }
         }
         self.stats.translations += 1;
         self.stats.words_installed += n_words as u64;
-        let cycles =
-            self.cfg.miss_handler_cycles + self.cfg.install_cycles_per_word * n_words as u64;
+        let cycles = handler_cycles + self.cfg.install_cycles_per_word * n_words as u64;
         self.stats.miss_cycles += cycles;
         machine.stats.cycles += cycles;
         Ok(())
@@ -484,6 +557,9 @@ impl Cc {
         machine.stats.cycles += cycles;
         if let Some(&tc) = self.map.get(&orig_target) {
             self.stats.hash_hits += 1;
+            if self.pending_prefetch.remove(&orig_target) {
+                self.stats.link.prefetch_hits += 1;
+            }
             return Ok(tc);
         }
         self.ensure(machine, ep, orig_target)
@@ -571,6 +647,8 @@ impl Cc {
     /// Drop every chunk, record and trampoline and reset the allocation
     /// pointer — the local half of both [`Cc::flush`] and [`Cc::resync`].
     fn reset_local(&mut self) {
+        self.stats.link.prefetch_wastes += self.pending_prefetch.len() as u64;
+        self.pending_prefetch.clear();
         self.chunks.clear();
         self.map.clear();
         self.records.clear();
@@ -717,6 +795,9 @@ impl Cc {
         }
         self.chunks[cid].alive = false;
         self.map.remove(&orig);
+        if self.pending_prefetch.remove(&orig) {
+            self.stats.link.prefetch_wastes += 1;
+        }
         self.stats.chunk_invalidations += 1;
         if let Some(p) = &mut self.power {
             p.release(chunk.tc_start, chunk.n_words * 4);
@@ -734,6 +815,14 @@ impl Cc {
             Err(e) => return Err(e),
         }
         Ok(true)
+    }
+
+    /// Settle the speculation ledger at the end of a run: pushed chunks
+    /// never observed entered are counted as wasted. After this,
+    /// `prefetch_hits + prefetch_wastes == prefetched_chunks`.
+    pub fn finalize_prefetch(&mut self) {
+        self.stats.link.prefetch_wastes += self.pending_prefetch.len() as u64;
+        self.pending_prefetch.clear();
     }
 
     /// Allocate a standalone miss-stub word for record `idx`.

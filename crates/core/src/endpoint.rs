@@ -274,6 +274,9 @@ pub struct ServeReport {
     pub runt_frames: u64,
     /// Frames dropped for CRC mismatch (the client retransmits).
     pub crc_drops: u64,
+    /// Retransmitted requests answered from the reply cache instead of
+    /// being re-executed (at-most-once semantics).
+    pub dup_requests: u64,
     /// True when the loop ended because the peer disconnected (false when
     /// the request bound was reached).
     pub disconnected: bool,
@@ -284,17 +287,44 @@ pub struct ServeReport {
 /// resolves them. Returns when the bound is hit or the peer disconnects;
 /// the crash-restart harness uses the bound as a deterministic crash
 /// point.
+///
+/// Execution is at-most-once per sequence number: the last sealed reply is
+/// cached, and a retransmission of the same request (the client lost our
+/// reply) is answered from the cache instead of being handled again. The
+/// client's exchanges are strictly serial with increasing sequence
+/// numbers, so one cached reply suffices. Without this, re-handling a
+/// retransmitted `FetchBatch` would record residence-mirror entries for
+/// pushed chunks the client never installed.
 pub fn serve_bounded(mc: &mut Mc, transport: &mut dyn Transport, max_requests: u64) -> ServeReport {
     let mut report = ServeReport::default();
+    let mut last: Option<(u32, Vec<u8>)> = None;
     while report.served < max_requests {
         match transport.recv() {
             Ok(frame) => match open(&frame) {
                 Ok(env) => {
+                    if let Some((seq, wire)) = &last {
+                        if env.seq == *seq {
+                            report.dup_requests += 1;
+                            if transport.send(wire.clone()).is_err() {
+                                report.disconnected = true;
+                                return report;
+                            }
+                            continue;
+                        }
+                        if env.seq < *seq {
+                            // A late duplicate of an even older exchange:
+                            // the client has long moved on.
+                            report.dup_requests += 1;
+                            continue;
+                        }
+                    }
                     let rep = mc.handle_frame(env.payload);
-                    if transport.send(seal(env.seq, mc.epoch(), &rep)).is_err() {
+                    let wire = seal(env.seq, mc.epoch(), &rep);
+                    if transport.send(wire.clone()).is_err() {
                         report.disconnected = true;
                         return report;
                     }
+                    last = Some((env.seq, wire));
                     report.served += 1;
                 }
                 Err(EnvelopeError::Runt) => report.runt_frames += 1,
@@ -453,6 +483,33 @@ mod tests {
         assert!(matches!(out.reply, Reply::Chunk(_)));
         drop(ep);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_requests_answered_from_reply_cache() {
+        let (mut cc_t, mut mc_t) = thread_pair(Duration::from_millis(100));
+        let server = std::thread::spawn(move || {
+            let mut mc = test_mc();
+            let report = serve_bounded(&mut mc, &mut mc_t, 2);
+            (report, mc.stats.blocks_served)
+        });
+        let req = Request::FetchBlock {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+        }
+        .encode();
+        cc_t.send(seal(1, 0, &req)).unwrap();
+        cc_t.send(seal(1, 0, &req)).unwrap(); // retransmitted exchange
+        cc_t.send(seal(2, 0, &req)).unwrap();
+        let r1 = cc_t.recv().unwrap();
+        let r2 = cc_t.recv().unwrap();
+        let r3 = cc_t.recv().unwrap();
+        assert_eq!(r1, r2, "cached reply resent byte-identically");
+        assert_ne!(r1, r3, "a new exchange gets a fresh reply");
+        let (report, blocks_served) = server.join().unwrap();
+        assert_eq!(report.served, 2);
+        assert_eq!(report.dup_requests, 1);
+        assert_eq!(blocks_served, 2, "the duplicate was not re-executed");
     }
 
     #[test]

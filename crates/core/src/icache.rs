@@ -193,6 +193,7 @@ impl SoftIcacheSystem {
                 Step::Trapped(Trap::Ecall { .. }) => unreachable!("handled by Machine"),
             }
         };
+        cc.finalize_prefetch();
         if let Some(p) = cc.power() {
             let clock = machine.cost.clock_hz as f64;
             self.last_power = Some(PowerReport {
@@ -725,6 +726,117 @@ int main() {
             .unwrap();
         assert_eq!(sb.exit_code, base.exit_code);
         assert!(sb.cache.translations < base.cache.translations);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use softcache_minic as minic;
+    use softcache_net::thread_pair;
+    use std::time::Duration;
+
+    const PROGRAM: &str = r#"
+int f(int x) { if (x % 2) return x * 3; return x + 1; }
+int g(int x) { if (x > 100) return x - 100; return x; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 200; i = i + 1) s = g(s + f(i));
+    return s & 0x7f;
+}
+"#;
+
+    fn run_depth(depth: u32) -> RunOutput {
+        let image = minic::compile_to_image(PROGRAM, &minic::Options::default()).unwrap();
+        let cfg = IcacheConfig {
+            prefetch_depth: depth,
+            ..IcacheConfig::default()
+        };
+        SoftIcacheSystem::new(image, cfg).run(&[]).unwrap()
+    }
+
+    #[test]
+    fn speculative_push_preserves_semantics() {
+        let base = run_depth(0);
+        assert_eq!(base.cache.link.batches, 0, "depth 0 never batches");
+        assert_eq!(base.cache.link.prefetched_chunks, 0);
+        for depth in [1, 2, 4, 8] {
+            let out = run_depth(depth);
+            assert_eq!(out.exit_code, base.exit_code, "depth {depth}");
+            assert_eq!(out.output, base.output, "depth {depth}");
+            // Zero tag checks preserved: speculation never adds executed
+            // instructions. It can *remove* a few one-shot `miss` stub
+            // executions — when a later demand chunk is resolved straight
+            // into a pushed chunk, that edge never traps — so the count
+            // may drop by at most one per such resolved prefetch hit.
+            assert!(
+                out.exec.instructions <= base.exec.instructions,
+                "depth {depth}"
+            );
+            assert!(
+                base.exec.instructions - out.exec.instructions <= out.cache.link.prefetch_hits,
+                "depth {depth}: {} vs {}",
+                base.exec.instructions,
+                out.exec.instructions
+            );
+        }
+    }
+
+    #[test]
+    fn batching_cuts_exchanges_and_balances_the_ledger() {
+        let base = run_depth(0);
+        let out = run_depth(4);
+        assert!(
+            out.cache.link.messages < base.cache.link.messages,
+            "pushed chunks need no exchange of their own: {} vs {}",
+            out.cache.link.messages,
+            base.cache.link.messages
+        );
+        assert!(out.cache.link.stall_cycles < base.cache.link.stall_cycles);
+        assert!(out.cache.link.batches > 0);
+        assert!(out.cache.link.prefetched_chunks > 0);
+        assert!(out.cache.link.prefetch_hits > 0, "speculation pays off");
+        assert_eq!(
+            out.cache.link.prefetch_hits + out.cache.link.prefetch_wastes,
+            out.cache.link.prefetched_chunks,
+            "every pushed chunk settles as hit or waste"
+        );
+        assert_eq!(
+            out.cache.link.overhead_per_rpc(),
+            60.0,
+            "a batch still costs one header pair"
+        );
+        assert!(
+            out.cache.translations >= base.cache.translations,
+            "wasted pushes can only add translations"
+        );
+    }
+
+    #[test]
+    fn speculative_push_over_remote_mc() {
+        let src = r#"
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let (cc_t, mut mc_t) = thread_pair(Duration::from_millis(500));
+        let server_image = image.clone();
+        let server = std::thread::spawn(move || {
+            let mut mc = Mc::new(server_image);
+            crate::endpoint::serve(&mut mc, &mut mc_t)
+        });
+        let cfg = IcacheConfig {
+            prefetch_depth: 2,
+            ..IcacheConfig::default()
+        };
+        let mut sys =
+            SoftIcacheSystem::with_endpoint(image, cfg, McEndpoint::remote(Box::new(cc_t)));
+        let out = sys.run(&[]).unwrap();
+        assert_eq!(out.exit_code, 55);
+        assert!(out.cache.link.batches > 0);
+        drop(sys);
+        server.join().unwrap();
     }
 }
 

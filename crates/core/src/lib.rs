@@ -15,6 +15,8 @@
 //!   gating).
 //! * [`datarun`] — systems that wire the data caches into execution.
 //! * [`mc`] / [`cc`] — the memory-controller and cache-controller halves.
+//! * [`server`] — a threaded MC serving many CC clients from one shared
+//!   image ([`server::McServer`]).
 //! * [`protocol`] / [`endpoint`] — the wire protocol and the fused/remote
 //!   deployment shapes.
 
@@ -31,6 +33,7 @@ pub mod power;
 pub mod proc;
 pub mod protocol;
 pub mod scache;
+pub mod server;
 
 pub use cc::{CacheError, Cc, IcacheConfig, IcacheStats};
 pub use datarun::{DataRunOutput, SoftDcacheSystem};
@@ -42,3 +45,4 @@ pub use power::{BankConfig, BankModel};
 pub use proc::{ProcCacheSystem, ProcConfig, ProcRunOutput, ProcStats};
 pub use protocol::{Reply, Request};
 pub use scache::{Scache, ScacheConfig, ScacheStats};
+pub use server::McServer;

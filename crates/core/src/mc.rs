@@ -20,7 +20,8 @@ use softcache_isa::image::Image;
 use softcache_isa::inst::Inst;
 use softcache_isa::layout::{DATA_BASE, STACK_TOP};
 use softcache_isa::{cf, decode, encode};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Error codes carried in [`Reply::Err`].
 pub mod errcode {
@@ -83,11 +84,18 @@ pub struct McStats {
     pub data_fills: u64,
     /// Data writebacks accepted.
     pub data_writebacks: u64,
+    /// Batched fetches served.
+    pub batches_served: u64,
+    /// Chunks speculatively pushed beyond the demanded one.
+    pub chunks_pushed: u64,
 }
 
 /// The memory controller.
 pub struct Mc {
-    image: Image,
+    /// The program image — shared (`Arc`) so a threaded server can serve
+    /// many clients from one copy of the text/data segments while each
+    /// client keeps its own `Mc` (the residence mirror is per-client).
+    image: Arc<Image>,
     /// Mirror of the client's tcache map: original pc → tcache address.
     mirror: HashMap<u32, u32>,
     /// Memoized basic-block scans keyed by start address: body length in
@@ -110,6 +118,13 @@ pub struct Mc {
 impl Mc {
     /// Build an MC serving `image`.
     pub fn new(image: Image) -> Mc {
+        Mc::from_shared(Arc::new(image))
+    }
+
+    /// Build an MC serving an already-shared image (one text segment, many
+    /// server threads). Data memory is still private per `Mc`: each client
+    /// of a threaded server gets an isolated data image.
+    pub fn from_shared(image: Arc<Image>) -> Mc {
         let mut data = vec![0u8; (STACK_TOP - DATA_BASE) as usize];
         let off = (image.data_base - DATA_BASE) as usize;
         data[off..off + image.data.len()].copy_from_slice(&image.data);
@@ -170,6 +185,22 @@ impl Mc {
                     self.stats.blocks_served += 1;
                     self.stats.words_served += chunk.words.len() as u64;
                     Reply::Chunk(chunk)
+                }
+                Err(code) => Reply::Err(code),
+            },
+            Request::FetchBatch {
+                orig_pc,
+                dest,
+                max_chunks,
+                budget_bytes,
+            } => match self.build_batch(orig_pc, dest, max_chunks, budget_bytes) {
+                Ok(chunks) => {
+                    self.stats.batches_served += 1;
+                    self.stats.blocks_served += chunks.len() as u64;
+                    self.stats.chunks_pushed += chunks.len() as u64 - 1;
+                    self.stats.words_served +=
+                        chunks.iter().map(|c| c.words.len() as u64).sum::<u64>();
+                    Reply::Batch(chunks)
                 }
                 Err(code) => Reply::Err(code),
             },
@@ -478,6 +509,57 @@ impl Mc {
         })
     }
 
+    /// Serve the demanded chunk plus speculatively-pushed successors in
+    /// one batch. The CFG walk is breadth-first over static exits
+    /// (fall-through and direct-branch targets); candidates already in the
+    /// residence mirror, outside the text segment, or over the byte budget
+    /// are skipped. Pushed chunks are rewritten for consecutive placement
+    /// after the demanded one — exactly where the CC's bump allocator will
+    /// install them — so cross-references resolve as if the CC had fetched
+    /// them one by one.
+    fn build_batch(
+        &mut self,
+        orig_pc: u32,
+        dest: u32,
+        max_chunks: u32,
+        budget_bytes: u32,
+    ) -> Result<Vec<ChunkPayload>, u32> {
+        let demand = self.rewrite_block(orig_pc, dest)?;
+        let mut used = demand.words.len() as u32 * 4;
+        let mut frontier: VecDeque<u32> = demand.exits.iter().map(|e| e.orig_target).collect();
+        let mut out = vec![demand];
+        while (out.len() as u32) < max_chunks.max(1) {
+            let Some(cand) = frontier.pop_front() else {
+                break;
+            };
+            if self.mirror.contains_key(&cand) || !self.image.contains_text(cand) {
+                continue;
+            }
+            let next_dest = dest + used;
+            let chunk = match self.rewrite_block(cand, next_dest) {
+                Ok(c) => c,
+                Err(_) => {
+                    // An unservable successor (e.g. data reached through a
+                    // mis-predicted edge) just isn't pushed; roll back the
+                    // residence entry rewrite_block recorded.
+                    self.mirror.remove(&cand);
+                    continue;
+                }
+            };
+            let bytes = chunk.words.len() as u32 * 4;
+            if used + bytes > budget_bytes {
+                self.mirror.remove(&cand);
+                break;
+            }
+            used += bytes;
+            for e in &chunk.exits {
+                frontier.push_back(e.orig_target);
+            }
+            out.push(chunk);
+        }
+        Ok(out)
+    }
+
     /// Rewrite a whole procedure (ARM-prototype granularity). Defined in
     /// `proc.rs`; declared here for dispatching.
     fn rewrite_proc(&mut self, orig_pc: u32, dest: u32) -> Result<ChunkPayload, u32> {
@@ -742,6 +824,88 @@ far:    halt
             Reply::Err(_)
         ));
         let _ = TCACHE_BASE;
+    }
+
+    #[test]
+    fn batch_pushes_successors_contiguously() {
+        let mut mc = mc_for(
+            r#"
+_start: beqz t0, far
+        addi t0, t0, 1
+        halt
+far:    addi t0, t0, 2
+        halt
+"#,
+        );
+        let chunks = match mc.handle(Request::FetchBatch {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+            max_chunks: 4,
+            budget_bytes: 4096,
+        }) {
+            Reply::Batch(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(chunks.len(), 3, "demand + both successors");
+        assert_eq!(chunks[0].orig_start, TEXT_BASE);
+        // BFS over exits: fallthrough first, then the taken side.
+        assert_eq!(chunks[1].orig_start, TEXT_BASE + 4);
+        assert_eq!(chunks[2].orig_start, TEXT_BASE + 12);
+        // Placement is contiguous in push order.
+        let mut dest = 0x40_0000;
+        for c in &chunks {
+            assert_eq!(mc.mirror_get(c.orig_start), Some(dest));
+            dest += c.words.len() as u32 * 4;
+        }
+        assert_eq!(mc.stats.batches_served, 1);
+        assert_eq!(mc.stats.chunks_pushed, 2);
+        assert_eq!(mc.stats.blocks_served, 3);
+        // Demand exits into pushed chunks stay miss stubs (resolution is
+        // backward-only): first entry costs one local trap, zero RPCs.
+        assert_eq!(chunks[0].exits.len(), 2);
+    }
+
+    #[test]
+    fn batch_respects_budget_and_residence() {
+        let src = r#"
+_start: beqz t0, far
+        addi t0, t0, 1
+        halt
+far:    addi t0, t0, 2
+        halt
+"#;
+        // Budget only covers the demanded chunk: nothing is pushed, and no
+        // phantom residence entries remain.
+        let mut mc = mc_for(src);
+        let chunks = match mc.handle(Request::FetchBatch {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+            max_chunks: 4,
+            budget_bytes: 4 * 4,
+        }) {
+            Reply::Batch(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(mc.mirror_len(), 1, "only the demanded chunk is resident");
+
+        // Already-resident successors are not pushed again.
+        let mut mc = mc_for(src);
+        let _ = mc.handle(Request::FetchBlock {
+            orig_pc: TEXT_BASE + 4,
+            dest: 0x40_2000,
+        });
+        let chunks = match mc.handle(Request::FetchBatch {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+            max_chunks: 4,
+            budget_bytes: 4096,
+        }) {
+            Reply::Batch(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(chunks.len(), 2, "resident fallthrough skipped");
+        assert_eq!(chunks[1].orig_start, TEXT_BASE + 12);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! Unlike the SPARC variant's flush-everything policy, this controller
 //! **evicts individual procedures LRU-first** from a first-fit heap, which
 //! is what produces the paging behaviour of Figure 8.
+//!
+//! This cache receives no speculative pushes: it only ever issues
+//! `FetchProc`, so the batched `FetchBatch`/`Reply::Batch` protocol never
+//! competes with its pinned redirectors or LRU set — the
+//! prefetch-never-evicts-pinned invariant holds here trivially.
 
 use crate::cc::CacheError;
 use crate::endpoint::McEndpoint;

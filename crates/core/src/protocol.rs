@@ -93,6 +93,24 @@ pub enum Request {
         /// Placement address in the tcache.
         dest: u32,
     },
+    /// Fetch the chunk at `orig_pc` plus speculatively-pushed successors
+    /// (static CFG walk: fall-through and direct-branch targets), all
+    /// rewritten for consecutive placement starting at `dest` and shipped
+    /// in one [`Reply::Batch`] — one header per batch instead of one per
+    /// chunk.
+    FetchBatch {
+        /// Original-program address of the demanded chunk.
+        orig_pc: u32,
+        /// Placement address of the demanded chunk; pushed chunks follow
+        /// contiguously (the CC's bump allocator installs them in order).
+        dest: u32,
+        /// Maximum chunks in the batch, including the demanded one (≥ 1).
+        max_chunks: u32,
+        /// Byte budget for the whole batch — the CC's free tcache space.
+        /// Pushed chunks never exceed it (the demanded chunk may; the CC
+        /// answers that with its usual flush-and-retry).
+        budget_bytes: u32,
+    },
     /// Fetch the whole procedure containing `orig_pc` (ARM-prototype
     /// granularity), rewritten for placement at `dest`.
     FetchProc {
@@ -144,6 +162,10 @@ pub enum Reply {
         /// The serving MC's epoch (changes across restarts).
         epoch: u32,
     },
+    /// A batched miss reply: the demanded chunk first, then zero or more
+    /// speculatively-pushed successors, placed contiguously. One frame —
+    /// one header pair on the wire — for the whole set.
+    Batch(Vec<ChunkPayload>),
 }
 
 /// Protocol decode error.
@@ -184,6 +206,18 @@ impl Request {
             Request::Hello => {
                 w.put_u8(7);
             }
+            Request::FetchBatch {
+                orig_pc,
+                dest,
+                max_chunks,
+                budget_bytes,
+            } => {
+                w.put_u8(8)
+                    .put_u32(*orig_pc)
+                    .put_u32(*dest)
+                    .put_u32(*max_chunks)
+                    .put_u32(*budget_bytes);
+            }
         }
         w.finish()
     }
@@ -214,6 +248,12 @@ impl Request {
                 bytes: r.bytes().map_err(|_| ProtoError)?,
             },
             7 => Request::Hello,
+            8 => Request::FetchBatch {
+                orig_pc: r.u32().map_err(|_| ProtoError)?,
+                dest: r.u32().map_err(|_| ProtoError)?,
+                max_chunks: r.u32().map_err(|_| ProtoError)?,
+                budget_bytes: r.u32().map_err(|_| ProtoError)?,
+            },
             _ => return Err(ProtoError),
         };
         if !r.at_end() {
@@ -223,30 +263,78 @@ impl Request {
     }
 }
 
+/// Append one chunk's encoding to an in-progress frame (shared by the
+/// single-chunk and batched reply forms).
+fn encode_chunk(w: &mut FrameWriter, c: &ChunkPayload) {
+    w.put_u32(c.orig_start)
+        .put_u32(c.body_words)
+        .put_words(&c.words);
+    w.put_u32(c.exits.len() as u32);
+    for e in &c.exits {
+        w.put_u32(e.stub_slot)
+            .put_u32(e.patch_slot)
+            .put_u8(e.kind.to_u8())
+            .put_u32(e.orig_target);
+    }
+    w.put_u32(c.resolved.len() as u32);
+    for rr in &c.resolved {
+        w.put_u32(rr.slot)
+            .put_u32(rr.orig_target)
+            .put_u8(rr.kind.to_u8());
+    }
+    w.put_words(&c.extra_orig);
+}
+
+/// Decode one chunk from an in-progress frame (shared by the single-chunk
+/// and batched reply forms).
+fn decode_chunk(r: &mut FrameReader<'_>) -> Result<ChunkPayload, ProtoError> {
+    let orig_start = r.u32().map_err(|_| ProtoError)?;
+    let body_words = r.u32().map_err(|_| ProtoError)?;
+    let words = r.words().map_err(|_| ProtoError)?;
+    let n = r.u32().map_err(|_| ProtoError)? as usize;
+    let mut exits = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        exits.push(ExitDesc {
+            stub_slot: r.u32().map_err(|_| ProtoError)?,
+            patch_slot: r.u32().map_err(|_| ProtoError)?,
+            kind: PatchKind::from_u8(r.u8().map_err(|_| ProtoError)?).ok_or(ProtoError)?,
+            orig_target: r.u32().map_err(|_| ProtoError)?,
+        });
+    }
+    let n = r.u32().map_err(|_| ProtoError)? as usize;
+    let mut resolved = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        resolved.push(ResolvedRef {
+            slot: r.u32().map_err(|_| ProtoError)?,
+            orig_target: r.u32().map_err(|_| ProtoError)?,
+            kind: PatchKind::from_u8(r.u8().map_err(|_| ProtoError)?).ok_or(ProtoError)?,
+        });
+    }
+    let extra_orig = r.words().map_err(|_| ProtoError)?;
+    Ok(ChunkPayload {
+        orig_start,
+        body_words,
+        words,
+        exits,
+        resolved,
+        extra_orig,
+    })
+}
+
 impl Reply {
     /// Encode to a wire frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = FrameWriter::new();
         match self {
             Reply::Chunk(c) => {
-                w.put_u8(1)
-                    .put_u32(c.orig_start)
-                    .put_u32(c.body_words)
-                    .put_words(&c.words);
-                w.put_u32(c.exits.len() as u32);
-                for e in &c.exits {
-                    w.put_u32(e.stub_slot)
-                        .put_u32(e.patch_slot)
-                        .put_u8(e.kind.to_u8())
-                        .put_u32(e.orig_target);
+                w.put_u8(1);
+                encode_chunk(&mut w, c);
+            }
+            Reply::Batch(chunks) => {
+                w.put_u8(6).put_u32(chunks.len() as u32);
+                for c in chunks {
+                    encode_chunk(&mut w, c);
                 }
-                w.put_u32(c.resolved.len() as u32);
-                for rr in &c.resolved {
-                    w.put_u32(rr.slot)
-                        .put_u32(rr.orig_target)
-                        .put_u8(rr.kind.to_u8());
-                }
-                w.put_words(&c.extra_orig);
             }
             Reply::Ack => {
                 w.put_u8(2);
@@ -269,40 +357,17 @@ impl Reply {
         let mut r = FrameReader::new(frame);
         let kind = r.u8().map_err(|_| ProtoError)?;
         let rep = match kind {
-            1 => {
-                let orig_start = r.u32().map_err(|_| ProtoError)?;
-                let body_words = r.u32().map_err(|_| ProtoError)?;
-                let words = r.words().map_err(|_| ProtoError)?;
+            1 => Reply::Chunk(decode_chunk(&mut r)?),
+            6 => {
                 let n = r.u32().map_err(|_| ProtoError)? as usize;
-                let mut exits = Vec::with_capacity(n.min(1024));
-                for _ in 0..n {
-                    exits.push(ExitDesc {
-                        stub_slot: r.u32().map_err(|_| ProtoError)?,
-                        patch_slot: r.u32().map_err(|_| ProtoError)?,
-                        kind: PatchKind::from_u8(r.u8().map_err(|_| ProtoError)?)
-                            .ok_or(ProtoError)?,
-                        orig_target: r.u32().map_err(|_| ProtoError)?,
-                    });
+                if n == 0 {
+                    return Err(ProtoError); // a batch always carries the demanded chunk
                 }
-                let n = r.u32().map_err(|_| ProtoError)? as usize;
-                let mut resolved = Vec::with_capacity(n.min(1024));
+                let mut chunks = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    resolved.push(ResolvedRef {
-                        slot: r.u32().map_err(|_| ProtoError)?,
-                        orig_target: r.u32().map_err(|_| ProtoError)?,
-                        kind: PatchKind::from_u8(r.u8().map_err(|_| ProtoError)?)
-                            .ok_or(ProtoError)?,
-                    });
+                    chunks.push(decode_chunk(&mut r)?);
                 }
-                let extra_orig = r.words().map_err(|_| ProtoError)?;
-                Reply::Chunk(ChunkPayload {
-                    orig_start,
-                    body_words,
-                    words,
-                    exits,
-                    resolved,
-                    extra_orig,
-                })
+                Reply::Batch(chunks)
             }
             2 => Reply::Ack,
             3 => Reply::Data(r.bytes().map_err(|_| ProtoError)?),
@@ -345,6 +410,12 @@ mod tests {
                 bytes: vec![1, 2, 3],
             },
             Request::Hello,
+            Request::FetchBatch {
+                orig_pc: 0x1080,
+                dest: 0x40_0040,
+                max_chunks: 3,
+                budget_bytes: 4096,
+            },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -382,6 +453,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_roundtrip() {
+        let chunk = |orig: u32| ChunkPayload {
+            orig_start: orig,
+            body_words: 2,
+            words: vec![orig, orig + 4, 0xdead],
+            exits: vec![ExitDesc {
+                stub_slot: 2,
+                patch_slot: 1,
+                kind: PatchKind::ReplaceWord,
+                orig_target: orig + 0x40,
+            }],
+            resolved: vec![],
+            extra_orig: vec![orig + 8],
+        };
+        let reps = [
+            Reply::Batch(vec![chunk(0x1000)]),
+            Reply::Batch(vec![chunk(0x1000), chunk(0x1040), chunk(0x1080)]),
+        ];
+        for r in reps {
+            assert_eq!(Reply::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
     fn garbage_rejected() {
         assert!(Request::decode(&[]).is_err());
         assert!(Request::decode(&[99]).is_err());
@@ -390,5 +485,25 @@ mod tests {
         let mut f = Request::InvalidateAll.encode();
         f.push(0);
         assert!(Request::decode(&f).is_err());
+        // An empty batch is malformed: the demanded chunk is mandatory.
+        let mut w = FrameWriter::new();
+        w.put_u8(6).put_u32(0);
+        assert!(Reply::decode(&w.finish()).is_err());
+        // Truncated batch body rejected.
+        let mut w = FrameWriter::new();
+        w.put_u8(6).put_u32(2).put_u32(0x1000);
+        assert!(Reply::decode(&w.finish()).is_err());
+        // Trailing junk after a complete batch rejected.
+        let mut f = Reply::Batch(vec![ChunkPayload {
+            orig_start: 0x1000,
+            body_words: 1,
+            words: vec![7],
+            exits: vec![],
+            resolved: vec![],
+            extra_orig: vec![],
+        }])
+        .encode();
+        f.push(0);
+        assert!(Reply::decode(&f).is_err());
     }
 }

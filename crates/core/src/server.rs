@@ -1,0 +1,142 @@
+//! Threaded multi-client MC server.
+//!
+//! One memory controller process serving N embedded clients from a single
+//! shared program image — the fan-in configuration the paper's server-side
+//! rewriting cost argument points toward ("the (relatively unconstrained)
+//! server", §1). Each client connection gets its own serve thread and its
+//! own [`Mc`]: the residence mirror is per-client state (every CC has its
+//! own tcache layout), while the immutable text segment is shared through
+//! an [`Arc`]. Data memory is also per-client, so one client's stores can
+//! never leak into another's run — per-client outputs are byte-identical
+//! to single-client runs.
+
+use crate::endpoint::{serve, ServeReport};
+use crate::mc::{ChunkStrategy, Mc};
+use softcache_isa::image::Image;
+use softcache_net::Transport;
+use std::sync::Arc;
+
+/// A multi-client MC server over one shared program image.
+pub struct McServer {
+    image: Arc<Image>,
+    epoch: u32,
+    strategy: ChunkStrategy,
+}
+
+impl McServer {
+    /// Server over `image`, epoch 1, basic-block chunks.
+    pub fn new(image: Image) -> McServer {
+        McServer {
+            image: Arc::new(image),
+            epoch: 1,
+            strategy: ChunkStrategy::BasicBlock,
+        }
+    }
+
+    /// Set the session epoch handed to every per-client MC.
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// Set the chunk-formation strategy for every per-client MC.
+    pub fn set_strategy(&mut self, strategy: ChunkStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The shared image (for spinning up clients against the same text).
+    pub fn image(&self) -> Arc<Image> {
+        Arc::clone(&self.image)
+    }
+
+    /// Serve one client per transport until each disconnects, one thread
+    /// per client (`std::thread::scope`), and return the per-client serve
+    /// reports in the same order as `transports`.
+    pub fn serve_clients(&self, transports: Vec<Box<dyn Transport>>) -> Vec<ServeReport> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = transports
+                .into_iter()
+                .map(|mut t| {
+                    let image = Arc::clone(&self.image);
+                    let epoch = self.epoch;
+                    let strategy = self.strategy;
+                    scope.spawn(move || {
+                        let mut mc = Mc::from_shared(image);
+                        mc.set_epoch(epoch);
+                        mc.set_strategy(strategy);
+                        serve(&mut mc, t.as_mut())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client serve thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::IcacheConfig;
+    use crate::endpoint::McEndpoint;
+    use crate::icache::SoftIcacheSystem;
+    use softcache_minic as minic;
+    use softcache_net::thread_pair;
+    use std::time::Duration;
+
+    #[test]
+    fn serves_concurrent_clients_byte_identically() {
+        let src = r#"
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 40; i = i + 1) { s = s + i * i; puti(s); putc(' '); }
+    return s & 0x7f;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+
+        // Single-client reference run.
+        let mut solo = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
+        let want = solo.run(&[]).unwrap();
+
+        let server = McServer::new(image.clone());
+        let n = 4;
+        let mut server_ends: Vec<Box<dyn Transport>> = Vec::new();
+        let mut client_ends = Vec::new();
+        for _ in 0..n {
+            let (cc_t, mc_t) = thread_pair(Duration::from_millis(500));
+            server_ends.push(Box::new(mc_t));
+            client_ends.push(cc_t);
+        }
+        std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| server.serve_clients(server_ends));
+            let clients: Vec<_> = client_ends
+                .into_iter()
+                .map(|cc_t| {
+                    let image = image.clone();
+                    scope.spawn(move || {
+                        let mut sys = SoftIcacheSystem::with_endpoint(
+                            image,
+                            IcacheConfig::default(),
+                            McEndpoint::remote(Box::new(cc_t)),
+                        );
+                        sys.run(&[]).unwrap()
+                    })
+                })
+                .collect();
+            for (i, c) in clients.into_iter().enumerate() {
+                let out = c.join().unwrap();
+                assert_eq!(out.exit_code, want.exit_code, "client {i}");
+                assert_eq!(out.output, want.output, "client {i}");
+            }
+            let reports = server_thread.join().unwrap();
+            assert_eq!(reports.len(), n);
+            for (i, r) in reports.iter().enumerate() {
+                assert!(r.served > 0, "client {i} was served");
+                assert!(r.disconnected, "client {i} hung up cleanly");
+            }
+        });
+    }
+}

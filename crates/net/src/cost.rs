@@ -68,6 +68,21 @@ pub struct LinkStats {
     pub overhead_bytes: u64,
     /// Stall cycles charged to the client.
     pub stall_cycles: u64,
+    /// Batched miss replies processed (each is one exchange carrying the
+    /// demanded chunk plus zero or more pushed successors).
+    pub batches: u64,
+    /// Chunks speculatively pushed by the MC and installed opportunistically.
+    pub prefetched_chunks: u64,
+    /// Tcache bytes consumed by pushed chunks (their wire bytes are charged
+    /// through `payload_bytes`/`stall_cycles` like demand bytes, since the
+    /// whole batch frame is one reply payload).
+    pub prefetched_bytes: u64,
+    /// Pushed chunks later entered by the program (via a miss stub or a
+    /// resolved reference) — speculation that paid off.
+    pub prefetch_hits: u64,
+    /// Pushed chunks discarded (flush, invalidation, end of run) without
+    /// ever being entered — speculation wasted.
+    pub prefetch_wastes: u64,
     /// Session-layer recovery events (retries, corruption drops, resyncs).
     pub session: SessionCounters,
 }

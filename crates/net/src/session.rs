@@ -86,6 +86,9 @@ pub struct SessionCounters {
     pub runt_frames: u64,
     /// Full resyncs after an MC epoch change (restart detected).
     pub resyncs: u64,
+    /// Batched fetches that exhausted their retries and fell back to
+    /// single-chunk requests (the degraded mode for damaged batch frames).
+    pub batch_fallbacks: u64,
     /// Simulated-time cycles charged for retry round trips and backoff
     /// waits (on top of the first attempt's stall).
     pub backoff_cycles: u64,
@@ -100,6 +103,7 @@ impl SessionCounters {
         self.reorders_discarded += delta.reorders_discarded;
         self.runt_frames += delta.runt_frames;
         self.resyncs += delta.resyncs;
+        self.batch_fallbacks += delta.batch_fallbacks;
         self.backoff_cycles += delta.backoff_cycles;
     }
 
@@ -112,6 +116,7 @@ impl SessionCounters {
             + self.reorders_discarded
             + self.runt_frames
             + self.resyncs
+            + self.batch_fallbacks
     }
 }
 
@@ -159,12 +164,13 @@ mod tests {
             reorders_discarded: 4,
             runt_frames: 5,
             resyncs: 6,
-            backoff_cycles: 7,
+            batch_fallbacks: 7,
+            backoff_cycles: 8,
         };
         a.absorb(&d);
         a.absorb(&d);
         assert_eq!(a.retries, 2);
-        assert_eq!(a.backoff_cycles, 14);
-        assert_eq!(a.events(), 42);
+        assert_eq!(a.backoff_cycles, 16);
+        assert_eq!(a.events(), 56);
     }
 }

@@ -104,8 +104,8 @@ fn text_input(scale: u32) -> Vec<u8> {
         "block",
         "translate",
     ];
-    let mut out = Vec::with_capacity((scale as usize) * 64);
-    while out.len() < (scale as usize) * 64 {
+    let mut out = Vec::with_capacity((scale as usize) * 256);
+    while out.len() < (scale as usize) * 256 {
         let w = words[rng.gen_range(0..words.len())];
         out.extend_from_slice(w.as_bytes());
         out.push(if rng.gen_range(0..8) == 0 {
@@ -222,23 +222,30 @@ fn hex_input(scale: u32) -> Vec<u8> {
         .collect()
 }
 
-fn frames_input(_scale: u32) -> Vec<u8> {
-    // Reference frame + the same content shifted by (2,1) with noise:
-    // motion estimation finds the shift.
+fn frames_input(scale: u32) -> Vec<u8> {
+    // Count byte, a reference frame, then `scale` current frames. Frame k
+    // is the base pattern shifted by (2k, k) with fresh noise, so every
+    // frame sits at (2,1) relative to its predecessor and per-frame motion
+    // estimation keeps finding the same vector as the encoder rolls
+    // cur -> ref between frames.
     let mut rng = StdRng::seed_from_u64(99);
     let (w, h) = (48i32, 32i32);
     let pix =
         |x: i32, y: i32| -> u8 { (((x * 5 + y * 7) % 120 + ((x / 6) % 3) * 25 + 60) & 0xff) as u8 };
-    let mut out = Vec::with_capacity((w * h * 2) as usize);
+    let n = scale.clamp(1, 255) as i32;
+    let mut out = Vec::with_capacity(1 + ((n + 1) * w * h) as usize);
+    out.push(n as u8);
     for y in 0..h {
         for x in 0..w {
             out.push(pix(x, y));
         }
     }
-    for y in 0..h {
-        for x in 0..w {
-            let v = pix(x - 2, y - 1) as i32 + rng.gen_range(-3..3);
-            out.push(v.clamp(0, 255) as u8);
+    for f in 1..=n {
+        for y in 0..h {
+            for x in 0..w {
+                let v = pix(x - 2 * f, y - f) as i32 + rng.gen_range(-3..3);
+                out.push(v.clamp(0, 255) as u8);
+            }
         }
     }
     out

@@ -1,0 +1,136 @@
+//! Fan-in soak: one threaded MC server ([`McServer`]) over a shared image,
+//! many concurrent CC clients on real channel transports. Every client's
+//! output must be byte-identical to a fused single-client run — with
+//! batching off, with speculative push on, and with a seeded fault plan
+//! injected into one client's link while its siblings run clean.
+
+use softcache::core::endpoint::McEndpoint;
+use softcache::core::icache::SoftIcacheSystem;
+use softcache::core::{IcacheConfig, McServer};
+use softcache::net::{thread_pair, FaultPlan, FaultyTransport, LinkPolicy, Transport};
+use softcache::workloads::by_name;
+use std::time::Duration;
+
+/// Receive timeout for the threaded link; injected drops become real waits
+/// of this length, so it is kept short.
+const RECV_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Run `n` concurrent clients against one server at the given push depth,
+/// wrapping client `i`'s transport in `plans[i]` when present. Returns
+/// each client's (exit code, output, resyncs + retries observed).
+fn fan_in(n: usize, depth: u32, plans: &[Option<FaultPlan>]) -> Vec<(i32, Vec<u8>, u64)> {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+
+    let server = McServer::new(image.clone());
+    let mut server_ends: Vec<Box<dyn Transport>> = Vec::new();
+    let mut client_ends = Vec::new();
+    for _ in 0..n {
+        let (cc_t, mc_t) = thread_pair(RECV_TIMEOUT);
+        server_ends.push(Box::new(mc_t));
+        client_ends.push(cc_t);
+    }
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.serve_clients(server_ends));
+        let handles: Vec<_> = client_ends
+            .into_iter()
+            .enumerate()
+            .map(|(i, cc_t)| {
+                let image = image.clone();
+                let input = &input;
+                let plan = plans.get(i).copied().flatten();
+                scope.spawn(move || {
+                    let cfg = IcacheConfig {
+                        link_policy: LinkPolicy::eager(400),
+                        prefetch_depth: depth,
+                        ..IcacheConfig::default()
+                    };
+                    let transport: Box<dyn Transport> = match plan {
+                        Some(p) => Box::new(FaultyTransport::new(cc_t, p)),
+                        None => Box::new(cc_t),
+                    };
+                    let mut sys =
+                        SoftIcacheSystem::with_endpoint(image, cfg, McEndpoint::remote(transport));
+                    let out = sys.run(input).unwrap_or_else(|e| panic!("client {i}: {e}"));
+                    let s = out.cache.link.session;
+                    (
+                        out.exit_code,
+                        out.output,
+                        s.retries + s.resyncs + s.crc_drops,
+                    )
+                })
+            })
+            .collect();
+        let outs: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        for (i, r) in server_thread
+            .join()
+            .expect("server thread")
+            .iter()
+            .enumerate()
+        {
+            assert!(r.served > 0, "client {i} was served");
+            assert!(r.disconnected, "client {i} hung up cleanly");
+        }
+        outs
+    })
+}
+
+/// Fused single-client reference.
+fn solo() -> (i32, Vec<u8>) {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+    let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
+    let out = sys.run(&input).unwrap();
+    (out.exit_code, out.output)
+}
+
+#[test]
+fn four_clients_byte_identical_to_single_client() {
+    let (want_code, want_out) = solo();
+    for depth in [0u32, 2] {
+        for (i, (code, out, _)) in fan_in(4, depth, &[]).into_iter().enumerate() {
+            assert_eq!(code, want_code, "client {i} depth {depth}");
+            assert_eq!(out, want_out, "client {i} depth {depth}");
+        }
+    }
+}
+
+#[test]
+fn eight_clients_with_speculative_push() {
+    let (want_code, want_out) = solo();
+    for (i, (code, out, _)) in fan_in(8, 2, &[]).into_iter().enumerate() {
+        assert_eq!(code, want_code, "client {i}");
+        assert_eq!(out, want_out, "client {i}");
+    }
+}
+
+#[test]
+fn four_clients_one_seeded_faulty_link() {
+    let (want_code, want_out) = solo();
+    // Client 0 rides a corrupting, lossy, duplicating link; its siblings
+    // run clean. Everyone must still agree byte-for-byte, and the faulty
+    // client must actually have exercised recovery.
+    let plan = FaultPlan {
+        corrupt_per_mille: 25,
+        drop_per_mille: 15,
+        dup_per_mille: 20,
+        ..FaultPlan::clean(7)
+    };
+    let outs = fan_in(4, 2, &[Some(plan)]);
+    for (i, (code, out, _)) in outs.iter().enumerate() {
+        assert_eq!(*code, want_code, "client {i}");
+        assert_eq!(*out, want_out, "client {i}");
+    }
+    assert!(
+        outs[0].2 > 0,
+        "the seeded plan must surface as recovery events on client 0"
+    );
+    for (i, (_, _, events)) in outs.iter().enumerate().skip(1) {
+        assert_eq!(*events, 0, "clean client {i} logged recovery events");
+    }
+}

@@ -10,8 +10,10 @@ use softcache::core::icache::SoftIcacheSystem;
 use softcache::core::mc::Mc;
 use softcache::core::IcacheConfig;
 use softcache::isa::Image;
-use softcache::net::transport::ChannelTransport;
-use softcache::net::{thread_pair, FaultPlan, FaultyTransport, LinkPolicy, LossyTransport};
+use softcache::net::transport::{ChannelTransport, NetError};
+use softcache::net::{
+    thread_pair, FaultPlan, FaultyTransport, LinkPolicy, LossyTransport, Transport,
+};
 use softcache::sim::Machine;
 use softcache::workloads::by_name;
 use std::time::Duration;
@@ -44,9 +46,22 @@ fn soak_config() -> IcacheConfig {
     }
 }
 
+/// [`soak_config`] with speculative-push batching switched on, so the
+/// fault schedule lands on multi-chunk reply frames too.
+fn soak_config_batched() -> IcacheConfig {
+    IcacheConfig {
+        prefetch_depth: 2,
+        ..soak_config()
+    }
+}
+
 /// Run `workload` over a faulty remote link and check byte-identical
 /// output. Returns the recovery-event count the session layer logged.
 fn soak_one(workload: &str, scale: u32, plan: FaultPlan) -> u64 {
+    soak_one_cfg(workload, scale, plan, soak_config())
+}
+
+fn soak_one_cfg(workload: &str, scale: u32, plan: FaultPlan, cfg: IcacheConfig) -> u64 {
     let w = by_name(workload).unwrap();
     let image = w.image(true);
     let input = (w.gen_input)(scale);
@@ -55,8 +70,7 @@ fn soak_one(workload: &str, scale: u32, plan: FaultPlan) -> u64 {
     let (server, cc_t) = spawn_server(image.clone());
     let faulty = FaultyTransport::new(cc_t, plan);
     let counters = faulty.counters();
-    let mut sys =
-        SoftIcacheSystem::with_endpoint(image, soak_config(), McEndpoint::remote(Box::new(faulty)));
+    let mut sys = SoftIcacheSystem::with_endpoint(image, cfg, McEndpoint::remote(Box::new(faulty)));
     let out = sys
         .run(&input)
         .unwrap_or_else(|e| panic!("{workload} under {plan:?}: {e}"));
@@ -137,6 +151,149 @@ fn soak_everything_at_once() {
         total_events > 0,
         "the matrix must actually exercise recovery"
     );
+}
+
+// ---- batched frames under faults ----
+
+#[test]
+fn soak_batched_frames_under_corruption() {
+    for seed in [41, 42, 43, 44] {
+        let plan = FaultPlan {
+            corrupt_per_mille: 30,
+            ..FaultPlan::clean(seed)
+        };
+        soak_one_cfg("adpcmenc", 2, plan, soak_config_batched());
+    }
+}
+
+#[test]
+fn soak_batched_frames_under_loss_dup_reorder() {
+    for seed in [51, 52, 53, 54] {
+        let plan = FaultPlan {
+            drop_per_mille: 20,
+            dup_per_mille: 25,
+            reorder_per_mille: 20,
+            ..FaultPlan::clean(seed)
+        };
+        soak_one_cfg("adpcmdec", 2, plan, soak_config_batched());
+    }
+}
+
+/// Records the largest frame a transport ever delivered (shared cell, so
+/// the caller can read it after the transport is boxed into the endpoint).
+struct MaxFrameMeter<T: Transport> {
+    inner: T,
+    max: std::sync::Arc<std::sync::Mutex<usize>>,
+}
+
+impl<T: Transport> Transport for MaxFrameMeter<T> {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.inner.send(frame)
+    }
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let f = self.inner.recv()?;
+        let mut m = self.max.lock().unwrap();
+        *m = (*m).max(f.len());
+        Ok(f)
+    }
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+}
+
+/// Swallows the first `budget` frames larger than `threshold` (recv turns
+/// them into timeouts); everything else flows. A deterministic
+/// "the network hates big frames" fault aimed exactly at replies carrying
+/// pushed chunks.
+struct BigFrameEater<T: Transport> {
+    inner: T,
+    threshold: usize,
+    budget: u32,
+    eaten: u32,
+}
+
+impl<T: Transport> Transport for BigFrameEater<T> {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.inner.send(frame)
+    }
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let f = self.inner.recv()?;
+        if f.len() > self.threshold && self.eaten < self.budget {
+            self.eaten += 1;
+            return Err(NetError::Timeout);
+        }
+        Ok(f)
+    }
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+}
+
+/// When every retry of a batched exchange dies, the CC must flush and
+/// degrade that miss to the single-chunk protocol — and the output must
+/// still be byte-identical.
+#[test]
+fn batch_retry_exhaustion_degrades_to_single_chunk() {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    // Pass 1 (depth 0): measure the largest single-chunk reply frame, so
+    // the eater's threshold provably spares every demand-only exchange.
+    let (server, cc_t) = spawn_server(image.clone());
+    let max_cell = std::sync::Arc::new(std::sync::Mutex::new(0usize));
+    let meter = MaxFrameMeter {
+        inner: cc_t,
+        max: std::sync::Arc::clone(&max_cell),
+    };
+    let mut sys = SoftIcacheSystem::with_endpoint(
+        image.clone(),
+        soak_config(),
+        McEndpoint::remote(Box::new(meter)),
+    );
+    let out0 = sys.run(&input).unwrap();
+    assert_eq!(out0.output, want_out);
+    drop(sys);
+    server.join().unwrap();
+    let max_single = *max_cell.lock().unwrap();
+    assert!(max_single > 0);
+
+    // Pass 2 (depth 2): a 6-attempt budget and an eater that swallows
+    // exactly 6 oversized frames — the first reply carrying pushed chunks
+    // exhausts its retries, forcing the flush-and-refetch fallback; later
+    // batches flow untouched.
+    let policy = LinkPolicy::eager(5); // 1 try + 5 retries = 6 attempts
+    let (server, cc_t) = spawn_server(image.clone());
+    let eater = BigFrameEater {
+        inner: cc_t,
+        threshold: max_single,
+        budget: 6,
+        eaten: 0,
+    };
+    let cfg = IcacheConfig {
+        link_policy: policy,
+        prefetch_depth: 2,
+        ..IcacheConfig::default()
+    };
+    let mut sys = SoftIcacheSystem::with_endpoint(image, cfg, McEndpoint::remote(Box::new(eater)));
+    let out = sys.run(&input).unwrap();
+    assert_eq!(out.exit_code, want_code);
+    assert_eq!(out.output, want_out, "fallback must preserve semantics");
+    assert!(
+        out.cache.link.session.batch_fallbacks >= 1,
+        "the exhausted batch must degrade to single-chunk"
+    );
+    assert!(
+        out.cache.link.batches > 0,
+        "batches after the fallback flow normally"
+    );
+    assert!(
+        out.cache.flushes >= 1,
+        "fallback flushes to stay consistent"
+    );
+    drop(sys);
+    server.join().unwrap();
 }
 
 // ---- MC crash-restart ----

@@ -175,9 +175,52 @@ proptest! {
 
 // ---- wire-layer totality and determinism ----
 
+use softcache::core::protocol::{ChunkPayload, ExitDesc, PatchKind, ResolvedRef};
 use softcache::core::{Reply, Request};
 use softcache::net::envelope::{open, seal, ENVELOPE_BYTES};
 use softcache::net::{loopback_pair, FaultPlan, FaultyTransport, NetError, Transport};
+
+fn any_patch_kind() -> impl Strategy<Value = PatchKind> {
+    prop_oneof![Just(PatchKind::Retarget), Just(PatchKind::ReplaceWord)]
+}
+
+fn any_chunk() -> impl Strategy<Value = ChunkPayload> {
+    (
+        any::<u32>(),
+        prop::collection::vec(any::<u32>(), 1..32),
+        prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any_patch_kind(), any::<u32>()),
+            0..4,
+        ),
+        prop::collection::vec((any::<u32>(), any::<u32>(), any_patch_kind()), 0..4),
+        prop::collection::vec(any::<u32>(), 0..4),
+    )
+        .prop_map(
+            |(orig_start, words, exits, resolved, extra_orig)| ChunkPayload {
+                orig_start,
+                body_words: words.len() as u32,
+                words,
+                exits: exits
+                    .into_iter()
+                    .map(|(stub_slot, patch_slot, kind, orig_target)| ExitDesc {
+                        stub_slot,
+                        patch_slot,
+                        kind,
+                        orig_target,
+                    })
+                    .collect(),
+                resolved: resolved
+                    .into_iter()
+                    .map(|(slot, orig_target, kind)| ResolvedRef {
+                        slot,
+                        orig_target,
+                        kind,
+                    })
+                    .collect(),
+                extra_orig,
+            },
+        )
+}
 
 fn any_fault_plan() -> impl Strategy<Value = FaultPlan> {
     (
@@ -289,6 +332,33 @@ proptest! {
         prop_assert!(Request::decode(&frame).is_ok());
         frame.extend_from_slice(&junk);
         prop_assert!(Request::decode(&frame).is_err());
+    }
+
+    /// `FetchBatch` requests round-trip for arbitrary field values.
+    #[test]
+    fn fetch_batch_roundtrips(
+        orig_pc in any::<u32>(),
+        dest in any::<u32>(),
+        max_chunks in any::<u32>(),
+        budget_bytes in any::<u32>(),
+    ) {
+        let req = Request::FetchBatch { orig_pc, dest, max_chunks, budget_bytes };
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Batched replies round-trip for any chunk set, and a complete batch
+    /// frame with trailing garbage is rejected — a concatenation bug can
+    /// never smuggle extra chunks past the decoder.
+    #[test]
+    fn batch_reply_roundtrips_and_rejects_garbage(
+        chunks in prop::collection::vec(any_chunk(), 1..5),
+        junk in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let rep = Reply::Batch(chunks);
+        let mut frame = rep.encode();
+        prop_assert_eq!(&Reply::decode(&frame).unwrap(), &rep);
+        frame.extend_from_slice(&junk);
+        prop_assert!(Reply::decode(&frame).is_err());
     }
 
     /// The fault injector is a pure function of (seed, op sequence): the
