@@ -1,7 +1,8 @@
-//! Interpreter-throughput benchmark: the predecoded fast path against the
-//! reference slow path, plus the softcache steady state on the same
-//! workload. The same comparison, measured once and written to JSON, is
-//! available as `experiments -- bench`.
+//! Interpreter-throughput benchmark: the superblock micro-op engine and
+//! the per-instruction predecoded fast path against the reference slow
+//! path, plus the softcache steady state on the same workload. The same
+//! comparison, measured once and written to JSON, is available as
+//! `experiments -- bench`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use softcache_core::icache::SoftIcacheSystem;
@@ -25,9 +26,23 @@ fn interp_throughput(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("interp_throughput");
     tune(&mut g);
-    g.bench_function("fast_path_predecoded", |b| {
+    g.bench_function("superblock_engine", |b| {
         b.iter_batched(
             || Machine::load_native(&image, &input),
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fast_path_predecoded", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::load_native(&image, &input);
+                m.set_superblocks_enabled(false);
+                m
+            },
             |mut m| {
                 m.run_native(1_000_000_000).unwrap();
                 black_box(m.stats.cycles)

@@ -86,7 +86,7 @@ fn main() {
 }
 
 fn bench() {
-    header("Interpreter throughput — predecoded fast path vs reference slow path");
+    header("Interpreter throughput — superblock micro-op engine vs reference paths");
     let b = exp::bench_interp(512);
     println!(
         "workload: {} (outputs and cycle counts verified identical)\n",
@@ -108,6 +108,10 @@ fn bench() {
     }
     print!("{}", render::table(&t));
     println!("\nfast path over slow path: {:.2}x", b.fast_over_slow);
+    println!(
+        "superblock engine over per-inst fast path: {:.2}x",
+        b.superblock_over_fast
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"workload\": \"{}\",\n", b.workload));
@@ -123,7 +127,11 @@ fn bench() {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"fast_over_slow\": {:.3}\n", b.fast_over_slow));
+    json.push_str(&format!("  \"fast_over_slow\": {:.3},\n", b.fast_over_slow));
+    json.push_str(&format!(
+        "  \"superblock_over_fast\": {:.3}\n",
+        b.superblock_over_fast
+    ));
     json.push_str("}\n");
     std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
     println!("wrote BENCH_interp.json");

@@ -1094,17 +1094,21 @@ pub struct InterpRow {
 pub struct InterpBench {
     /// Workload measured.
     pub workload: &'static str,
-    /// slow-path / fast-path / softcache rows, in that order.
+    /// slow / per-inst fast / superblock fast / softcache rows, in order.
     pub rows: Vec<InterpRow>,
-    /// Fast-path speedup over the slow path (simulated-MIPS ratio).
+    /// Per-instruction fast-path speedup over the slow path (MIPS ratio).
     pub fast_over_slow: f64,
+    /// Superblock-engine speedup over the per-instruction fast path.
+    pub superblock_over_fast: f64,
 }
 
 /// Measure simulated MIPS on compress95: the reference slow path
-/// ([`Machine::step_slow`], decode on every step), the predecoded fast
-/// path ([`Machine::run_native`]), and the softcache steady state (ample
-/// tcache, free link). Asserts cycles, instruction counts, and output are
-/// bit-identical between the two native paths before reporting.
+/// ([`Machine::step_slow`], decode on every step), the per-instruction
+/// predecoded fast path (superblocks disabled), the superblock micro-op
+/// engine ([`Machine::run_native`] default), and the softcache steady
+/// state (ample tcache, free link). Asserts cycles, instruction counts,
+/// and output are bit-identical across every native configuration before
+/// reporting.
 pub fn bench_interp(scale: u32) -> InterpBench {
     use std::time::Instant;
     let w = by_name("compress95").expect("workload");
@@ -1138,17 +1142,26 @@ pub fn bench_interp(scale: u32) -> InterpBench {
 
     let (fast, fast_s) = best_of(|| {
         let mut m = Machine::load_native(&image, &input);
+        m.set_superblocks_enabled(false);
         m.run_native(2_000_000_000).expect("fast-path run");
         m
     });
 
-    // The fast path is an optimisation, never a semantic change.
-    assert_eq!(
-        fast.stats.cycles, slow.stats.cycles,
-        "fast path diverged from reference cycle accounting"
-    );
-    assert_eq!(fast.stats.instructions, slow.stats.instructions);
-    assert_eq!(fast.env.output, slow.env.output, "fast path changed output");
+    let (sblk, sblk_s) = best_of(|| {
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native(2_000_000_000).expect("superblock run");
+        m
+    });
+
+    // The fast paths are optimisations, never a semantic change.
+    for (name, m) in [("per-inst fast path", &fast), ("superblock engine", &sblk)] {
+        assert_eq!(
+            m.stats.cycles, slow.stats.cycles,
+            "{name} diverged from reference cycle accounting"
+        );
+        assert_eq!(m.stats.instructions, slow.stats.instructions, "{name}");
+        assert_eq!(m.env.output, slow.env.output, "{name} changed output");
+    }
 
     let cfg = IcacheConfig {
         tcache_size: 256 * 1024,
@@ -1176,6 +1189,12 @@ pub fn bench_interp(scale: u32) -> InterpBench {
             mips: mips(fast.stats.instructions, fast_s),
         },
         InterpRow {
+            config: "native superblock engine (micro-ops)",
+            instructions: sblk.stats.instructions,
+            wall_seconds: sblk_s,
+            mips: mips(sblk.stats.instructions, sblk_s),
+        },
+        InterpRow {
             config: "softcache steady state (ample tcache)",
             instructions: out.exec.instructions,
             wall_seconds: soft_s,
@@ -1183,10 +1202,12 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         },
     ];
     let fast_over_slow = rows[1].mips / rows[0].mips;
+    let superblock_over_fast = rows[2].mips / rows[1].mips;
     InterpBench {
         workload: w.name,
         rows,
         fast_over_slow,
+        superblock_over_fast,
     }
 }
 

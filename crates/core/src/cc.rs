@@ -44,6 +44,10 @@ pub struct IcacheConfig {
     /// batched reply. 0 disables batching (the paper's one-chunk-per-miss
     /// protocol).
     pub prefetch_depth: u32,
+    /// Execute translated code through the simulator's superblock micro-op
+    /// engine (host-side speed only; simulated results are bit-identical
+    /// either way — tests and benches A/B it).
+    pub superblocks: bool,
     /// Instruction budget for a run.
     pub fuel: u64,
 }
@@ -59,13 +63,14 @@ impl Default for IcacheConfig {
             hash_lookup_cycles: 12,
             install_cycles_per_word: 2,
             prefetch_depth: 0,
+            superblocks: true,
             fuel: 2_000_000_000,
         }
     }
 }
 
 /// Cache-controller statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IcacheStats {
     /// Chunks translated (the numerator of the paper's software miss rate).
     pub translations: u64,
@@ -439,6 +444,10 @@ impl Cc {
                 .write_u32(dest + exit.stub_slot * 4, encode(Inst::Miss { idx }))
                 .expect("stub slot in range");
         }
+        // The chunk body and its miss stubs are final: predecode the whole
+        // range eagerly (instruction slots + superblocks), so the first
+        // pass through freshly installed code already runs the fast path.
+        machine.predecode_range(dest, dest + n_words * 4);
         self.chunks.push(ChunkInfo {
             orig_start: chunk.orig_start,
             tc_start: dest,
@@ -538,6 +547,10 @@ impl Cc {
                 machine.mem.write_u32(addr, j).expect("mapped");
             }
         }
+        // Re-predecode the patched word immediately — backpatching is the
+        // common steady-state write, and the patched site sits in code the
+        // client is about to re-enter.
+        machine.predecode_range(addr, addr + 4);
         self.stats.patches += 1;
         Ok(())
     }

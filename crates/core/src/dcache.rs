@@ -134,14 +134,100 @@ struct SitePrediction {
     valid: bool,
 }
 
+/// Prediction-table entries per page: 1024 sites = 4 KiB of code.
+const PRED_PAGE_SLOTS: usize = 1024;
+const PRED_PAGE_SHIFT: u32 = 10;
+
+/// Hard ceiling on allocated prediction pages: one slot per word of the
+/// simulated address space. [`Dcache::check_invariants`] asserts it.
+const PRED_MAX_PAGES: usize =
+    (softcache_isa::layout::MEM_SIZE as usize / 4).div_ceil(PRED_PAGE_SLOTS);
+
+/// One predicted-index entry, stamped with the epoch it was written in.
+/// `epoch == 0` means never written; entries from older epochs read as
+/// invalid without ever being cleared.
+#[derive(Clone, Copy, Default)]
+struct PredEntry {
+    index: u32,
+    stride: i32,
+    epoch: u32,
+}
+
+/// Flat, epoch-checked predicted-index side table — the data-side analogue
+/// of the instruction predecode cache. Sites are the PCs of load/store
+/// instructions (always word-aligned), so `site >> 2` indexes a lazily
+/// paged flat array and the per-access `HashMap` lookup becomes two array
+/// derefs plus an epoch compare. Bumping the epoch invalidates every
+/// prediction in O(1), which bounds the table across flush/resync cycles.
+struct PredTable {
+    pages: Vec<Option<Box<[PredEntry]>>>,
+    epoch: u32,
+}
+
+impl PredTable {
+    fn new() -> PredTable {
+        PredTable {
+            pages: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// Invalidate every entry (O(1): stale epochs read as invalid).
+    fn clear(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn pages_allocated(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    #[inline]
+    fn get(&self, site: u32) -> SitePrediction {
+        let idx = (site >> 2) as usize;
+        let (page_no, slot_no) = (idx >> PRED_PAGE_SHIFT, idx & (PRED_PAGE_SLOTS - 1));
+        if site & 3 == 0 {
+            if let Some(Some(page)) = self.pages.get(page_no) {
+                let e = page[slot_no];
+                if e.epoch == self.epoch {
+                    return SitePrediction {
+                        index: e.index,
+                        stride: e.stride,
+                        valid: true,
+                    };
+                }
+            }
+        }
+        SitePrediction::default()
+    }
+
+    #[inline]
+    fn set(&mut self, site: u32, index: u32, stride: i32) {
+        if site & 3 != 0 {
+            return; // misaligned sites (never real PCs) are not memoised
+        }
+        let idx = (site >> 2) as usize;
+        let (page_no, slot_no) = (idx >> PRED_PAGE_SHIFT, idx & (PRED_PAGE_SLOTS - 1));
+        if page_no >= self.pages.len() {
+            self.pages.resize_with(page_no + 1, || None);
+        }
+        let page = self.pages[page_no]
+            .get_or_insert_with(|| vec![PredEntry::default(); PRED_PAGE_SLOTS].into_boxed_slice());
+        page[slot_no] = PredEntry {
+            index,
+            stride,
+            epoch: self.epoch,
+        };
+    }
+}
+
 /// The fully associative software data cache.
 pub struct Dcache {
     cfg: DcacheConfig,
     /// Sorted by tag.
     blocks: Vec<DBlock>,
     /// Per-site (per-PC) prediction variables — "additional variables
-    /// outside the dcache".
-    predictions: std::collections::HashMap<u32, SitePrediction>,
+    /// outside the dcache" — in a flat epoch-checked side table.
+    predictions: PredTable,
     /// Pinned address ranges (inclusive start, exclusive end).
     pinned: Vec<(u32, u32)>,
     clock: u64,
@@ -157,7 +243,7 @@ impl Dcache {
         Dcache {
             cfg,
             blocks: Vec::new(),
-            predictions: std::collections::HashMap::new(),
+            predictions: PredTable::new(),
             pinned: Vec::new(),
             clock: 0,
             stats: DcacheStats::default(),
@@ -327,7 +413,7 @@ impl Dcache {
 
         *extra += self.cfg.check_cycles;
         self.stats.onchip_cycles += self.cfg.check_cycles;
-        let pred = self.predictions.get(&site).copied().unwrap_or_default();
+        let pred = self.predictions.get(site);
 
         // Fast path: predicted index(es).
         let mut candidates: [Option<u32>; 2] = [None, None];
@@ -395,14 +481,7 @@ impl Dcache {
         } else {
             0
         };
-        self.predictions.insert(
-            site,
-            SitePrediction {
-                index: idx as u32,
-                stride,
-                valid: true,
-            },
-        );
+        self.predictions.set(site, idx as u32, stride);
     }
 
     /// Read `width` bytes at `addr` (must not cross a block).
@@ -489,14 +568,29 @@ impl Dcache {
                 self.stats.writebacks += 1;
             }
         }
+        // A flush marks a lifecycle boundary (end of run, hand-off,
+        // resync): drop every site prediction so the table cannot grow
+        // without bound across flush/resync cycles. Predictions are pure
+        // hints — invalidating them costs at most one slow search per
+        // site, never correctness.
+        self.predictions.clear();
         Ok(())
     }
 
-    /// Invariant check: blocks sorted by tag, unique.
+    /// Invariant check: blocks sorted by tag, unique, and the prediction
+    /// side table bounded by the simulated address space.
     pub fn check_invariants(&self) {
         for w in self.blocks.windows(2) {
             assert!(w[0].tag < w[1].tag, "dcache blocks must stay sorted+unique");
         }
+        assert!(
+            self.predictions.pages.len() <= PRED_MAX_PAGES,
+            "prediction table exceeds the address-space bound"
+        );
+        assert!(
+            self.predictions.pages_allocated() <= PRED_MAX_PAGES,
+            "prediction table exceeds the address-space bound"
+        );
     }
 }
 
@@ -535,6 +629,42 @@ mod tests {
         let (_, extra) = dc.read(&mut ep, 0x200, a, 4).unwrap();
         assert_eq!(dc.stats.fast_hits, 1, "same site, same block: predicted");
         assert_eq!(extra, dc.config().check_cycles, "fast hit = one check");
+    }
+
+    #[test]
+    fn prediction_table_epoch_clear_and_alignment() {
+        let mut t = PredTable::new();
+        t.set(0x100, 7, 1);
+        let p = t.get(0x100);
+        assert!(p.valid && p.index == 7 && p.stride == 1);
+        t.clear();
+        assert!(!t.get(0x100).valid, "epoch bump invalidates in O(1)");
+        t.set(0x100, 9, 0);
+        assert_eq!(t.get(0x100).index, 9, "re-set after clear revalidates");
+        // Misaligned sites (never real PCs) are neither memoised nor
+        // allowed to collide with the word-aligned neighbour.
+        t.set(0x101, 5, 0);
+        assert!(!t.get(0x101).valid);
+        assert_eq!(t.get(0x100).index, 9);
+    }
+
+    #[test]
+    fn flush_dirty_clears_predictions() {
+        let (mut dc, mut ep) = setup(DcacheConfig::default());
+        let a = DATA_BASE + 64;
+        dc.read(&mut ep, 0x200, a, 4).unwrap();
+        dc.read(&mut ep, 0x200, a, 4).unwrap();
+        assert_eq!(dc.stats.fast_hits, 1);
+        dc.flush_dirty(&mut ep).unwrap();
+        dc.check_invariants();
+        // The block is still resident, but the site prediction is gone:
+        // the next access slow-hits, then predicts again.
+        dc.read(&mut ep, 0x200, a, 4).unwrap();
+        assert_eq!(dc.stats.fast_hits, 1, "no fast hit right after flush");
+        assert_eq!(dc.stats.slow_hits, 1);
+        dc.read(&mut ep, 0x200, a, 4).unwrap();
+        assert_eq!(dc.stats.fast_hits, 2, "prediction rebuilt");
+        dc.check_invariants();
     }
 
     #[test]

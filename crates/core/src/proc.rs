@@ -484,6 +484,9 @@ impl ProcCc {
             }
         };
         machine.mem.write_u32(addr, word).expect("redir mapped");
+        // Redirector words are entered on every cross-procedure transfer;
+        // re-predecode the rewritten word eagerly.
+        machine.predecode_range(addr, addr + 4);
     }
 
     /// Evict the procedure in heap region `idx`, fixing every redirector
@@ -649,6 +652,9 @@ impl ProcCc {
             .expect("in range");
             machine.mem.write_u32(site_tc, jal).expect("mapped");
         }
+        // The procedure body and its rewired call sites are final:
+        // predecode the installed range at chunk granularity.
+        machine.predecode_range(tc_start, tc_start + bytes);
         if trace_on() {
             eprintln!(
                 "[proc] install func {:#x} at tc {:#x} size {} ({} exits)",

@@ -103,7 +103,34 @@ impl DecodeCache {
         self.gen != mem.code_gen()
     }
 
-    fn invalidate_span(&mut self, lo: u32, hi: u32) {
+    /// The [`Memory::code_gen`] value the cached contents are valid for.
+    /// The owning [`crate::Machine`] reads and writes the generation
+    /// directly so the decode and superblock caches consume each dirty
+    /// span together (the span is destroyed on take).
+    #[inline]
+    pub(crate) fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// See [`DecodeCache::generation`].
+    #[inline]
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.gen = generation;
+    }
+
+    /// Does the cache hold costs for a different model than `cost`?
+    #[inline]
+    pub(crate) fn cost_stale(&self, cost: &CostModel) -> bool {
+        self.cost != *cost
+    }
+
+    /// Adopt `cost`, dropping every memoised decode.
+    pub(crate) fn set_cost(&mut self, cost: CostModel) {
+        self.cost = cost;
+        self.flush();
+    }
+
+    pub(crate) fn invalidate_span(&mut self, lo: u32, hi: u32) {
         let first = (lo >> 2) as usize >> PAGE_SHIFT;
         let last = ((hi.saturating_add(3) >> 2) as usize) >> PAGE_SHIFT;
         for page in self
@@ -143,8 +170,11 @@ impl DecodeCache {
         let (cost, cost_taken) = self.cost.cycle_pair(inst);
         // Only memoise PCs the write barrier watches (anything else decodes
         // fresh every time and can never go stale), and only costs that fit
-        // the compressed slot.
-        if mem.is_code_watched(pc) && cost < u64::from(EMPTY) && cost_taken <= u64::from(u32::MAX) {
+        // the compressed slot. Both costs use the same strict bound: `cost`
+        // because `EMPTY` is the unfilled sentinel, and `cost_taken` so a
+        // model landing exactly on `u32::MAX` cannot be stored truncated in
+        // a slot that reads back as valid.
+        if mem.is_code_watched(pc) && cost < u64::from(EMPTY) && cost_taken < u64::from(EMPTY) {
             let idx = (pc >> 2) as usize;
             let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
             if page_no >= self.pages.len() {
@@ -236,6 +266,43 @@ mod tests {
             dc.fetch(0, &mem),
             Err(SimError::IllegalInst { pc: 0, word: 0 })
         ));
+    }
+
+    #[test]
+    fn sentinel_sized_costs_are_never_memoised_truncated() {
+        // Cost models whose per-instruction cycles land on or beyond the
+        // u32 slot range (including exactly `EMPTY` for either field) must
+        // fall through to the uncompressed path on *every* fetch — a
+        // `cost_taken` of `u32::MAX` stored compressed would read back as
+        // a valid slot while silently capping wider models.
+        use softcache_isa::decode;
+        use softcache_isa::inst::BranchCond;
+        let branch = encode(Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            off: 1,
+        });
+        let mut mem = Memory::new(64);
+        mem.write_u32(0, branch).unwrap();
+        for base in [
+            u64::from(u32::MAX) - 1, // cost fits; cost_taken == u32::MAX
+            u64::from(u32::MAX),     // cost == EMPTY
+            u64::from(u32::MAX) + 7, // both beyond the slot
+        ] {
+            let model = CostModel {
+                base,
+                taken_extra: 1,
+                ..CostModel::default()
+            };
+            let want = model.cycle_pair(decode(branch).unwrap());
+            let mut dc = DecodeCache::new(model);
+            dc.sync(&mut mem, &model);
+            for pass in 0..2 {
+                let (_, c, ct) = dc.fetch(0, &mem).unwrap();
+                assert_eq!((c, ct), want, "base={base} pass={pass}");
+            }
+        }
     }
 
     #[test]

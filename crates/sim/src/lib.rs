@@ -16,6 +16,7 @@ pub mod decode_cache;
 pub mod machine;
 pub mod mem;
 pub mod profile;
+mod uop;
 
 pub use cost::CostModel;
 pub use cpu::{Cpu, Next, SimError, Trap};

@@ -9,6 +9,7 @@ use crate::cost::CostModel;
 use crate::cpu::{Cpu, Next, SimError, Trap};
 use crate::decode_cache::DecodeCache;
 use crate::mem::Memory;
+use crate::uop::{self, BlockExit, UopCache};
 use softcache_isa::cf::rel_target;
 use softcache_isa::image::Image;
 use softcache_isa::inst::Inst;
@@ -166,6 +167,12 @@ pub struct Machine {
     /// Predecoded fast-path instruction cache (invalidated through the
     /// [`Memory`] code-write barrier).
     decode: DecodeCache,
+    /// Superblock micro-op cache — straight-line runs lowered to flat
+    /// micro-op arrays with precomputed cycle totals (same write barrier;
+    /// the machine keeps both caches' generations in lockstep).
+    uops: UopCache,
+    /// Superblock execution toggle (on by default; benches A/B it).
+    superblocks: bool,
 }
 
 impl Machine {
@@ -213,6 +220,36 @@ impl Machine {
             cost,
             stats: ExecStats::default(),
             decode: DecodeCache::new(cost),
+            uops: UopCache::new(),
+            superblocks: true,
+        }
+    }
+
+    /// Bring both predecode caches (instruction slots and superblocks) up
+    /// to date with the cost model and `mem`'s code generation. The dirty
+    /// span is destroyed on take, so this is the *only* place either cache
+    /// may consume it — both invalidate from the same span and adopt the
+    /// same generation.
+    #[inline]
+    fn sync_caches(&mut self) {
+        if self.decode.cost_stale(&self.cost) {
+            self.decode.set_cost(self.cost);
+            self.uops.flush();
+        }
+        self.sync_code_caches();
+    }
+
+    /// Generation-only resync of both caches (cost model known unchanged).
+    #[inline]
+    fn sync_code_caches(&mut self) {
+        let generation = self.mem.code_gen();
+        if self.decode.generation() != generation || self.uops.generation() != generation {
+            if let Some((lo, hi)) = self.mem.take_dirty_code() {
+                self.decode.invalidate_span(lo, hi);
+                self.uops.invalidate_span(lo, hi);
+            }
+            self.decode.set_generation(generation);
+            self.uops.set_generation(generation);
         }
     }
 
@@ -248,7 +285,7 @@ impl Machine {
     /// surface as [`Step::Trapped`].
     #[inline]
     pub fn step(&mut self) -> Result<Step, SimError> {
-        self.decode.sync(&mut self.mem, &self.cost);
+        self.sync_caches();
         self.step_synced()
     }
 
@@ -256,7 +293,7 @@ impl Machine {
     /// model; only the (one-compare) code-generation check runs per step.
     #[inline]
     fn step_synced(&mut self) -> Result<Step, SimError> {
-        self.decode.sync_code(&mut self.mem);
+        self.sync_code_caches();
         let (inst, cost, cost_taken) = self.decode.fetch(self.cpu.pc, &self.mem)?;
         let (next, taken) = self.cpu.execute(inst, &mut self.mem)?;
         self.stats.account(inst, taken);
@@ -292,14 +329,41 @@ impl Machine {
     /// (the software data-cache runtimes) share the fast path.
     #[inline]
     pub fn peek_inst(&mut self) -> Result<Inst, SimError> {
-        self.decode.sync(&mut self.mem, &self.cost);
+        self.sync_caches();
         self.decode.fetch(self.cpu.pc, &self.mem).map(|(i, _, _)| i)
     }
 
-    /// Drop every predecoded instruction (normally unnecessary — the
-    /// [`Memory`] write barrier invalidates automatically).
+    /// Drop every predecoded instruction and superblock (normally
+    /// unnecessary — the [`Memory`] write barrier invalidates
+    /// automatically).
     pub fn flush_decode_cache(&mut self) {
         self.decode.flush();
+        self.uops.flush();
+    }
+
+    /// Enable or disable superblock execution in [`Machine::run_block`].
+    /// Accounting is bit-identical either way; benches A/B the two modes.
+    pub fn set_superblocks_enabled(&mut self, on: bool) {
+        self.superblocks = on;
+    }
+
+    /// Eagerly predecode `[lo, hi)`: fill instruction slots and lower
+    /// superblocks for every word in the range. The cache controller calls
+    /// this after installing or backpatching a chunk — it knows the chunk
+    /// boundaries, so translation-cache code is lowered once at install
+    /// time instead of lazily on first execution. Purely an optimisation:
+    /// lazy fill behind the generation barrier gives identical results.
+    pub fn predecode_range(&mut self, lo: u32, hi: u32) {
+        self.sync_caches();
+        let mut pc = lo & !3;
+        while pc < hi {
+            let _ = self.decode.fetch(pc, &self.mem);
+            if self.superblocks && self.uops.is_unknown(pc) {
+                let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
+                self.uops.insert(pc, sb);
+            }
+            pc = pc.wrapping_add(INST_BYTES);
+        }
     }
 
     /// Generic tail of a fast-path step for the variants the fused
@@ -323,13 +387,71 @@ impl Machine {
     /// locals flushed at block exit. Accounting is bit-identical to
     /// [`Machine::step_slow`] — the differential tests hold it there.
     pub fn run_block(&mut self, max_steps: u64) -> Result<Step, SimError> {
-        self.decode.sync(&mut self.mem, &self.cost);
+        self.sync_caches();
         let mut done = 0u64; // steps retired this block
         let mut insts = 0u64; // retired since the last stats flush
         let mut cycles = 0u64;
         let result = 'run: {
             while done < max_steps {
                 let pc = self.cpu.pc;
+                // Superblock fast path: execute a whole lowered run with
+                // one dispatch walk and one cycle add. Falls through to
+                // the per-instruction path at unlowerable slots and when
+                // the remaining budget cannot fit the whole block (so
+                // `Step::Running` still means the budget was consumed
+                // exactly).
+                if self.superblocks && pc & 3 == 0 {
+                    if self.uops.is_unknown(pc) {
+                        let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
+                        self.uops.insert(pc, sb);
+                    }
+                    let mut ran = false;
+                    let mut resync = false;
+                    let mut fault = None;
+                    if let Some(sb) = self.uops.get(pc) {
+                        if u64::from(sb.len) <= max_steps - done {
+                            ran = true;
+                            let entry_gen = self.mem.code_gen();
+                            match sb.execute(&mut self.cpu, &mut self.mem, entry_gen) {
+                                BlockExit::Done { taken } => {
+                                    done += u64::from(sb.len);
+                                    insts += u64::from(sb.len);
+                                    cycles += if taken { sb.cycles_tk } else { sb.cycles_nt };
+                                    self.stats.loads += u64::from(sb.loads);
+                                    self.stats.stores += u64::from(sb.stores);
+                                    sb.account_term(&mut self.stats, taken);
+                                }
+                                BlockExit::CodeWrite { retired } => {
+                                    let p = sb.prefix_stats(retired);
+                                    done += u64::from(retired);
+                                    insts += u64::from(retired);
+                                    cycles += p.cycles;
+                                    self.stats.loads += u64::from(p.loads);
+                                    self.stats.stores += u64::from(p.stores);
+                                    resync = true;
+                                }
+                                BlockExit::Fault { retired, err } => {
+                                    let p = sb.prefix_stats(retired);
+                                    done += u64::from(retired);
+                                    insts += u64::from(retired);
+                                    cycles += p.cycles;
+                                    self.stats.loads += u64::from(p.loads);
+                                    self.stats.stores += u64::from(p.stores);
+                                    fault = Some(err);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(err) = fault {
+                        break 'run Err(err);
+                    }
+                    if resync {
+                        self.sync_code_caches();
+                    }
+                    if ran {
+                        continue;
+                    }
+                }
                 let (inst, cost, cost_taken) = match self.decode.fetch(pc, &self.mem) {
                     Ok(t) => t,
                     Err(e) => break 'run Err(e),
@@ -382,7 +504,7 @@ impl Machine {
                                 // (self-modifying programs); one compare
                                 // when it did not.
                                 if self.decode.stale(&self.mem) {
-                                    self.decode.sync_code(&mut self.mem);
+                                    self.sync_code_caches();
                                 }
                             }
                             Err(fault) => break 'run Err(SimError::DataFault { pc, fault }),
@@ -443,7 +565,7 @@ impl Machine {
                             Ok(Step::Running) => {
                                 done += 1;
                                 // The handler may have touched memory.
-                                self.decode.sync_code(&mut self.mem);
+                                self.sync_code_caches();
                                 continue;
                             }
                             Ok(stop) => break 'run Ok(stop),
@@ -490,7 +612,7 @@ impl Machine {
         fuel: u64,
         mut fetch_hook: impl FnMut(u32),
     ) -> Result<i32, RunError> {
-        self.decode.sync(&mut self.mem, &self.cost);
+        self.sync_caches();
         for _ in 0..fuel {
             fetch_hook(self.cpu.pc);
             match self.step_synced()? {

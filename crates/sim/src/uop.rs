@@ -1,0 +1,974 @@
+//! Superblock micro-op engine — the interpreter's fastest path.
+//!
+//! The predecode cache ([`crate::DecodeCache`]) removed fetch+decode from
+//! the hot loop but still pays an `Inst` enum match, operand extraction and
+//! a cycle add on every retired instruction. This module lowers each
+//! straight-line run of instructions (a *superblock*, in the Dynamo /
+//! Embra sense) into a flat array of micro-ops — compact opcode tag plus
+//! pre-extracted register indices and immediates — with a **precomputed
+//! per-block cycle total**, so [`crate::Machine::run_block`] executes a
+//! whole superblock with one dispatch walk and one cycle add.
+//!
+//! A superblock is a body of simple instructions (ALU, load, store, `lui`,
+//! `nop`) ended by at most one control-flow terminator (branch / jump /
+//! call / return) whose targets are resolved to absolute PCs at lowering
+//! time. Anything that can trap or halt (`ecall`, `halt`, `miss`,
+//! `jrh`/`jalrh`) is never lowered — execution falls back to the
+//! per-instruction path there, exactly as it does at unfilled slots and on
+//! the remainder of an almost-exhausted step budget.
+//!
+//! Correctness under self-modifying code rides on the same [`Memory`]
+//! code-write generation barrier that guards the decode cache: the machine
+//! keeps both caches' generations in lockstep and a dirty span invalidates
+//! superblock slots just like decode pages, widened downward by the
+//! maximum superblock extent so a block *covering* a patched word is
+//! dropped even when it *starts* before the span. Stores inside a block
+//! re-check the generation and retire only the prefix when they patch
+//! code, so CC backpatching and SMC remain bit-identical to the slow path.
+
+use crate::cost::CostModel;
+use crate::cpu::{Cpu, SimError};
+use crate::decode_cache::DecodeCache;
+use crate::machine::ExecStats;
+use crate::mem::Memory;
+use softcache_isa::cf::rel_target;
+use softcache_isa::inst::{AluOp, BranchCond, Inst, MemWidth};
+use softcache_isa::reg::Reg;
+use softcache_isa::INST_BYTES;
+
+/// Superblock slots per page: 1024 slots = 4 KiB of code, matching the
+/// decode cache so one dirty span maps to the same page set in both.
+const PAGE_SLOTS: usize = 1024;
+const PAGE_SHIFT: u32 = 10;
+
+/// Longest superblock body (instructions before the terminator).
+pub(crate) const MAX_BODY: usize = 64;
+
+/// Widest span of code a single superblock can cover, in bytes (body plus
+/// terminator). Invalidation extends a dirty span's low edge down by this
+/// much so blocks that *start* before a patched word but *cover* it die.
+pub(crate) const MAX_SPAN_BYTES: u32 = ((MAX_BODY + 1) * INST_BYTES as usize) as u32;
+
+/// Flattened micro-op opcode. One flat tag per (operation × addressing
+/// form), so the executor dispatches exactly once per micro-op with no
+/// nested matches and no field re-extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UopKind {
+    // Register-register ALU.
+    AluAdd,
+    AluSub,
+    AluMul,
+    AluDiv,
+    AluRem,
+    AluAnd,
+    AluOr,
+    AluXor,
+    AluSll,
+    AluSrl,
+    AluSra,
+    AluSlt,
+    AluSltu,
+    // Register-immediate ALU (`imm` already extended by the decoder).
+    ImmAdd,
+    ImmSub,
+    ImmMul,
+    ImmDiv,
+    ImmRem,
+    ImmAnd,
+    ImmOr,
+    ImmXor,
+    ImmSll,
+    ImmSrl,
+    ImmSra,
+    ImmSlt,
+    ImmSltu,
+    /// `rd = imm` — the `<< 16` is folded into `imm` at lowering time.
+    Lui,
+    LoadW,
+    LoadH,
+    LoadHu,
+    LoadB,
+    LoadBu,
+    StoreW,
+    StoreH,
+    StoreB,
+    Nop,
+}
+
+impl UopKind {
+    fn alu(op: AluOp, imm_form: bool) -> UopKind {
+        if imm_form {
+            match op {
+                AluOp::Add => UopKind::ImmAdd,
+                AluOp::Sub => UopKind::ImmSub,
+                AluOp::Mul => UopKind::ImmMul,
+                AluOp::Div => UopKind::ImmDiv,
+                AluOp::Rem => UopKind::ImmRem,
+                AluOp::And => UopKind::ImmAnd,
+                AluOp::Or => UopKind::ImmOr,
+                AluOp::Xor => UopKind::ImmXor,
+                AluOp::Sll => UopKind::ImmSll,
+                AluOp::Srl => UopKind::ImmSrl,
+                AluOp::Sra => UopKind::ImmSra,
+                AluOp::Slt => UopKind::ImmSlt,
+                AluOp::Sltu => UopKind::ImmSltu,
+            }
+        } else {
+            match op {
+                AluOp::Add => UopKind::AluAdd,
+                AluOp::Sub => UopKind::AluSub,
+                AluOp::Mul => UopKind::AluMul,
+                AluOp::Div => UopKind::AluDiv,
+                AluOp::Rem => UopKind::AluRem,
+                AluOp::And => UopKind::AluAnd,
+                AluOp::Or => UopKind::AluOr,
+                AluOp::Xor => UopKind::AluXor,
+                AluOp::Sll => UopKind::AluSll,
+                AluOp::Srl => UopKind::AluSrl,
+                AluOp::Sra => UopKind::AluSra,
+                AluOp::Slt => UopKind::AluSlt,
+                AluOp::Sltu => UopKind::AluSltu,
+            }
+        }
+    }
+
+    fn load(width: MemWidth, signed: bool) -> UopKind {
+        match (width, signed) {
+            (MemWidth::W, _) => UopKind::LoadW,
+            (MemWidth::H, true) => UopKind::LoadH,
+            (MemWidth::H, false) => UopKind::LoadHu,
+            (MemWidth::B, true) => UopKind::LoadB,
+            (MemWidth::B, false) => UopKind::LoadBu,
+        }
+    }
+
+    fn store(width: MemWidth) -> UopKind {
+        match width {
+            MemWidth::W => UopKind::StoreW,
+            MemWidth::H => UopKind::StoreH,
+            MemWidth::B => UopKind::StoreB,
+        }
+    }
+}
+
+/// One lowered micro-op: 12 bytes, operands pre-extracted. `rd` doubles as
+/// the *source* register for stores. `cost` is the instruction's cycle
+/// count under the cost model captured at lowering time; the hot path
+/// never reads it (the block total is precomputed) — it exists for the
+/// cold partial-retire paths (fault, mid-block code write).
+#[derive(Clone, Copy)]
+struct Uop {
+    kind: UopKind,
+    rd: Reg,
+    rs1: Reg,
+    rs2: Reg,
+    imm: i32,
+    cost: u32,
+}
+
+/// Control-flow terminator with targets resolved to absolute PCs.
+#[derive(Clone, Copy, Debug)]
+enum Term {
+    /// Block ends at a non-lowerable instruction (trap, halt, body-full,
+    /// unwatched or undecodable word): fall back to the per-instruction
+    /// path with `pc` on that instruction.
+    None,
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    Call {
+        target: u32,
+    },
+    JumpReg {
+        rs: Reg,
+    },
+    CallReg {
+        rs: Reg,
+    },
+    Ret,
+}
+
+/// How a superblock execution ended.
+pub(crate) enum BlockExit {
+    /// The whole block retired; `taken` is the terminator's branch outcome
+    /// (always `false` for non-branch terminators).
+    Done { taken: bool },
+    /// A store inside the body patched watched code: the prefix including
+    /// the store retired, `cpu.pc` points at the next instruction, and the
+    /// caller must resync both predecode caches before continuing.
+    CodeWrite { retired: u32 },
+    /// A load/store faulted: `retired` prior micro-ops retired and
+    /// `cpu.pc` is left on the faulting instruction, exactly like the
+    /// per-instruction path.
+    Fault { retired: u32, err: SimError },
+}
+
+/// Cycle/load/store totals for a partially retired block.
+pub(crate) struct PrefixStats {
+    pub cycles: u64,
+    pub loads: u32,
+    pub stores: u32,
+}
+
+/// A lowered straight-line region starting at `start`, plus everything the
+/// hot loop needs precomputed: total retired instructions, cycle totals
+/// for both terminator outcomes, and memory-op counts.
+pub(crate) struct Superblock {
+    uops: Box<[Uop]>,
+    term: Term,
+    start: u32,
+    /// PC after the block when the terminator is not taken (for
+    /// [`Term::None`]: the PC *of* the first instruction not lowered).
+    exit_pc: u32,
+    /// Instructions retired by a full execution (body + terminator).
+    pub(crate) len: u32,
+    /// Cycle total when the terminator is not taken.
+    pub(crate) cycles_nt: u64,
+    /// Cycle total when the terminator (a conditional branch) is taken.
+    pub(crate) cycles_tk: u64,
+    /// Loads in the body.
+    pub(crate) loads: u32,
+    /// Stores in the body.
+    pub(crate) stores: u32,
+}
+
+impl Superblock {
+    /// Execute the whole block. `entry_gen` must be `mem.code_gen()` at
+    /// entry; stores compare against it so a code-patching store exits the
+    /// block immediately (mirroring the per-instruction path's staleness
+    /// check after every store).
+    #[inline]
+    pub(crate) fn execute(&self, cpu: &mut Cpu, mem: &mut Memory, entry_gen: u64) -> BlockExit {
+        debug_assert_eq!(cpu.pc, self.start);
+        for (i, u) in self.uops.iter().enumerate() {
+            match u.kind {
+                UopKind::AluAdd => {
+                    let v = cpu.get(u.rs1).wrapping_add(cpu.get(u.rs2));
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluSub => {
+                    let v = cpu.get(u.rs1).wrapping_sub(cpu.get(u.rs2));
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluMul => {
+                    let v = cpu.get(u.rs1).wrapping_mul(cpu.get(u.rs2));
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluDiv => {
+                    let (a, b) = (cpu.get(u.rs1), cpu.get(u.rs2));
+                    cpu.set(u.rd, if b == 0 { -1 } else { a.wrapping_div(b) });
+                }
+                UopKind::AluRem => {
+                    let (a, b) = (cpu.get(u.rs1), cpu.get(u.rs2));
+                    cpu.set(u.rd, if b == 0 { a } else { a.wrapping_rem(b) });
+                }
+                UopKind::AluAnd => {
+                    let v = cpu.get(u.rs1) & cpu.get(u.rs2);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluOr => {
+                    let v = cpu.get(u.rs1) | cpu.get(u.rs2);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluXor => {
+                    let v = cpu.get(u.rs1) ^ cpu.get(u.rs2);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluSll => {
+                    let v = (cpu.get(u.rs1) as u32) << (cpu.get(u.rs2) as u32 & 31);
+                    cpu.set(u.rd, v as i32);
+                }
+                UopKind::AluSrl => {
+                    let v = (cpu.get(u.rs1) as u32) >> (cpu.get(u.rs2) as u32 & 31);
+                    cpu.set(u.rd, v as i32);
+                }
+                UopKind::AluSra => {
+                    let v = cpu.get(u.rs1) >> (cpu.get(u.rs2) as u32 & 31);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluSlt => {
+                    let v = (cpu.get(u.rs1) < cpu.get(u.rs2)) as i32;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::AluSltu => {
+                    let v = ((cpu.get(u.rs1) as u32) < (cpu.get(u.rs2) as u32)) as i32;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmAdd => {
+                    let v = cpu.get(u.rs1).wrapping_add(u.imm);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmSub => {
+                    let v = cpu.get(u.rs1).wrapping_sub(u.imm);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmMul => {
+                    let v = cpu.get(u.rs1).wrapping_mul(u.imm);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmDiv => {
+                    let a = cpu.get(u.rs1);
+                    cpu.set(
+                        u.rd,
+                        if u.imm == 0 {
+                            -1
+                        } else {
+                            a.wrapping_div(u.imm)
+                        },
+                    );
+                }
+                UopKind::ImmRem => {
+                    let a = cpu.get(u.rs1);
+                    cpu.set(u.rd, if u.imm == 0 { a } else { a.wrapping_rem(u.imm) });
+                }
+                UopKind::ImmAnd => {
+                    let v = cpu.get(u.rs1) & u.imm;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmOr => {
+                    let v = cpu.get(u.rs1) | u.imm;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmXor => {
+                    let v = cpu.get(u.rs1) ^ u.imm;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmSll => {
+                    let v = (cpu.get(u.rs1) as u32) << (u.imm as u32 & 31);
+                    cpu.set(u.rd, v as i32);
+                }
+                UopKind::ImmSrl => {
+                    let v = (cpu.get(u.rs1) as u32) >> (u.imm as u32 & 31);
+                    cpu.set(u.rd, v as i32);
+                }
+                UopKind::ImmSra => {
+                    let v = cpu.get(u.rs1) >> (u.imm as u32 & 31);
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmSlt => {
+                    let v = (cpu.get(u.rs1) < u.imm) as i32;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::ImmSltu => {
+                    let v = ((cpu.get(u.rs1) as u32) < (u.imm as u32)) as i32;
+                    cpu.set(u.rd, v);
+                }
+                UopKind::Lui => cpu.set(u.rd, u.imm),
+                UopKind::LoadW => match mem.load(self.addr(cpu, u), MemWidth::W, false) {
+                    Ok(v) => cpu.set(u.rd, v),
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::LoadH => match mem.load(self.addr(cpu, u), MemWidth::H, true) {
+                    Ok(v) => cpu.set(u.rd, v),
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::LoadHu => match mem.load(self.addr(cpu, u), MemWidth::H, false) {
+                    Ok(v) => cpu.set(u.rd, v),
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::LoadB => match mem.load(self.addr(cpu, u), MemWidth::B, true) {
+                    Ok(v) => cpu.set(u.rd, v),
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::LoadBu => match mem.load(self.addr(cpu, u), MemWidth::B, false) {
+                    Ok(v) => cpu.set(u.rd, v),
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::StoreW => match mem.store(self.addr(cpu, u), MemWidth::W, cpu.get(u.rd)) {
+                    Ok(()) => {
+                        if mem.code_gen() != entry_gen {
+                            return self.code_write(cpu, i);
+                        }
+                    }
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::StoreH => match mem.store(self.addr(cpu, u), MemWidth::H, cpu.get(u.rd)) {
+                    Ok(()) => {
+                        if mem.code_gen() != entry_gen {
+                            return self.code_write(cpu, i);
+                        }
+                    }
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::StoreB => match mem.store(self.addr(cpu, u), MemWidth::B, cpu.get(u.rd)) {
+                    Ok(()) => {
+                        if mem.code_gen() != entry_gen {
+                            return self.code_write(cpu, i);
+                        }
+                    }
+                    Err(fault) => return self.fault(cpu, i, fault),
+                },
+                UopKind::Nop => {}
+            }
+        }
+        let taken = match self.term {
+            Term::None => {
+                cpu.pc = self.exit_pc;
+                false
+            }
+            Term::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(cpu.get(rs1), cpu.get(rs2)) {
+                    cpu.pc = target;
+                    true
+                } else {
+                    cpu.pc = self.exit_pc;
+                    false
+                }
+            }
+            Term::Jump { target } => {
+                cpu.pc = target;
+                false
+            }
+            Term::Call { target } => {
+                cpu.set(Reg::RA, self.exit_pc as i32);
+                cpu.pc = target;
+                false
+            }
+            Term::JumpReg { rs } => {
+                cpu.pc = cpu.get(rs) as u32;
+                false
+            }
+            Term::CallReg { rs } => {
+                let target = cpu.get(rs) as u32;
+                cpu.set(Reg::RA, self.exit_pc as i32);
+                cpu.pc = target;
+                false
+            }
+            Term::Ret => {
+                cpu.pc = cpu.get(Reg::RA) as u32;
+                false
+            }
+        };
+        BlockExit::Done { taken }
+    }
+
+    #[inline]
+    fn addr(&self, cpu: &Cpu, u: &Uop) -> u32 {
+        (cpu.get(u.rs1) as u32).wrapping_add(u.imm as u32)
+    }
+
+    #[cold]
+    fn fault(&self, cpu: &mut Cpu, i: usize, fault: crate::mem::MemFault) -> BlockExit {
+        let pc = self.start + INST_BYTES * i as u32;
+        cpu.pc = pc;
+        BlockExit::Fault {
+            retired: i as u32,
+            err: SimError::DataFault { pc, fault },
+        }
+    }
+
+    #[cold]
+    fn code_write(&self, cpu: &mut Cpu, i: usize) -> BlockExit {
+        cpu.pc = self.start + INST_BYTES * (i as u32 + 1);
+        BlockExit::CodeWrite {
+            retired: i as u32 + 1,
+        }
+    }
+
+    /// Totals for the first `retired` body micro-ops (cold partial-exit
+    /// accounting).
+    #[cold]
+    pub(crate) fn prefix_stats(&self, retired: u32) -> PrefixStats {
+        let mut p = PrefixStats {
+            cycles: 0,
+            loads: 0,
+            stores: 0,
+        };
+        for u in &self.uops[..retired as usize] {
+            p.cycles += u64::from(u.cost);
+            match u.kind {
+                UopKind::LoadW
+                | UopKind::LoadH
+                | UopKind::LoadHu
+                | UopKind::LoadB
+                | UopKind::LoadBu => p.loads += 1,
+                UopKind::StoreW | UopKind::StoreH | UopKind::StoreB => p.stores += 1,
+                _ => {}
+            }
+        }
+        p
+    }
+
+    /// Bump the terminator's contribution to the classified instruction
+    /// counters, matching `ExecStats::account` on the original `Inst`.
+    #[inline]
+    pub(crate) fn account_term(&self, stats: &mut ExecStats, taken: bool) {
+        match self.term {
+            Term::Branch { .. } => {
+                stats.branches += 1;
+                if taken {
+                    stats.taken_branches += 1;
+                }
+            }
+            Term::Call { .. } | Term::CallReg { .. } => stats.calls += 1,
+            Term::Ret => stats.returns += 1,
+            Term::None | Term::Jump { .. } | Term::JumpReg { .. } => {}
+        }
+    }
+}
+
+/// Lower the straight-line region starting at `start` into a superblock.
+/// Returns `None` when nothing at `start` is worth lowering (first word
+/// unwatched, undecodable, or a trap/halt class instruction) — callers
+/// memoise that verdict so the per-instruction path is taken without
+/// re-asking. The decode cache must already be synced.
+pub(crate) fn lower(
+    decode: &mut DecodeCache,
+    mem: &Memory,
+    _cost: &CostModel,
+    start: u32,
+) -> Option<Box<Superblock>> {
+    debug_assert_eq!(start & 3, 0);
+    let mut uops: Vec<Uop> = Vec::new();
+    let mut cycles = 0u64;
+    let mut loads = 0u32;
+    let mut stores = 0u32;
+    let mut term = Term::None;
+    let mut term_cycles = (0u64, 0u64);
+    let mut term_len = 0u32;
+    let mut pc = start;
+    loop {
+        // Every covered word must be watched: the generation barrier is the
+        // only thing that invalidates us, and it ignores unwatched writes.
+        if uops.len() >= MAX_BODY || !mem.is_code_watched(pc) {
+            break;
+        }
+        let Ok((inst, c, ct)) = decode.fetch(pc, mem) else {
+            break;
+        };
+        if c > u64::from(u32::MAX) {
+            break; // cost model too wide for the per-uop slot
+        }
+        let cost = c as u32;
+        let z = Reg::ZERO;
+        let u = match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => Uop {
+                kind: UopKind::alu(op, false),
+                rd,
+                rs1,
+                rs2,
+                imm: 0,
+                cost,
+            },
+            Inst::AluImm { op, rd, rs1, imm } => Uop {
+                kind: UopKind::alu(op, true),
+                rd,
+                rs1,
+                rs2: z,
+                imm,
+                cost,
+            },
+            Inst::Lui { rd, imm } => Uop {
+                kind: UopKind::Lui,
+                rd,
+                rs1: z,
+                rs2: z,
+                imm: ((imm as u32) << 16) as i32,
+                cost,
+            },
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                off,
+            } => {
+                loads += 1;
+                Uop {
+                    kind: UopKind::load(width, signed),
+                    rd,
+                    rs1: base,
+                    rs2: z,
+                    imm: off as i32,
+                    cost,
+                }
+            }
+            Inst::Store {
+                width,
+                src,
+                base,
+                off,
+            } => {
+                stores += 1;
+                Uop {
+                    kind: UopKind::store(width),
+                    rd: src,
+                    rs1: base,
+                    rs2: z,
+                    imm: off as i32,
+                    cost,
+                }
+            }
+            Inst::Nop => Uop {
+                kind: UopKind::Nop,
+                rd: z,
+                rs1: z,
+                rs2: z,
+                imm: 0,
+                cost,
+            },
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
+                term = Term::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: rel_target(pc, off as i32),
+                };
+                term_cycles = (c, ct);
+                term_len = 1;
+                break;
+            }
+            Inst::J { off } => {
+                term = Term::Jump {
+                    target: rel_target(pc, off),
+                };
+                term_cycles = (c, ct);
+                term_len = 1;
+                break;
+            }
+            Inst::Jal { off } => {
+                term = Term::Call {
+                    target: rel_target(pc, off),
+                };
+                term_cycles = (c, ct);
+                term_len = 1;
+                break;
+            }
+            Inst::Jr { rs } => {
+                term = Term::JumpReg { rs };
+                term_cycles = (c, ct);
+                term_len = 1;
+                break;
+            }
+            Inst::Jalr { rs } => {
+                term = Term::CallReg { rs };
+                term_cycles = (c, ct);
+                term_len = 1;
+                break;
+            }
+            Inst::Ret => {
+                term = Term::Ret;
+                term_cycles = (c, ct);
+                term_len = 1;
+                break;
+            }
+            // Traps and halts are never lowered.
+            Inst::Ecall { .. }
+            | Inst::Halt
+            | Inst::Miss { .. }
+            | Inst::Jrh { .. }
+            | Inst::Jalrh { .. } => break,
+        };
+        uops.push(u);
+        cycles += c;
+        pc = pc.wrapping_add(INST_BYTES);
+    }
+    if uops.is_empty() && term_len == 0 {
+        return None;
+    }
+    let exit_pc = if term_len > 0 {
+        pc.wrapping_add(INST_BYTES)
+    } else {
+        pc
+    };
+    Some(Box::new(Superblock {
+        len: uops.len() as u32 + term_len,
+        uops: uops.into_boxed_slice(),
+        term,
+        start,
+        exit_pc,
+        cycles_nt: cycles + term_cycles.0,
+        cycles_tk: cycles + term_cycles.1,
+        loads,
+        stores,
+    }))
+}
+
+/// One superblock slot: lowering not yet attempted, attempted and judged
+/// not worth it, or a lowered block starting at this PC.
+enum UopSlot {
+    Unknown,
+    NotWorth,
+    Sb(Box<Superblock>),
+}
+
+type Page = Box<[UopSlot]>;
+
+/// Paged side-array of superblocks indexed by `pc >> 2`, invalidated in
+/// lockstep with the decode cache through the same [`Memory`] code-write
+/// generation barrier (the owning [`crate::Machine`] distributes each
+/// dirty span to both caches before either observes the new generation).
+pub(crate) struct UopCache {
+    pages: Vec<Option<Page>>,
+    /// The [`Memory::code_gen`] value the cached blocks are valid for.
+    generation: u64,
+}
+
+impl UopCache {
+    pub(crate) fn new() -> UopCache {
+        UopCache {
+            pages: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Drop every superblock (cost-model change or explicit flush).
+    pub(crate) fn flush(&mut self) {
+        self.pages.clear();
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Drop every slot whose superblock could cover a byte in `[lo, hi]`:
+    /// the span is widened downward by [`MAX_SPAN_BYTES`] because a block
+    /// is indexed by its *start* PC but covers up to that many bytes ahead.
+    pub(crate) fn invalidate_span(&mut self, lo: u32, hi: u32) {
+        let lo = lo.saturating_sub(MAX_SPAN_BYTES);
+        let first = (lo >> 2) as usize >> PAGE_SHIFT;
+        let last = ((hi.saturating_add(3) >> 2) as usize) >> PAGE_SHIFT;
+        for page in self
+            .pages
+            .iter_mut()
+            .skip(first)
+            .take(last.saturating_sub(first) + 1)
+        {
+            *page = None;
+        }
+    }
+
+    /// Has lowering never been attempted at `pc` (since the last
+    /// invalidation covering it)?
+    #[inline]
+    pub(crate) fn is_unknown(&self, pc: u32) -> bool {
+        let idx = (pc >> 2) as usize;
+        let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
+        match self.pages.get(page_no) {
+            Some(Some(page)) => matches!(page[slot_no], UopSlot::Unknown),
+            _ => true,
+        }
+    }
+
+    /// The superblock starting at `pc`, if one is cached.
+    #[inline]
+    pub(crate) fn get(&self, pc: u32) -> Option<&Superblock> {
+        let idx = (pc >> 2) as usize;
+        let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
+        match self.pages.get(page_no) {
+            Some(Some(page)) => match &page[slot_no] {
+                UopSlot::Sb(sb) => Some(sb),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Record the outcome of a lowering attempt at `pc` (`None` memoises
+    /// "not worth lowering").
+    pub(crate) fn insert(&mut self, pc: u32, sb: Option<Box<Superblock>>) {
+        let idx = (pc >> 2) as usize;
+        let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
+        if page_no >= self.pages.len() {
+            self.pages.resize_with(page_no + 1, || None);
+        }
+        let page = self.pages[page_no]
+            .get_or_insert_with(|| (0..PAGE_SLOTS).map(|_| UopSlot::Unknown).collect());
+        page[slot_no] = match sb {
+            Some(sb) => UopSlot::Sb(sb),
+            None => UopSlot::NotWorth,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use softcache_isa::encode;
+
+    fn mem_with(words: &[u32]) -> Memory {
+        let mut mem = Memory::new(1 << 16);
+        for (i, w) in words.iter().enumerate() {
+            mem.write_u32(i as u32 * 4, *w).unwrap();
+        }
+        mem
+    }
+
+    fn lowered(words: &[u32]) -> Option<Box<Superblock>> {
+        let mem = mem_with(words);
+        let cost = CostModel::default();
+        let mut dc = DecodeCache::new(cost);
+        lower(&mut dc, &mem, &cost, 0)
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        encode(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
+    }
+
+    #[test]
+    fn lowers_body_and_branch_terminator() {
+        let sb = lowered(&[
+            addi(Reg::T0, Reg::T0, 1),
+            addi(Reg::T1, Reg::T1, 2),
+            encode(Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                off: -3,
+            }),
+        ])
+        .expect("lowerable");
+        assert_eq!(sb.len, 3);
+        assert_eq!(sb.loads, 0);
+        let cost = CostModel::default();
+        let per = cost.cycles_for(addi_inst(), false);
+        assert_eq!(
+            sb.cycles_nt,
+            2 * per + cost.cycles_for(branch_inst(), false)
+        );
+        assert_eq!(sb.cycles_tk, 2 * per + cost.cycles_for(branch_inst(), true));
+        assert!(matches!(sb.term, Term::Branch { target: 0, .. }));
+    }
+
+    fn addi_inst() -> Inst {
+        Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            imm: 1,
+        }
+    }
+
+    fn branch_inst() -> Inst {
+        Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            off: -3,
+        }
+    }
+
+    #[test]
+    fn trap_class_first_word_is_not_worth_lowering() {
+        assert!(lowered(&[encode(Inst::Ecall { code: 0 })]).is_none());
+        assert!(lowered(&[encode(Inst::Halt)]).is_none());
+        assert!(lowered(&[encode(Inst::Miss { idx: 3 })]).is_none());
+        assert!(lowered(&[0xffff_ffff]).is_none(), "undecodable word");
+    }
+
+    #[test]
+    fn trap_after_body_ends_block_with_term_none() {
+        let sb = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ecall { code: 0 })]).unwrap();
+        assert_eq!(sb.len, 1, "only the body retires");
+        assert!(matches!(sb.term, Term::None));
+        assert_eq!(sb.exit_pc, 4, "pc lands on the ecall");
+    }
+
+    #[test]
+    fn body_caps_at_max() {
+        let words: Vec<u32> = (0..MAX_BODY as i32 + 8)
+            .map(|i| addi(Reg::T0, Reg::T0, i))
+            .collect();
+        let sb = lowered(&words).unwrap();
+        assert_eq!(sb.len as usize, MAX_BODY);
+        assert!(matches!(sb.term, Term::None));
+    }
+
+    #[test]
+    fn unwatched_code_is_never_lowered() {
+        let mut mem = mem_with(&[addi(Reg::T0, Reg::T0, 1), addi(Reg::T0, Reg::T0, 2)]);
+        mem.set_code_watch([(0, 4), (0, 0)]); // only the first word watched
+        let cost = CostModel::default();
+        let mut dc = DecodeCache::new(cost);
+        let sb = lower(&mut dc, &mem, &cost, 0).unwrap();
+        assert_eq!(sb.len, 1, "block stops at the unwatched word");
+        let none = lower(&mut dc, &mem, &cost, 4);
+        assert!(none.is_none(), "unwatched start is not lowered");
+    }
+
+    #[test]
+    fn invalidate_span_widens_low_edge() {
+        let mut uc = UopCache::new();
+        let sb = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ret)]).unwrap();
+        uc.insert(0, Some(sb));
+        assert!(uc.get(0).is_some());
+        // A write far past the block start but within MAX_SPAN_BYTES must
+        // still kill the slot (the block could cover it).
+        uc.invalidate_span(MAX_SPAN_BYTES - 4, MAX_SPAN_BYTES);
+        assert!(uc.get(0).is_none());
+        assert!(uc.is_unknown(0));
+    }
+
+    #[test]
+    fn prefix_stats_match_cost_model() {
+        let cost = CostModel::default();
+        let sb = lowered(&[
+            addi(Reg::T0, Reg::T0, 1),
+            encode(Inst::Load {
+                width: MemWidth::W,
+                signed: false,
+                rd: Reg::T1,
+                base: Reg::SP,
+                off: 0,
+            }),
+            encode(Inst::Store {
+                width: MemWidth::W,
+                src: Reg::T1,
+                base: Reg::SP,
+                off: 4,
+            }),
+        ])
+        .unwrap();
+        let p = sb.prefix_stats(3);
+        assert_eq!(p.loads, 1);
+        assert_eq!(p.stores, 1);
+        let lw = Inst::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd: Reg::T1,
+            base: Reg::SP,
+            off: 0,
+        };
+        let sw = Inst::Store {
+            width: MemWidth::W,
+            src: Reg::T1,
+            base: Reg::SP,
+            off: 4,
+        };
+        assert_eq!(
+            p.cycles,
+            cost.cycles_for(addi_inst(), false)
+                + cost.cycles_for(lw, false)
+                + cost.cycles_for(sw, false)
+        );
+        let p2 = sb.prefix_stats(1);
+        assert_eq!(p2.loads, 0);
+        assert_eq!(p2.cycles, cost.cycles_for(addi_inst(), false));
+    }
+}

@@ -124,6 +124,121 @@ proptest! {
         prop_assert_eq!(fast_exit, n as i32 * stride);
     }
 
+    /// The superblock micro-op engine (the `run_block` fast path) is
+    /// step-for-step identical to the fetch+decode slow path on arbitrary
+    /// programs — same retired counts, same faults, same stats — with
+    /// external backpatches interleaved (as the CC does) and with varying
+    /// block budgets so superblocks split at every possible boundary.
+    #[test]
+    fn superblock_engine_matches_slow_path_on_garbage(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        patches in prop::collection::vec((0u32..64, any::<u32>()), 0..4),
+        budget in 1u64..9,
+    ) {
+        let image = softcache_isa::Image {
+            entry: softcache_isa::layout::TEXT_BASE,
+            text_base: softcache_isa::layout::TEXT_BASE,
+            text: words.clone(),
+            data_base: softcache_isa::layout::DATA_BASE,
+            data: vec![],
+            symbols: vec![],
+        };
+        let mut fast = Machine::load_native(&image, b"in");
+        let mut slow = Machine::load_native(&image, b"in");
+        // Drive `fast` in `budget`-sized run_block bites and hold `slow`
+        // at the same retired-instruction count after every bite.
+        let catch_up = |fast: &Machine, slow: &mut Machine,
+                            f: &Result<Step, softcache_sim::SimError>|
+         -> Result<(), TestCaseError> {
+            // Every Ok step retires exactly one instruction (terminal ones
+            // included); Err steps retire none. So the catch-up loop ends on
+            // the outcome matching `f`.
+            let mut last = Ok(Step::Running);
+            while slow.stats.instructions < fast.stats.instructions {
+                last = slow.step_slow();
+                prop_assert!(
+                    last.is_ok(),
+                    "slow faulted while behind: {last:?} at {} < {} (fast: {f:?})",
+                    slow.stats.instructions, fast.stats.instructions
+                );
+            }
+            if f.is_err() {
+                // A fault does not retire the faulting instruction, so the
+                // counters already agree; the next slow step must fault
+                // identically.
+                let s = slow.step_slow();
+                prop_assert_eq!(f, &s, "fault diverged");
+            } else {
+                prop_assert_eq!(f, &last, "step outcome diverged");
+            }
+            prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+            prop_assert_eq!(fast.cpu.pc, slow.cpu.pc, "pc diverged");
+            Ok(())
+        };
+        'outer: for (i, &(slot, val)) in patches.iter().enumerate() {
+            for _ in 0..(10 * (i + 1)) {
+                let f = fast.run_block(budget);
+                catch_up(&fast, &mut slow, &f)?;
+                if !matches!(f, Ok(Step::Running)) {
+                    break 'outer;
+                }
+            }
+            // External backpatch, exactly as the cache controller writes
+            // a translated branch word mid-run.
+            let addr = image.text_base + (slot % words.len() as u32) * 4;
+            let _ = fast.mem.write_u32(addr, val);
+            let _ = slow.mem.write_u32(addr, val);
+        }
+        for _ in 0..100 {
+            let f = fast.run_block(budget);
+            catch_up(&fast, &mut slow, &f)?;
+            if !matches!(f, Ok(Step::Running)) {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.env.output, slow.env.output, "output diverged");
+    }
+
+    /// A loop that stores over an instruction *later in its own
+    /// superblock* every iteration: the mid-block code-write exit must
+    /// retire exactly the prefix, resync, and execute the freshly written
+    /// word — bit-identical to the slow path (cycles included).
+    #[test]
+    fn superblock_engine_matches_slow_path_on_self_patching_loop(
+        n in 1u32..60,
+        k in 2i32..50,
+    ) {
+        use softcache_isa::{AluOp, Inst, Reg};
+        let patched = softcache_isa::encode(Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::T1,
+            rs1: Reg::T1,
+            imm: k,
+        });
+        let src = format!(
+            "_start: li t0, {n}\n li t1, 0\n la s0, .Lsite\n li s1, {patched}\n\
+             .Ll: sw s1, 0(s0)\n\
+             .Lsite: addi t1, t1, 1\n\
+             addi t0, t0, -1\n bnez t0, .Ll\n mv a0, t1\n ecall 0"
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut fast = Machine::load_native(&image, &[]);
+        let fast_exit = fast.run_native(1_000_000).unwrap();
+        let mut slow = Machine::load_native(&image, &[]);
+        let slow_exit = loop {
+            match slow.step_slow().unwrap() {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                s => return Err(TestCaseError::fail(format!("{s:?}"))),
+            }
+        };
+        prop_assert_eq!(fast_exit, slow_exit);
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        // The store lands before .Lsite executes, so every iteration adds
+        // the *patched* immediate.
+        prop_assert_eq!(fast_exit, n as i32 * k);
+    }
+
     /// Cycle accounting is monotone and at least one per instruction.
     #[test]
     fn cycles_dominate_instructions(n in 1u32..200) {
