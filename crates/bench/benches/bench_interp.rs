@@ -36,6 +36,20 @@ fn interp_throughput(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.bench_function("superblock_engine_unchained", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::load_native(&image, &input);
+                m.set_chaining_enabled(false);
+                m
+            },
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.bench_function("fast_path_predecoded", |b| {
         b.iter_batched(
             || {
@@ -70,6 +84,19 @@ fn interp_throughput(c: &mut Criterion) {
         let cfg = IcacheConfig {
             tcache_size: 256 * 1024,
             link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_steady_state_unchained", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            chaining: false,
             ..IcacheConfig::default()
         };
         b.iter_batched(

@@ -112,6 +112,10 @@ fn bench() {
         "superblock engine over per-inst fast path: {:.2}x",
         b.superblock_over_fast
     );
+    println!(
+        "chained traces over unchained superblocks: {:.2}x",
+        b.chained_over_unchained
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"workload\": \"{}\",\n", b.workload));
@@ -129,8 +133,12 @@ fn bench() {
     json.push_str("  ],\n");
     json.push_str(&format!("  \"fast_over_slow\": {:.3},\n", b.fast_over_slow));
     json.push_str(&format!(
-        "  \"superblock_over_fast\": {:.3}\n",
+        "  \"superblock_over_fast\": {:.3},\n",
         b.superblock_over_fast
+    ));
+    json.push_str(&format!(
+        "  \"chained_over_unchained\": {:.3}\n",
+        b.chained_over_unchained
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
@@ -173,7 +181,9 @@ fn table1() {
 
 fn fig5() {
     header("Figure 5 — relative execution time, compress95 (paper: 1.17 / 1.19 / off-scale)");
-    let (bars, ws) = exp::fig5(1024);
+    // Scale 8192 = a 2 MB corpus, far past every tcache size swept below;
+    // the generator is untouched so smaller scales stay byte-identical.
+    let (bars, ws) = exp::fig5(8192);
     println!("measured working set: {}\n", render::human_bytes(ws));
     let items: Vec<(String, f64)> = bars
         .iter()

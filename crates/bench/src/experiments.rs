@@ -184,11 +184,15 @@ pub struct MissCurve {
     pub points: Vec<(u32, f64)>,
 }
 
+// Scales picked for working sets well past every swept cache size:
+// compress95 chews a 256 KB corpus, mpeg2enc a 16-frame sequence. The
+// generators themselves are untouched, so scale-1 inputs stay
+// byte-identical to earlier revisions.
 const FIG67_BENCHES: [(&str, u32); 4] = [
     ("adpcmenc", 8),
-    ("compress95", 64),
+    ("compress95", 1024),
     ("hextobdd", 6),
-    ("mpeg2enc", 4),
+    ("mpeg2enc", 16),
 ];
 
 fn sweep_sizes() -> Vec<u32> {
@@ -1094,33 +1098,37 @@ pub struct InterpRow {
 pub struct InterpBench {
     /// Workload measured.
     pub workload: &'static str,
-    /// slow / per-inst fast / superblock fast / softcache rows, in order.
+    /// slow / per-inst fast / superblock unchained / superblock chained /
+    /// softcache chaining-off / softcache steady rows, in order.
     pub rows: Vec<InterpRow>,
     /// Per-instruction fast-path speedup over the slow path (MIPS ratio).
     pub fast_over_slow: f64,
-    /// Superblock-engine speedup over the per-instruction fast path.
+    /// Superblock-engine (unchained) speedup over the per-instruction
+    /// fast path.
     pub superblock_over_fast: f64,
+    /// Chained-trace speedup over the unchained superblock engine.
+    pub chained_over_unchained: f64,
 }
 
 /// Measure simulated MIPS on compress95: the reference slow path
 /// ([`Machine::step_slow`], decode on every step), the per-instruction
 /// predecoded fast path (superblocks disabled), the superblock micro-op
-/// engine ([`Machine::run_native`] default), and the softcache steady
-/// state (ample tcache, free link). Asserts cycles, instruction counts,
-/// and output are bit-identical across every native configuration before
-/// reporting.
+/// engine without and with chaining ([`Machine::run_native`] default is
+/// chained), and the softcache steady state (ample tcache, free link) in
+/// both chaining modes. Asserts cycles, instruction counts, and output
+/// are bit-identical across every configuration before reporting.
 pub fn bench_interp(scale: u32) -> InterpBench {
     use std::time::Instant;
     let w = by_name("compress95").expect("workload");
     let image = w.image(true);
     let input = (w.gen_input)(scale);
 
-    // Best-of-3 wall time per configuration: the runs are deterministic,
+    // Best-of-5 wall time per configuration: the runs are deterministic,
     // so the minimum is the least scheduler-disturbed sample.
     fn best_of<R>(mut f: impl FnMut() -> R) -> (R, f64) {
         let mut best = f64::INFINITY;
         let mut out = None;
-        for _ in 0..3 {
+        for _ in 0..5 {
             let t = Instant::now();
             let r = f();
             best = best.min(t.elapsed().as_secs_f64());
@@ -1147,6 +1155,14 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         m
     });
 
+    let (nolink, nolink_s) = best_of(|| {
+        let mut m = Machine::load_native(&image, &input);
+        m.set_chaining_enabled(false);
+        m.run_native(2_000_000_000)
+            .expect("unchained superblock run");
+        m
+    });
+
     let (sblk, sblk_s) = best_of(|| {
         let mut m = Machine::load_native(&image, &input);
         m.run_native(2_000_000_000).expect("superblock run");
@@ -1154,7 +1170,11 @@ pub fn bench_interp(scale: u32) -> InterpBench {
     });
 
     // The fast paths are optimisations, never a semantic change.
-    for (name, m) in [("per-inst fast path", &fast), ("superblock engine", &sblk)] {
+    for (name, m) in [
+        ("per-inst fast path", &fast),
+        ("unchained superblock engine", &nolink),
+        ("chained superblock engine", &sblk),
+    ] {
         assert_eq!(
             m.stats.cycles, slow.stats.cycles,
             "{name} diverged from reference cycle accounting"
@@ -1168,11 +1188,26 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         link: LinkModel::free(),
         ..IcacheConfig::default()
     };
+    let (out_nolink, soft_nolink_s) = best_of(|| {
+        let mut sys = SoftIcacheSystem::new(
+            image.clone(),
+            IcacheConfig {
+                chaining: false,
+                ..cfg
+            },
+        );
+        sys.run(&input).expect("softcache run (chaining off)")
+    });
     let (out, soft_s) = best_of(|| {
         let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
         sys.run(&input).expect("softcache run")
     });
     assert_eq!(out.output, fast.env.output, "softcache changed output");
+    assert_eq!(
+        out.exec, out_nolink.exec,
+        "chaining changed simulated stats"
+    );
+    assert_eq!(out.cache, out_nolink.cache, "chaining changed cache stats");
 
     let mips = |n: u64, s: f64| n as f64 / s.max(1e-9) / 1e6;
     let rows = vec![
@@ -1189,10 +1224,22 @@ pub fn bench_interp(scale: u32) -> InterpBench {
             mips: mips(fast.stats.instructions, fast_s),
         },
         InterpRow {
-            config: "native superblock engine (micro-ops)",
+            config: "native superblock engine (unchained)",
+            instructions: nolink.stats.instructions,
+            wall_seconds: nolink_s,
+            mips: mips(nolink.stats.instructions, nolink_s),
+        },
+        InterpRow {
+            config: "native superblock engine (chained traces)",
             instructions: sblk.stats.instructions,
             wall_seconds: sblk_s,
             mips: mips(sblk.stats.instructions, sblk_s),
+        },
+        InterpRow {
+            config: "softcache steady state (chaining off)",
+            instructions: out_nolink.exec.instructions,
+            wall_seconds: soft_nolink_s,
+            mips: mips(out_nolink.exec.instructions, soft_nolink_s),
         },
         InterpRow {
             config: "softcache steady state (ample tcache)",
@@ -1203,11 +1250,13 @@ pub fn bench_interp(scale: u32) -> InterpBench {
     ];
     let fast_over_slow = rows[1].mips / rows[0].mips;
     let superblock_over_fast = rows[2].mips / rows[1].mips;
+    let chained_over_unchained = rows[3].mips / rows[2].mips;
     InterpBench {
         workload: w.name,
         rows,
         fast_over_slow,
         superblock_over_fast,
+        chained_over_unchained,
     }
 }
 

@@ -48,6 +48,12 @@ pub struct IcacheConfig {
     /// engine (host-side speed only; simulated results are bit-identical
     /// either way — tests and benches A/B it).
     pub superblocks: bool,
+    /// Chain superblocks across terminators with statically known targets
+    /// (trace formation): whole traces run with one dispatch and one
+    /// budget check per generation-stamped link. Composes with
+    /// `superblocks` — ignored when that is off. Host-side speed only;
+    /// simulated results are bit-identical either way.
+    pub chaining: bool,
     /// Instruction budget for a run.
     pub fuel: u64,
 }
@@ -64,6 +70,7 @@ impl Default for IcacheConfig {
             install_cycles_per_word: 2,
             prefetch_depth: 0,
             superblocks: true,
+            chaining: true,
             fuel: 2_000_000_000,
         }
     }
@@ -445,8 +452,10 @@ impl Cc {
                 .expect("stub slot in range");
         }
         // The chunk body and its miss stubs are final: predecode the whole
-        // range eagerly (instruction slots + superblocks), so the first
-        // pass through freshly installed code already runs the fast path.
+        // range eagerly (instruction slots + superblocks + chunk-internal
+        // successor links), so the first pass through freshly installed
+        // code already runs the fast path as one chained trace. A no-op
+        // when the superblock engine is off.
         machine.predecode_range(dest, dest + n_words * 4);
         self.chunks.push(ChunkInfo {
             orig_start: chunk.orig_start,
@@ -548,8 +557,10 @@ impl Cc {
             }
         }
         // Re-predecode the patched word immediately — backpatching is the
-        // common steady-state write, and the patched site sits in code the
-        // client is about to re-enter.
+        // common warm-up write, and the patched site sits in code the
+        // client is about to re-enter. (The write bumped the code
+        // generation, severing every superblock link; survivors re-chain
+        // lazily on their next dispatch.)
         machine.predecode_range(addr, addr + 4);
         self.stats.patches += 1;
         Ok(())

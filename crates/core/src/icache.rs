@@ -151,6 +151,7 @@ impl SoftIcacheSystem {
     ) -> Result<RunOutput, CacheError> {
         let mut machine = Machine::load_client(&self.image, input);
         machine.set_superblocks_enabled(self.cfg.superblocks);
+        machine.set_chaining_enabled(self.cfg.chaining);
         let mut cc = Cc::new(self.cfg);
         self.endpoint.set_policy(self.cfg.link_policy);
         let track_power = banks.is_some();
@@ -398,6 +399,50 @@ int main() {
                 IcacheConfig {
                     tcache_size,
                     superblocks: false,
+                    ..IcacheConfig::default()
+                },
+                &[],
+            );
+            assert_eq!(on.exit_code, off.exit_code, "tcache={tcache_size}");
+            assert_eq!(on.output, off.output, "tcache={tcache_size}");
+            assert_eq!(on.exec, off.exec, "tcache={tcache_size}");
+            assert_eq!(on.cache, off.cache, "tcache={tcache_size}");
+        }
+    }
+
+    #[test]
+    fn chaining_is_bit_identical_at_system_level() {
+        // Same workload, same config, superblock chaining on vs off:
+        // every simulated observable must match bit for bit — links are
+        // host-side speed only. The tight tcache forces evictions and
+        // backpatch storms, so links form at install time
+        // (`predecode_range` → `link_range`), sever on every generation
+        // bump, and re-form lazily mid-run.
+        let src = r#"
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int tab[32];
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 32; i = i + 1) { tab[i] = fib(i % 12); s = s + tab[i]; }
+    for (i = 0; i < 32; i = i + 1) { puti(tab[i]); putc(' '); }
+    return s % 251;
+}
+"#;
+        for tcache_size in [2 * 1024, 48 * 1024] {
+            let on = run_minic(
+                src,
+                IcacheConfig {
+                    tcache_size,
+                    ..IcacheConfig::default()
+                },
+                &[],
+            );
+            let off = run_minic(
+                src,
+                IcacheConfig {
+                    tcache_size,
+                    chaining: false,
                     ..IcacheConfig::default()
                 },
                 &[],

@@ -485,7 +485,9 @@ impl ProcCc {
         };
         machine.mem.write_u32(addr, word).expect("redir mapped");
         // Redirector words are entered on every cross-procedure transfer;
-        // re-predecode the rewritten word eagerly.
+        // re-predecode the rewritten word eagerly. A no-op when the
+        // superblock engine is off — lowering words that path would never
+        // execute was pure waste.
         machine.predecode_range(addr, addr + 4);
     }
 
@@ -653,7 +655,9 @@ impl ProcCc {
             machine.mem.write_u32(site_tc, jal).expect("mapped");
         }
         // The procedure body and its rewired call sites are final:
-        // predecode the installed range at chunk granularity.
+        // predecode the installed range at chunk granularity, pre-linking
+        // procedure-internal superblock successors so the first call runs
+        // chained.
         machine.predecode_range(tc_start, tc_start + bytes);
         if trace_on() {
             eprintln!(

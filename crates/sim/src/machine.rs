@@ -173,6 +173,11 @@ pub struct Machine {
     uops: UopCache,
     /// Superblock execution toggle (on by default; benches A/B it).
     superblocks: bool,
+    /// Superblock chaining toggle: follow generation-stamped successor
+    /// links so whole traces run with one dispatch and one budget check
+    /// per link (on by default, meaningful only with `superblocks`;
+    /// benches A/B it).
+    chaining: bool,
 }
 
 impl Machine {
@@ -222,6 +227,7 @@ impl Machine {
             decode: DecodeCache::new(cost),
             uops: UopCache::new(),
             superblocks: true,
+            chaining: true,
         }
     }
 
@@ -347,22 +353,42 @@ impl Machine {
         self.superblocks = on;
     }
 
-    /// Eagerly predecode `[lo, hi)`: fill instruction slots and lower
-    /// superblocks for every word in the range. The cache controller calls
-    /// this after installing or backpatching a chunk — it knows the chunk
-    /// boundaries, so translation-cache code is lowered once at install
-    /// time instead of lazily on first execution. Purely an optimisation:
-    /// lazy fill behind the generation barrier gives identical results.
+    /// Enable or disable superblock *chaining* (trace formation across
+    /// terminators with statically known targets). Only meaningful while
+    /// superblocks are enabled. Accounting is bit-identical either way;
+    /// benches A/B the two modes.
+    pub fn set_chaining_enabled(&mut self, on: bool) {
+        self.chaining = on;
+    }
+
+    /// Eagerly predecode `[lo, hi)`: fill instruction slots, lower
+    /// superblocks for every word in the range, and pre-link every static
+    /// terminator leg whose successor is already lowered. The cache
+    /// controller calls this after installing or backpatching a chunk — it
+    /// knows the chunk boundaries, so translation-cache code is lowered
+    /// (and chunk-internal successors chained) once at install time
+    /// instead of lazily on first execution. Purely an optimisation: lazy
+    /// fill behind the generation barrier gives identical results. With
+    /// the superblock engine off this is a no-op — eager work on installed
+    /// words that may never execute is pure waste there, while the
+    /// per-instruction path fills its decode slots lazily at the same cost.
     pub fn predecode_range(&mut self, lo: u32, hi: u32) {
+        if !self.superblocks {
+            return;
+        }
         self.sync_caches();
-        let mut pc = lo & !3;
+        let lo = lo & !3;
+        let mut pc = lo;
         while pc < hi {
             let _ = self.decode.fetch(pc, &self.mem);
-            if self.superblocks && self.uops.is_unknown(pc) {
+            if self.uops.is_unknown(pc) {
                 let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
                 self.uops.insert(pc, sb);
             }
             pc = pc.wrapping_add(INST_BYTES);
+        }
+        if self.chaining {
+            self.uops.link_range(lo, hi);
         }
     }
 
@@ -391,27 +417,52 @@ impl Machine {
         let mut done = 0u64; // steps retired this block
         let mut insts = 0u64; // retired since the last stats flush
         let mut cycles = 0u64;
+        // A trace that broke on an unformed link leaves (predecessor id,
+        // leg) here; the very next loop-top block lookup — still at the
+        // leg's target, nothing has run in between — completes the link so
+        // the next walk through this terminator chains straight across.
+        let mut pending_link: Option<(u32, bool)> = None;
         let result = 'run: {
             while done < max_steps {
                 let pc = self.cpu.pc;
                 // Superblock fast path: execute a whole lowered run with
-                // one dispatch walk and one cycle add. Falls through to
-                // the per-instruction path at unlowerable slots and when
-                // the remaining budget cannot fit the whole block (so
-                // `Step::Running` still means the budget was consumed
-                // exactly).
+                // one dispatch walk and one cycle add, then *chain* into
+                // the successor block while its generation-stamped link is
+                // valid — one budget check and one arena index per link,
+                // no loop-top lookup. Falls through to the per-instruction
+                // path at unlowerable slots and when the remaining budget
+                // cannot fit the next whole block (so `Step::Running`
+                // still means the budget was consumed exactly).
                 if self.superblocks && pc & 3 == 0 {
-                    if self.uops.is_unknown(pc) {
-                        let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
-                        self.uops.insert(pc, sb);
-                    }
+                    // One page walk covers the common "already cached"
+                    // case; a miss lowers and dispatches straight into the
+                    // fresh block off `insert`'s returned id.
+                    let hit = match self.uops.lookup(pc) {
+                        uop::Lookup::Id(id) => Some(id),
+                        uop::Lookup::NotWorth => None,
+                        uop::Lookup::Unknown => {
+                            let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
+                            self.uops.insert(pc, sb)
+                        }
+                    };
                     let mut ran = false;
                     let mut resync = false;
                     let mut fault = None;
-                    if let Some(sb) = self.uops.get(pc) {
-                        if u64::from(sb.len) <= max_steps - done {
+                    if let Some(first) = hit {
+                        if let Some((pid, leg)) = pending_link.take() {
+                            self.uops.set_link(pid, leg, first);
+                        }
+                        // Valid for the whole walk: a code write exits the
+                        // trace (BlockExit::CodeWrite) before the stamp
+                        // could go stale.
+                        let entry_gen = self.mem.code_gen();
+                        let mut id = first;
+                        loop {
+                            let sb = self.uops.block(id);
+                            if u64::from(sb.len) > max_steps - done {
+                                break;
+                            }
                             ran = true;
-                            let entry_gen = self.mem.code_gen();
                             match sb.execute(&mut self.cpu, &mut self.mem, entry_gen) {
                                 BlockExit::Done { taken } => {
                                     done += u64::from(sb.len);
@@ -420,6 +471,22 @@ impl Machine {
                                     self.stats.loads += u64::from(sb.loads);
                                     self.stats.stores += u64::from(sb.stores);
                                     sb.account_term(&mut self.stats, taken);
+                                    if !self.chaining {
+                                        break;
+                                    }
+                                    let link = sb.link(taken);
+                                    if link.stamp == entry_gen {
+                                        id = link.id;
+                                        continue;
+                                    }
+                                    // No (valid) link. If this leg has a
+                                    // static target, form one at the next
+                                    // loop-top lookup; indirect legs
+                                    // (jr/jalr/ret) never chain.
+                                    if sb.leg_target(taken).is_some() {
+                                        pending_link = Some((id, taken));
+                                    }
+                                    break;
                                 }
                                 BlockExit::CodeWrite { retired } => {
                                     let p = sb.prefix_stats(retired);
@@ -429,6 +496,7 @@ impl Machine {
                                     self.stats.loads += u64::from(p.loads);
                                     self.stats.stores += u64::from(p.stores);
                                     resync = true;
+                                    break;
                                 }
                                 BlockExit::Fault { retired, err } => {
                                     let p = sb.prefix_stats(retired);
@@ -438,6 +506,7 @@ impl Machine {
                                     self.stats.loads += u64::from(p.loads);
                                     self.stats.stores += u64::from(p.stores);
                                     fault = Some(err);
+                                    break;
                                 }
                             }
                         }
@@ -452,6 +521,9 @@ impl Machine {
                         continue;
                     }
                 }
+                // Per-instruction path: any link half-formed above is
+                // stale the moment an unchained instruction retires.
+                pending_link = None;
                 let (inst, cost, cost_taken) = match self.decode.fetch(pc, &self.mem) {
                     Ok(t) => t,
                     Err(e) => break 'run Err(e),

@@ -25,6 +25,18 @@
 //! dropped even when it *starts* before the span. Stores inside a block
 //! re-check the generation and retire only the prefix when they patch
 //! code, so CC backpatching and SMC remain bit-identical to the slow path.
+//!
+//! **Chaining (trace formation).** Each terminator leg with a statically
+//! known next PC (fall-through, direct branch taken/not-taken, direct
+//! jump/call) carries a [`Link`]: the arena id of the successor superblock
+//! stamped with the code-write generation it was formed under. The machine
+//! follows a link with a *single* compare (`stamp == entry_gen`) and walks
+//! whole traces — one budget check and one arena index per link — without
+//! returning to its loop top. Any code write bumps the generation, so every
+//! existing link is severed by that same compare; links re-form lazily at
+//! the next loop-top lookup (and eagerly at chunk install time via
+//! [`UopCache::link_range`]). Register-indirect terminators (`jr`, `jalr`,
+//! `ret`) never chain: their next PC is data-dependent.
 
 use crate::cost::CostModel;
 use crate::cpu::{Cpu, SimError};
@@ -216,6 +228,28 @@ pub(crate) struct PrefixStats {
     pub stores: u32,
 }
 
+/// Generation-stamped successor link for one terminator leg. `id` indexes
+/// the [`UopCache`] block arena; the link is followed only when `stamp`
+/// equals the current code-write generation, so a single compare both
+/// validates the target and severs every link formed before the last
+/// backpatch/SMC store.
+#[derive(Clone, Copy)]
+pub(crate) struct Link {
+    pub(crate) id: u32,
+    pub(crate) stamp: u64,
+}
+
+/// Stamp that matches no reachable generation (generations count up from
+/// zero, one per code write): the unlinked state.
+const NEVER: u64 = u64::MAX;
+
+impl Link {
+    const NONE: Link = Link {
+        id: 0,
+        stamp: NEVER,
+    };
+}
+
 /// A lowered straight-line region starting at `start`, plus everything the
 /// hot loop needs precomputed: total retired instructions, cycle totals
 /// for both terminator outcomes, and memory-op counts.
@@ -236,6 +270,13 @@ pub(crate) struct Superblock {
     pub(crate) loads: u32,
     /// Stores in the body.
     pub(crate) stores: u32,
+    /// Chained successor when the terminator is not taken (also the
+    /// fall-through / direct-jump / direct-call leg — `taken` is always
+    /// false there).
+    link_nt: Link,
+    /// Chained successor when the terminator (a conditional branch) is
+    /// taken.
+    link_tk: Link,
 }
 
 impl Superblock {
@@ -500,6 +541,28 @@ impl Superblock {
         p
     }
 
+    /// The successor link for the executed terminator leg.
+    #[inline]
+    pub(crate) fn link(&self, taken: bool) -> Link {
+        if taken {
+            self.link_tk
+        } else {
+            self.link_nt
+        }
+    }
+
+    /// The statically known next PC for a terminator leg, when there is
+    /// one. `None` for register-indirect terminators (and the vacuous
+    /// `taken` leg of non-branches): those legs never chain.
+    pub(crate) fn leg_target(&self, taken: bool) -> Option<u32> {
+        match self.term {
+            Term::Branch { target, .. } => Some(if taken { target } else { self.exit_pc }),
+            Term::None => (!taken).then_some(self.exit_pc),
+            Term::Jump { target } | Term::Call { target } => (!taken).then_some(target),
+            Term::JumpReg { .. } | Term::CallReg { .. } | Term::Ret => None,
+        }
+    }
+
     /// Bump the terminator's contribution to the classified instruction
     /// counters, matching `ExecStats::account` on the original `Inst`.
     #[inline]
@@ -528,7 +591,7 @@ pub(crate) fn lower(
     mem: &Memory,
     _cost: &CostModel,
     start: u32,
-) -> Option<Box<Superblock>> {
+) -> Option<Superblock> {
     debug_assert_eq!(start & 3, 0);
     let mut uops: Vec<Uop> = Vec::new();
     let mut cycles = 0u64;
@@ -687,7 +750,7 @@ pub(crate) fn lower(
     } else {
         pc
     };
-    Some(Box::new(Superblock {
+    Some(Superblock {
         len: uops.len() as u32 + term_len,
         uops: uops.into_boxed_slice(),
         term,
@@ -697,25 +760,44 @@ pub(crate) fn lower(
         cycles_tk: cycles + term_cycles.1,
         loads,
         stores,
-    }))
+        link_nt: Link::NONE,
+        link_tk: Link::NONE,
+    })
 }
 
-/// One superblock slot: lowering not yet attempted, attempted and judged
-/// not worth it, or a lowered block starting at this PC.
-enum UopSlot {
+/// Slot sentinel: lowering never attempted at this PC.
+const SLOT_UNKNOWN: u32 = u32::MAX;
+/// Slot sentinel: lowering attempted and judged not worth it.
+const SLOT_NOT_WORTH: u32 = u32::MAX - 1;
+
+/// Decoded slot state from a single [`UopCache::lookup`] page walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Lookup {
+    /// Lowering never attempted here (since the last covering invalidation).
     Unknown,
+    /// Lowering attempted and memoised as not worth it.
     NotWorth,
-    Sb(Box<Superblock>),
+    /// A cached superblock: its arena id for [`UopCache::block`].
+    Id(u32),
 }
 
-type Page = Box<[UopSlot]>;
+type Page = Box<[u32; PAGE_SLOTS]>;
 
 /// Paged side-array of superblocks indexed by `pc >> 2`, invalidated in
 /// lockstep with the decode cache through the same [`Memory`] code-write
 /// generation barrier (the owning [`crate::Machine`] distributes each
 /// dirty span to both caches before either observes the new generation).
+///
+/// Blocks live in a flat arena and pages map `pc >> 2` to arena ids, so a
+/// chained successor is one bounds-checked index away — no page walk on
+/// the trace fast path. Invalidation clears page slots; orphaned arena
+/// entries are unreachable (their slots are gone and every link into them
+/// is severed by the generation stamp) and are reclaimed when the whole
+/// map empties or on [`UopCache::flush`].
 pub(crate) struct UopCache {
     pages: Vec<Option<Page>>,
+    /// Arena of lowered blocks; slot values and [`Link::id`] index here.
+    blocks: Vec<Superblock>,
     /// The [`Memory::code_gen`] value the cached blocks are valid for.
     generation: u64,
 }
@@ -724,6 +806,7 @@ impl UopCache {
     pub(crate) fn new() -> UopCache {
         UopCache {
             pages: Vec::new(),
+            blocks: Vec::new(),
             generation: 0,
         }
     }
@@ -731,6 +814,7 @@ impl UopCache {
     /// Drop every superblock (cost-model change or explicit flush).
     pub(crate) fn flush(&mut self) {
         self.pages.clear();
+        self.blocks.clear();
     }
 
     pub(crate) fn generation(&self) -> u64 {
@@ -744,6 +828,9 @@ impl UopCache {
     /// Drop every slot whose superblock could cover a byte in `[lo, hi]`:
     /// the span is widened downward by [`MAX_SPAN_BYTES`] because a block
     /// is indexed by its *start* PC but covers up to that many bytes ahead.
+    /// Links need no per-span treatment: invalidation only ever happens on
+    /// a generation bump, which severs every outstanding link at once via
+    /// the stamp compare.
     pub(crate) fn invalidate_span(&mut self, lo: u32, hi: u32) {
         let lo = lo.saturating_sub(MAX_SPAN_BYTES);
         let first = (lo >> 2) as usize >> PAGE_SHIFT;
@@ -756,48 +843,126 @@ impl UopCache {
         {
             *page = None;
         }
+        // Cheap arena reclamation: once no page maps anything, every block
+        // is orphaned. SMC-heavy programs (which invalidate constantly)
+        // blow the whole small map away each time, so this keeps the arena
+        // from growing across patch storms.
+        if self.pages.iter().all(|p| p.is_none()) {
+            self.blocks.clear();
+        }
     }
 
     /// Has lowering never been attempted at `pc` (since the last
     /// invalidation covering it)?
     #[inline]
     pub(crate) fn is_unknown(&self, pc: u32) -> bool {
+        matches!(self.lookup(pc), Lookup::Unknown)
+    }
+
+    /// Single-walk slot state at `pc` — the run-loop top uses this so the
+    /// common "block already cached" case costs one page walk, not an
+    /// `is_unknown` walk followed by an `id_at` walk.
+    #[inline]
+    pub(crate) fn lookup(&self, pc: u32) -> Lookup {
         let idx = (pc >> 2) as usize;
         let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
         match self.pages.get(page_no) {
-            Some(Some(page)) => matches!(page[slot_no], UopSlot::Unknown),
-            _ => true,
+            Some(Some(page)) => match page[slot_no] {
+                SLOT_UNKNOWN => Lookup::Unknown,
+                SLOT_NOT_WORTH => Lookup::NotWorth,
+                id => Lookup::Id(id),
+            },
+            _ => Lookup::Unknown,
         }
     }
 
-    /// The superblock starting at `pc`, if one is cached.
+    /// Arena id of the superblock starting at `pc`, if one is cached.
     #[inline]
-    pub(crate) fn get(&self, pc: u32) -> Option<&Superblock> {
+    pub(crate) fn id_at(&self, pc: u32) -> Option<u32> {
         let idx = (pc >> 2) as usize;
         let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
         match self.pages.get(page_no) {
-            Some(Some(page)) => match &page[slot_no] {
-                UopSlot::Sb(sb) => Some(sb),
-                _ => None,
-            },
+            Some(Some(page)) => {
+                let id = page[slot_no];
+                (id < SLOT_NOT_WORTH).then_some(id)
+            }
             _ => None,
         }
     }
 
+    /// The arena block with the given id (trace-walk fast path: one
+    /// bounds-checked index, no page walk).
+    #[inline]
+    pub(crate) fn block(&self, id: u32) -> &Superblock {
+        &self.blocks[id as usize]
+    }
+
+    /// The superblock starting at `pc`, if one is cached (tests; the hot
+    /// path goes through [`UopCache::id_at`] + [`UopCache::block`]).
+    #[cfg(test)]
+    pub(crate) fn get(&self, pc: u32) -> Option<&Superblock> {
+        self.id_at(pc).map(|id| self.block(id))
+    }
+
     /// Record the outcome of a lowering attempt at `pc` (`None` memoises
-    /// "not worth lowering").
-    pub(crate) fn insert(&mut self, pc: u32, sb: Option<Box<Superblock>>) {
+    /// "not worth lowering"). Returns the arena id when a block was
+    /// inserted, so the caller can dispatch into it without re-walking the
+    /// page map.
+    pub(crate) fn insert(&mut self, pc: u32, sb: Option<Superblock>) -> Option<u32> {
         let idx = (pc >> 2) as usize;
         let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
         if page_no >= self.pages.len() {
             self.pages.resize_with(page_no + 1, || None);
         }
-        let page = self.pages[page_no]
-            .get_or_insert_with(|| (0..PAGE_SLOTS).map(|_| UopSlot::Unknown).collect());
-        page[slot_no] = match sb {
-            Some(sb) => UopSlot::Sb(sb),
-            None => UopSlot::NotWorth,
+        let page = self.pages[page_no].get_or_insert_with(|| Box::new([SLOT_UNKNOWN; PAGE_SLOTS]));
+        let (slot, id) = match sb {
+            Some(sb) => {
+                let id = self.blocks.len() as u32;
+                debug_assert!(id < SLOT_NOT_WORTH, "uop arena exhausted");
+                self.blocks.push(sb);
+                (id, Some(id))
+            }
+            None => (SLOT_NOT_WORTH, None),
         };
+        page[slot_no] = slot;
+        id
+    }
+
+    /// Form the successor link for one terminator leg of block `id`,
+    /// stamped with the cache's current generation (which the owning
+    /// machine keeps equal to [`Memory::code_gen`]): the next trace walk
+    /// through this leg chains with a single stamp compare.
+    #[inline]
+    pub(crate) fn set_link(&mut self, id: u32, taken: bool, next: u32) {
+        let link = Link {
+            id: next,
+            stamp: self.generation,
+        };
+        let sb = &mut self.blocks[id as usize];
+        if taken {
+            sb.link_tk = link;
+        } else {
+            sb.link_nt = link;
+        }
+    }
+
+    /// Eagerly link every static terminator leg of blocks starting in
+    /// `[lo, hi)` whose target already has a lowered block — called after
+    /// a chunk install so the first trace through it runs fully chained
+    /// (chunk-internal successors plus already-resident neighbours).
+    pub(crate) fn link_range(&mut self, lo: u32, hi: u32) {
+        let mut pc = lo;
+        while pc < hi {
+            if let Some(id) = self.id_at(pc) {
+                for taken in [false, true] {
+                    if let Some(next) = self.block(id).leg_target(taken).and_then(|t| self.id_at(t))
+                    {
+                        self.set_link(id, taken, next);
+                    }
+                }
+            }
+            pc = pc.wrapping_add(INST_BYTES);
+        }
     }
 }
 
@@ -815,7 +980,7 @@ mod tests {
         mem
     }
 
-    fn lowered(words: &[u32]) -> Option<Box<Superblock>> {
+    fn lowered(words: &[u32]) -> Option<Superblock> {
         let mem = mem_with(words);
         let cost = CostModel::default();
         let mut dc = DecodeCache::new(cost);
@@ -970,5 +1135,92 @@ mod tests {
         let p2 = sb.prefix_stats(1);
         assert_eq!(p2.loads, 0);
         assert_eq!(p2.cycles, cost.cycles_for(addi_inst(), false));
+    }
+
+    #[test]
+    fn leg_targets_static_only() {
+        // Branch at pc 0, off +1 → target 8 (rel_target = pc + 4 + off*4).
+        let branch = lowered(&[encode(Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            off: 1,
+        })])
+        .unwrap();
+        assert_eq!(branch.leg_target(true), Some(8), "taken leg → target");
+        assert_eq!(branch.leg_target(false), Some(4), "fall-through leg");
+        let ret = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ret)]).unwrap();
+        assert_eq!(ret.leg_target(false), None, "indirect legs never chain");
+        assert_eq!(ret.leg_target(true), None);
+        let jump = lowered(&[encode(Inst::J { off: 2 })]).unwrap();
+        assert_eq!(jump.leg_target(false), Some(12));
+        assert_eq!(
+            jump.leg_target(true),
+            None,
+            "non-branches have no taken leg"
+        );
+    }
+
+    #[test]
+    fn links_form_and_generation_stamp_severs() {
+        let mut uc = UopCache::new();
+        let a = lowered(&[encode(Inst::J { off: 0 })]).unwrap(); // 0 → 4
+        let b = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ret)]).unwrap();
+        uc.insert(0, Some(a));
+        uc.insert(4, Some(b));
+        uc.set_generation(7);
+        let id_a = uc.id_at(0).unwrap();
+        let id_b = uc.id_at(4).unwrap();
+        uc.set_link(id_a, false, id_b);
+        let l = uc.block(id_a).link(false);
+        assert_eq!(l.id, id_b);
+        assert_eq!(l.stamp, 7, "link stamped with the forming generation");
+        // The validity check the machine performs: one compare. A
+        // generation bump (any code write) severs the link.
+        assert_ne!(l.stamp, 8);
+        assert_eq!(uc.block(id_a).link(true).stamp, NEVER, "unformed leg");
+    }
+
+    #[test]
+    fn link_range_prelinks_chunk_internal_successors() {
+        // Block at 0: `j` → 4. Block at 4: addi; ret (indirect: no
+        // out-link). Lower both, then eager-link the range.
+        let words = [
+            encode(Inst::J { off: 0 }),
+            addi(Reg::T0, Reg::T0, 1),
+            encode(Inst::Ret),
+        ];
+        let mem = mem_with(&words);
+        let cost = CostModel::default();
+        let mut dc = DecodeCache::new(cost);
+        let mut uc = UopCache::new();
+        for pc in [0u32, 4, 8] {
+            if uc.is_unknown(pc) {
+                let sb = lower(&mut dc, &mem, &cost, pc);
+                uc.insert(pc, sb);
+            }
+        }
+        uc.link_range(0, 12);
+        let id0 = uc.id_at(0).unwrap();
+        let id4 = uc.id_at(4).unwrap();
+        let l = uc.block(id0).link(false);
+        assert_eq!(l.id, id4, "jump leg pre-linked to the successor block");
+        assert_eq!(l.stamp, uc.generation());
+        assert_eq!(
+            uc.block(id4).link(false).stamp,
+            NEVER,
+            "ret leg stays unlinked"
+        );
+    }
+
+    #[test]
+    fn arena_reclaimed_when_map_empties() {
+        let mut uc = UopCache::new();
+        let sb = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ret)]).unwrap();
+        uc.insert(0, Some(sb));
+        assert_eq!(uc.blocks.len(), 1);
+        uc.invalidate_span(0, 4);
+        assert!(uc.get(0).is_none());
+        assert_eq!(uc.blocks.len(), 0, "orphaned arena entries reclaimed");
     }
 }

@@ -239,6 +239,125 @@ proptest! {
         prop_assert_eq!(fast_exit, n as i32 * k);
     }
 
+    /// Superblock *chaining* (trace formation) is step-for-step identical
+    /// to both the unchained engine and the slow path on arbitrary
+    /// programs with interleaved external backpatches. Budgets are large
+    /// enough that traces genuinely chain (several blocks per
+    /// `run_block`), and every backpatch bumps the code generation, so
+    /// stamped links form, sever, and re-form throughout the run.
+    #[test]
+    fn chained_traces_match_slow_path_on_garbage(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        patches in prop::collection::vec((0u32..64, any::<u32>()), 0..4),
+        budget in 16u64..96,
+    ) {
+        let image = softcache_isa::Image {
+            entry: softcache_isa::layout::TEXT_BASE,
+            text_base: softcache_isa::layout::TEXT_BASE,
+            text: words.clone(),
+            data_base: softcache_isa::layout::DATA_BASE,
+            data: vec![],
+            symbols: vec![],
+        };
+        let mut fast = Machine::load_native(&image, b"in");
+        let mut nolink = Machine::load_native(&image, b"in");
+        nolink.set_chaining_enabled(false);
+        let mut slow = Machine::load_native(&image, b"in");
+        let catch_up = |fast: &Machine, slow: &mut Machine,
+                            f: &Result<Step, softcache_sim::SimError>|
+         -> Result<(), TestCaseError> {
+            let mut last = Ok(Step::Running);
+            while slow.stats.instructions < fast.stats.instructions {
+                last = slow.step_slow();
+                prop_assert!(
+                    last.is_ok(),
+                    "slow faulted while behind: {last:?} (fast: {f:?})"
+                );
+            }
+            if f.is_err() {
+                let s = slow.step_slow();
+                prop_assert_eq!(f, &s, "fault diverged");
+            } else {
+                prop_assert_eq!(f, &last, "step outcome diverged");
+            }
+            prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+            prop_assert_eq!(fast.cpu.pc, slow.cpu.pc, "pc diverged");
+            Ok(())
+        };
+        'outer: for (i, &(slot, val)) in patches.iter().enumerate() {
+            for _ in 0..(10 * (i + 1)) {
+                let f = fast.run_block(budget);
+                let n = nolink.run_block(budget);
+                prop_assert_eq!(&f, &n, "chained vs unchained outcome diverged");
+                prop_assert_eq!(fast.stats, nolink.stats, "chained vs unchained stats");
+                catch_up(&fast, &mut slow, &f)?;
+                if !matches!(f, Ok(Step::Running)) {
+                    break 'outer;
+                }
+            }
+            let addr = image.text_base + (slot % words.len() as u32) * 4;
+            let _ = fast.mem.write_u32(addr, val);
+            let _ = nolink.mem.write_u32(addr, val);
+            let _ = slow.mem.write_u32(addr, val);
+        }
+        for _ in 0..100 {
+            let f = fast.run_block(budget);
+            let n = nolink.run_block(budget);
+            prop_assert_eq!(&f, &n, "chained vs unchained outcome diverged");
+            prop_assert_eq!(fast.stats, nolink.stats, "chained vs unchained stats");
+            catch_up(&fast, &mut slow, &f)?;
+            if !matches!(f, Ok(Step::Running)) {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.env.output, slow.env.output, "output diverged");
+    }
+
+    /// A loop whose first block stores over an instruction in its
+    /// *successor* block every iteration: the store's generation bump
+    /// severs the chain link mid-trace, the code-write exit retires
+    /// exactly the prefix, and the freshly patched successor executes its
+    /// new word — bit-identical to the slow path, cycles included. The
+    /// `j .Lmid` terminator makes the patched site live in a *different*
+    /// superblock from the store (the chained leg), unlike the
+    /// self-patching-loop test where the store and site share a block.
+    #[test]
+    fn chained_trace_severs_link_when_successor_block_is_patched(
+        n in 1u32..60,
+        k in 2i32..50,
+    ) {
+        use softcache_isa::{AluOp, Inst, Reg};
+        let patched = softcache_isa::encode(Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::T1,
+            rs1: Reg::T1,
+            imm: k,
+        });
+        let src = format!(
+            "_start: li t0, {n}\n li t1, 0\n la s0, .Lsite\n li s1, {patched}\n\
+             .Ll: sw s1, 0(s0)\n j .Lmid\n\
+             .Lmid: addi t1, t1, 1\n\
+             .Lsite: addi t1, t1, 0\n\
+             addi t0, t0, -1\n bnez t0, .Ll\n mv a0, t1\n ecall 0"
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut fast = Machine::load_native(&image, &[]);
+        let fast_exit = fast.run_native(1_000_000).unwrap();
+        let mut slow = Machine::load_native(&image, &[]);
+        let slow_exit = loop {
+            match slow.step_slow().unwrap() {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                s => return Err(TestCaseError::fail(format!("{s:?}"))),
+            }
+        };
+        prop_assert_eq!(fast_exit, slow_exit);
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        // The store lands before the successor block runs, so every
+        // iteration (the first included) adds 1 + the patched immediate.
+        prop_assert_eq!(fast_exit, n as i32 * (1 + k));
+    }
+
     /// Cycle accounting is monotone and at least one per instruction.
     #[test]
     fn cycles_dominate_instructions(n in 1u32..200) {
