@@ -106,6 +106,77 @@ fn interp_throughput(c: &mut Criterion) {
         )
     });
     g.finish();
+
+    // Indirect-branch predictors: inline caches + RAS on (the default)
+    // vs off (static-only chaining) vs IC-only, native engine and
+    // softcache steady state.
+    let mut g = c.benchmark_group("indirect_ic");
+    tune(&mut g);
+    g.bench_function("native_ic_ras_on", |b| {
+        b.iter_batched(
+            || Machine::load_native(&image, &input),
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("native_ic_ras_off", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::load_native(&image, &input);
+                m.set_indirect_ic_enabled(false);
+                m.set_ras_depth(0);
+                m
+            },
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_ic_ras_on", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_ic_on_ras_off", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            ras_depth: 0,
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_ic_ras_off", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            indirect_ic: false,
+            ras_depth: 0,
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
 }
 
 criterion_group!(benches, interp_throughput);

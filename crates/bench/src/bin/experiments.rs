@@ -87,7 +87,7 @@ fn main() {
 
 fn bench() {
     header("Interpreter throughput — superblock micro-op engine vs reference paths");
-    let b = exp::bench_interp(512);
+    let b = exp::bench_interp(2048);
     println!(
         "workload: {} (outputs and cycle counts verified identical)\n",
         b.workload
@@ -116,6 +116,46 @@ fn bench() {
         "chained traces over unchained superblocks: {:.2}x",
         b.chained_over_unchained
     );
+    println!(
+        "indirect inline caches + RAS over static-only chaining: {:.2}x",
+        b.ic_over_chained
+    );
+    println!(
+        "ret chain breaks: {} -> {} ({:.1}% eliminated); ic hits {}, ras hits {}",
+        b.trace_ic_off.breaks.ret,
+        b.trace_ic_on.breaks.ret,
+        b.ret_break_reduction * 100.0,
+        b.trace_ic_on.ic_hits,
+        b.trace_ic_on.ras_hits,
+    );
+
+    fn trace_json(t: &softcache_sim::TraceStats) -> String {
+        format!(
+            "{{\"entries\": {}, \"chained\": {}, \"code_write_exits\": {}, \"fault_exits\": {}, \
+             \"ic_hits\": {}, \"ic_fills\": {}, \"ras_hits\": {}, \"ras_mispredicts\": {}, \
+             \"ras_underflows\": {}, \"ras_pushes\": {}, \"ras_overflows\": {}, \
+             \"breaks\": {{\"fallthrough\": {}, \"branch\": {}, \"jump\": {}, \"call\": {}, \
+             \"jumpreg\": {}, \"callreg\": {}, \"ret\": {}}}}}",
+            t.entries,
+            t.chained,
+            t.code_write_exits,
+            t.fault_exits,
+            t.ic_hits,
+            t.ic_fills,
+            t.ras_hits,
+            t.ras_mispredicts,
+            t.ras_underflows,
+            t.ras_pushes,
+            t.ras_overflows,
+            t.breaks.fallthrough,
+            t.breaks.branch,
+            t.breaks.jump,
+            t.breaks.call,
+            t.breaks.jumpreg,
+            t.breaks.callreg,
+            t.breaks.ret,
+        )
+    }
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"workload\": \"{}\",\n", b.workload));
@@ -137,8 +177,24 @@ fn bench() {
         b.superblock_over_fast
     ));
     json.push_str(&format!(
-        "  \"chained_over_unchained\": {:.3}\n",
+        "  \"chained_over_unchained\": {:.3},\n",
         b.chained_over_unchained
+    ));
+    json.push_str(&format!(
+        "  \"ic_over_chained\": {:.3},\n",
+        b.ic_over_chained
+    ));
+    json.push_str(&format!(
+        "  \"ret_break_reduction\": {:.4},\n",
+        b.ret_break_reduction
+    ));
+    json.push_str(&format!(
+        "  \"trace_ic_off\": {},\n",
+        trace_json(&b.trace_ic_off)
+    ));
+    json.push_str(&format!(
+        "  \"trace_ic_on\": {}\n",
+        trace_json(&b.trace_ic_on)
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");

@@ -17,7 +17,7 @@ use softcache_hwcache::{tags, SetAssocCache};
 use softcache_isa::Image;
 use softcache_minic as minic;
 use softcache_net::LinkModel;
-use softcache_sim::{Machine, Profiler, Step};
+use softcache_sim::{Machine, Profiler, Step, TraceStats};
 use softcache_workloads::{by_name, with_coldlib, Workload};
 use std::collections::HashSet;
 
@@ -1098,25 +1098,44 @@ pub struct InterpRow {
 pub struct InterpBench {
     /// Workload measured.
     pub workload: &'static str,
-    /// slow / per-inst fast / superblock unchained / superblock chained /
-    /// softcache chaining-off / softcache steady rows, in order.
+    /// slow / per-inst fast / superblock unchained / superblock chained
+    /// (static links only) / superblock chained + indirect ICs + RAS /
+    /// softcache chaining-off / softcache chained with IC+RAS off /
+    /// softcache IC on RAS off / softcache steady rows, in order.
     pub rows: Vec<InterpRow>,
     /// Per-instruction fast-path speedup over the slow path (MIPS ratio).
     pub fast_over_slow: f64,
     /// Superblock-engine (unchained) speedup over the per-instruction
     /// fast path.
     pub superblock_over_fast: f64,
-    /// Chained-trace speedup over the unchained superblock engine.
+    /// Chained-trace (static links only) speedup over the unchained
+    /// superblock engine.
     pub chained_over_unchained: f64,
+    /// Softcache steady-state speedup of indirect inline caches + RAS
+    /// over static-only chaining (the gated headline ratio of the
+    /// indirect-IC work).
+    pub ic_over_chained: f64,
+    /// Trace telemetry of the softcache steady run with the indirect
+    /// predictors off (static chaining only): the "before" chain-break
+    /// profile.
+    pub trace_ic_off: TraceStats,
+    /// Trace telemetry of the softcache steady run with inline caches and
+    /// RAS on: the "after" profile.
+    pub trace_ic_on: TraceStats,
+    /// Fraction of `ret` chain breaks eliminated by the IC + RAS
+    /// (deterministic — counters, not wall time).
+    pub ret_break_reduction: f64,
 }
 
 /// Measure simulated MIPS on compress95: the reference slow path
 /// ([`Machine::step_slow`], decode on every step), the per-instruction
 /// predecoded fast path (superblocks disabled), the superblock micro-op
-/// engine without and with chaining ([`Machine::run_native`] default is
-/// chained), and the softcache steady state (ample tcache, free link) in
-/// both chaining modes. Asserts cycles, instruction counts, and output
-/// are bit-identical across every configuration before reporting.
+/// engine without and with chaining, the chained engine with indirect
+/// inline caches + RAS ([`Machine::run_native`] default), and the
+/// softcache steady state (ample tcache, free link) across chaining /
+/// indirect-IC / RAS configurations. Asserts cycles, instruction counts,
+/// and output are bit-identical across every configuration before
+/// reporting.
 pub fn bench_interp(scale: u32) -> InterpBench {
     use std::time::Instant;
     let w = by_name("compress95").expect("workload");
@@ -1165,7 +1184,18 @@ pub fn bench_interp(scale: u32) -> InterpBench {
 
     let (sblk, sblk_s) = best_of(|| {
         let mut m = Machine::load_native(&image, &input);
+        // Static links only: isolate chaining from the indirect predictors
+        // so the row keeps its historical meaning.
+        m.set_indirect_ic_enabled(false);
+        m.set_ras_depth(0);
         m.run_native(2_000_000_000).expect("superblock run");
+        m
+    });
+
+    let (icful, icful_s) = best_of(|| {
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native(2_000_000_000)
+            .expect("superblock run with indirect ICs");
         m
     });
 
@@ -1174,6 +1204,7 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         ("per-inst fast path", &fast),
         ("unchained superblock engine", &nolink),
         ("chained superblock engine", &sblk),
+        ("chained engine with indirect ICs + RAS", &icful),
     ] {
         assert_eq!(
             m.stats.cycles, slow.stats.cycles,
@@ -1198,16 +1229,49 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         );
         sys.run(&input).expect("softcache run (chaining off)")
     });
+    let (out_noic, soft_noic_s) = best_of(|| {
+        let mut sys = SoftIcacheSystem::new(
+            image.clone(),
+            IcacheConfig {
+                indirect_ic: false,
+                ras_depth: 0,
+                ..cfg
+            },
+        );
+        sys.run(&input).expect("softcache run (indirect IC off)")
+    });
+    let (out_noras, soft_noras_s) = best_of(|| {
+        let mut sys = SoftIcacheSystem::new(
+            image.clone(),
+            IcacheConfig {
+                ras_depth: 0,
+                ..cfg
+            },
+        );
+        sys.run(&input).expect("softcache run (RAS off)")
+    });
     let (out, soft_s) = best_of(|| {
         let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
         sys.run(&input).expect("softcache run")
     });
     assert_eq!(out.output, fast.env.output, "softcache changed output");
-    assert_eq!(
-        out.exec, out_nolink.exec,
-        "chaining changed simulated stats"
-    );
-    assert_eq!(out.cache, out_nolink.cache, "chaining changed cache stats");
+    for (name, o) in [
+        ("chaining", &out_nolink),
+        ("indirect inline caches", &out_noic),
+        ("the return-address stack", &out_noras),
+    ] {
+        assert_eq!(out.exec, o.exec, "{name} changed simulated stats");
+        assert_eq!(out.cache, o.cache, "{name} changed cache stats");
+    }
+    // The predictors only ever add chain continuations, so every exit
+    // kind must still balance against trace entries on both profiles.
+    for t in [&out_noic.trace, &out.trace] {
+        assert_eq!(
+            t.entries,
+            t.breaks.total() + t.code_write_exits + t.fault_exits,
+            "trace telemetry out of balance"
+        );
+    }
 
     let mips = |n: u64, s: f64| n as f64 / s.max(1e-9) / 1e6;
     let rows = vec![
@@ -1236,10 +1300,28 @@ pub fn bench_interp(scale: u32) -> InterpBench {
             mips: mips(sblk.stats.instructions, sblk_s),
         },
         InterpRow {
+            config: "native superblock engine (chained + indirect ICs + RAS)",
+            instructions: icful.stats.instructions,
+            wall_seconds: icful_s,
+            mips: mips(icful.stats.instructions, icful_s),
+        },
+        InterpRow {
             config: "softcache steady state (chaining off)",
             instructions: out_nolink.exec.instructions,
             wall_seconds: soft_nolink_s,
             mips: mips(out_nolink.exec.instructions, soft_nolink_s),
+        },
+        InterpRow {
+            config: "softcache steady state (chained, indirect IC off)",
+            instructions: out_noic.exec.instructions,
+            wall_seconds: soft_noic_s,
+            mips: mips(out_noic.exec.instructions, soft_noic_s),
+        },
+        InterpRow {
+            config: "softcache steady state (IC on, RAS off)",
+            instructions: out_noras.exec.instructions,
+            wall_seconds: soft_noras_s,
+            mips: mips(out_noras.exec.instructions, soft_noras_s),
         },
         InterpRow {
             config: "softcache steady state (ample tcache)",
@@ -1251,12 +1333,22 @@ pub fn bench_interp(scale: u32) -> InterpBench {
     let fast_over_slow = rows[1].mips / rows[0].mips;
     let superblock_over_fast = rows[2].mips / rows[1].mips;
     let chained_over_unchained = rows[3].mips / rows[2].mips;
+    let ic_over_chained = rows[8].mips / rows[6].mips;
+    let ret_break_reduction = if out_noic.trace.breaks.ret == 0 {
+        0.0
+    } else {
+        1.0 - out.trace.breaks.ret as f64 / out_noic.trace.breaks.ret as f64
+    };
     InterpBench {
         workload: w.name,
         rows,
         fast_over_slow,
         superblock_over_fast,
         chained_over_unchained,
+        ic_over_chained,
+        trace_ic_off: out_noic.trace,
+        trace_ic_on: out.trace,
+        ret_break_reduction,
     }
 }
 

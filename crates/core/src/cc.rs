@@ -54,6 +54,16 @@ pub struct IcacheConfig {
     /// `superblocks` — ignored when that is off. Host-side speed only;
     /// simulated results are bit-identical either way.
     pub chaining: bool,
+    /// Give register-indirect terminators (`jr`/`jalr`/`ret`) per-site
+    /// inline caches so monomorphic indirects chain like static legs.
+    /// Composes with `chaining` — ignored when that is off. Host-side
+    /// speed only; simulated results are bit-identical either way.
+    pub indirect_ic: bool,
+    /// Return-address-stack depth for predicting `ret` targets from the
+    /// matching call (0 disables the RAS). Host-side speed only; every
+    /// prediction is validated, so simulated results are bit-identical at
+    /// any depth.
+    pub ras_depth: u32,
     /// Instruction budget for a run.
     pub fuel: u64,
 }
@@ -71,6 +81,8 @@ impl Default for IcacheConfig {
             prefetch_depth: 0,
             superblocks: true,
             chaining: true,
+            indirect_ic: true,
+            ras_depth: softcache_sim::DEFAULT_RAS_DEPTH,
             fuel: 2_000_000_000,
         }
     }
@@ -704,6 +716,9 @@ impl Cc {
         let pending = self.collect_tcache_ras(machine);
         self.reset_local();
         self.stats.link.session.resyncs += 1;
+        // Every tcache address is about to be recycled: predicted returns
+        // into the dead translations would only mispredict.
+        machine.clear_ras();
         self.retrampoline(machine, pending);
     }
 
@@ -714,6 +729,9 @@ impl Cc {
         let pending = self.collect_tcache_ras(machine);
         self.reset_local();
         self.stats.flushes += 1;
+        // As in resync: the whole tcache is recycled, so drop every
+        // return-address prediction into it.
+        machine.clear_ras();
         match self.rpc(ep, &Request::InvalidateAll) {
             Ok((reply, stall)) => {
                 machine.stats.cycles += stall;

@@ -11,7 +11,7 @@ use crate::endpoint::McEndpoint;
 use crate::mc::Mc;
 use crate::power::{strongarm, BankConfig, BankModel};
 use softcache_isa::Image;
-use softcache_sim::{ExecStats, Machine, Step, Trap};
+use softcache_sim::{ExecStats, Machine, Step, TraceStats, Trap};
 
 /// Result of one softcache run.
 #[derive(Clone, Debug)]
@@ -24,6 +24,10 @@ pub struct RunOutput {
     pub cache: IcacheStats,
     /// CPU execution statistics (cycles include miss service).
     pub exec: ExecStats,
+    /// Superblock-engine telemetry (trace entries, chain breaks by
+    /// terminator kind, IC/RAS hits). Host-side only: *not* part of the
+    /// bit-identity contract the `exec`/`cache` ledgers carry.
+    pub trace: TraceStats,
 }
 
 impl RunOutput {
@@ -152,6 +156,8 @@ impl SoftIcacheSystem {
         let mut machine = Machine::load_client(&self.image, input);
         machine.set_superblocks_enabled(self.cfg.superblocks);
         machine.set_chaining_enabled(self.cfg.chaining);
+        machine.set_indirect_ic_enabled(self.cfg.indirect_ic);
+        machine.set_ras_depth(self.cfg.ras_depth);
         let mut cc = Cc::new(self.cfg);
         self.endpoint.set_policy(self.cfg.link_policy);
         let track_power = banks.is_some();
@@ -210,6 +216,7 @@ impl SoftIcacheSystem {
             output: machine.env.output.clone(),
             cache: cc.stats,
             exec: machine.stats,
+            trace: machine.trace,
         })
     }
 }
@@ -451,6 +458,63 @@ int main() {
             assert_eq!(on.output, off.output, "tcache={tcache_size}");
             assert_eq!(on.exec, off.exec, "tcache={tcache_size}");
             assert_eq!(on.cache, off.cache, "tcache={tcache_size}");
+        }
+    }
+
+    #[test]
+    fn indirect_ic_and_ras_are_bit_identical_at_system_level() {
+        // Same workload, same config, sweeping the indirect-branch inline
+        // caches and RAS depth: every simulated observable must match bit
+        // for bit — both are host-side dispatch only. Recursive fib keeps
+        // the RAS busy (including overflow past shallow depths); the
+        // tight tcache adds flushes and backpatch storms, exercising the
+        // predictor-reset paths (`clear_ras` on flush/resync, generation
+        // severing of cached indirect targets).
+        let src = r#"
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int tab[32];
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 32; i = i + 1) { tab[i] = fib(i % 12); s = s + tab[i]; }
+    for (i = 0; i < 32; i = i + 1) { puti(tab[i]); putc(' '); }
+    return s % 251;
+}
+"#;
+        for tcache_size in [2 * 1024, 48 * 1024] {
+            let on = run_minic(
+                src,
+                IcacheConfig {
+                    tcache_size,
+                    ..IcacheConfig::default()
+                },
+                &[],
+            );
+            for (indirect_ic, ras_depth) in [(false, 0), (true, 0), (false, 16), (true, 1)] {
+                let other = run_minic(
+                    src,
+                    IcacheConfig {
+                        tcache_size,
+                        indirect_ic,
+                        ras_depth,
+                        ..IcacheConfig::default()
+                    },
+                    &[],
+                );
+                let tag = format!("tcache={tcache_size} ic={indirect_ic} ras={ras_depth}");
+                assert_eq!(on.exit_code, other.exit_code, "{tag}");
+                assert_eq!(on.output, other.output, "{tag}");
+                assert_eq!(on.exec, other.exec, "{tag}");
+                assert_eq!(on.cache, other.cache, "{tag}");
+            }
+            // The telemetry (outside the bit-identity contract) shows the
+            // predictors actually fired.
+            assert!(on.trace.ras_hits > 0, "tcache={tcache_size}");
+            assert_eq!(
+                on.trace.entries,
+                on.trace.breaks.total() + on.trace.code_write_exits + on.trace.fault_exits,
+                "walk entries balance walk exits"
+            );
         }
     }
 

@@ -436,6 +436,9 @@ impl ProcCc {
             self.write_redir_word(machine, ridx, RedirSlot::Callee);
             self.write_redir_word(machine, ridx, RedirSlot::Continuation);
         }
+        // Resident procedures are gone: return-address predictions into
+        // their old tcache slots would only mispredict.
+        machine.clear_ras();
         self.stats.link.session.resyncs += 1;
     }
 

@@ -21,6 +21,8 @@ mod uop;
 pub use cost::CostModel;
 pub use cpu::{Cpu, Next, SimError, Trap};
 pub use decode_cache::DecodeCache;
-pub use machine::{syscall, Env, ExecStats, Machine, RunError, Step};
+pub use machine::{
+    syscall, BreakStats, Env, ExecStats, Machine, RunError, Step, TraceStats, DEFAULT_RAS_DEPTH,
+};
 pub use mem::{MemFault, Memory};
 pub use profile::{Profile, Profiler};

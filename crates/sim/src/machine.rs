@@ -9,7 +9,7 @@ use crate::cost::CostModel;
 use crate::cpu::{Cpu, Next, SimError, Trap};
 use crate::decode_cache::DecodeCache;
 use crate::mem::Memory;
-use crate::uop::{self, BlockExit, UopCache};
+use crate::uop::{self, BlockExit, Ras, TermKind, UopCache};
 use softcache_isa::cf::rel_target;
 use softcache_isa::image::Image;
 use softcache_isa::inst::Inst;
@@ -105,6 +105,110 @@ impl ExecStats {
     }
 }
 
+/// Chain-break counts by terminator kind: how many trace walks ended at
+/// each class of terminator because no valid successor (static link,
+/// inline cache, or RAS prediction) was available — or because the step
+/// budget could not fit the successor block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakStats {
+    /// Block ended at a non-lowerable instruction (no terminator).
+    pub fallthrough: u64,
+    /// Conditional branch.
+    pub branch: u64,
+    /// Direct jump.
+    pub jump: u64,
+    /// Direct call.
+    pub call: u64,
+    /// Register-indirect jump.
+    pub jumpreg: u64,
+    /// Register-indirect call.
+    pub callreg: u64,
+    /// Return.
+    pub ret: u64,
+}
+
+impl BreakStats {
+    /// Breaks summed over every terminator kind.
+    pub fn total(&self) -> u64 {
+        self.fallthrough
+            + self.branch
+            + self.jump
+            + self.call
+            + self.jumpreg
+            + self.callreg
+            + self.ret
+    }
+
+    #[inline]
+    fn bump(&mut self, kind: TermKind) {
+        match kind {
+            TermKind::Fallthrough => self.fallthrough += 1,
+            TermKind::Branch => self.branch += 1,
+            TermKind::Jump => self.jump += 1,
+            TermKind::Call => self.call += 1,
+            TermKind::JumpReg => self.jumpreg += 1,
+            TermKind::CallReg => self.callreg += 1,
+            TermKind::Ret => self.ret += 1,
+        }
+    }
+}
+
+/// Superblock-engine telemetry: trace entries, chained continuations, and
+/// why walks ended. Host-side only — deliberately kept **out of**
+/// [`ExecStats`], whose bit-identity across engine configurations the
+/// differential tests assert; these counters *differ* by construction
+/// between chained and unchained runs.
+///
+/// Every block execution either hands off to a chained successor or ends
+/// the walk, so the counters satisfy
+/// `entries == breaks.total() + code_write_exits + fault_exits`
+/// (each walk enters once and ends once; `chained` counts the in-walk
+/// hand-offs in between).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Trace walks entered from the loop-top lookup.
+    pub entries: u64,
+    /// Block executions reached by following a link in-walk (static,
+    /// inline-cache, or RAS).
+    pub chained: u64,
+    /// Walks ended with no valid successor, by terminator kind.
+    pub breaks: BreakStats,
+    /// Walks ended because a store patched watched code mid-block.
+    pub code_write_exits: u64,
+    /// Walks ended on a data fault mid-block.
+    pub fault_exits: u64,
+    /// Indirect terminators chained through their inline cache.
+    pub ic_hits: u64,
+    /// Inline-cache fills (first observation or target change).
+    pub ic_fills: u64,
+    /// Returns chained through a RAS prediction.
+    pub ras_hits: u64,
+    /// RAS pops whose prediction was stale or wrong (walk fell back to
+    /// the inline cache).
+    pub ras_mispredicts: u64,
+    /// Returns that found the RAS empty.
+    pub ras_underflows: u64,
+    /// Calls that pushed a RAS prediction.
+    pub ras_pushes: u64,
+    /// Pushes that overwrote a live entry (stack at depth).
+    pub ras_overflows: u64,
+}
+
+/// Default return-address-stack depth: deep enough for realistic call
+/// chains in the embedded workloads, tiny enough to live in cache.
+pub const DEFAULT_RAS_DEPTH: u32 = 16;
+
+/// A trace walk that broke on a formable successor leaves the fill
+/// request here; the very next loop-top lookup — still at the successor
+/// PC, nothing has run in between — completes it.
+enum PendingFill {
+    /// Form the static link for (`id`, `taken`) via `UopCache::set_link`.
+    Static { id: u32, taken: bool },
+    /// Fill block `id`'s indirect-terminator inline cache with the
+    /// current PC (the target the terminator just computed).
+    Indirect { id: u32 },
+}
+
 /// Outcome of a [`Machine::step`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Step {
@@ -178,6 +282,19 @@ pub struct Machine {
     /// per link (on by default, meaningful only with `superblocks`;
     /// benches A/B it).
     chaining: bool,
+    /// Indirect-branch inline-cache toggle: let `jr`/`jalr`/`ret`
+    /// terminators chain through their per-site cached target (on by
+    /// default, meaningful only with `chaining`; benches A/B it).
+    indirect_ic: bool,
+    /// Return-address stack: predicts `ret` targets from the matching
+    /// `Call`/`CallReg` so call/return pairs chain even through
+    /// polymorphic return sites. Pure host-side prediction — every pop is
+    /// validated against the architectural return PC.
+    ras: Ras,
+    /// Superblock-engine telemetry (trace entries, chain breaks by
+    /// terminator kind, IC/RAS hit counters). Not part of the
+    /// architectural [`ExecStats`] ledger.
+    pub trace: TraceStats,
 }
 
 impl Machine {
@@ -228,6 +345,9 @@ impl Machine {
             uops: UopCache::new(),
             superblocks: true,
             chaining: true,
+            indirect_ic: true,
+            ras: Ras::new(DEFAULT_RAS_DEPTH),
+            trace: TraceStats::default(),
         }
     }
 
@@ -240,7 +360,10 @@ impl Machine {
     fn sync_caches(&mut self) {
         if self.decode.cost_stale(&self.cost) {
             self.decode.set_cost(self.cost);
+            // Flushing the arena without a generation bump can reuse ids,
+            // so RAS predictions (which carry arena ids) must die with it.
             self.uops.flush();
+            self.ras.clear();
         }
         self.sync_code_caches();
     }
@@ -344,7 +467,10 @@ impl Machine {
     /// automatically).
     pub fn flush_decode_cache(&mut self) {
         self.decode.flush();
+        // The arena flush reuses ids without a generation bump: RAS
+        // entries pointing into the old arena must not survive it.
         self.uops.flush();
+        self.ras.clear();
     }
 
     /// Enable or disable superblock execution in [`Machine::run_block`].
@@ -359,6 +485,31 @@ impl Machine {
     /// benches A/B the two modes.
     pub fn set_chaining_enabled(&mut self, on: bool) {
         self.chaining = on;
+    }
+
+    /// Enable or disable the indirect-branch inline caches (per-site
+    /// cached targets for `jr`/`jalr`/`ret` terminators). Only meaningful
+    /// while chaining is enabled. Accounting is bit-identical either way;
+    /// benches A/B the two modes.
+    pub fn set_indirect_ic_enabled(&mut self, on: bool) {
+        self.indirect_ic = on;
+    }
+
+    /// Set the return-address-stack depth (0 disables the predictor) and
+    /// clear any outstanding predictions. Accounting is bit-identical at
+    /// any depth; benches A/B depths.
+    pub fn set_ras_depth(&mut self, depth: u32) {
+        self.ras = Ras::new(depth);
+    }
+
+    /// Drop every outstanding return-address prediction. The cache
+    /// controller calls this on flush/resync/epoch change: tcache
+    /// addresses are about to be recycled, so predicted returns into dead
+    /// translations would only mispredict. Purely a predictor reset —
+    /// never required for correctness of architectural state (every pop
+    /// is validated), only for not chasing stale predictions.
+    pub fn clear_ras(&mut self) {
+        self.ras.clear();
     }
 
     /// Eagerly predecode `[lo, hi)`: fill instruction slots, lower
@@ -417,11 +568,13 @@ impl Machine {
         let mut done = 0u64; // steps retired this block
         let mut insts = 0u64; // retired since the last stats flush
         let mut cycles = 0u64;
-        // A trace that broke on an unformed link leaves (predecessor id,
-        // leg) here; the very next loop-top block lookup — still at the
-        // leg's target, nothing has run in between — completes the link so
-        // the next walk through this terminator chains straight across.
-        let mut pending_link: Option<(u32, bool)> = None;
+        // A trace that broke on a formable successor (unformed static
+        // link, or an indirect terminator whose inline cache missed)
+        // leaves the fill request here; the very next loop-top block
+        // lookup — still at the successor PC, nothing has run in between
+        // — completes it so the next walk through this terminator chains
+        // straight across.
+        let mut pending: Option<PendingFill> = None;
         let result = 'run: {
             while done < max_steps {
                 let pc = self.cpu.pc;
@@ -449,64 +602,170 @@ impl Machine {
                     let mut resync = false;
                     let mut fault = None;
                     if let Some(first) = hit {
-                        if let Some((pid, leg)) = pending_link.take() {
-                            self.uops.set_link(pid, leg, first);
+                        match pending.take() {
+                            Some(PendingFill::Static { id, taken }) => {
+                                self.uops.set_link(id, taken, first);
+                            }
+                            Some(PendingFill::Indirect { id }) => {
+                                // `pc` is the target the indirect
+                                // terminator computed one iteration ago.
+                                self.uops.set_ic(id, pc, first);
+                                self.trace.ic_fills += 1;
+                            }
+                            None => {}
                         }
                         // Valid for the whole walk: a code write exits the
                         // trace (BlockExit::CodeWrite) before the stamp
                         // could go stale.
                         let entry_gen = self.mem.code_gen();
                         let mut id = first;
-                        loop {
-                            let sb = self.uops.block(id);
-                            if u64::from(sb.len) > max_steps - done {
-                                break;
-                            }
+                        // The first block must fit the remaining budget;
+                        // the per-instruction path consumes a too-small
+                        // tail exactly.
+                        if u64::from(self.uops.block(id).len) <= max_steps - done {
+                            self.trace.entries += 1;
                             ran = true;
-                            match sb.execute(&mut self.cpu, &mut self.mem, entry_gen) {
-                                BlockExit::Done { taken } => {
-                                    done += u64::from(sb.len);
-                                    insts += u64::from(sb.len);
-                                    cycles += if taken { sb.cycles_tk } else { sb.cycles_nt };
-                                    self.stats.loads += u64::from(sb.loads);
-                                    self.stats.stores += u64::from(sb.stores);
-                                    sb.account_term(&mut self.stats, taken);
-                                    if !self.chaining {
+                            loop {
+                                let sb = self.uops.block(id);
+                                match sb.execute(&mut self.cpu, &mut self.mem, entry_gen) {
+                                    BlockExit::Done { taken } => {
+                                        done += u64::from(sb.len);
+                                        insts += u64::from(sb.len);
+                                        cycles += if taken { sb.cycles_tk } else { sb.cycles_nt };
+                                        self.stats.loads += u64::from(sb.loads);
+                                        self.stats.stores += u64::from(sb.stores);
+                                        sb.account_term(&mut self.stats, taken);
+                                        let kind = sb.term_kind();
+                                        let mut next = None;
+                                        if self.chaining {
+                                            if matches!(kind, TermKind::Call | TermKind::CallReg)
+                                                && self.ras.depth() > 0
+                                            {
+                                                // Predict the matching
+                                                // return. The call site
+                                                // memoizes the return-site
+                                                // link, so the steady-state
+                                                // push is one stamp compare;
+                                                // an unlowered return PC
+                                                // pushes NEVER and the pop
+                                                // mispredicts instead of
+                                                // chasing a bogus id.
+                                                let entry = self.uops.ras_entry(id);
+                                                if self.ras.push(entry) {
+                                                    self.trace.ras_overflows += 1;
+                                                }
+                                                self.trace.ras_pushes += 1;
+                                            }
+                                            // `ras_entry` took `&mut uops`;
+                                            // re-index the block (one bounds
+                                            // check, no page walk).
+                                            let sb = self.uops.block(id);
+                                            let link = sb.link(taken);
+                                            if link.stamp == entry_gen {
+                                                next = Some(link.id);
+                                            } else {
+                                                match kind {
+                                                    // Indirect successor:
+                                                    // RAS first (ret only),
+                                                    // then the inline
+                                                    // cache. Both validate
+                                                    // against the PC the
+                                                    // terminator computed,
+                                                    // so a wrong prediction
+                                                    // only costs the chain.
+                                                    TermKind::Ret
+                                                    | TermKind::JumpReg
+                                                    | TermKind::CallReg => {
+                                                        if kind == TermKind::Ret
+                                                            && self.ras.depth() > 0
+                                                        {
+                                                            match self.ras.pop() {
+                                                                Some(e) => {
+                                                                    if e.link.stamp == entry_gen
+                                                                        && e.ret_pc == self.cpu.pc
+                                                                    {
+                                                                        self.trace.ras_hits += 1;
+                                                                        next = Some(e.link.id);
+                                                                    } else {
+                                                                        self.trace
+                                                                            .ras_mispredicts += 1;
+                                                                    }
+                                                                }
+                                                                None => {
+                                                                    self.trace.ras_underflows += 1;
+                                                                }
+                                                            }
+                                                        }
+                                                        if next.is_none() && self.indirect_ic {
+                                                            let (target, ic) = sb.ic();
+                                                            if ic.stamp == entry_gen
+                                                                && target == self.cpu.pc
+                                                            {
+                                                                self.trace.ic_hits += 1;
+                                                                next = Some(ic.id);
+                                                            } else {
+                                                                pending =
+                                                                    Some(PendingFill::Indirect {
+                                                                        id,
+                                                                    });
+                                                            }
+                                                        }
+                                                    }
+                                                    // Static successor: no
+                                                    // valid link — form one
+                                                    // at the next loop-top
+                                                    // lookup if the leg has
+                                                    // a target at all.
+                                                    _ => {
+                                                        if sb.leg_target(taken).is_some() {
+                                                            pending = Some(PendingFill::Static {
+                                                                id,
+                                                                taken,
+                                                            });
+                                                        }
+                                                    }
+                                                }
+                                            }
+                                        }
+                                        if let Some(nid) = next {
+                                            if u64::from(self.uops.block(nid).len)
+                                                <= max_steps - done
+                                            {
+                                                self.trace.chained += 1;
+                                                id = nid;
+                                                continue;
+                                            }
+                                            // Valid successor but the
+                                            // budget can't fit it: end the
+                                            // walk (counted as a break);
+                                            // the link survives for the
+                                            // next walk to follow.
+                                        }
+                                        self.trace.breaks.bump(kind);
                                         break;
                                     }
-                                    let link = sb.link(taken);
-                                    if link.stamp == entry_gen {
-                                        id = link.id;
-                                        continue;
+                                    BlockExit::CodeWrite { retired } => {
+                                        let p = sb.prefix_stats(retired);
+                                        done += u64::from(retired);
+                                        insts += u64::from(retired);
+                                        cycles += p.cycles;
+                                        self.stats.loads += u64::from(p.loads);
+                                        self.stats.stores += u64::from(p.stores);
+                                        self.trace.code_write_exits += 1;
+                                        resync = true;
+                                        break;
                                     }
-                                    // No (valid) link. If this leg has a
-                                    // static target, form one at the next
-                                    // loop-top lookup; indirect legs
-                                    // (jr/jalr/ret) never chain.
-                                    if sb.leg_target(taken).is_some() {
-                                        pending_link = Some((id, taken));
+                                    BlockExit::Fault { retired, err } => {
+                                        let p = sb.prefix_stats(retired);
+                                        done += u64::from(retired);
+                                        insts += u64::from(retired);
+                                        cycles += p.cycles;
+                                        self.stats.loads += u64::from(p.loads);
+                                        self.stats.stores += u64::from(p.stores);
+                                        self.trace.fault_exits += 1;
+                                        fault = Some(err);
+                                        break;
                                     }
-                                    break;
-                                }
-                                BlockExit::CodeWrite { retired } => {
-                                    let p = sb.prefix_stats(retired);
-                                    done += u64::from(retired);
-                                    insts += u64::from(retired);
-                                    cycles += p.cycles;
-                                    self.stats.loads += u64::from(p.loads);
-                                    self.stats.stores += u64::from(p.stores);
-                                    resync = true;
-                                    break;
-                                }
-                                BlockExit::Fault { retired, err } => {
-                                    let p = sb.prefix_stats(retired);
-                                    done += u64::from(retired);
-                                    insts += u64::from(retired);
-                                    cycles += p.cycles;
-                                    self.stats.loads += u64::from(p.loads);
-                                    self.stats.stores += u64::from(p.stores);
-                                    fault = Some(err);
-                                    break;
                                 }
                             }
                         }
@@ -521,9 +780,9 @@ impl Machine {
                         continue;
                     }
                 }
-                // Per-instruction path: any link half-formed above is
+                // Per-instruction path: any fill half-requested above is
                 // stale the moment an unchained instruction retires.
-                pending_link = None;
+                pending = None;
                 let (inst, cost, cost_taken) = match self.decode.fetch(pc, &self.mem) {
                     Ok(t) => t,
                     Err(e) => break 'run Err(e),
@@ -812,6 +1071,67 @@ buf:    .space 4
         m.run_native_traced(100, |pc| trace.push(pc)).unwrap();
         assert_eq!(trace.len() as u64, m.stats.instructions);
         assert_eq!(trace[0], img.entry);
+    }
+
+    const CALL_LOOP: &str = r#"
+_start: li s0, 200
+.Lloop: jal .Lf
+        addi s0, s0, -1
+        bnez s0, .Lloop
+        mv a0, t0
+        ecall 0
+.Lf:    addi t0, t0, 1
+        ret
+"#;
+
+    #[test]
+    fn trace_telemetry_balances_and_ras_chains_returns() {
+        let (code, m) = run(CALL_LOOP, &[]);
+        assert_eq!(code, 200);
+        let t = m.trace;
+        assert!(t.entries > 0, "superblocks ran");
+        // Every walk enters once and ends exactly once: on a chain break,
+        // a mid-block code write, or a fault.
+        assert_eq!(
+            t.entries,
+            t.breaks.total() + t.code_write_exits + t.fault_exits,
+            "walk entries balance walk exits: {t:?}"
+        );
+        assert_eq!(t.ras_pushes, 200, "every call predicts its return");
+        assert!(t.ras_hits >= 190, "returns chain via the RAS: {t:?}");
+        assert!(t.breaks.ret <= 3, "rets stop breaking traces: {t:?}");
+        assert!(t.ic_fills >= 1, "the first ret break fills the IC");
+    }
+
+    #[test]
+    fn ic_and_ras_knobs_do_not_change_architectural_state() {
+        let img = assemble(CALL_LOOP).unwrap();
+        let mut on = Machine::load_native(&img, &[]);
+        on.run_native(1_000_000).unwrap();
+        let mut off = Machine::load_native(&img, &[]);
+        off.set_indirect_ic_enabled(false);
+        off.set_ras_depth(0);
+        off.run_native(1_000_000).unwrap();
+        assert_eq!(on.stats, off.stats, "pure dispatch optimisation");
+        assert_eq!(on.env.output, off.env.output);
+        assert!(
+            off.trace.breaks.ret > on.trace.breaks.ret,
+            "with IC+RAS off every ret breaks its trace"
+        );
+        assert_eq!(off.trace.ras_pushes, 0);
+        assert_eq!(off.trace.ic_hits, 0);
+    }
+
+    #[test]
+    fn ras_depth_one_still_validates_and_never_corrupts_state() {
+        let img = assemble(CALL_LOOP).unwrap();
+        let mut shallow = Machine::load_native(&img, &[]);
+        shallow.set_ras_depth(1);
+        let code = shallow.run_native(1_000_000).unwrap();
+        assert_eq!(code, 200);
+        let mut deep = Machine::load_native(&img, &[]);
+        deep.run_native(1_000_000).unwrap();
+        assert_eq!(shallow.stats, deep.stats, "depth is prediction-only");
     }
 
     #[test]

@@ -35,8 +35,19 @@
 //! returning to its loop top. Any code write bumps the generation, so every
 //! existing link is severed by that same compare; links re-form lazily at
 //! the next loop-top lookup (and eagerly at chunk install time via
-//! [`UopCache::link_range`]). Register-indirect terminators (`jr`, `jalr`,
-//! `ret`) never chain: their next PC is data-dependent.
+//! [`UopCache::link_range`]).
+//!
+//! Register-indirect terminators (`jr`, `jalr`, `ret`) have no *static*
+//! link — their next PC is data-dependent — but each carries a per-site
+//! **inline cache**: the last observed target PC plus its superblock arena
+//! id, stamped with the forming generation and validated exactly like a
+//! static link (stamp compare, then a target-PC compare against the value
+//! the terminator just computed). Monomorphic indirects therefore chain
+//! without leaving the trace walk; a changed target or any code write
+//! falls back to the loop-top lookup, which refills the cache. `ret` sites
+//! additionally consult the machine's return-address stack ([`Ras`])
+//! before their inline cache, so call/return pairs chain even when one
+//! `ret` serves many callers.
 
 use crate::cost::CostModel;
 use crate::cpu::{Cpu, SimError};
@@ -241,13 +252,110 @@ pub(crate) struct Link {
 
 /// Stamp that matches no reachable generation (generations count up from
 /// zero, one per code write): the unlinked state.
-const NEVER: u64 = u64::MAX;
+pub(crate) const NEVER: u64 = u64::MAX;
 
 impl Link {
-    const NONE: Link = Link {
+    pub(crate) const NONE: Link = Link {
         id: 0,
         stamp: NEVER,
     };
+}
+
+/// Terminator classification exposed to the trace walk: which successor
+/// mechanism applies (static link vs inline cache vs RAS) and which
+/// chain-break counter an ended walk bills to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TermKind {
+    /// [`Term::None`] — fall-through into a non-lowerable instruction.
+    Fallthrough,
+    /// Conditional branch (both legs static).
+    Branch,
+    /// Direct jump.
+    Jump,
+    /// Direct call (static callee leg; pushes the RAS).
+    Call,
+    /// Register-indirect jump (inline cache only).
+    JumpReg,
+    /// Register-indirect call (inline cache; pushes the RAS).
+    CallReg,
+    /// Return (RAS first, then inline cache).
+    Ret,
+}
+
+/// One return-address-stack entry: the predicted return PC plus a
+/// generation-stamped arena link to the superblock starting there (stamp
+/// [`NEVER`] when no block was lowered at push time).
+#[derive(Clone, Copy)]
+pub(crate) struct RasEntry {
+    pub(crate) ret_pc: u32,
+    pub(crate) link: Link,
+}
+
+/// Fixed-depth return-address stack: a pure host-side predictor layered
+/// over call/ret terminators in the trace walk. `Call`/`CallReg` push the
+/// return PC; `Ret` pops and chains only when both the generation stamp
+/// and the predicted PC match the architectural return target, so a wrong
+/// or stale entry costs nothing but the chain. Overflow overwrites the
+/// oldest entry (deep recursion keeps the innermost frames); underflow
+/// just misses. Depth 0 disables the predictor entirely.
+pub(crate) struct Ras {
+    entries: Box<[RasEntry]>,
+    /// Index of the next push slot (circular).
+    top: usize,
+    /// Live entries, at most `entries.len()`.
+    len: usize,
+}
+
+impl Ras {
+    pub(crate) fn new(depth: u32) -> Ras {
+        Ras {
+            entries: vec![
+                RasEntry {
+                    ret_pc: 0,
+                    link: Link::NONE,
+                };
+                depth as usize
+            ]
+            .into_boxed_slice(),
+            top: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.top = 0;
+        self.len = 0;
+    }
+
+    /// Push a predicted return; returns `true` when an older live entry
+    /// was overwritten (overflow). Callers must not push at depth 0.
+    #[inline]
+    pub(crate) fn push(&mut self, entry: RasEntry) -> bool {
+        debug_assert!(!self.entries.is_empty());
+        let overflowed = self.len == self.entries.len();
+        self.entries[self.top] = entry;
+        self.top = (self.top + 1) % self.entries.len();
+        if !overflowed {
+            self.len += 1;
+        }
+        overflowed
+    }
+
+    /// Pop the most recent prediction, if any.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<RasEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.len -= 1;
+        Some(self.entries[self.top])
+    }
 }
 
 /// A lowered straight-line region starting at `start`, plus everything the
@@ -277,6 +385,17 @@ pub(crate) struct Superblock {
     /// Chained successor when the terminator (a conditional branch) is
     /// taken.
     link_tk: Link,
+    /// Inline cache for a register-indirect terminator: the last observed
+    /// target PC. Meaningful only with [`Superblock::ic_link`].
+    ic_target: u32,
+    /// Inline cache link to the superblock at `ic_target`, stamped with
+    /// the forming generation ([`Link::NONE`] until the first fill).
+    ic_link: Link,
+    /// Memoized link to the block at a `call`/`callreg` terminator's
+    /// return PC — the RAS prediction this call site pushes. Refreshed
+    /// from the page map when stale, so steady-state pushes cost one
+    /// stamp compare and no page walk.
+    ret_link: Link,
 }
 
 impl Superblock {
@@ -551,9 +670,45 @@ impl Superblock {
         }
     }
 
+    /// The inline-cached (target PC, link) pair for a register-indirect
+    /// terminator. The walk follows it only when the stamp matches the
+    /// entry generation *and* the target equals the PC the terminator just
+    /// computed.
+    #[inline]
+    pub(crate) fn ic(&self) -> (u32, Link) {
+        (self.ic_target, self.ic_link)
+    }
+
+    /// The terminator's classification for the trace walk's successor
+    /// selection and chain-break telemetry.
+    #[inline]
+    pub(crate) fn term_kind(&self) -> TermKind {
+        match self.term {
+            Term::None => TermKind::Fallthrough,
+            Term::Branch { .. } => TermKind::Branch,
+            Term::Jump { .. } => TermKind::Jump,
+            Term::Call { .. } => TermKind::Call,
+            Term::JumpReg { .. } => TermKind::JumpReg,
+            Term::CallReg { .. } => TermKind::CallReg,
+            Term::Ret => TermKind::Ret,
+        }
+    }
+
+    /// The return PC a `Call`/`CallReg` terminator wrote to `ra` — what a
+    /// matching `ret` will jump to (the RAS prediction).
+    #[inline]
+    pub(crate) fn return_pc(&self) -> u32 {
+        debug_assert!(matches!(
+            self.term,
+            Term::Call { .. } | Term::CallReg { .. }
+        ));
+        self.exit_pc
+    }
+
     /// The statically known next PC for a terminator leg, when there is
     /// one. `None` for register-indirect terminators (and the vacuous
-    /// `taken` leg of non-branches): those legs never chain.
+    /// `taken` leg of non-branches): those legs have no *static* link and
+    /// chain through their inline cache (and, for `ret`, the RAS) instead.
     pub(crate) fn leg_target(&self, taken: bool) -> Option<u32> {
         match self.term {
             Term::Branch { target, .. } => Some(if taken { target } else { self.exit_pc }),
@@ -762,6 +917,9 @@ pub(crate) fn lower(
         stores,
         link_nt: Link::NONE,
         link_tk: Link::NONE,
+        ic_target: 0,
+        ic_link: Link::NONE,
+        ret_link: Link::NONE,
     })
 }
 
@@ -928,10 +1086,12 @@ impl UopCache {
         id
     }
 
-    /// Form the successor link for one terminator leg of block `id`,
-    /// stamped with the cache's current generation (which the owning
+    /// Form the *static* successor link for one terminator leg of block
+    /// `id`, stamped with the cache's current generation (which the owning
     /// machine keeps equal to [`Memory::code_gen`]): the next trace walk
-    /// through this leg chains with a single stamp compare.
+    /// through this leg chains with a single stamp compare. Static legs
+    /// only — register-indirect terminators fill their inline cache via
+    /// [`UopCache::set_ic`] instead.
     #[inline]
     pub(crate) fn set_link(&mut self, id: u32, taken: bool, next: u32) {
         let link = Link {
@@ -943,6 +1103,55 @@ impl UopCache {
             sb.link_tk = link;
         } else {
             sb.link_nt = link;
+        }
+    }
+
+    /// Fill the inline cache of block `id`'s register-indirect terminator:
+    /// the observed target PC plus the arena id of the block lowered
+    /// there, stamped like a static link. The next walk through the
+    /// terminator chains when the stamp is current and the computed target
+    /// still equals `target`; a polymorphic site simply refills on each
+    /// target change.
+    #[inline]
+    pub(crate) fn set_ic(&mut self, id: u32, target: u32, next: u32) {
+        let link = Link {
+            id: next,
+            stamp: self.generation,
+        };
+        let sb = &mut self.blocks[id as usize];
+        sb.ic_target = target;
+        sb.ic_link = link;
+    }
+
+    /// The RAS prediction block `id`'s `call`/`callreg` terminator
+    /// pushes: its return PC plus a link to the block lowered there.
+    /// The link is memoized in the block ([`Superblock::ret_link`]) and
+    /// refreshed from the page map only when its stamp is stale, so a
+    /// steady-state push costs one stamp compare and no page walk. When
+    /// no block is lowered at the return PC the entry carries
+    /// [`Link::NONE`]; the eventual pop then mispredicts instead of
+    /// chasing a bogus id, and the next push retries the lookup.
+    #[inline]
+    pub(crate) fn ras_entry(&mut self, id: u32) -> RasEntry {
+        let sb = &self.blocks[id as usize];
+        let ret_pc = sb.return_pc();
+        let memo = sb.ret_link;
+        if memo.stamp == self.generation {
+            return RasEntry { ret_pc, link: memo };
+        }
+        match self.id_at(ret_pc) {
+            Some(rid) => {
+                let link = Link {
+                    id: rid,
+                    stamp: self.generation,
+                };
+                self.blocks[id as usize].ret_link = link;
+                RasEntry { ret_pc, link }
+            }
+            None => RasEntry {
+                ret_pc,
+                link: Link::NONE,
+            },
         }
     }
 
@@ -1150,7 +1359,7 @@ mod tests {
         assert_eq!(branch.leg_target(true), Some(8), "taken leg → target");
         assert_eq!(branch.leg_target(false), Some(4), "fall-through leg");
         let ret = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ret)]).unwrap();
-        assert_eq!(ret.leg_target(false), None, "indirect legs never chain");
+        assert_eq!(ret.leg_target(false), None, "indirects have no static leg");
         assert_eq!(ret.leg_target(true), None);
         let jump = lowered(&[encode(Inst::J { off: 2 })]).unwrap();
         assert_eq!(jump.leg_target(false), Some(12));
@@ -1211,6 +1420,76 @@ mod tests {
             NEVER,
             "ret leg stays unlinked"
         );
+    }
+
+    #[test]
+    fn inline_cache_fills_and_generation_stamp_severs() {
+        let mut uc = UopCache::new();
+        let a = lowered(&[encode(Inst::Ret)]).unwrap();
+        let b = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Ret)]).unwrap();
+        uc.insert(0, Some(a));
+        uc.insert(4, Some(b));
+        uc.set_generation(3);
+        let id_a = uc.id_at(0).unwrap();
+        let id_b = uc.id_at(4).unwrap();
+        let (_, unfilled) = uc.block(id_a).ic();
+        assert_eq!(unfilled.stamp, NEVER, "unfilled inline cache");
+        uc.set_ic(id_a, 4, id_b);
+        let (target, link) = uc.block(id_a).ic();
+        assert_eq!(target, 4, "caches the observed target PC");
+        assert_eq!(link.id, id_b);
+        assert_eq!(link.stamp, 3, "stamped with the forming generation");
+        // The walk's validity check: stamp compare plus target compare.
+        // A generation bump (any code write) severs the cached entry.
+        assert_ne!(link.stamp, 4);
+    }
+
+    #[test]
+    fn term_kinds_classify_every_terminator() {
+        let ret = lowered(&[encode(Inst::Ret)]).unwrap();
+        assert_eq!(ret.term_kind(), TermKind::Ret);
+        let call = lowered(&[encode(Inst::Jal { off: 2 })]).unwrap();
+        assert_eq!(call.term_kind(), TermKind::Call);
+        assert_eq!(call.return_pc(), 4, "return lands after the call");
+        let callr = lowered(&[encode(Inst::Jalr { rs: Reg::T0 })]).unwrap();
+        assert_eq!(callr.term_kind(), TermKind::CallReg);
+        assert_eq!(callr.return_pc(), 4);
+        let jr = lowered(&[encode(Inst::Jr { rs: Reg::T0 })]).unwrap();
+        assert_eq!(jr.term_kind(), TermKind::JumpReg);
+        let fall = lowered(&[addi(Reg::T0, Reg::T0, 1), encode(Inst::Halt)]).unwrap();
+        assert_eq!(fall.term_kind(), TermKind::Fallthrough);
+    }
+
+    #[test]
+    fn ras_pushes_pop_in_lifo_order_and_overflow_keeps_newest() {
+        let entry = |pc: u32| RasEntry {
+            ret_pc: pc,
+            link: Link {
+                id: pc / 4,
+                stamp: 1,
+            },
+        };
+        let mut ras = Ras::new(2);
+        assert_eq!(ras.depth(), 2);
+        assert!(ras.pop().is_none(), "underflow on empty");
+        assert!(!ras.push(entry(4)));
+        assert!(!ras.push(entry(8)));
+        // Third push overflows: the oldest (4) is overwritten, the two
+        // newest survive — deep recursion keeps its innermost frames.
+        assert!(ras.push(entry(12)));
+        assert_eq!(ras.pop().unwrap().ret_pc, 12);
+        assert_eq!(ras.pop().unwrap().ret_pc, 8);
+        assert!(ras.pop().is_none(), "overwritten entry is gone");
+        ras.push(entry(16));
+        ras.clear();
+        assert!(ras.pop().is_none(), "clear empties the stack");
+    }
+
+    #[test]
+    fn ras_depth_zero_is_disabled() {
+        let mut ras = Ras::new(0);
+        assert_eq!(ras.depth(), 0);
+        assert!(ras.pop().is_none());
     }
 
     #[test]

@@ -358,6 +358,221 @@ proptest! {
         prop_assert_eq!(fast_exit, n as i32 * (1 + k));
     }
 
+    /// The indirect-branch inline caches and RAS are step-for-step
+    /// identical to the IC-less chained engine and to the slow path on
+    /// arbitrary programs with interleaved external backpatches: every
+    /// cached indirect target is severed by the generation stamp the
+    /// moment anything is patched, and a wrong prediction only costs the
+    /// chain, never architectural state.
+    #[test]
+    fn indirect_ic_matches_slow_path_on_garbage(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        patches in prop::collection::vec((0u32..64, any::<u32>()), 0..4),
+        budget in 16u64..96,
+    ) {
+        let image = softcache_isa::Image {
+            entry: softcache_isa::layout::TEXT_BASE,
+            text_base: softcache_isa::layout::TEXT_BASE,
+            text: words.clone(),
+            data_base: softcache_isa::layout::DATA_BASE,
+            data: vec![],
+            symbols: vec![],
+        };
+        // Defaults: chaining + indirect ICs + RAS all on.
+        let mut fast = Machine::load_native(&image, b"in");
+        // Chained but with the indirect predictors off.
+        let mut noic = Machine::load_native(&image, b"in");
+        noic.set_indirect_ic_enabled(false);
+        noic.set_ras_depth(0);
+        let mut slow = Machine::load_native(&image, b"in");
+        let catch_up = |fast: &Machine, slow: &mut Machine,
+                            f: &Result<Step, softcache_sim::SimError>|
+         -> Result<(), TestCaseError> {
+            let mut last = Ok(Step::Running);
+            while slow.stats.instructions < fast.stats.instructions {
+                last = slow.step_slow();
+                prop_assert!(
+                    last.is_ok(),
+                    "slow faulted while behind: {last:?} (fast: {f:?})"
+                );
+            }
+            if f.is_err() {
+                let s = slow.step_slow();
+                prop_assert_eq!(f, &s, "fault diverged");
+            } else {
+                prop_assert_eq!(f, &last, "step outcome diverged");
+            }
+            prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+            prop_assert_eq!(fast.cpu.pc, slow.cpu.pc, "pc diverged");
+            Ok(())
+        };
+        'outer: for (i, &(slot, val)) in patches.iter().enumerate() {
+            for _ in 0..(10 * (i + 1)) {
+                let f = fast.run_block(budget);
+                let n = noic.run_block(budget);
+                prop_assert_eq!(&f, &n, "IC-on vs IC-off outcome diverged");
+                prop_assert_eq!(fast.stats, noic.stats, "IC-on vs IC-off stats");
+                catch_up(&fast, &mut slow, &f)?;
+                if !matches!(f, Ok(Step::Running)) {
+                    break 'outer;
+                }
+            }
+            let addr = image.text_base + (slot % words.len() as u32) * 4;
+            let _ = fast.mem.write_u32(addr, val);
+            let _ = noic.mem.write_u32(addr, val);
+            let _ = slow.mem.write_u32(addr, val);
+        }
+        for _ in 0..100 {
+            let f = fast.run_block(budget);
+            let n = noic.run_block(budget);
+            prop_assert_eq!(&f, &n, "IC-on vs IC-off outcome diverged");
+            prop_assert_eq!(fast.stats, noic.stats, "IC-on vs IC-off stats");
+            catch_up(&fast, &mut slow, &f)?;
+            if !matches!(f, Ok(Step::Running)) {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.env.output, slow.env.output, "output diverged");
+        prop_assert_eq!(noic.trace.ic_hits, 0, "disabled IC must never fire");
+        prop_assert_eq!(noic.trace.ras_pushes, 0, "disabled RAS must never push");
+    }
+
+    /// A loop that patches an instruction *inside the target block of a
+    /// cached indirect* every iteration: the store's generation bump must
+    /// sever the `jr` site's inline-cached link (stamp compare), and the
+    /// refilled cache must point at the freshly lowered target — the
+    /// patched word executes, bit-identical to the slow path.
+    #[test]
+    fn cached_indirect_target_patch_severs_via_stamp(
+        n in 1u32..60,
+        k in 2i32..50,
+    ) {
+        use softcache_isa::{AluOp, Inst, Reg};
+        let patched = softcache_isa::encode(Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::T1,
+            rs1: Reg::T1,
+            imm: k,
+        });
+        let src = format!(
+            "_start: li t0, {n}\n li t1, 0\n la s0, .Ltgt\n la s2, .Lsite\n li s1, {patched}\n\
+             .Ll: sw s1, 0(s2)\n jr s0\n\
+             .Ltgt: addi t1, t1, 1\n\
+             .Lsite: addi t1, t1, 0\n\
+             addi t0, t0, -1\n bnez t0, .Ll\n mv a0, t1\n ecall 0"
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut fast = Machine::load_native(&image, &[]);
+        let fast_exit = fast.run_native(1_000_000).unwrap();
+        let mut slow = Machine::load_native(&image, &[]);
+        let slow_exit = loop {
+            match slow.step_slow().unwrap() {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                s => return Err(TestCaseError::fail(format!("{s:?}"))),
+            }
+        };
+        prop_assert_eq!(fast_exit, slow_exit);
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        // Every iteration patches before the jr lands, so the patched
+        // immediate is always live when .Lsite executes.
+        prop_assert_eq!(fast_exit, n as i32 * (1 + k));
+    }
+
+    /// A single `jr` site whose target alternates every iteration: the
+    /// inline cache misses on the target compare each time and refills at
+    /// the loop top — repeated refills, zero architectural effect.
+    #[test]
+    fn polymorphic_jr_target_refills_inline_cache(n in 1u32..40) {
+        // Select the target branch-free (s3 = t0 & 1 ? .Lb : .La) so one
+        // superblock hosts the `jr` for both targets — a control-flow
+        // diamond would give each path its own (monomorphic) jr block.
+        let src = format!(
+            "_start: li t0, {}\n li t1, 0\n la s0, .La\n la s1, .Lb\n sub s2, s1, s0\n\
+             .Ll: andi t2, t0, 1\n mul t3, t2, s2\n add s3, s0, t3\n jr s3\n\
+             .La: addi t1, t1, 1\n j .Lnext\n\
+             .Lb: addi t1, t1, 2\n\
+             .Lnext: addi t0, t0, -1\n bnez t0, .Ll\n mv a0, t1\n ecall 0",
+            2 * n
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut fast = Machine::load_native(&image, &[]);
+        let fast_exit = fast.run_native(1_000_000).unwrap();
+        let mut slow = Machine::load_native(&image, &[]);
+        let slow_exit = loop {
+            match slow.step_slow().unwrap() {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                s => return Err(TestCaseError::fail(format!("{s:?}"))),
+            }
+        };
+        prop_assert_eq!(fast_exit, slow_exit);
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        // n even iterations add 1, n odd iterations add 2.
+        prop_assert_eq!(fast_exit, 3 * n as i32);
+        // The alternating target defeats the single-entry cache: it
+        // refills (at least) once per target change after the first.
+        prop_assert!(
+            fast.trace.ic_fills as i64 >= n as i64 - 2,
+            "expected repeated IC refills, got {} for n={n}",
+            fast.trace.ic_fills
+        );
+    }
+
+    /// Deep recursion at every RAS depth: overflow overwrites the oldest
+    /// prediction, the unwound tail underflows or mispredicts, and none
+    /// of it may leak into architectural state — stats match the slow
+    /// path at depth 0, 1, shallow, and deeper-than-recursion.
+    #[test]
+    fn ras_overflow_underflow_and_deep_recursion_match_slow_path(
+        depth in 1u32..40,
+        ras_sel in 0usize..5,
+    ) {
+        let ras_depth = [0u32, 1, 2, 16, 64][ras_sel];
+        let src = format!(
+            "_start: li a0, {depth}\n jal .Lrec\n mv a0, t1\n ecall 0\n\
+             .Lrec: addi t1, t1, 1\n beqz a0, .Lbase\n\
+             addi sp, sp, -8\n sw ra, 0(sp)\n addi a0, a0, -1\n jal .Lrec\n\
+             lw ra, 0(sp)\n addi sp, sp, 8\n\
+             .Lbase: ret"
+        );
+        let image = softcache_asm::assemble(&src).unwrap();
+        let mut fast = Machine::load_native(&image, &[]);
+        fast.set_ras_depth(ras_depth);
+        let fast_exit = fast.run_native(1_000_000).unwrap();
+        let mut slow = Machine::load_native(&image, &[]);
+        let slow_exit = loop {
+            match slow.step_slow().unwrap() {
+                Step::Running => {}
+                Step::Exited(code) => break code,
+                s => return Err(TestCaseError::fail(format!("{s:?}"))),
+            }
+        };
+        prop_assert_eq!(fast_exit, slow_exit);
+        prop_assert_eq!(fast.stats, slow.stats, "stats diverged");
+        prop_assert_eq!(fast_exit, depth as i32 + 1, "one bump per call");
+        let t = fast.trace;
+        prop_assert_eq!(
+            t.entries,
+            t.breaks.total() + t.code_write_exits + t.fault_exits,
+            "walk entries balance walk exits"
+        );
+        if ras_depth == 0 {
+            prop_assert_eq!(t.ras_pushes, 0);
+        } else {
+            prop_assert_eq!(t.ras_pushes, u64::from(depth) + 1);
+            // Recursion deeper than the stack overwrites oldest entries;
+            // the corresponding outer unwinds then find the RAS empty.
+            if depth + 1 > ras_depth {
+                prop_assert!(t.ras_overflows > 0, "expected overflows: {t:?}");
+                prop_assert!(
+                    t.ras_underflows + t.ras_mispredicts > 0,
+                    "unwound tail must miss: {t:?}"
+                );
+            }
+        }
+    }
+
     /// Cycle accounting is monotone and at least one per instruction.
     #[test]
     fn cycles_dominate_instructions(n in 1u32..200) {
