@@ -503,6 +503,261 @@ pub fn fault_tolerance() -> Vec<FaultRow> {
         .collect()
 }
 
+// ------------------------------------------------- memory-fault (chaos) sweep
+
+/// One row of the chaos sweep: a workload with seeded bit flips landing in
+/// tcache code, redirector words or dcache lines, compared against the
+/// same system's clean run. Output is verified byte-identical in every
+/// row.
+#[derive(Clone, Debug)]
+pub struct ChaosRow {
+    /// Fault-plan label.
+    pub label: &'static str,
+    /// Which cache system ran the row.
+    pub system: &'static str,
+    /// Bit flips injected (code + redirector + dcache).
+    pub flips: u64,
+    /// Seal verifications performed.
+    pub seals_checked: u64,
+    /// Seal mismatches detected.
+    pub violations: u64,
+    /// Violations resolved by retranslation / regeneration / refill.
+    pub retranslations: u64,
+    /// Chunks quarantined.
+    pub quarantines: u64,
+    /// Violations resolved by the watchdog pinning to the slow path.
+    pub slow_path_pins: u64,
+    /// Execution time relative to the same system's clean run.
+    pub relative_time: f64,
+}
+
+/// Memory-fault robustness sweep (DESIGN.md §13): seeded flips in
+/// installed code, redirector/trampoline words and clean dcache lines,
+/// across the basic-block i-cache, the dcache-only system, the full
+/// system and the paging procedure cache. Every row's output is asserted
+/// byte-identical to the clean run and every ledger must balance
+/// (`violations == retranslations + slow_path_pins`) — corruption
+/// degrades into the retranslation traffic shown, never into wrong
+/// results.
+pub fn chaos_matrix() -> Vec<ChaosRow> {
+    use softcache_core::datarun::SoftDcacheSystem;
+    use softcache_core::integrity::{IntegrityStats, MemFaultPlan};
+
+    let w = by_name("adpcmenc").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+
+    fn row(
+        label: &'static str,
+        system: &'static str,
+        s: IntegrityStats,
+        cycles: u64,
+        clean_cycles: u64,
+    ) -> ChaosRow {
+        assert!(s.balanced(), "{system}/{label}: unbalanced ledger {s:?}");
+        ChaosRow {
+            label,
+            system,
+            flips: s.code_flips + s.redirector_flips + s.dcache_flips,
+            seals_checked: s.seals_checked,
+            violations: s.violations,
+            retranslations: s.retranslations,
+            quarantines: s.quarantines,
+            slow_path_pins: s.slow_path_pins,
+            relative_time: cycles as f64 / clean_cycles as f64,
+        }
+    }
+
+    let mut rows = Vec::new();
+
+    // Basic-block i-cache, tight enough to keep flushes in play; one
+    // checkpoint per dispatch iteration.
+    let bb = |plan: MemFaultPlan| {
+        let cfg = IcacheConfig {
+            tcache_size: (image.text_bytes() / 2).max(2048),
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        sys.run_chaos(&input, plan).expect("chaos run")
+    };
+    let clean = bb(MemFaultPlan::clean(1));
+    let bb_plans: [(&'static str, MemFaultPlan); 3] = [
+        (
+            "code flips 6%",
+            MemFaultPlan {
+                code_per_mille: 60,
+                ..MemFaultPlan::clean(2)
+            },
+        ),
+        (
+            "code 3% + redirector 6%",
+            MemFaultPlan {
+                code_per_mille: 30,
+                redirector_per_mille: 60,
+                ..MemFaultPlan::clean(3)
+            },
+        ),
+        (
+            "sustained code 30%",
+            MemFaultPlan {
+                code_per_mille: 300,
+                ..MemFaultPlan::clean(4)
+            },
+        ),
+    ];
+    for (label, plan) in bb_plans {
+        let out = bb(plan);
+        assert_eq!(out.output, clean.output, "{label}: output diverged");
+        rows.push(row(
+            label,
+            "bb icache",
+            out.cache.integrity,
+            out.exec.cycles,
+            clean.exec.cycles,
+        ));
+    }
+
+    // Stuck-at fault aimed at one hot chunk: the watchdog case. A tiny
+    // program whose hot function is called thousands of times.
+    {
+        let src = "int work(int x) { return (x * 3 + 1) ^ (x >> 2); }\n\
+                   int main() { int i; int acc; acc = 0;\n\
+                   for (i = 0; i < 3000; i = i + 1) { acc = acc + work(i); }\n\
+                   return acc & 0xff; }";
+        let img = minic::compile_to_image(src, &minic::Options::default()).expect("hot loop");
+        let stuck = img.symbol("work").expect("symbol").addr;
+        let run = |plan: MemFaultPlan| {
+            let mut sys = SoftIcacheSystem::new(img.clone(), IcacheConfig::default());
+            sys.run_chaos(&[], plan).expect("chaos run")
+        };
+        let c = run(MemFaultPlan::clean(5));
+        let out = run(MemFaultPlan {
+            code_per_mille: 1000,
+            stuck_orig: Some(stuck),
+            ..MemFaultPlan::clean(5)
+        });
+        assert_eq!(out.output, c.output, "stuck chunk: output diverged");
+        assert_eq!(out.exit_code, c.exit_code, "stuck chunk: exit diverged");
+        assert!(
+            out.cache.integrity.slow_path_pins >= 1,
+            "the watchdog must pin the stuck chunk: {:?}",
+            out.cache.integrity
+        );
+        rows.push(row(
+            "stuck chunk (watchdog)",
+            "bb icache",
+            out.cache.integrity,
+            out.exec.cycles,
+            c.exec.cycles,
+        ));
+    }
+
+    // Dcache-only system; one checkpoint per instruction, so a tiny rate
+    // already lands plenty of flips.
+    {
+        let small = (w.gen_input)(1);
+        let run = |plan: MemFaultPlan| {
+            let mut sys = SoftDcacheSystem::new(
+                image.clone(),
+                DcacheConfig::default(),
+                ScacheConfig::default(),
+            );
+            sys.run_chaos(&small, plan).expect("chaos run")
+        };
+        let c = run(MemFaultPlan::clean(6));
+        let out = run(MemFaultPlan {
+            dcache_per_mille: 1,
+            ..MemFaultPlan::clean(6)
+        });
+        assert_eq!(out.output, c.output, "dcache flips: output diverged");
+        rows.push(row(
+            "dcache flips 0.1%",
+            "dcache",
+            out.icache.integrity,
+            out.exec.cycles,
+            c.exec.cycles,
+        ));
+    }
+
+    // Full system (I + D + stack), per-instruction checkpoints: a burst
+    // window and a steady all-kinds drizzle.
+    {
+        let small = (w.gen_input)(1);
+        let run = |plan: MemFaultPlan| {
+            let mut sys = FullSoftCacheSystem::new(
+                image.clone(),
+                IcacheConfig::default(),
+                DcacheConfig::default(),
+                ScacheConfig::default(),
+            );
+            sys.run_chaos(&small, plan).expect("chaos run")
+        };
+        let c = run(MemFaultPlan::clean(7));
+        let full_plans: [(&'static str, MemFaultPlan); 2] = [
+            (
+                "burst window (all kinds 2%)",
+                MemFaultPlan {
+                    code_per_mille: 20,
+                    redirector_per_mille: 20,
+                    dcache_per_mille: 20,
+                    window: Some((5_000, 9_000)),
+                    ..MemFaultPlan::clean(8)
+                },
+            ),
+            (
+                "all-at-once 0.1%",
+                MemFaultPlan {
+                    code_per_mille: 1,
+                    redirector_per_mille: 1,
+                    dcache_per_mille: 1,
+                    ..MemFaultPlan::clean(9)
+                },
+            ),
+        ];
+        for (label, plan) in full_plans {
+            let out = run(plan);
+            assert_eq!(out.output, c.output, "{label}: output diverged");
+            rows.push(row(
+                label,
+                "full system",
+                out.icache.integrity,
+                out.exec.cycles,
+                c.exec.cycles,
+            ));
+        }
+    }
+
+    // Paging procedure cache: flips land while LRU eviction recycles
+    // addresses.
+    {
+        let arm_image = w.image(false);
+        let run = |plan: MemFaultPlan| {
+            let cfg = ProcConfig {
+                memory_bytes: arm_image.text_bytes() * 2 / 3,
+                ..ProcConfig::default()
+            };
+            let mut sys = ProcCacheSystem::new(arm_image.clone(), cfg);
+            sys.run_chaos(&input, plan).expect("chaos run")
+        };
+        let c = run(MemFaultPlan::clean(10));
+        let out = run(MemFaultPlan {
+            code_per_mille: 40,
+            redirector_per_mille: 40,
+            ..MemFaultPlan::clean(11)
+        });
+        assert_eq!(out.output, c.output, "proc chaos: output diverged");
+        rows.push(row(
+            "paging + code 4% + redirector 4%",
+            "proc cache",
+            out.cache.integrity,
+            out.exec.cycles,
+            c.exec.cycles,
+        ));
+    }
+
+    rows
+}
+
 // ------------------------------------------------------ batched-link sweep
 
 /// One row of the batched-link sweep: compress95 over the paper's modelled

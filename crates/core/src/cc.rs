@@ -10,6 +10,7 @@
 //! on the stack, which the known frame layout lets it walk.
 
 use crate::endpoint::McEndpoint;
+use crate::integrity::{IntegrityConfig, IntegrityStats, MemFaultInjector, SealTable};
 use crate::power::BankModel;
 use crate::protocol::{ChunkPayload, PatchKind, Reply, Request};
 use softcache_isa::inst::Inst;
@@ -64,6 +65,9 @@ pub struct IcacheConfig {
     /// prediction is validated, so simulated results are bit-identical at
     /// any depth.
     pub ras_depth: u32,
+    /// Integrity-seal verification and corruption-watchdog knobs
+    /// (DESIGN.md §13).
+    pub integrity: IntegrityConfig,
     /// Instruction budget for a run.
     pub fuel: u64,
 }
@@ -83,6 +87,7 @@ impl Default for IcacheConfig {
             chaining: true,
             indirect_ic: true,
             ras_depth: softcache_sim::DEFAULT_RAS_DEPTH,
+            integrity: IntegrityConfig::default(),
             fuel: 2_000_000_000,
         }
     }
@@ -113,6 +118,9 @@ pub struct IcacheStats {
     pub miss_cycles: u64,
     /// Link traffic.
     pub link: LinkStats,
+    /// Integrity-seal / self-healing ledger (all zero unless faults are
+    /// injected or trap-entry verification is armed).
+    pub integrity: IntegrityStats,
 }
 
 /// Errors from the softcache runtime.
@@ -205,8 +213,11 @@ pub struct Cc {
     map: HashMap<u32, u32>,
     chunks: Vec<ChunkInfo>,
     records: Vec<Option<MissRecord>>,
-    /// Return-address trampolines: (tcache addr, original target).
-    trampolines: Vec<(u32, u32)>,
+    /// Return-address trampolines and standalone stubs:
+    /// (tcache addr, original target, miss-record index). The record
+    /// index lets a corrupted single-word span be regenerated purely
+    /// from this metadata, no refetch needed.
+    trampolines: Vec<(u32, u32, u32)>,
     next_free: u32,
     generation: u64,
     /// Pushed chunks installed but not yet observed entered. An entry
@@ -218,6 +229,19 @@ pub struct Cc {
     /// Optional banked-SRAM power model (§4): tracks which banks hold live
     /// tcache bytes so unused banks can be gated off.
     power: Option<BankModel>,
+    /// CRC-32 seals over every installed span — CC metadata, never
+    /// simulated memory (DESIGN.md §13).
+    seals: SealTable,
+    /// Verify seals at trap entry before redirecting the PC. Armed by
+    /// [`Cc::arm_integrity`] or `cfg.integrity.verify_traps`.
+    armed: bool,
+    /// Watchdog: seal failures per original chunk address. Survives
+    /// flushes — resetting it would let a stuck chunk livelock the
+    /// retranslate loop across epochs.
+    fails: HashMap<u32, u32>,
+    /// Chunks pinned to the slow-path interpreter by the watchdog,
+    /// keyed by original address so the pin follows reinstallation.
+    pinned_origs: HashSet<u32>,
     /// Statistics.
     pub stats: IcacheStats,
 }
@@ -227,6 +251,7 @@ impl Cc {
     pub fn new(cfg: IcacheConfig) -> Cc {
         Cc {
             next_free: cfg.tcache_base,
+            armed: cfg.integrity.verify_traps,
             cfg,
             map: HashMap::new(),
             chunks: Vec::new(),
@@ -235,8 +260,22 @@ impl Cc {
             generation: 0,
             pending_prefetch: HashSet::new(),
             power: None,
+            seals: SealTable::default(),
+            fails: HashMap::new(),
+            pinned_origs: HashSet::new(),
             stats: IcacheStats::default(),
         }
+    }
+
+    /// Arm trap-entry seal verification (done automatically when a
+    /// memory-fault plan is injected into a run).
+    pub fn arm_integrity(&mut self) {
+        self.armed = true;
+    }
+
+    /// The tcache address `orig` is currently translated to, if resident.
+    pub fn translation_of(&self, orig: u32) -> Option<u32> {
+        self.map.get(&orig).copied()
     }
 
     /// Attach a banked-SRAM power model; installs, flushes and
@@ -316,8 +355,8 @@ impl Cc {
         }
         self.trampolines
             .iter()
-            .find(|&&(a, _)| a == addr)
-            .map(|&(_, o)| o)
+            .find(|&&(a, _, _)| a == addr)
+            .map(|&(_, o, _)| o)
     }
 
     fn in_tcache(&self, addr: u32) -> bool {
@@ -463,12 +502,21 @@ impl Cc {
                 .write_u32(dest + exit.stub_slot * 4, encode(Inst::Miss { idx }))
                 .expect("stub slot in range");
         }
+        // A watchdog-pinned chunk is excluded from superblock lowering:
+        // its span runs on the per-instruction slow path wherever it gets
+        // reinstalled.
+        if self.pinned_origs.contains(&chunk.orig_start) {
+            machine.pin_slow_span(dest, dest + n_words * 4);
+        }
         // The chunk body and its miss stubs are final: predecode the whole
         // range eagerly (instruction slots + superblocks + chunk-internal
         // successor links), so the first pass through freshly installed
         // code already runs the fast path as one chained trace. A no-op
         // when the superblock engine is off.
         machine.predecode_range(dest, dest + n_words * 4);
+        // Seal the finished span — body plus stub words, read back from
+        // simulated memory so the seal covers exactly what will execute.
+        self.seals.seal(machine, dest, n_words * 4);
         self.chunks.push(ChunkInfo {
             orig_start: chunk.orig_start,
             tc_start: dest,
@@ -527,7 +575,7 @@ impl Cc {
             .and_then(|r| r.clone())
             .ok_or(CacheError::BadMissRecord(idx))?;
         let gen_before = self.generation;
-        let target_tc = self.ensure(machine, ep, rec.orig_target)?;
+        let target_tc = self.verified_target(machine, ep, rec.orig_target)?;
         // Patch only if no flush intervened and the home chunk survived.
         if self.generation == gen_before {
             let home_alive = rec
@@ -574,6 +622,8 @@ impl Cc {
         // generation, severing every superblock link; survivors re-chain
         // lazily on their next dispatch.)
         machine.predecode_range(addr, addr + 4);
+        // The containing chunk changed legitimately: recompute its seal.
+        self.seals.reseal_containing(machine, addr);
         self.stats.patches += 1;
         Ok(())
     }
@@ -591,14 +641,42 @@ impl Cc {
         let cycles = self.cfg.hash_lookup_cycles;
         self.stats.miss_cycles += cycles;
         machine.stats.cycles += cycles;
-        if let Some(&tc) = self.map.get(&orig_target) {
+        if self.map.contains_key(&orig_target) {
             self.stats.hash_hits += 1;
-            if self.pending_prefetch.remove(&orig_target) {
-                self.stats.link.prefetch_hits += 1;
-            }
-            return Ok(tc);
         }
-        self.ensure(machine, ep, orig_target)
+        // `ensure` (inside `verified_target`) settles the prefetch ledger
+        // on the map-hit path.
+        self.verified_target(machine, ep, orig_target)
+    }
+
+    /// [`Cc::ensure`] plus — when integrity verification is armed — a
+    /// seal check of the target span *before* the PC is redirected into
+    /// it. A corrupted target is quarantined and refetched through the
+    /// ordinary miss path, so the trap never lands in corrupted code.
+    fn verified_target(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        orig: u32,
+    ) -> Result<u32, CacheError> {
+        loop {
+            let tc = self.ensure(machine, ep, orig)?;
+            if !self.armed {
+                return Ok(tc);
+            }
+            let Some((start, _)) = self.seals.containing(tc) else {
+                return Ok(tc);
+            };
+            self.stats.integrity.seals_checked += 1;
+            if self.seals.verify(machine, start) {
+                self.stats.integrity.seal_hits += 1;
+                return Ok(tc);
+            }
+            self.stats.integrity.violations += 1;
+            self.heal_span(machine, ep, start)?;
+            // The heal dropped the corrupted translation; go around to
+            // refetch a clean copy.
+        }
     }
 
     // ---- invalidation ----
@@ -633,7 +711,7 @@ impl Cc {
 
     /// Allocate (or reuse) a return-address trampoline for `orig`.
     fn trampoline_for(&mut self, machine: &mut Machine, orig: u32) -> Option<u32> {
-        if let Some(&(addr, _)) = self.trampolines.iter().find(|&&(_, o)| o == orig) {
+        if let Some(&(addr, _, _)) = self.trampolines.iter().find(|&&(_, o, _)| o == orig) {
             return Some(addr);
         }
         if self.next_free + 4 > self.end() {
@@ -654,7 +732,8 @@ impl Cc {
             .mem
             .write_u32(addr, encode(Inst::Miss { idx }))
             .expect("tcache mapped");
-        self.trampolines.push((addr, orig));
+        self.trampolines.push((addr, orig, idx));
+        self.seals.seal(machine, addr, 4);
         Some(addr)
     }
 
@@ -689,6 +768,7 @@ impl Cc {
         self.map.clear();
         self.records.clear();
         self.trampolines.clear();
+        self.seals.clear();
         self.next_free = self.cfg.tcache_base;
         self.generation += 1;
         if let Some(p) = &mut self.power {
@@ -717,8 +797,11 @@ impl Cc {
         self.reset_local();
         self.stats.link.session.resyncs += 1;
         // Every tcache address is about to be recycled: predicted returns
-        // into the dead translations would only mispredict.
+        // into the dead translations would only mispredict, and slow-path
+        // pins anchored to dead spans would wrongly slow fresh code (the
+        // pinned origs re-pin on reinstall).
         machine.clear_ras();
+        machine.clear_slow_pins();
         self.retrampoline(machine, pending);
     }
 
@@ -730,8 +813,10 @@ impl Cc {
         self.reset_local();
         self.stats.flushes += 1;
         // As in resync: the whole tcache is recycled, so drop every
-        // return-address prediction into it.
+        // return-address prediction into it and every slow-path pin
+        // anchored to the dead spans.
         machine.clear_ras();
+        machine.clear_slow_pins();
         match self.rpc(ep, &Request::InvalidateAll) {
             Ok((reply, stall)) => {
                 machine.stats.cycles += stall;
@@ -807,6 +892,8 @@ impl Cc {
                     machine.mem.write_u32(inc.addr, patched).expect("mapped");
                 }
             }
+            // The site's home chunk changed legitimately: reseal it.
+            self.seals.reseal_containing(machine, inc.addr);
         }
 
         // 2. Redirect return addresses pointing into the dying chunk.
@@ -837,6 +924,10 @@ impl Cc {
         }
         self.chunks[cid].alive = false;
         self.map.remove(&orig);
+        self.seals.unseal(chunk.tc_start);
+        if self.pinned_origs.contains(&orig) {
+            machine.unpin_slow_span(chunk.tc_start, chunk.tc_start + chunk.n_words * 4);
+        }
         if self.pending_prefetch.remove(&orig) {
             self.stats.link.prefetch_wastes += 1;
         }
@@ -884,8 +975,236 @@ impl Cc {
             .as_ref()
             .map(|r| r.orig_target)
             .unwrap_or(0);
-        self.trampolines.push((addr, orig));
+        self.trampolines.push((addr, orig, idx));
+        self.seals.seal(machine, addr, 4);
         Some(addr)
+    }
+
+    // ---- integrity: verification, healing, fault injection ----
+
+    /// Verify every sealed span against simulated memory and heal any
+    /// mismatch: corrupted chunks are quarantined and left to refetch
+    /// through the ordinary miss path; corrupted trampoline/stub words
+    /// are regenerated from CC metadata. Called after every injection
+    /// checkpoint — before the guest resumes — so no corrupted
+    /// instruction ever retires; the armed trap-entry checks are
+    /// defense-in-depth on top.
+    pub fn verify_and_heal(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+    ) -> Result<(), CacheError> {
+        for start in self.seals.starts() {
+            // An earlier heal this pass (quarantine, or its degrade-to-
+            // flush) may have dropped this span already.
+            if !self.seals.sealed_at(start) {
+                continue;
+            }
+            self.stats.integrity.seals_checked += 1;
+            if self.seals.verify(machine, start) {
+                self.stats.integrity.seal_hits += 1;
+                continue;
+            }
+            self.stats.integrity.violations += 1;
+            self.heal_span(machine, ep, start)?;
+        }
+        Ok(())
+    }
+
+    /// Recover the corrupted sealed span starting at `start`. Exactly one
+    /// of `retranslations` / `slow_path_pins` is incremented per call,
+    /// keeping the ledger invariant exact.
+    fn heal_span(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        start: u32,
+    ) -> Result<(), CacheError> {
+        if let Some(cid) = self.chunk_at(start) {
+            let orig = self.chunks[cid].orig_start;
+            let fails = self.fails.entry(orig).or_insert(0);
+            *fails += 1;
+            let newly_pinned =
+                *fails > self.cfg.integrity.watchdog_threshold && self.pinned_origs.insert(orig);
+            if newly_pinned {
+                // Watchdog: this chunk keeps failing its seal — degrade
+                // it to the slow-path interpreter wherever it lands next
+                // instead of optimistically retranslating forever.
+                self.stats.integrity.slow_path_pins += 1;
+            } else {
+                self.stats.integrity.retranslations += 1;
+            }
+            self.stats.integrity.quarantines += 1;
+            // Quarantine: sever every pointer that marks the chunk valid
+            // (incoming branches, return addresses, map entry, records),
+            // drop predicted returns into the dying span, and tell the
+            // MC. The next entry refetches a clean copy on the ordinary
+            // miss path.
+            machine.clear_ras();
+            self.invalidate_chunk(machine, ep, orig)?;
+        } else if let Some(&(addr, _, idx)) = self.trampolines.iter().find(|&&(a, _, _)| a == start)
+        {
+            // A single-word trampoline/stub: regenerate it from CC
+            // metadata — no refetch needed.
+            machine
+                .mem
+                .write_u32(addr, encode(Inst::Miss { idx }))
+                .expect("tcache mapped");
+            machine.predecode_range(addr, addr + 4);
+            self.seals.seal(machine, addr, 4);
+            self.stats.integrity.retranslations += 1;
+        } else {
+            // Unreachable with consistent metadata: drop the orphan seal.
+            self.seals.unseal(start);
+            self.stats.integrity.retranslations += 1;
+        }
+        Ok(())
+    }
+
+    /// One fault-injection checkpoint: consume the plan's rolls, apply
+    /// any bit flips through simulated memory (the write barrier bumps
+    /// the code generation, modelling a refetch from the corrupted
+    /// SRAM), then scrub-and-heal before the guest resumes.
+    pub fn chaos_tick(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        inj: &mut MemFaultInjector,
+    ) -> Result<(), CacheError> {
+        let fire = inj.begin_tick();
+        if !fire.any() {
+            return Ok(());
+        }
+        // Resolve the guest pc to its original address BEFORE anything is
+        // corrupted: if healing quarantines the very chunk being executed,
+        // execution is re-routed through the ordinary miss path.
+        let pc_orig = self.tc_to_orig(machine.cpu.pc);
+        if fire.code {
+            self.inject_code_flip(machine, inj);
+        }
+        if fire.redirector {
+            self.inject_redirector_flip(machine, inj);
+        }
+        self.verify_and_heal(machine, ep)?;
+        self.fixup_pc(machine, ep, pc_orig)?;
+        Ok(())
+    }
+
+    /// Like [`Cc::chaos_tick`], but also lands scheduled dcache flips in
+    /// the software data cache and scrubs it — the full-system
+    /// ("all-at-once") injection checkpoint.
+    pub fn chaos_tick_full(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        inj: &mut MemFaultInjector,
+        dcache: &mut crate::dcache::Dcache,
+    ) -> Result<(), CacheError> {
+        let fire = inj.begin_tick();
+        if !fire.any() {
+            return Ok(());
+        }
+        let pc_orig = self.tc_to_orig(machine.cpu.pc);
+        if fire.code {
+            self.inject_code_flip(machine, inj);
+        }
+        if fire.redirector {
+            self.inject_redirector_flip(machine, inj);
+        }
+        if fire.dcache && dcache.inject_flip(inj) {
+            self.stats.integrity.dcache_flips += 1;
+        }
+        self.verify_and_heal(machine, ep)?;
+        self.fixup_pc(machine, ep, pc_orig)?;
+        if fire.dcache {
+            let (checked, violations) = dcache.scrub();
+            self.stats.integrity.seals_checked += checked;
+            self.stats.integrity.seal_hits += checked - violations;
+            self.stats.integrity.violations += violations;
+            // A dropped clean line refills from the server on next
+            // access — the data-side analogue of a retranslation.
+            self.stats.integrity.retranslations += violations;
+        }
+        Ok(())
+    }
+
+    /// After a heal pass, re-route the guest pc if the span it was
+    /// executing in was quarantined out from under it. `pc_orig` is the
+    /// pre-heal resolution of the pc to its original-program address.
+    fn fixup_pc(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        pc_orig: Option<u32>,
+    ) -> Result<(), CacheError> {
+        let pc = machine.cpu.pc;
+        if self.chunk_at(pc).is_some() {
+            return Ok(()); // still inside a live chunk
+        }
+        if self.trampolines.iter().any(|&(a, _, _)| a == pc) {
+            return Ok(()); // trampolines/stubs heal in place
+        }
+        let Some(orig) = pc_orig else {
+            return Ok(()); // pc was never in translated code
+        };
+        machine.cpu.pc = self.ensure(machine, ep, orig)?;
+        Ok(())
+    }
+
+    /// Flip one seeded bit in an installed chunk (or in the plan's stuck
+    /// chunk, if resident).
+    fn inject_code_flip(&mut self, machine: &mut Machine, inj: &mut MemFaultInjector) {
+        let addr = if let Some(orig) = inj.plan.stuck_orig {
+            let Some(cid) = self
+                .map
+                .get(&orig)
+                .copied()
+                .and_then(|tc| self.chunk_at(tc))
+            else {
+                return;
+            };
+            let c = &self.chunks[cid];
+            c.tc_start + inj.pick(c.n_words as u64) as u32 * 4
+        } else {
+            let total: u64 = self
+                .chunks
+                .iter()
+                .filter(|c| c.alive)
+                .map(|c| c.n_words as u64)
+                .sum();
+            if total == 0 {
+                return;
+            }
+            let mut k = inj.pick(total);
+            let mut addr = 0;
+            for c in self.chunks.iter().filter(|c| c.alive) {
+                if k < c.n_words as u64 {
+                    addr = c.tc_start + k as u32 * 4;
+                    break;
+                }
+                k -= c.n_words as u64;
+            }
+            addr
+        };
+        self.flip_bit(machine, addr, inj);
+        self.stats.integrity.code_flips += 1;
+    }
+
+    /// Flip one seeded bit in a trampoline / standalone-stub word.
+    fn inject_redirector_flip(&mut self, machine: &mut Machine, inj: &mut MemFaultInjector) {
+        if self.trampolines.is_empty() {
+            return;
+        }
+        let k = inj.pick(self.trampolines.len() as u64) as usize;
+        let addr = self.trampolines[k].0;
+        self.flip_bit(machine, addr, inj);
+        self.stats.integrity.redirector_flips += 1;
+    }
+
+    fn flip_bit(&mut self, machine: &mut Machine, addr: u32, inj: &mut MemFaultInjector) {
+        let word = machine.mem.read_u32(addr).expect("tcache mapped");
+        let flipped = word ^ (1u32 << inj.pick(32));
+        machine.mem.write_u32(addr, flipped).expect("tcache mapped");
     }
 }
 

@@ -21,6 +21,7 @@
 use crate::cc::{CacheError, Cc, IcacheConfig, IcacheStats};
 use crate::dcache::{Dcache, DcacheConfig, DcacheStats};
 use crate::endpoint::McEndpoint;
+use crate::integrity::{IntegrityStats, MemFaultInjector, MemFaultPlan};
 use crate::mc::Mc;
 use crate::scache::{Scache, ScacheConfig, ScacheStats};
 use softcache_isa::image::{Image, SymKind};
@@ -177,6 +178,7 @@ pub struct SoftDcacheSystem {
     pub pin_scalar_globals: bool,
     /// Instruction budget.
     pub fuel: u64,
+    chaos: Option<MemFaultPlan>,
 }
 
 impl SoftDcacheSystem {
@@ -190,7 +192,22 @@ impl SoftDcacheSystem {
             endpoint: McEndpoint::direct(mc),
             pin_scalar_globals: true,
             fuel: 2_000_000_000,
+            chaos: None,
         }
+    }
+
+    /// Run under a seeded memory-fault plan. Only the plan's dcache rolls
+    /// land here (there is no tcache in this system); clean corrupted
+    /// lines are dropped by the scrubber and refill on next access.
+    pub fn run_chaos(
+        &mut self,
+        input: &[u8],
+        plan: MemFaultPlan,
+    ) -> Result<DataRunOutput, CacheError> {
+        self.chaos = Some(plan);
+        let out = self.run(input);
+        self.chaos = None;
+        out
     }
 
     /// Run from a cold data cache.
@@ -198,6 +215,8 @@ impl SoftDcacheSystem {
         let mut machine = Machine::load_native(&self.image, input);
         let mut dcache = Dcache::new(self.dcfg);
         let mut scache = Scache::new(self.scfg);
+        let mut injector = self.chaos.map(MemFaultInjector::new);
+        let mut integrity = IntegrityStats::default();
         if self.pin_scalar_globals {
             let cyc = pin_scalars(&self.image, &mut dcache, &mut self.endpoint)?;
             machine.stats.cycles += cyc;
@@ -215,6 +234,7 @@ impl SoftDcacheSystem {
                 &mut self.endpoint,
                 inst,
             )? {
+                dcache_chaos_tick(&mut injector, &mut dcache, &mut integrity);
                 continue;
             }
             match machine.step()? {
@@ -227,6 +247,7 @@ impl SoftDcacheSystem {
                     }))
                 }
             }
+            dcache_chaos_tick(&mut injector, &mut dcache, &mut integrity);
         };
         dcache.flush_dirty(&mut self.endpoint)?;
         dcache.check_invariants();
@@ -236,8 +257,38 @@ impl SoftDcacheSystem {
             exec: machine.stats,
             dcache: dcache.stats,
             scache: scache.stats,
-            icache: IcacheStats::default(),
+            icache: IcacheStats {
+                integrity,
+                ..IcacheStats::default()
+            },
         })
+    }
+}
+
+/// Data-only fault-injection checkpoint: land this tick's scheduled
+/// dcache flip (code/redirector rolls are consumed but have no target
+/// here), then scrub so a corrupted line is dropped before the next
+/// access can read it.
+fn dcache_chaos_tick(
+    injector: &mut Option<MemFaultInjector>,
+    dcache: &mut Dcache,
+    integrity: &mut IntegrityStats,
+) {
+    let Some(inj) = injector.as_mut() else {
+        return;
+    };
+    let fire = inj.begin_tick();
+    if fire.dcache {
+        if dcache.inject_flip(inj) {
+            integrity.dcache_flips += 1;
+        }
+        let (checked, violations) = dcache.scrub();
+        integrity.seals_checked += checked;
+        integrity.seal_hits += checked - violations;
+        integrity.violations += violations;
+        // A dropped clean line refills from the server on next access —
+        // the data-side analogue of a retranslation.
+        integrity.retranslations += violations;
     }
 }
 
@@ -259,6 +310,7 @@ pub struct FullSoftCacheSystem {
     endpoint: McEndpoint,
     /// Pin scalar globals for specialised (check-free) access.
     pub pin_scalar_globals: bool,
+    chaos: Option<MemFaultPlan>,
 }
 
 impl FullSoftCacheSystem {
@@ -277,7 +329,22 @@ impl FullSoftCacheSystem {
             scfg,
             endpoint: McEndpoint::direct(mc),
             pin_scalar_globals: true,
+            chaos: None,
         }
+    }
+
+    /// Run under a seeded memory-fault plan: every roll kind lands —
+    /// tcache chunks, redirector/trampoline words, and dcache lines — the
+    /// "all-at-once" chaos configuration.
+    pub fn run_chaos(
+        &mut self,
+        input: &[u8],
+        plan: MemFaultPlan,
+    ) -> Result<DataRunOutput, CacheError> {
+        self.chaos = Some(plan);
+        let out = self.run(input);
+        self.chaos = None;
+        out
     }
 
     /// Run from cold caches.
@@ -286,6 +353,10 @@ impl FullSoftCacheSystem {
         let mut cc = Cc::new(self.icfg);
         let mut dcache = Dcache::new(self.dcfg);
         let mut scache = Scache::new(self.scfg);
+        let mut injector = self.chaos.map(MemFaultInjector::new);
+        if injector.is_some() {
+            cc.arm_integrity();
+        }
         if self.pin_scalar_globals {
             let cyc = pin_scalars(&self.image, &mut dcache, &mut self.endpoint)?;
             machine.stats.cycles += cyc;
@@ -298,27 +369,32 @@ impl FullSoftCacheSystem {
                 return Err(CacheError::OutOfFuel);
             }
             let inst = machine.peek_inst().map_err(CacheError::Sim)?;
-            if intercept_data_access(
+            let handled = intercept_data_access(
                 &mut machine,
                 &mut dcache,
                 &mut scache,
                 &mut self.endpoint,
                 inst,
-            )? {
-                continue;
+            )?;
+            if !handled {
+                match machine.step()? {
+                    Step::Running => {}
+                    Step::Exited(code) => break code,
+                    Step::Trapped(Trap::Miss { idx, .. }) => {
+                        cc.handle_miss(&mut machine, &mut self.endpoint, idx)?;
+                    }
+                    Step::Trapped(Trap::HashJump { target, .. })
+                    | Step::Trapped(Trap::HashCall { target, .. }) => {
+                        let tc = cc.hash_jump(&mut machine, &mut self.endpoint, target)?;
+                        machine.cpu.pc = tc;
+                    }
+                    Step::Trapped(Trap::Ecall { .. }) => unreachable!("handled by Machine"),
+                }
             }
-            match machine.step()? {
-                Step::Running => {}
-                Step::Exited(code) => break code,
-                Step::Trapped(Trap::Miss { idx, .. }) => {
-                    cc.handle_miss(&mut machine, &mut self.endpoint, idx)?;
-                }
-                Step::Trapped(Trap::HashJump { target, .. })
-                | Step::Trapped(Trap::HashCall { target, .. }) => {
-                    let tc = cc.hash_jump(&mut machine, &mut self.endpoint, target)?;
-                    machine.cpu.pc = tc;
-                }
-                Step::Trapped(Trap::Ecall { .. }) => unreachable!("handled by Machine"),
+            // Fault-injection checkpoint: flips land and are healed here,
+            // before the next instruction can fetch corrupted state.
+            if let Some(inj) = injector.as_mut() {
+                cc.chaos_tick_full(&mut machine, &mut self.endpoint, inj, &mut dcache)?;
             }
         };
         dcache.flush_dirty(&mut self.endpoint)?;

@@ -23,7 +23,9 @@
 
 use crate::cc::CacheError;
 use crate::endpoint::McEndpoint;
+use crate::integrity::MemFaultInjector;
 use crate::protocol::{Reply, Request};
+use softcache_net::envelope::crc32;
 use softcache_net::{LinkModel, LinkStats};
 
 /// Store handling policy.
@@ -125,6 +127,10 @@ struct DBlock {
     data: Vec<u8>,
     dirty: bool,
     last_use: u64,
+    /// CRC-32 of `data`, maintained at fill and on every store. Lives in
+    /// CC metadata (this struct), never in simulated memory; `scrub`
+    /// verifies it (DESIGN.md §13).
+    seal: u32,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -376,6 +382,7 @@ impl Dcache {
         };
         self.clock += 1;
         let pos = self.search(tag).expect_err("filling a missing tag");
+        let seal = crc32(&data);
         self.blocks.insert(
             pos,
             DBlock {
@@ -383,6 +390,7 @@ impl Dcache {
                 data,
                 dirty: false,
                 last_use: self.clock,
+                seal,
             },
         );
         self.stats.misses += 1;
@@ -520,6 +528,7 @@ impl Dcache {
         for i in 0..width as usize {
             b.data[off + i] = (value >> (8 * i)) as u8;
         }
+        b.seal = crc32(&b.data);
         match self.cfg.write_policy {
             WritePolicy::WriteBack => b.dirty = true,
             WritePolicy::WriteThrough => {
@@ -575,6 +584,49 @@ impl Dcache {
         // site, never correctness.
         self.predictions.clear();
         Ok(())
+    }
+
+    /// Flip one seeded bit in a clean, unpinned resident line. Dirty
+    /// lines hold the only copy of their data (no ECC to recover from),
+    /// and pinned lines must stay resident for the specialised access
+    /// form, so neither is a target. Returns whether a flip landed.
+    pub fn inject_flip(&mut self, inj: &mut MemFaultInjector) -> bool {
+        let candidates: Vec<usize> = (0..self.blocks.len())
+            .filter(|&i| !self.blocks[i].dirty && !self.block_pinned(self.blocks[i].tag))
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let idx = candidates[inj.pick(candidates.len() as u64) as usize];
+        let b = &mut self.blocks[idx];
+        let byte = inj.pick(b.data.len() as u64) as usize;
+        b.data[byte] ^= 1u8 << inj.pick(8);
+        true
+    }
+
+    /// Verify every clean, unpinned line against its seal, dropping
+    /// corrupted ones — a clean line is a pure copy of server memory, so
+    /// recovery is simply a refill on next access. Returns
+    /// `(lines_checked, violations)` for the caller's integrity ledger.
+    pub fn scrub(&mut self) -> (u64, u64) {
+        let mut checked = 0u64;
+        let mut violations = 0u64;
+        let mut i = 0;
+        while i < self.blocks.len() {
+            let tag = self.blocks[i].tag;
+            if self.blocks[i].dirty || self.block_pinned(tag) {
+                i += 1;
+                continue;
+            }
+            checked += 1;
+            if crc32(&self.blocks[i].data) == self.blocks[i].seal {
+                i += 1;
+            } else {
+                violations += 1;
+                self.blocks.remove(i);
+            }
+        }
+        (checked, violations)
     }
 
     /// Invariant check: blocks sorted by tag, unique, and the prediction

@@ -8,6 +8,7 @@
 
 use crate::cc::{CacheError, Cc, IcacheConfig, IcacheStats};
 use crate::endpoint::McEndpoint;
+use crate::integrity::{MemFaultInjector, MemFaultPlan};
 use crate::mc::Mc;
 use crate::power::{strongarm, BankConfig, BankModel};
 use softcache_isa::Image;
@@ -52,6 +53,8 @@ pub struct SoftIcacheSystem {
     cfg: IcacheConfig,
     endpoint: McEndpoint,
     last_power: Option<PowerReport>,
+    /// Active memory-fault plan for [`SoftIcacheSystem::run_chaos`].
+    chaos: Option<MemFaultPlan>,
 }
 
 impl SoftIcacheSystem {
@@ -63,6 +66,7 @@ impl SoftIcacheSystem {
             cfg,
             endpoint: McEndpoint::direct(mc),
             last_power: None,
+            chaos: None,
         }
     }
 
@@ -79,6 +83,7 @@ impl SoftIcacheSystem {
             cfg,
             endpoint,
             last_power: None,
+            chaos: None,
         }
     }
 
@@ -104,6 +109,20 @@ impl SoftIcacheSystem {
     /// cold tcache.
     pub fn run(&mut self, input: &[u8]) -> Result<RunOutput, CacheError> {
         self.run_with_hook(input, |_, _| {})
+    }
+
+    /// Run under a seeded memory-fault plan: at every dispatch-loop
+    /// checkpoint the injector may flip bits in installed tcache code or
+    /// redirector words (through the code-write barrier, modelling
+    /// corrupted SRAM refetch), after which the CC scrubs and heals
+    /// *before* the guest resumes — so no corrupted instruction retires.
+    /// Trap-entry seal verification is armed as defense-in-depth. The
+    /// ledger lands in `RunOutput::cache.integrity`.
+    pub fn run_chaos(&mut self, input: &[u8], plan: MemFaultPlan) -> Result<RunOutput, CacheError> {
+        self.chaos = Some(plan);
+        let out = self.run_inner(input, None, None, |_, _| {});
+        self.chaos = None;
+        out
     }
 
     /// Like [`SoftIcacheSystem::run`], but stops cleanly once
@@ -164,6 +183,10 @@ impl SoftIcacheSystem {
         if let Some(bcfg) = banks {
             cc.attach_power(BankModel::new(bcfg));
         }
+        let mut injector = self.chaos.map(MemFaultInjector::new);
+        if injector.is_some() {
+            cc.arm_integrity();
+        }
         let entry = cc.ensure(&mut machine, &mut self.endpoint, self.image.entry)?;
         machine.cpu.pc = entry;
 
@@ -199,6 +222,11 @@ impl SoftIcacheSystem {
                     hook(machine.stats.cycles, cc.stats.translations);
                 }
                 Step::Trapped(Trap::Ecall { .. }) => unreachable!("handled by Machine"),
+            }
+            // Fault-injection checkpoint: flips land and are healed here,
+            // before the guest resumes — corrupted code never executes.
+            if let Some(inj) = injector.as_mut() {
+                cc.chaos_tick(&mut machine, &mut self.endpoint, inj)?;
             }
         };
         cc.finalize_prefetch();

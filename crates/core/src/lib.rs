@@ -14,6 +14,9 @@
 //! * [`power`] — the §4 banked-SRAM power model (working-set-driven bank
 //!   gating).
 //! * [`datarun`] — systems that wire the data caches into execution.
+//! * [`integrity`] — CRC-32 seals over installed code, seeded memory
+//!   fault injection, and quarantine-based self-healing (robustness
+//!   extension).
 //! * [`mc`] / [`cc`] — the memory-controller and cache-controller halves.
 //! * [`server`] — a threaded MC serving many CC clients from one shared
 //!   image ([`server::McServer`]).
@@ -28,6 +31,7 @@ pub mod datarun;
 pub mod dcache;
 pub mod endpoint;
 pub mod icache;
+pub mod integrity;
 pub mod mc;
 pub mod power;
 pub mod proc;
@@ -40,6 +44,7 @@ pub use datarun::{DataRunOutput, SoftDcacheSystem};
 pub use dcache::{Dcache, DcacheConfig, DcacheStats, Prediction, WritePolicy};
 pub use endpoint::{serve, serve_bounded, McEndpoint, RpcOutcome, ServeReport};
 pub use icache::{RunOutput, SoftIcacheSystem};
+pub use integrity::{IntegrityConfig, IntegrityStats, MemFaultInjector, MemFaultPlan};
 pub use mc::{ChunkStrategy, Mc, McStats};
 pub use power::{BankConfig, BankModel};
 pub use proc::{ProcCacheSystem, ProcConfig, ProcRunOutput, ProcStats};

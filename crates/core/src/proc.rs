@@ -34,6 +34,9 @@
 
 use crate::cc::CacheError;
 use crate::endpoint::McEndpoint;
+use crate::integrity::{
+    IntegrityConfig, IntegrityStats, MemFaultInjector, MemFaultPlan, SealTable,
+};
 use crate::mc::{errcode, Mc};
 use crate::protocol::{ChunkPayload, ExitDesc, PatchKind, Reply, Request};
 use softcache_isa::image::Image;
@@ -41,8 +44,8 @@ use softcache_isa::inst::Inst;
 use softcache_isa::layout::TCACHE_BASE;
 use softcache_isa::{cf, decode, encode};
 use softcache_net::{LinkModel, LinkPolicy, LinkStats};
-use softcache_sim::{ExecStats, Machine, Step, Trap};
-use std::collections::HashMap;
+use softcache_sim::{ExecStats, Machine, Step, TraceStats, Trap};
+use std::collections::{HashMap, HashSet};
 
 /// MC-side: rewrite the whole procedure containing `orig_pc`. The chunk is
 /// position-independent (`dest` is ignored); each call site is reported as
@@ -120,6 +123,13 @@ pub struct ProcConfig {
     pub miss_handler_cycles: u64,
     /// Cycles per installed word.
     pub install_cycles_per_word: u64,
+    /// Execute translated code through the simulator's superblock micro-op
+    /// engine (host-side speed only; simulated results are bit-identical
+    /// either way — tests A/B it).
+    pub superblocks: bool,
+    /// Integrity-seal verification and corruption-watchdog knobs
+    /// (DESIGN.md §13).
+    pub integrity: IntegrityConfig,
     /// Instruction budget.
     pub fuel: u64,
 }
@@ -133,13 +143,15 @@ impl Default for ProcConfig {
             link_policy: LinkPolicy::default(),
             miss_handler_cycles: 60,
             install_cycles_per_word: 2,
+            superblocks: true,
+            integrity: IntegrityConfig::default(),
             fuel: 2_000_000_000,
         }
     }
 }
 
 /// Statistics for the procedure cache.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProcStats {
     /// Procedures downloaded from the MC.
     pub fetches: u64,
@@ -157,6 +169,8 @@ pub struct ProcStats {
     pub miss_cycles: u64,
     /// Link traffic.
     pub link: LinkStats,
+    /// Integrity-seal ledger (DESIGN.md §13).
+    pub integrity: IntegrityStats,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -356,6 +370,9 @@ pub struct ProcRunOutput {
     pub cache: ProcStats,
     /// Execution statistics.
     pub exec: ExecStats,
+    /// Superblock-engine telemetry (host-side only; excluded from the
+    /// bit-identity contract, unlike `exec` and `cache`).
+    pub trace: TraceStats,
 }
 
 /// The procedure-granularity softcache system (ARM prototype).
@@ -363,6 +380,7 @@ pub struct ProcCacheSystem {
     image: Image,
     cfg: ProcConfig,
     endpoint: McEndpoint,
+    chaos: Option<MemFaultPlan>,
 }
 
 struct ProcCc {
@@ -376,6 +394,17 @@ struct ProcCc {
     records: Vec<MissRec>,
     clock: u64,
     stats: ProcStats,
+    /// CRC-32 seals over installed procedures and redirector words. Lives
+    /// in CC metadata, never in simulated memory (DESIGN.md §13).
+    seals: SealTable,
+    /// Verify seals at trap entry (armed when a fault plan is active).
+    armed: bool,
+    /// Seal failures per ORIGINAL procedure entry. Deliberately survives
+    /// resync so a stuck-at fault cannot livelock the retranslate loop
+    /// across epochs.
+    fails: HashMap<u32, u32>,
+    /// Procedures the watchdog has pinned to the slow path.
+    pinned_origs: HashSet<u32>,
 }
 
 fn trace_on() -> bool {
@@ -386,6 +415,7 @@ impl ProcCc {
     fn new(cfg: ProcConfig) -> ProcCc {
         ProcCc {
             heap: Heap::new(cfg.base, cfg.memory_bytes),
+            armed: cfg.integrity.verify_traps,
             cfg,
             resident: HashMap::new(),
             redir_by_site: HashMap::new(),
@@ -393,7 +423,16 @@ impl ProcCc {
             records: Vec::new(),
             clock: 0,
             stats: ProcStats::default(),
+            seals: SealTable::default(),
+            fails: HashMap::new(),
+            pinned_origs: HashSet::new(),
         }
+    }
+
+    /// Turn on seal verification at every trap entry (implied by running
+    /// under a fault plan).
+    fn arm_integrity(&mut self) {
+        self.armed = true;
     }
 
     fn rpc(
@@ -432,13 +471,19 @@ impl ProcCc {
             self.heap.release(i);
         }
         self.resident.clear();
+        // Every seal is stale: the procedure seals cover now-freed regions
+        // and the redirector words are about to be rewritten (resealing
+        // them below). The `fails` ledger is deliberately kept.
+        self.seals.clear();
         for ridx in 0..self.redirectors.len() {
             self.write_redir_word(machine, ridx, RedirSlot::Callee);
             self.write_redir_word(machine, ridx, RedirSlot::Continuation);
         }
         // Resident procedures are gone: return-address predictions into
-        // their old tcache slots would only mispredict.
+        // their old tcache slots would only mispredict, and slow-path pins
+        // keyed by recycled addresses would suppress the wrong spans.
         machine.clear_ras();
+        machine.clear_slow_pins();
         self.stats.link.session.resyncs += 1;
     }
 
@@ -492,6 +537,9 @@ impl ProcCc {
         // superblock engine is off — lowering words that path would never
         // execute was pure waste.
         machine.predecode_range(addr, addr + 4);
+        // Each redirector word is independently regenerable from CC
+        // metadata, so it gets its own one-word seal.
+        self.seals.seal(machine, addr, 4);
     }
 
     /// Evict the procedure in heap region `idx`, fixing every redirector
@@ -508,6 +556,10 @@ impl ProcCc {
         };
         let proc = self.resident.remove(&func).expect("resident");
         self.heap.release(idx);
+        self.seals.unseal(proc.tc_start);
+        if self.pinned_origs.contains(&func) {
+            machine.unpin_slow_span(proc.tc_start, proc.tc_start + proc.orig_size);
+        }
         let span = proc.orig_start..proc.orig_start + proc.orig_size;
         for ridx in 0..self.redirectors.len() {
             let r = self.redirectors[ridx];
@@ -657,11 +709,16 @@ impl ProcCc {
             .expect("in range");
             machine.mem.write_u32(site_tc, jal).expect("mapped");
         }
-        // The procedure body and its rewired call sites are final:
-        // predecode the installed range at chunk granularity, pre-linking
-        // procedure-internal superblock successors so the first call runs
-        // chained.
+        // The procedure body and its rewired call sites are final. A
+        // watchdog-pinned procedure is barred from superblock lowering
+        // BEFORE predecode so no uops form for it; everything else gets
+        // predecoded at chunk granularity, pre-linking procedure-internal
+        // superblock successors so the first call runs chained.
+        if self.pinned_origs.contains(&chunk.orig_start) {
+            machine.pin_slow_span(tc_start, tc_start + bytes);
+        }
         machine.predecode_range(tc_start, tc_start + bytes);
+        self.seals.seal(machine, tc_start, bytes);
         if trace_on() {
             eprintln!(
                 "[proc] install func {:#x} at tc {:#x} size {} ({} exits)",
@@ -698,7 +755,7 @@ impl ProcCc {
                 machine.cpu.pc, rec.target_orig, rec.site
             );
         }
-        let target_tc = self.ensure(machine, ep, rec.target_orig)?;
+        let target_tc = self.verified_target(machine, ep, rec.target_orig)?;
         match rec.site {
             Some((ridx, slot)) => {
                 // Re-point the redirector word at the now-resident target,
@@ -718,6 +775,214 @@ impl ProcCc {
         }
         Ok(())
     }
+
+    // ---- integrity: verification, healing, fault injection ----
+
+    /// `ensure` plus (when armed) a seal check on the span containing the
+    /// returned address. A failed check quarantines and re-ensures; with
+    /// no injection between iterations the loop terminates in at most two.
+    fn verified_target(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        orig: u32,
+    ) -> Result<u32, CacheError> {
+        loop {
+            let tc = self.ensure(machine, ep, orig)?;
+            if !self.armed {
+                return Ok(tc);
+            }
+            let Some((start, _)) = self.seals.containing(tc) else {
+                return Ok(tc);
+            };
+            self.stats.integrity.seals_checked += 1;
+            if self.seals.verify(machine, start) {
+                self.stats.integrity.seal_hits += 1;
+                return Ok(tc);
+            }
+            self.stats.integrity.violations += 1;
+            self.heal_span(machine, ep, start)?;
+        }
+    }
+
+    /// Verify every live seal, healing each failed span before the guest
+    /// can resume.
+    fn verify_and_heal(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+    ) -> Result<(), CacheError> {
+        for start in self.seals.starts() {
+            // Healing earlier spans may have unsealed this one.
+            if !self.seals.sealed_at(start) {
+                continue;
+            }
+            self.stats.integrity.seals_checked += 1;
+            if self.seals.verify(machine, start) {
+                self.stats.integrity.seal_hits += 1;
+                continue;
+            }
+            self.stats.integrity.violations += 1;
+            self.heal_span(machine, ep, start)?;
+        }
+        Ok(())
+    }
+
+    /// Quarantine and repair one corrupted sealed span. Procedures are
+    /// evicted (refetched on demand through the normal miss path) — never
+    /// patched in place, since installed bytes carry call-site rewrites a
+    /// fresh MC copy would not reproduce. Redirector words regenerate
+    /// purely from CC metadata via `write_redir_word`.
+    fn heal_span(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        start: u32,
+    ) -> Result<(), CacheError> {
+        let hit = self
+            .resident
+            .values()
+            .find(|p| start >= p.tc_start && start < p.tc_start + p.orig_size)
+            .map(|p| p.orig_start);
+        if let Some(orig) = hit {
+            let fails = self.fails.entry(orig).or_insert(0);
+            *fails += 1;
+            let newly_pinned =
+                *fails > self.cfg.integrity.watchdog_threshold && self.pinned_origs.insert(orig);
+            if newly_pinned {
+                self.stats.integrity.slow_path_pins += 1;
+            } else {
+                self.stats.integrity.retranslations += 1;
+            }
+            self.stats.integrity.quarantines += 1;
+            // Return-address predictions into the quarantined body are
+            // poisoned along with it.
+            machine.clear_ras();
+            let idx = self.heap.region_of_func(orig).expect("resident proc");
+            self.evict_region(machine, ep, idx)?;
+            return Ok(());
+        }
+        if let Some((ridx, slot)) = self.redirectors.iter().enumerate().find_map(|(i, r)| {
+            if r.addr == start {
+                Some((i, RedirSlot::Callee))
+            } else if r.addr + 4 == start {
+                Some((i, RedirSlot::Continuation))
+            } else {
+                None
+            }
+        }) {
+            self.write_redir_word(machine, ridx, slot);
+            self.stats.integrity.retranslations += 1;
+            return Ok(());
+        }
+        // Stale bookkeeping (span no longer owned by anything): drop it.
+        self.seals.unseal(start);
+        self.stats.integrity.retranslations += 1;
+        Ok(())
+    }
+
+    /// One fault-injection checkpoint: land this tick's scheduled flips,
+    /// then verify-and-heal so corrupted words never execute.
+    fn chaos_tick(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        inj: &mut MemFaultInjector,
+    ) -> Result<(), CacheError> {
+        let fire = inj.begin_tick();
+        // A scheduled dcache fire is still consumed (keeping seeded
+        // schedules aligned across systems) but this system has no data
+        // cache to land it in.
+        if !fire.any() {
+            return Ok(());
+        }
+        // Resolve the guest pc to its original address BEFORE anything is
+        // corrupted: if healing evicts the very procedure being executed,
+        // execution is re-routed through the ordinary miss path. Bodies
+        // are position-independent 1:1 copies, so the offset maps back.
+        let pc = machine.cpu.pc;
+        let pc_orig = self
+            .resident
+            .values()
+            .find(|p| pc >= p.tc_start && pc < p.tc_start + p.orig_size)
+            .map(|p| p.orig_start + (pc - p.tc_start));
+        if fire.code {
+            self.inject_code_flip(machine, inj);
+        }
+        if fire.redirector {
+            self.inject_redirector_flip(machine, inj);
+        }
+        self.verify_and_heal(machine, ep)?;
+        let pc = machine.cpu.pc;
+        let still_resident = self
+            .resident
+            .values()
+            .any(|p| pc >= p.tc_start && pc < p.tc_start + p.orig_size);
+        if !still_resident {
+            if let Some(orig) = pc_orig {
+                machine.cpu.pc = self.ensure(machine, ep, orig)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flip one seeded bit in a resident procedure body (or in the plan's
+    /// stuck procedure, if resident).
+    fn inject_code_flip(&mut self, machine: &mut Machine, inj: &mut MemFaultInjector) {
+        let addr = if let Some(orig) = inj.plan.stuck_orig {
+            let Some(p) = self
+                .resident
+                .values()
+                .find(|p| orig >= p.orig_start && orig < p.orig_start + p.orig_size)
+            else {
+                return;
+            };
+            p.tc_start + inj.pick((p.orig_size / 4) as u64) as u32 * 4
+        } else {
+            // Sort by tcache address: HashMap iteration order must not
+            // leak into the deterministic injection schedule.
+            let mut procs: Vec<(u32, u32)> = self
+                .resident
+                .values()
+                .map(|p| (p.tc_start, p.orig_size / 4))
+                .collect();
+            procs.sort_unstable();
+            let total: u64 = procs.iter().map(|&(_, w)| w as u64).sum();
+            if total == 0 {
+                return;
+            }
+            let mut k = inj.pick(total);
+            let mut addr = 0;
+            for (tc_start, words) in procs {
+                if k < words as u64 {
+                    addr = tc_start + k as u32 * 4;
+                    break;
+                }
+                k -= words as u64;
+            }
+            addr
+        };
+        self.flip_bit(machine, addr, inj);
+        self.stats.integrity.code_flips += 1;
+    }
+
+    /// Flip one seeded bit in a redirector word.
+    fn inject_redirector_flip(&mut self, machine: &mut Machine, inj: &mut MemFaultInjector) {
+        if self.redirectors.is_empty() {
+            return;
+        }
+        let k = inj.pick(self.redirectors.len() as u64 * 2);
+        let r = self.redirectors[(k / 2) as usize];
+        let addr = r.addr + 4 * (k % 2) as u32;
+        self.flip_bit(machine, addr, inj);
+        self.stats.integrity.redirector_flips += 1;
+    }
+
+    fn flip_bit(&mut self, machine: &mut Machine, addr: u32, inj: &mut MemFaultInjector) {
+        let word = machine.mem.read_u32(addr).expect("tcache mapped");
+        let flipped = word ^ (1u32 << inj.pick(32));
+        machine.mem.write_u32(addr, flipped).expect("tcache mapped");
+    }
 }
 
 impl ProcCacheSystem {
@@ -728,6 +993,7 @@ impl ProcCacheSystem {
             image,
             cfg,
             endpoint: McEndpoint::direct(mc),
+            chaos: None,
         }
     }
 
@@ -737,14 +1003,34 @@ impl ProcCacheSystem {
             image,
             cfg,
             endpoint,
+            chaos: None,
         }
+    }
+
+    /// Run under a seeded memory-fault plan: scheduled bit flips land in
+    /// resident procedures and redirector words, and trap-entry seal
+    /// verification is armed. Architectural output must match a clean run.
+    pub fn run_chaos(
+        &mut self,
+        input: &[u8],
+        plan: MemFaultPlan,
+    ) -> Result<ProcRunOutput, CacheError> {
+        self.chaos = Some(plan);
+        let out = self.run(input);
+        self.chaos = None;
+        out
     }
 
     /// Run the program from a cold cache.
     pub fn run(&mut self, input: &[u8]) -> Result<ProcRunOutput, CacheError> {
         let mut machine = Machine::load_client(&self.image, input);
+        machine.set_superblocks_enabled(self.cfg.superblocks);
         let mut cc = ProcCc::new(self.cfg);
         self.endpoint.set_policy(self.cfg.link_policy);
+        let mut injector = self.chaos.map(MemFaultInjector::new);
+        if injector.is_some() {
+            cc.arm_integrity();
+        }
         let entry = cc.ensure(&mut machine, &mut self.endpoint, self.image.entry)?;
         machine.cpu.pc = entry;
         let fuel = self.cfg.fuel;
@@ -765,12 +1051,18 @@ impl ProcCacheSystem {
                     unreachable!("unexpected trap {t:?} in procedure cache");
                 }
             }
+            // Fault-injection checkpoint: flips land and are healed here,
+            // before the guest resumes — corrupted code never executes.
+            if let Some(inj) = injector.as_mut() {
+                cc.chaos_tick(&mut machine, &mut self.endpoint, inj)?;
+            }
         };
         Ok(ProcRunOutput {
             exit_code,
             output: machine.env.output.clone(),
             cache: cc.stats,
             exec: machine.stats,
+            trace: machine.trace,
         })
     }
 }

@@ -512,6 +512,26 @@ impl Machine {
         self.ras.clear();
     }
 
+    /// Pin `[lo, hi)` to the per-instruction slow path: superblock
+    /// lookups inside the span answer "not worth lowering", so no uop is
+    /// formed or dispatched there. The corruption watchdog uses this to
+    /// degrade a repeatedly-corrupted chunk gracefully. Host-side policy
+    /// only — architectural results are bit-identical, just slower.
+    pub fn pin_slow_span(&mut self, lo: u32, hi: u32) {
+        self.uops.pin_span(lo, hi);
+    }
+
+    /// Remove slow-path pins lying entirely within `[lo, hi)` (the pinned
+    /// chunk was invalidated; its addresses may be recycled).
+    pub fn unpin_slow_span(&mut self, lo: u32, hi: u32) {
+        self.uops.unpin_span(lo, hi);
+    }
+
+    /// Remove every slow-path pin (tcache flush: all spans recycled).
+    pub fn clear_slow_pins(&mut self) {
+        self.uops.clear_pins();
+    }
+
     /// Eagerly predecode `[lo, hi)`: fill instruction slots, lower
     /// superblocks for every word in the range, and pre-link every static
     /// terminator leg whose successor is already lowered. The cache

@@ -958,6 +958,12 @@ pub(crate) struct UopCache {
     blocks: Vec<Superblock>,
     /// The [`Memory::code_gen`] value the cached blocks are valid for.
     generation: u64,
+    /// Half-open PC spans pinned to the slow path: lookups inside them
+    /// answer [`Lookup::NotWorth`], so no superblock is ever formed or
+    /// dispatched there (the corruption watchdog's graceful-degradation
+    /// hook). Pins survive invalidation and generation bumps — they are
+    /// a policy, not a cache.
+    pinned: Vec<(u32, u32)>,
 }
 
 impl UopCache {
@@ -966,7 +972,31 @@ impl UopCache {
             pages: Vec::new(),
             blocks: Vec::new(),
             generation: 0,
+            pinned: Vec::new(),
         }
+    }
+
+    /// Is `pc` inside a slow-path-pinned span? One `is_empty` test in the
+    /// common (no pins) case keeps this off the hot path's budget.
+    #[inline]
+    fn is_pinned(&self, pc: u32) -> bool {
+        !self.pinned.is_empty() && self.pinned.iter().any(|&(lo, hi)| pc >= lo && pc < hi)
+    }
+
+    /// Pin `[lo, hi)` to the slow path and drop any blocks covering it.
+    pub(crate) fn pin_span(&mut self, lo: u32, hi: u32) {
+        self.pinned.push((lo, hi));
+        self.invalidate_span(lo, hi.saturating_sub(1));
+    }
+
+    /// Remove pins lying entirely within `[lo, hi)`.
+    pub(crate) fn unpin_span(&mut self, lo: u32, hi: u32) {
+        self.pinned.retain(|&(l, h)| !(l >= lo && h <= hi));
+    }
+
+    /// Remove every slow-path pin.
+    pub(crate) fn clear_pins(&mut self) {
+        self.pinned.clear();
     }
 
     /// Drop every superblock (cost-model change or explicit flush).
@@ -1022,6 +1052,9 @@ impl UopCache {
     /// `is_unknown` walk followed by an `id_at` walk.
     #[inline]
     pub(crate) fn lookup(&self, pc: u32) -> Lookup {
+        if self.is_pinned(pc) {
+            return Lookup::NotWorth;
+        }
         let idx = (pc >> 2) as usize;
         let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
         match self.pages.get(page_no) {
@@ -1037,6 +1070,9 @@ impl UopCache {
     /// Arena id of the superblock starting at `pc`, if one is cached.
     #[inline]
     pub(crate) fn id_at(&self, pc: u32) -> Option<u32> {
+        if self.is_pinned(pc) {
+            return None;
+        }
         let idx = (pc >> 2) as usize;
         let (page_no, slot_no) = (idx >> PAGE_SHIFT, idx & (PAGE_SLOTS - 1));
         match self.pages.get(page_no) {

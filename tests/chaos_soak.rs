@@ -1,0 +1,361 @@
+//! Memory-fault (chaos) soak tests: seeded bit flips landing in installed
+//! tcache code, redirector/trampoline words and clean dcache lines — the
+//! memory-side mirror of `fault_soak.rs`. In every case the program's
+//! output must be byte-identical to the native run (corruption degrades
+//! to retranslation traffic, never to wrong execution), the self-healing
+//! ledger must balance (`violations == retranslations + slow_path_pins`),
+//! and the identical plan must replay the identical recovery schedule.
+
+use softcache::core::datarun::{FullSoftCacheSystem, SoftDcacheSystem};
+use softcache::core::dcache::DcacheConfig;
+use softcache::core::icache::SoftIcacheSystem;
+use softcache::core::integrity::{IntegrityStats, MemFaultPlan};
+use softcache::core::proc::{ProcCacheSystem, ProcConfig};
+use softcache::core::scache::ScacheConfig;
+use softcache::core::IcacheConfig;
+use softcache::isa::Image;
+use softcache::minic;
+use softcache::sim::Machine;
+use softcache::workloads::by_name;
+
+fn native_run(image: &Image, input: &[u8]) -> (i32, Vec<u8>) {
+    let mut m = Machine::load_native(image, input);
+    let code = m.run_native(200_000_000).unwrap();
+    (code, m.env.output.clone())
+}
+
+/// Every chaos run must uphold the ledger invariant and actually have
+/// exercised the seal machinery.
+fn check_ledger(workload: &str, plan: MemFaultPlan, s: &IntegrityStats) {
+    assert!(
+        s.balanced(),
+        "{workload} under {plan:?}: ledger unbalanced — {s:?}"
+    );
+    assert!(
+        s.seal_hits + s.violations == s.seals_checked,
+        "{workload} under {plan:?}: checks must split into hits + violations — {s:?}"
+    );
+}
+
+/// Run `workload` on the basic-block i-cache under `plan`; outputs must be
+/// byte-identical to native. Returns the integrity ledger.
+fn chaos_one(workload: &str, scale: u32, plan: MemFaultPlan) -> IntegrityStats {
+    let w = by_name(workload).unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    // A tight tcache keeps flushes and evictions in play while flips land.
+    let cfg = IcacheConfig {
+        tcache_size: (image.text_bytes() / 2).max(2048),
+        ..IcacheConfig::default()
+    };
+    let mut sys = SoftIcacheSystem::new(image, cfg);
+    let out = sys
+        .run_chaos(&input, plan)
+        .unwrap_or_else(|e| panic!("{workload} under {plan:?}: {e}"));
+    assert_eq!(out.exit_code, want_code, "{workload} exit under {plan:?}");
+    assert_eq!(out.output, want_out, "{workload} output under {plan:?}");
+    check_ledger(workload, plan, &out.cache.integrity);
+    out.cache.integrity
+}
+
+#[test]
+fn chaos_code_flips_across_seeds() {
+    let mut total_violations = 0;
+    for seed in [1, 2, 3, 4] {
+        let plan = MemFaultPlan {
+            code_per_mille: 60,
+            ..MemFaultPlan::clean(seed)
+        };
+        let s = chaos_one("adpcmenc", 2, plan);
+        assert!(s.code_flips > 0, "seed {seed}: no flips landed");
+        total_violations += s.violations;
+    }
+    assert!(
+        total_violations > 0,
+        "the matrix must actually corrupt something"
+    );
+}
+
+#[test]
+fn chaos_redirector_flips_across_seeds() {
+    // Trampolines and standalone stubs only exist once a flush or a
+    // quarantine has minted them, so code flips ride along to create the
+    // very targets the redirector flips then corrupt.
+    let mut total = IntegrityStats::default();
+    for seed in [10, 11, 12, 13] {
+        let plan = MemFaultPlan {
+            code_per_mille: 40,
+            redirector_per_mille: 80,
+            ..MemFaultPlan::clean(seed)
+        };
+        let s = chaos_one("adpcmdec", 2, plan);
+        total.redirector_flips += s.redirector_flips;
+        total.violations += s.violations;
+    }
+    assert!(total.redirector_flips > 0, "no redirector flips landed");
+    assert!(total.violations > 0, "flips must surface as violations");
+}
+
+#[test]
+fn chaos_dcache_flips_on_data_system() {
+    // The dcache-only system checkpoints per instruction, so a small rate
+    // already lands plenty of flips.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let mut total_flips = 0;
+    for seed in [21, 22, 23, 24] {
+        let plan = MemFaultPlan {
+            dcache_per_mille: 1,
+            ..MemFaultPlan::clean(seed)
+        };
+        let mut sys = SoftDcacheSystem::new(
+            image.clone(),
+            DcacheConfig::default(),
+            ScacheConfig::default(),
+        );
+        let out = sys
+            .run_chaos(&input, plan)
+            .unwrap_or_else(|e| panic!("adpcmenc under {plan:?}: {e}"));
+        assert_eq!(out.exit_code, want_code, "exit under {plan:?}");
+        assert_eq!(out.output, want_out, "output under {plan:?}");
+        let s = out.icache.integrity;
+        check_ledger("adpcmenc", plan, &s);
+        // Dropped clean lines refill on demand: the data-side analogue of
+        // retranslation, never a slow-path pin.
+        assert_eq!(s.slow_path_pins, 0, "under {plan:?}: {s:?}");
+        total_flips += s.dcache_flips;
+    }
+    assert!(total_flips > 0, "no dcache flips landed");
+}
+
+#[test]
+fn chaos_burst_window_full_system() {
+    // A concentrated burst mid-warmup on the full (I + D + stack) system,
+    // which checkpoints per instruction: everything fires inside the
+    // window, nothing outside it.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    for seed in [31, 32] {
+        let plan = MemFaultPlan {
+            code_per_mille: 20,
+            redirector_per_mille: 20,
+            dcache_per_mille: 20,
+            window: Some((5_000, 9_000)),
+            ..MemFaultPlan::clean(seed)
+        };
+        let mut sys = FullSoftCacheSystem::new(
+            image.clone(),
+            IcacheConfig::default(),
+            DcacheConfig::default(),
+            ScacheConfig::default(),
+        );
+        let out = sys
+            .run_chaos(&input, plan)
+            .unwrap_or_else(|e| panic!("adpcmenc under {plan:?}: {e}"));
+        assert_eq!(out.exit_code, want_code, "exit under {plan:?}");
+        assert_eq!(out.output, want_out, "output under {plan:?}");
+        let s = out.icache.integrity;
+        check_ledger("adpcmenc", plan, &s);
+        assert!(
+            s.code_flips + s.redirector_flips + s.dcache_flips > 0,
+            "the burst window must land flips under {plan:?}: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_everything_at_once_full_system() {
+    // All three fault kinds simultaneously on the full system, several
+    // seeds. Per-instruction checkpoints: rates stay low so the run
+    // spends most of its time executing, not healing.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let mut total = IntegrityStats::default();
+    for seed in [41, 42, 43, 44] {
+        let plan = MemFaultPlan {
+            code_per_mille: 1,
+            redirector_per_mille: 1,
+            dcache_per_mille: 1,
+            ..MemFaultPlan::clean(seed)
+        };
+        let mut sys = FullSoftCacheSystem::new(
+            image.clone(),
+            IcacheConfig::default(),
+            DcacheConfig::default(),
+            ScacheConfig::default(),
+        );
+        let out = sys
+            .run_chaos(&input, plan)
+            .unwrap_or_else(|e| panic!("adpcmenc under {plan:?}: {e}"));
+        assert_eq!(out.exit_code, want_code, "exit under {plan:?}");
+        assert_eq!(out.output, want_out, "output under {plan:?}");
+        check_ledger("adpcmenc", plan, &out.icache.integrity);
+        let s = out.icache.integrity;
+        total.violations += s.violations;
+        total.code_flips += s.code_flips + s.redirector_flips + s.dcache_flips;
+    }
+    assert!(total.code_flips > 0, "the matrix must land flips");
+    assert!(total.violations > 0, "the matrix must exercise recovery");
+}
+
+#[test]
+fn chaos_proc_cache_with_eviction() {
+    // The ARM-style procedure cache, sized to page (LRU eviction in play)
+    // while code and redirector flips land.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(false);
+    let input = (w.gen_input)(2);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let mut total_violations = 0;
+    for seed in [51, 52, 53, 54] {
+        let plan = MemFaultPlan {
+            code_per_mille: 40,
+            redirector_per_mille: 40,
+            ..MemFaultPlan::clean(seed)
+        };
+        let cfg = ProcConfig {
+            memory_bytes: image.text_bytes() * 2 / 3,
+            ..ProcConfig::default()
+        };
+        let mut sys = ProcCacheSystem::new(image.clone(), cfg);
+        let out = sys
+            .run_chaos(&input, plan)
+            .unwrap_or_else(|e| panic!("adpcmenc proc under {plan:?}: {e}"));
+        assert_eq!(out.exit_code, want_code, "proc exit under {plan:?}");
+        assert_eq!(out.output, want_out, "proc output under {plan:?}");
+        let s = out.cache.integrity;
+        check_ledger("adpcmenc(proc)", plan, &s);
+        assert!(
+            s.code_flips + s.redirector_flips > 0,
+            "seed {seed}: no flips landed — {s:?}"
+        );
+        total_violations += s.violations;
+    }
+    assert!(total_violations > 0, "the matrix must exercise recovery");
+}
+
+// ---- the repeated-corruption watchdog ----
+
+/// A program whose hot function is called thousands of times: the perfect
+/// victim for a stuck-at fault aimed at one chunk.
+const HOT_LOOP_SRC: &str = r#"
+int work(int x) {
+    return (x * 3 + 1) ^ (x >> 2);
+}
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 3000; i = i + 1) {
+        acc = acc + work(i);
+    }
+    return acc & 0xff;
+}
+"#;
+
+#[test]
+fn watchdog_pins_a_stuck_chunk_instead_of_retranslate_livelock() {
+    let image = minic::compile_to_image(HOT_LOOP_SRC, &minic::Options::default()).unwrap();
+    let work = image
+        .symbol("work")
+        .expect("compiled image keeps function symbols")
+        .addr;
+    let (want_code, want_out) = native_run(&image, &[]);
+
+    // Every code roll hits, and every flip is aimed at `work`'s chunk: a
+    // stuck-at fault in one SRAM row. Without the watchdog this would
+    // retranslate-and-corrupt forever; with it the chunk is pinned to the
+    // slow-path interpreter after the threshold and the run completes.
+    let plan = MemFaultPlan {
+        code_per_mille: 1000,
+        stuck_orig: Some(work),
+        ..MemFaultPlan::clean(61)
+    };
+    let mut sys = SoftIcacheSystem::new(image, IcacheConfig::default());
+    let out = sys
+        .run_chaos(&[], plan)
+        .unwrap_or_else(|e| panic!("hot-loop under {plan:?}: {e}"));
+    assert_eq!(out.exit_code, want_code, "exit under {plan:?}");
+    assert_eq!(out.output, want_out, "output under {plan:?}");
+    let s = out.cache.integrity;
+    check_ledger("hot-loop", plan, &s);
+    assert!(
+        s.slow_path_pins >= 1,
+        "the watchdog must pin the stuck chunk under {plan:?}: {s:?}"
+    );
+    assert!(
+        s.quarantines > s.slow_path_pins,
+        "the chunk must have been quarantined repeatedly before pinning: {s:?}"
+    );
+}
+
+// ---- determinism and clean-plan identity ----
+
+#[test]
+fn chaos_same_plan_replays_identical_recovery() {
+    // The whole chaos schedule is a pure function of the plan: a second
+    // run produces the identical ledger, cycle counts and output.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+    let plan = MemFaultPlan {
+        code_per_mille: 50,
+        redirector_per_mille: 30,
+        ..MemFaultPlan::clean(71)
+    };
+
+    let run = || {
+        let cfg = IcacheConfig {
+            tcache_size: (image.text_bytes() / 2).max(2048),
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        sys.run_chaos(&input, plan).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.exit_code, b.exit_code);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.exec, b.exec, "simulated time must replay exactly");
+    assert_eq!(a.cache, b.cache, "the full ledger must replay exactly");
+    assert!(a.cache.integrity.violations > 0, "plan must be non-trivial");
+}
+
+#[test]
+fn clean_plan_is_bit_identical_to_no_plan() {
+    // Arming the integrity layer with a fire-nothing plan must not perturb
+    // the simulation: same output, same simulated time, and the seal
+    // checks it performs all pass.
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(1);
+
+    let cfg = || IcacheConfig {
+        tcache_size: (image.text_bytes() / 2).max(2048),
+        ..IcacheConfig::default()
+    };
+    let mut plain = SoftIcacheSystem::new(image.clone(), cfg());
+    let base = plain.run(&input).unwrap();
+    let mut armed = SoftIcacheSystem::new(image.clone(), cfg());
+    let out = armed.run_chaos(&input, MemFaultPlan::clean(0)).unwrap();
+
+    assert_eq!(out.exit_code, base.exit_code);
+    assert_eq!(out.output, base.output);
+    assert_eq!(out.exec, base.exec, "seal checks charge zero cycles");
+    let s = out.cache.integrity;
+    assert_eq!(s.violations, 0, "{s:?}");
+    assert_eq!(s.seal_hits, s.seals_checked, "{s:?}");
+    assert_eq!(base.cache.integrity, IntegrityStats::default());
+}

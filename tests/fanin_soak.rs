@@ -58,7 +58,11 @@ fn fan_in(n: usize, depth: u32, plans: &[Option<FaultPlan>]) -> Vec<(i32, Vec<u8
                     };
                     let mut sys =
                         SoftIcacheSystem::with_endpoint(image, cfg, McEndpoint::remote(transport));
-                    let out = sys.run(input).unwrap_or_else(|e| panic!("client {i}: {e}"));
+                    // Name the plan in the failure message: a flake must be
+                    // reproducible from CI output alone.
+                    let out = sys
+                        .run(input)
+                        .unwrap_or_else(|e| panic!("client {i} under {plan:?}: {e}"));
                     let s = out.cache.link.session;
                     (
                         out.exit_code,
@@ -100,8 +104,8 @@ fn four_clients_byte_identical_to_single_client() {
     let (want_code, want_out) = solo();
     for depth in [0u32, 2] {
         for (i, (code, out, _)) in fan_in(4, depth, &[]).into_iter().enumerate() {
-            assert_eq!(code, want_code, "client {i} depth {depth}");
-            assert_eq!(out, want_out, "client {i} depth {depth}");
+            assert_eq!(code, want_code, "client {i} depth {depth} (clean links)");
+            assert_eq!(out, want_out, "client {i} depth {depth} (clean links)");
         }
     }
 }
@@ -110,8 +114,8 @@ fn four_clients_byte_identical_to_single_client() {
 fn eight_clients_with_speculative_push() {
     let (want_code, want_out) = solo();
     for (i, (code, out, _)) in fan_in(8, 2, &[]).into_iter().enumerate() {
-        assert_eq!(code, want_code, "client {i}");
-        assert_eq!(out, want_out, "client {i}");
+        assert_eq!(code, want_code, "client {i} depth 2 (clean links)");
+        assert_eq!(out, want_out, "client {i} depth 2 (clean links)");
     }
 }
 
@@ -129,14 +133,17 @@ fn four_clients_one_seeded_faulty_link() {
     };
     let outs = fan_in(4, 2, &[Some(plan)]);
     for (i, (code, out, _)) in outs.iter().enumerate() {
-        assert_eq!(*code, want_code, "client {i}");
-        assert_eq!(*out, want_out, "client {i}");
+        assert_eq!(*code, want_code, "client {i} (client 0 under {plan:?})");
+        assert_eq!(*out, want_out, "client {i} (client 0 under {plan:?})");
     }
     assert!(
         outs[0].2 > 0,
-        "the seeded plan must surface as recovery events on client 0"
+        "{plan:?} must surface as recovery events on client 0"
     );
     for (i, (_, _, events)) in outs.iter().enumerate().skip(1) {
-        assert_eq!(*events, 0, "clean client {i} logged recovery events");
+        assert_eq!(
+            *events, 0,
+            "clean client {i} logged recovery events (client 0 under {plan:?})"
+        );
     }
 }

@@ -8,6 +8,7 @@
 use softcache::core::endpoint::{serve, serve_bounded, McEndpoint};
 use softcache::core::icache::SoftIcacheSystem;
 use softcache::core::mc::Mc;
+use softcache::core::proc::{ProcCacheSystem, ProcConfig};
 use softcache::core::IcacheConfig;
 use softcache::isa::Image;
 use softcache::net::transport::{ChannelTransport, NetError};
@@ -372,6 +373,102 @@ fn mc_crash_restart_under_a_lossy_link() {
     assert_eq!(out.output, want_out);
     drop(sys);
     server.join().unwrap();
+}
+
+// ---- tcache address recycling: RAS / inline-cache hygiene ----
+
+/// DESIGN.md §12 claims `ProcCc::resync` clears the return-address stack
+/// and severs superblock links when the tcache is rebuilt at the same
+/// addresses without a generation bump. Exercise that on the real resync
+/// path: crash the MC repeatedly mid-run so procedures are refetched onto
+/// recycled addresses, with the superblock engine on and off. A stale RAS
+/// or inline-cache entry surviving a resync would chain a return into
+/// dead (now reused) tcache memory — both runs must match native, and
+/// match each other in every simulated ledger.
+#[test]
+fn proc_resync_recycles_addresses_without_stale_ras() {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(false); // ARM path (no indirect jumps)
+    let input = (w.gen_input)(2);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let mut runs = Vec::new();
+    for superblocks in [true, false] {
+        let (server, cc_t) = spawn_crashy_server(image.clone(), 6, 6);
+        let cfg = ProcConfig {
+            // Paging-inducing memory keeps refetch traffic flowing, so the
+            // run is guaranteed to straddle several server lives.
+            memory_bytes: image.text_bytes() * 2 / 3,
+            link_policy: LinkPolicy::eager(400),
+            superblocks,
+            ..ProcConfig::default()
+        };
+        let mut sys =
+            ProcCacheSystem::with_endpoint(image.clone(), cfg, McEndpoint::remote(Box::new(cc_t)));
+        let out = sys
+            .run(&input)
+            .unwrap_or_else(|e| panic!("proc superblocks={superblocks}: {e}"));
+        assert_eq!(out.exit_code, want_code, "superblocks={superblocks} exit");
+        assert_eq!(out.output, want_out, "superblocks={superblocks} output");
+        assert!(
+            out.cache.link.session.resyncs > 0,
+            "superblocks={superblocks}: the run must straddle a restart"
+        );
+        drop(sys);
+        let final_epoch = server.join().unwrap();
+        assert!(final_epoch > 1, "the server actually restarted");
+        runs.push(out);
+    }
+    let (on, off) = (&runs[0], &runs[1]);
+    assert!(
+        on.trace.ras_pushes > 0,
+        "the superblock RAS must actually be in play: {:?}",
+        on.trace
+    );
+    assert_eq!(
+        on.exec, off.exec,
+        "the superblock engine must be invisible in simulated time"
+    );
+    assert_eq!(on.cache, off.cache, "…and in the cache ledger");
+}
+
+/// The same hygiene on the basic-block path: a tcache small enough to
+/// flush repeatedly recycles every address with no generation bump, so
+/// `Cc::flush` must drop the RAS and superblock links each time.
+#[test]
+fn bb_flush_recycles_addresses_without_stale_ras() {
+    let w = by_name("adpcmenc").unwrap();
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+    let (want_code, want_out) = native_run(&image, &input);
+
+    let mut runs = Vec::new();
+    for superblocks in [true, false] {
+        let cfg = IcacheConfig {
+            tcache_size: (image.text_bytes() / 3).max(1024),
+            superblocks,
+            ..IcacheConfig::default()
+        };
+        let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+        let out = sys
+            .run(&input)
+            .unwrap_or_else(|e| panic!("bb superblocks={superblocks}: {e}"));
+        assert_eq!(out.exit_code, want_code, "superblocks={superblocks} exit");
+        assert_eq!(out.output, want_out, "superblocks={superblocks} output");
+        assert!(
+            out.cache.flushes > 0,
+            "superblocks={superblocks}: the tight tcache must actually flush"
+        );
+        runs.push(out);
+    }
+    let (on, off) = (&runs[0], &runs[1]);
+    assert!(
+        on.trace.ras_pushes > 0,
+        "the superblock RAS must actually be in play: {:?}",
+        on.trace
+    );
+    assert_eq!(on.exec, off.exec, "bit-identity across the engine toggle");
+    assert_eq!(on.cache, off.cache, "…and across the cache ledger");
 }
 
 // ---- degraded mode: partition tolerance ----

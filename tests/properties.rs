@@ -173,6 +173,114 @@ proptest! {
     }
 }
 
+// ---- memory-fault injection: seals catch every flip ----
+
+use softcache::core::integrity::{MemFaultInjector, MemFaultPlan};
+
+fn any_mem_fault_plan() -> impl Strategy<Value = MemFaultPlan> {
+    (
+        any::<u64>(),
+        0u32..300,
+        0u32..300,
+        0u32..300,
+        (any::<bool>(), 0u64..2000, 0u64..2000),
+    )
+        .prop_map(
+            |(seed, code, redir, dcache, (windowed, a, b))| MemFaultPlan {
+                seed,
+                code_per_mille: code,
+                redirector_per_mille: redir,
+                dcache_per_mille: dcache,
+                window: windowed.then(|| (a.min(b), a.max(b))),
+                stuck_orig: None,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memory-fault injector is a pure function of its plan: the same
+    /// seed replays the identical fire-and-pick schedule, and nothing
+    /// fires outside the plan's window.
+    #[test]
+    fn mem_fault_schedule_replays_identically(
+        plan in any_mem_fault_plan(),
+        ticks in 1u64..2048,
+    ) {
+        let mut a = MemFaultInjector::new(plan);
+        let mut b = MemFaultInjector::new(plan);
+        for tick in 0..ticks {
+            let fa = a.begin_tick();
+            let fb = b.begin_tick();
+            prop_assert_eq!(fa, fb, "tick {} diverged", tick);
+            if let Some((start, end)) = plan.window {
+                if !(start..end).contains(&tick) {
+                    prop_assert!(!fa.any(), "tick {} fired outside the window", tick);
+                }
+            }
+            prop_assert_eq!(a.pick(97), b.pick(97), "pick at tick {} diverged", tick);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seal soundness, end to end: under an arbitrary seeded flip schedule
+    /// (single flips per checkpoint, compounding into multi-bit corruption
+    /// when code and redirector faults land together), every corrupted
+    /// span is caught and healed before any instruction from it retires —
+    /// the chaos run's architectural results equal the interpreter's, on
+    /// the superblock fast path and the slow dispatch path alike, and the
+    /// recovery ledger balances.
+    #[test]
+    fn seeded_memory_faults_never_retire_corrupted_instructions(
+        src in random_program(),
+        seed in any::<u64>(),
+        code in 1u32..150,
+        redir in 0u32..150,
+    ) {
+        let prog = minic::parser::parse(&src).unwrap();
+        let syms = minic::sema::analyze(&prog).unwrap();
+        let want = minic::interp::run(&prog, &syms, &[], 50_000_000).unwrap();
+        let image = minic::compile_to_image(&src, &minic::Options::default()).unwrap();
+
+        let plan = MemFaultPlan {
+            code_per_mille: code,
+            redirector_per_mille: redir,
+            ..MemFaultPlan::clean(seed)
+        };
+        for superblocks in [true, false] {
+            let cfg = IcacheConfig {
+                tcache_size: 2048,
+                superblocks,
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+            let out = sys.run_chaos(&[], plan).unwrap();
+            prop_assert_eq!(
+                out.exit_code, want.exit_code,
+                "corrupted run diverged under {:?} superblocks={}", plan, superblocks
+            );
+            let s = out.cache.integrity;
+            prop_assert!(s.balanced(), "unbalanced ledger under {:?}: {:?}", plan, s);
+            prop_assert_eq!(
+                s.seal_hits + s.violations, s.seals_checked,
+                "checks must split into hits + violations under {:?}: {:?}", plan, s
+            );
+            // Every landed flip corrupts a sealed span, and the scrub runs
+            // before the guest resumes: flips must surface as violations.
+            if s.code_flips + s.redirector_flips > 0 {
+                prop_assert!(
+                    s.violations > 0,
+                    "flips landed but no violation detected under {:?}: {:?}", plan, s
+                );
+            }
+        }
+    }
+}
+
 // ---- wire-layer totality and determinism ----
 
 use softcache::core::protocol::{ChunkPayload, ExitDesc, PatchKind, ResolvedRef};
