@@ -177,6 +177,77 @@ fn interp_throughput(c: &mut Criterion) {
         )
     });
     g.finish();
+
+    // Threaded dispatch tier: hot superblocks lowered to flat handler
+    // arrays (direct threading with tail-call chaining) vs the match
+    // dispatcher, at the default lazy promotion threshold and with
+    // instant promotion, native engine and softcache steady state.
+    let mut g = c.benchmark_group("threaded_engine");
+    tune(&mut g);
+    g.bench_function("native_threaded_on", |b| {
+        b.iter_batched(
+            || Machine::load_native(&image, &input),
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("native_threaded_off", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::load_native(&image, &input);
+                m.set_threaded_enabled(false);
+                m
+            },
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("native_threaded_instant", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::load_native(&image, &input);
+                m.set_threaded_threshold(0);
+                m
+            },
+            |mut m| {
+                m.run_native(1_000_000_000).unwrap();
+                black_box(m.stats.cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_threaded_on", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("softcache_threaded_off", |b| {
+        let cfg = IcacheConfig {
+            tcache_size: 256 * 1024,
+            link: LinkModel::free(),
+            threaded: false,
+            ..IcacheConfig::default()
+        };
+        b.iter_batched(
+            || SoftIcacheSystem::new(image.clone(), cfg),
+            |mut sys| black_box(sys.run(&input).unwrap().exec.cycles),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
 }
 
 criterion_group!(benches, interp_throughput);

@@ -132,12 +132,26 @@ fn bench() {
         b.trace_ic_on.ic_hits,
         b.trace_ic_on.ras_hits,
     );
+    println!(
+        "threaded tier over match-dispatch chained engine: {:.2}x (native), {:.2}x (softcache)",
+        b.threaded_over_chained, b.threaded_soft_over_steady
+    );
+    println!(
+        "threaded-tier population: {} insts threaded, {} superblock, {} per-inst; {} promotions, {} demotions",
+        b.trace_threaded.tier_threaded_insts,
+        b.trace_threaded.tier_super_insts,
+        b.trace_threaded.tier_interp_insts,
+        b.trace_threaded.promotions,
+        b.trace_threaded.demotions,
+    );
 
     fn trace_json(t: &softcache_sim::TraceStats) -> String {
         format!(
             "{{\"entries\": {}, \"chained\": {}, \"code_write_exits\": {}, \"fault_exits\": {}, \
              \"ic_hits\": {}, \"ic_fills\": {}, \"ras_hits\": {}, \"ras_mispredicts\": {}, \
              \"ras_underflows\": {}, \"ras_pushes\": {}, \"ras_overflows\": {}, \
+             \"tier_interp_insts\": {}, \"tier_super_insts\": {}, \"tier_threaded_insts\": {}, \
+             \"promotions\": {}, \"demotions\": {}, \
              \"breaks\": {{\"fallthrough\": {}, \"branch\": {}, \"jump\": {}, \"call\": {}, \
              \"jumpreg\": {}, \"callreg\": {}, \"ret\": {}}}}}",
             t.entries,
@@ -151,6 +165,11 @@ fn bench() {
             t.ras_underflows,
             t.ras_pushes,
             t.ras_overflows,
+            t.tier_interp_insts,
+            t.tier_super_insts,
+            t.tier_threaded_insts,
+            t.promotions,
+            t.demotions,
             t.breaks.fallthrough,
             t.breaks.branch,
             t.breaks.jump,
@@ -193,12 +212,24 @@ fn bench() {
         b.ret_break_reduction
     ));
     json.push_str(&format!(
+        "  \"threaded_over_chained\": {:.3},\n",
+        b.threaded_over_chained
+    ));
+    json.push_str(&format!(
+        "  \"threaded_soft_over_steady\": {:.3},\n",
+        b.threaded_soft_over_steady
+    ));
+    json.push_str(&format!(
         "  \"trace_ic_off\": {},\n",
         trace_json(&b.trace_ic_off)
     ));
     json.push_str(&format!(
-        "  \"trace_ic_on\": {}\n",
+        "  \"trace_ic_on\": {},\n",
         trace_json(&b.trace_ic_on)
+    ));
+    json.push_str(&format!(
+        "  \"trace_threaded\": {}\n",
+        trace_json(&b.trace_threaded)
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");

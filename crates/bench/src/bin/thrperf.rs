@@ -1,0 +1,162 @@
+//! Quick A/B timing harness for the threaded-tier work: native engine and
+//! softcache steady state with the tier on/off, best-of-N wall time.
+//! Dev-only; not part of the committed bench tables.
+
+use softcache_core::icache::SoftIcacheSystem;
+use softcache_core::IcacheConfig;
+use softcache_net::LinkModel;
+use softcache_sim::{Machine, THREADED_NEVER};
+use softcache_workloads::by_name;
+use std::time::Instant;
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let w = by_name("compress95").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(scale);
+
+    let mut insts = 0u64;
+    for (label, threshold) in [
+        ("native threaded-off", THREADED_NEVER),
+        ("native threaded thr=8", 8),
+        ("native threaded thr=0", 0),
+    ] {
+        let mut tiers = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let s = best_of(reps, || {
+            let mut m = Machine::load_native(&image, &input);
+            m.set_threaded_threshold(threshold);
+            m.run_native(2_000_000_000).expect("run");
+            insts = m.stats.instructions;
+            tiers = (
+                m.trace.tier_interp_insts,
+                m.trace.tier_super_insts,
+                m.trace.tier_threaded_insts,
+                m.trace.entries,
+                m.trace.chained,
+            );
+            m
+        });
+        println!(
+            "{label:28} {:8.1} sim-MIPS  ({s:.3}s)  interp {} super {} threaded {} entries {} chained {}",
+            insts as f64 / s / 1e6,
+            tiers.0,
+            tiers.1,
+            tiers.2,
+            tiers.3,
+            tiers.4,
+        );
+    }
+
+    // Synthetic kernels isolating dispatch cost: one big straight-line
+    // block looping N times. `mixed` stresses the dispatch predictor with
+    // varied kinds; `mono` is the perfectly-predicted control; `memory`
+    // is load/store-bound.
+    let mixed = "\
+_start: li t0, 2000000\n li s0, 4096\n li s1, 123\n\
+.Ll: addi t1, t1, 3\n slli t2, t1, 2\n and t3, t2, s0\n or t4, t3, s1\n \
+ xor t5, t4, t1\n srli t6, t5, 1\n sub t7, t6, t1\n add a1, t7, s1\n \
+ slti a2, a1, 500\n addi t1, t1, -1\n slli t2, t1, 3\n and t3, t2, s0\n \
+ or t4, t3, s1\n xor t5, t4, t2\n srai t6, t5, 2\n sub t7, t6, t2\n \
+ add a1, t7, s0\n sltiu a2, a1, 900\n addi t0, t0, -1\n bnez t0, .Ll\n \
+ mv a0, zero\n ecall 0";
+    let mono = "\
+_start: li t0, 2000000\n\
+.Ll: addi t1, t1, 1\n addi t2, t2, 2\n addi t3, t3, 3\n addi t4, t4, 4\n \
+ addi t5, t5, 5\n addi t6, t6, 6\n addi t7, t7, 7\n addi a1, a1, 1\n \
+ addi a2, a2, 2\n addi a3, a3, 3\n addi a4, a4, 4\n addi a5, a5, 5\n \
+ addi s1, s1, 1\n addi s2, s2, 2\n addi s3, s3, 3\n addi s4, s4, 4\n \
+ addi s5, s5, 5\n addi s6, s6, 6\n addi s7, s7, 7\n addi s8, s8, 1\n \
+ addi t0, t0, -1\n bnez t0, .Ll\n mv a0, zero\n ecall 0";
+    let memory = "\
+_start: li t0, 2000000\n addi sp, sp, -32\n\
+.Ll: lw t1, 0(sp)\n addi t1, t1, 1\n sw t1, 0(sp)\n lw t2, 4(sp)\n \
+ addi t2, t2, 1\n sw t2, 4(sp)\n lw t3, 8(sp)\n addi t3, t3, 1\n \
+ sw t3, 8(sp)\n lw t4, 12(sp)\n addi t4, t4, 1\n sw t4, 12(sp)\n \
+ lw t5, 16(sp)\n addi t5, t5, 1\n sw t5, 16(sp)\n lw t6, 20(sp)\n \
+ addi t6, t6, 1\n sw t6, 20(sp)\n addi t0, t0, -1\n bnez t0, .Ll\n \
+ mv a0, zero\n ecall 0";
+    for (kname, src) in [("mixed-alu", mixed), ("mono-alu", mono), ("mem", memory)] {
+        let image = match softcache_asm::assemble(src) {
+            Ok(i) => i,
+            Err(e) => {
+                println!("{kname}: asm error {e:?}");
+                continue;
+            }
+        };
+        for (label, threshold) in [("off", THREADED_NEVER), ("thr0", 0)] {
+            let mut ki = 0u64;
+            let s = best_of(reps, || {
+                let mut m = Machine::load_native(&image, &[]);
+                m.set_threaded_threshold(threshold);
+                m.run_native(2_000_000_000).expect("kernel run");
+                ki = m.stats.instructions;
+                m
+            });
+            println!(
+                "kernel {kname:10} {label:5} {:8.1} sim-MIPS  ({s:.3}s)",
+                ki as f64 / s / 1e6
+            );
+        }
+    }
+
+    let cfg = IcacheConfig {
+        tcache_size: 256 * 1024,
+        link: LinkModel::free(),
+        ..IcacheConfig::default()
+    };
+    for (label, threshold) in [
+        ("soft threaded-off", THREADED_NEVER),
+        ("soft threaded thr=8", 8),
+        ("soft threaded thr=0", 0),
+    ] {
+        let mut si = 0u64;
+        let mut tiers = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        let s = best_of(reps, || {
+            let mut sys = SoftIcacheSystem::new(
+                image.clone(),
+                IcacheConfig {
+                    threaded_threshold: threshold,
+                    ..cfg
+                },
+            );
+            let out = sys.run(&input).expect("run");
+            si = out.exec.instructions;
+            tiers = (
+                out.trace.tier_interp_insts,
+                out.trace.tier_super_insts,
+                out.trace.tier_threaded_insts,
+                out.trace.entries,
+                out.trace.promotions,
+                out.trace.demotions,
+            );
+            out
+        });
+        println!(
+            "{label:28} {:8.1} sim-MIPS  ({s:.3}s)  interp {} super {} threaded {} entries {} promo {} demo {}",
+            si as f64 / s / 1e6,
+            tiers.0,
+            tiers.1,
+            tiers.2,
+            tiers.3,
+            tiers.4,
+            tiers.5,
+        );
+    }
+}

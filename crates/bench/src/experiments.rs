@@ -617,6 +617,50 @@ pub fn chaos_matrix() -> Vec<ChaosRow> {
         ));
     }
 
+    // Threaded dispatch tier under fire: the same fault plan with the
+    // tier on (the default) and fully suppressed. Handler arrays are
+    // derived state rebuilt on promotion, so recovery must be invisible
+    // to the dispatch strategy: byte-identical output and an identical
+    // integrity ledger either way — and the faulted run must still have
+    // genuinely exercised the tier.
+    {
+        let plan = MemFaultPlan {
+            code_per_mille: 60,
+            redirector_per_mille: 30,
+            ..MemFaultPlan::clean(12)
+        };
+        let run = |threaded: bool| {
+            let cfg = IcacheConfig {
+                tcache_size: (image.text_bytes() / 2).max(2048),
+                threaded,
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+            sys.run_chaos(&input, plan).expect("chaos run")
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.output, clean.output, "threaded chaos: output diverged");
+        assert_eq!(on.output, off.output, "threaded on/off outputs diverged");
+        assert_eq!(
+            on.cache.integrity, off.cache.integrity,
+            "dispatch strategy leaked into the recovery ledger"
+        );
+        assert!(
+            on.trace.tier_threaded_insts > 0,
+            "chaos run must exercise the threaded tier: {:?}",
+            on.trace
+        );
+        assert_eq!(off.trace.tier_threaded_insts, 0);
+        rows.push(row(
+            "code 6% + redirector 3% (threaded tier)",
+            "bb icache",
+            on.cache.integrity,
+            on.exec.cycles,
+            clean.exec.cycles,
+        ));
+    }
+
     // Stuck-at fault aimed at one hot chunk: the watchdog case. A tiny
     // program whose hot function is called thousands of times.
     {
@@ -1355,8 +1399,9 @@ pub struct InterpBench {
     pub workload: &'static str,
     /// slow / per-inst fast / superblock unchained / superblock chained
     /// (static links only) / superblock chained + indirect ICs + RAS /
-    /// softcache chaining-off / softcache chained with IC+RAS off /
-    /// softcache IC on RAS off / softcache steady rows, in order.
+    /// native threaded tier / softcache chaining-off / softcache chained
+    /// with IC+RAS off / softcache IC on RAS off / softcache steady /
+    /// softcache threaded-tier rows, in order.
     pub rows: Vec<InterpRow>,
     /// Per-instruction fast-path speedup over the slow path (MIPS ratio).
     pub fast_over_slow: f64,
@@ -1380,6 +1425,17 @@ pub struct InterpBench {
     /// Fraction of `ret` chain breaks eliminated by the IC + RAS
     /// (deterministic — counters, not wall time).
     pub ret_break_reduction: f64,
+    /// Native threaded-tier speedup over the match-dispatch chained
+    /// engine with identical predictors (the headline ratio of the
+    /// threaded-code dispatch tier; in-process A/B, same workload).
+    pub threaded_over_chained: f64,
+    /// Softcache steady-state speedup of the threaded tier over the
+    /// match-dispatch steady state.
+    pub threaded_soft_over_steady: f64,
+    /// Trace telemetry of the softcache steady run with the threaded
+    /// tier on: tier population, promotion churn, and the chain-break
+    /// profile the tier runs against.
+    pub trace_threaded: TraceStats,
 }
 
 /// Measure simulated MIPS on compress95: the reference slow path
@@ -1432,6 +1488,7 @@ pub fn bench_interp(scale: u32) -> InterpBench {
     let (nolink, nolink_s) = best_of(|| {
         let mut m = Machine::load_native(&image, &input);
         m.set_chaining_enabled(false);
+        m.set_threaded_enabled(false);
         m.run_native(2_000_000_000)
             .expect("unchained superblock run");
         m
@@ -1443,14 +1500,26 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         // so the row keeps its historical meaning.
         m.set_indirect_ic_enabled(false);
         m.set_ras_depth(0);
+        m.set_threaded_enabled(false);
         m.run_native(2_000_000_000).expect("superblock run");
         m
     });
 
     let (icful, icful_s) = best_of(|| {
         let mut m = Machine::load_native(&image, &input);
+        // Match dispatch with every predictor on: the row the threaded
+        // tier is measured against.
+        m.set_threaded_enabled(false);
         m.run_native(2_000_000_000)
             .expect("superblock run with indirect ICs");
+        m
+    });
+
+    let (thr, thr_s) = best_of(|| {
+        let mut m = Machine::load_native(&image, &input);
+        // Defaults: hotness-promoted threaded tier over the same chained
+        // + IC + RAS walk.
+        m.run_native(2_000_000_000).expect("threaded-tier run");
         m
     });
 
@@ -1460,6 +1529,7 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         ("unchained superblock engine", &nolink),
         ("chained superblock engine", &sblk),
         ("chained engine with indirect ICs + RAS", &icful),
+        ("threaded dispatch tier", &thr),
     ] {
         assert_eq!(
             m.stats.cycles, slow.stats.cycles,
@@ -1472,6 +1542,9 @@ pub fn bench_interp(scale: u32) -> InterpBench {
     let cfg = IcacheConfig {
         tcache_size: 256 * 1024,
         link: LinkModel::free(),
+        // The four historical rows keep match dispatch; the threaded row
+        // below re-enables the tier.
+        threaded: false,
         ..IcacheConfig::default()
     };
     let (out_nolink, soft_nolink_s) = best_of(|| {
@@ -1509,24 +1582,66 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
         sys.run(&input).expect("softcache run")
     });
+    let (out_thr, soft_thr_s) = best_of(|| {
+        let mut sys = SoftIcacheSystem::new(
+            image.clone(),
+            IcacheConfig {
+                threaded: true,
+                ..cfg
+            },
+        );
+        sys.run(&input).expect("softcache run (threaded tier)")
+    });
     assert_eq!(out.output, fast.env.output, "softcache changed output");
     for (name, o) in [
         ("chaining", &out_nolink),
         ("indirect inline caches", &out_noic),
         ("the return-address stack", &out_noras),
+        ("the threaded dispatch tier", &out_thr),
     ] {
         assert_eq!(out.exec, o.exec, "{name} changed simulated stats");
         assert_eq!(out.cache, o.cache, "{name} changed cache stats");
     }
     // The predictors only ever add chain continuations, so every exit
     // kind must still balance against trace entries on both profiles.
-    for t in [&out_noic.trace, &out.trace] {
+    for t in [&out_noic.trace, &out.trace, &out_thr.trace] {
         assert_eq!(
             t.entries,
             t.breaks.total() + t.code_write_exits + t.fault_exits,
             "trace telemetry out of balance"
         );
     }
+    // Dispatch strategy must not change what the walk does, only how
+    // fast it runs: the threaded run's chain/predictor ledger is
+    // identical to the match-dispatch steady state, and its retired
+    // instructions land in the tiers, not alongside them.
+    assert_eq!(
+        out_thr.trace.entries, out.trace.entries,
+        "threaded tier changed trace entries"
+    );
+    assert_eq!(
+        out_thr.trace.chained, out.trace.chained,
+        "threaded tier changed chain count"
+    );
+    assert_eq!(
+        out_thr.trace.breaks, out.trace.breaks,
+        "threaded tier changed break profile"
+    );
+    assert_eq!(
+        out_thr.trace.ras_hits, out.trace.ras_hits,
+        "threaded tier changed RAS hits"
+    );
+    assert_eq!(
+        out_thr.trace.ic_hits, out.trace.ic_hits,
+        "threaded tier changed IC hits"
+    );
+    assert_eq!(
+        out_thr.trace.tier_interp_insts
+            + out_thr.trace.tier_super_insts
+            + out_thr.trace.tier_threaded_insts,
+        out.trace.tier_interp_insts + out.trace.tier_super_insts,
+        "tier tallies lost instructions"
+    );
 
     let mips = |n: u64, s: f64| n as f64 / s.max(1e-9) / 1e6;
     let rows = vec![
@@ -1561,6 +1676,12 @@ pub fn bench_interp(scale: u32) -> InterpBench {
             mips: mips(icful.stats.instructions, icful_s),
         },
         InterpRow {
+            config: "native threaded dispatch tier (hot superblocks)",
+            instructions: thr.stats.instructions,
+            wall_seconds: thr_s,
+            mips: mips(thr.stats.instructions, thr_s),
+        },
+        InterpRow {
             config: "softcache steady state (chaining off)",
             instructions: out_nolink.exec.instructions,
             wall_seconds: soft_nolink_s,
@@ -1584,11 +1705,19 @@ pub fn bench_interp(scale: u32) -> InterpBench {
             wall_seconds: soft_s,
             mips: mips(out.exec.instructions, soft_s),
         },
+        InterpRow {
+            config: "softcache steady state (threaded dispatch tier)",
+            instructions: out_thr.exec.instructions,
+            wall_seconds: soft_thr_s,
+            mips: mips(out_thr.exec.instructions, soft_thr_s),
+        },
     ];
     let fast_over_slow = rows[1].mips / rows[0].mips;
     let superblock_over_fast = rows[2].mips / rows[1].mips;
     let chained_over_unchained = rows[3].mips / rows[2].mips;
-    let ic_over_chained = rows[8].mips / rows[6].mips;
+    let ic_over_chained = rows[9].mips / rows[7].mips;
+    let threaded_over_chained = rows[5].mips / rows[4].mips;
+    let threaded_soft_over_steady = rows[10].mips / rows[9].mips;
     let ret_break_reduction = if out_noic.trace.breaks.ret == 0 {
         0.0
     } else {
@@ -1604,6 +1733,9 @@ pub fn bench_interp(scale: u32) -> InterpBench {
         trace_ic_off: out_noic.trace,
         trace_ic_on: out.trace,
         ret_break_reduction,
+        threaded_over_chained,
+        threaded_soft_over_steady,
+        trace_threaded: out_thr.trace,
     }
 }
 

@@ -65,6 +65,16 @@ pub struct IcacheConfig {
     /// prediction is validated, so simulated results are bit-identical at
     /// any depth.
     pub ras_depth: u32,
+    /// Promote hot superblocks to the threaded-dispatch tier (flat
+    /// handler-pointer arrays, no per-uop match — DESIGN.md §14).
+    /// Composes with `superblocks` — ignored when that is off. Host-side
+    /// speed only; simulated results are bit-identical either way.
+    pub threaded: bool,
+    /// Entry-count a superblock must reach (under TRRIP-style epoch
+    /// decay) before it is lowered to threaded form. 0 threads every
+    /// block at lowering time; [`softcache_sim::THREADED_NEVER`] never
+    /// promotes.
+    pub threaded_threshold: u32,
     /// Integrity-seal verification and corruption-watchdog knobs
     /// (DESIGN.md §13).
     pub integrity: IntegrityConfig,
@@ -87,6 +97,8 @@ impl Default for IcacheConfig {
             chaining: true,
             indirect_ic: true,
             ras_depth: softcache_sim::DEFAULT_RAS_DEPTH,
+            threaded: true,
+            threaded_threshold: softcache_sim::DEFAULT_THREADED_THRESHOLD,
             integrity: IntegrityConfig::default(),
             fuel: 2_000_000_000,
         }

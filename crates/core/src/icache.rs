@@ -177,6 +177,8 @@ impl SoftIcacheSystem {
         machine.set_chaining_enabled(self.cfg.chaining);
         machine.set_indirect_ic_enabled(self.cfg.indirect_ic);
         machine.set_ras_depth(self.cfg.ras_depth);
+        machine.set_threaded_enabled(self.cfg.threaded);
+        machine.set_threaded_threshold(self.cfg.threaded_threshold);
         let mut cc = Cc::new(self.cfg);
         self.endpoint.set_policy(self.cfg.link_policy);
         let track_power = banks.is_some();

@@ -23,6 +23,7 @@ pub use cpu::{Cpu, Next, SimError, Trap};
 pub use decode_cache::DecodeCache;
 pub use machine::{
     syscall, BreakStats, Env, ExecStats, Machine, RunError, Step, TraceStats, DEFAULT_RAS_DEPTH,
+    DEFAULT_THREADED_THRESHOLD, THREADED_NEVER,
 };
 pub use mem::{MemFault, Memory};
 pub use profile::{Profile, Profiler};

@@ -192,11 +192,41 @@ pub struct TraceStats {
     pub ras_pushes: u64,
     /// Pushes that overwrote a live entry (stack at depth).
     pub ras_overflows: u64,
+    /// Instructions retired by the per-instruction path inside
+    /// [`Machine::run_block`] (the cold tier). Tier counters cover
+    /// `run_block` execution only — `step`/`step_slow` drivers bypass
+    /// them.
+    pub tier_interp_insts: u64,
+    /// Instructions retired by match-dispatched (warm) superblocks.
+    pub tier_super_insts: u64,
+    /// Instructions retired by threaded (hot) superblocks.
+    pub tier_threaded_insts: u64,
+    /// Superblocks promoted to the threaded tier (handler arrays built).
+    pub promotions: u64,
+    /// Threaded blocks dropped by invalidation or flush — the
+    /// generation-barrier demotion path (they re-earn promotion through
+    /// heat if relowered).
+    pub demotions: u64,
 }
 
 /// Default return-address-stack depth: deep enough for realistic call
 /// chains in the embedded workloads, tiny enough to live in cache.
 pub const DEFAULT_RAS_DEPTH: u32 = 16;
+
+/// Default hotness threshold for promoting a superblock to the threaded
+/// tier: low enough that steady-state code is threaded within a handful
+/// of executions, high enough that one-shot code never pays the handler
+/// binding cost. A threshold of 0 threads at lowering time; [`THREADED_NEVER`]
+/// disables promotion entirely.
+pub const DEFAULT_THREADED_THRESHOLD: u32 = 8;
+
+/// Sentinel promotion threshold: never promote (heat saturates below it).
+pub const THREADED_NEVER: u32 = u32::MAX;
+
+/// Walk-entry count per heat epoch (TRRIP-style decay period): every
+/// 2^16 trace entries, unpromoted blocks' heat halves per elapsed epoch,
+/// so only genuinely re-referenced code accumulates toward promotion.
+const HEAT_EPOCH_SHIFT: u32 = 16;
 
 /// A trace walk that broke on a formable successor leaves the fill
 /// request here; the very next loop-top lookup — still at the successor
@@ -286,6 +316,17 @@ pub struct Machine {
     /// terminators chain through their per-site cached target (on by
     /// default, meaningful only with `chaining`; benches A/B it).
     indirect_ic: bool,
+    /// Threaded-tier toggle: promote hot superblocks to pre-bound
+    /// handler arrays (on by default, meaningful only with `superblocks`;
+    /// benches A/B it).
+    threaded: bool,
+    /// Hotness threshold for threaded promotion (0 = thread at lowering,
+    /// [`THREADED_NEVER`] = never).
+    threaded_threshold: u32,
+    /// Promotion requests collected during a trace walk (blocks whose
+    /// heat crossed the threshold mid-walk, where the cache is borrowed
+    /// shared); drained after the walk, where `&mut` is available.
+    promote: Vec<u32>,
     /// Return-address stack: predicts `ret` targets from the matching
     /// `Call`/`CallReg` so call/return pairs chain even through
     /// polymorphic return sites. Pure host-side prediction — every pop is
@@ -346,6 +387,9 @@ impl Machine {
             superblocks: true,
             chaining: true,
             indirect_ic: true,
+            threaded: true,
+            threaded_threshold: DEFAULT_THREADED_THRESHOLD,
+            promote: Vec::new(),
             ras: Ras::new(DEFAULT_RAS_DEPTH),
             trace: TraceStats::default(),
         }
@@ -376,6 +420,7 @@ impl Machine {
             if let Some((lo, hi)) = self.mem.take_dirty_code() {
                 self.decode.invalidate_span(lo, hi);
                 self.uops.invalidate_span(lo, hi);
+                self.trace.demotions += self.uops.take_threaded_drops();
             }
             self.decode.set_generation(generation);
             self.uops.set_generation(generation);
@@ -495,6 +540,21 @@ impl Machine {
         self.indirect_ic = on;
     }
 
+    /// Enable or disable the threaded (hot) tier: hotness-promoted
+    /// superblocks dispatched through pre-bound handler arrays. Only
+    /// meaningful while superblocks are enabled. Accounting is
+    /// bit-identical either way; benches A/B the two modes.
+    pub fn set_threaded_enabled(&mut self, on: bool) {
+        self.threaded = on;
+    }
+
+    /// Set the hotness threshold for threaded promotion: 0 threads every
+    /// block at lowering time, [`THREADED_NEVER`] never promotes.
+    /// Accounting is bit-identical at any threshold.
+    pub fn set_threaded_threshold(&mut self, threshold: u32) {
+        self.threaded_threshold = threshold;
+    }
+
     /// Set the return-address-stack depth (0 disables the predictor) and
     /// clear any outstanding predictions. Accounting is bit-identical at
     /// any depth; benches A/B depths.
@@ -554,7 +614,15 @@ impl Machine {
             let _ = self.decode.fetch(pc, &self.mem);
             if self.uops.is_unknown(pc) {
                 let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
-                self.uops.insert(pc, sb);
+                let id = self.uops.insert(pc, sb);
+                if let Some(id) = id {
+                    // Threshold 0 = "always threaded": bind handlers at
+                    // predecode time too, so eager and lazy lowering
+                    // produce the same tier.
+                    if self.threaded && self.threaded_threshold == 0 && self.uops.thread(id) {
+                        self.trace.promotions += 1;
+                    }
+                }
             }
             pc = pc.wrapping_add(INST_BYTES);
         }
@@ -595,6 +663,9 @@ impl Machine {
         // — completes it so the next walk through this terminator chains
         // straight across.
         let mut pending: Option<PendingFill> = None;
+        // Instructions retired on the per-instruction (interpreter) tier
+        // this call; flushed with the stats locals below.
+        let mut t_interp = 0u64;
         let result = 'run: {
             while done < max_steps {
                 let pc = self.cpu.pc;
@@ -615,7 +686,18 @@ impl Machine {
                         uop::Lookup::NotWorth => None,
                         uop::Lookup::Unknown => {
                             let sb = uop::lower(&mut self.decode, &self.mem, &self.cost, pc);
-                            self.uops.insert(pc, sb)
+                            let id = self.uops.insert(pc, sb);
+                            if let Some(id) = id {
+                                // Threshold 0 means "always threaded":
+                                // bind handlers at lowering time.
+                                if self.threaded
+                                    && self.threaded_threshold == 0
+                                    && self.uops.thread(id)
+                                {
+                                    self.trace.promotions += 1;
+                                }
+                            }
+                            id
                         }
                     };
                     let mut ran = false;
@@ -645,16 +727,77 @@ impl Machine {
                         if u64::from(self.uops.block(id).len) <= max_steps - done {
                             self.trace.entries += 1;
                             ran = true;
+                            let epoch = (self.trace.entries >> HEAT_EPOCH_SHIFT) as u32;
+                            let thr = self.threaded_threshold;
+                            // Per-tier retired-instruction tallies for this
+                            // walk, flushed to the trace ledger at walk end.
+                            let mut t_super = 0u64;
+                            let mut t_thread = 0u64;
                             loop {
+                                // Tier bookkeeping: decay-bump the block's
+                                // heat; crossing the threshold queues a
+                                // promotion, built after the walk where the
+                                // cache is mutably free.
+                                let sb = self.uops.block_mut(id);
+                                let threaded = self.threaded && sb.is_threaded();
+                                if self.threaded
+                                    && !threaded
+                                    && thr != THREADED_NEVER
+                                    && sb.heat_up(epoch) >= thr
+                                {
+                                    self.promote.push(id);
+                                }
+                                let exit = if threaded {
+                                    // Hot tier: the chain runs (and bills)
+                                    // statically linked threaded
+                                    // successors itself; it hands back the
+                                    // final block for the walk to bill and
+                                    // route like any other.
+                                    let r = self.uops.execute_trace(
+                                        id,
+                                        &mut self.cpu,
+                                        &mut self.mem,
+                                        &mut self.stats,
+                                        &mut self.ras,
+                                        self.indirect_ic,
+                                        entry_gen,
+                                        done,
+                                        max_steps,
+                                        self.chaining,
+                                    );
+                                    done = r.done;
+                                    insts += r.insts;
+                                    cycles += r.cycles;
+                                    self.trace.chained += r.chained;
+                                    self.trace.ras_pushes += r.ras_pushes;
+                                    self.trace.ras_overflows += r.ras_overflows;
+                                    self.trace.ras_hits += r.ras_hits;
+                                    self.trace.ic_hits += r.ic_hits;
+                                    t_thread += r.insts;
+                                    id = r.cur;
+                                    r.exit
+                                } else {
+                                    self.uops.block(id).execute(
+                                        &mut self.cpu,
+                                        &mut self.mem,
+                                        entry_gen,
+                                    )
+                                };
                                 let sb = self.uops.block(id);
-                                match sb.execute(&mut self.cpu, &mut self.mem, entry_gen) {
+                                match exit {
                                     BlockExit::Done { taken } => {
-                                        done += u64::from(sb.len);
-                                        insts += u64::from(sb.len);
+                                        let len = u64::from(sb.len);
+                                        done += len;
+                                        insts += len;
                                         cycles += if taken { sb.cycles_tk } else { sb.cycles_nt };
                                         self.stats.loads += u64::from(sb.loads);
                                         self.stats.stores += u64::from(sb.stores);
                                         sb.account_term(&mut self.stats, taken);
+                                        if threaded {
+                                            t_thread += len;
+                                        } else {
+                                            t_super += len;
+                                        }
                                         let kind = sb.term_kind();
                                         let mut next = None;
                                         if self.chaining {
@@ -723,6 +866,22 @@ impl Machine {
                                                             {
                                                                 self.trace.ic_hits += 1;
                                                                 next = Some(ic.id);
+                                                            } else if let Some(nid) =
+                                                                self.uops.id_at(self.cpu.pc)
+                                                            {
+                                                                // In-walk fill: the
+                                                                // successor is already
+                                                                // lowered, so refill
+                                                                // the inline cache and
+                                                                // keep walking instead
+                                                                // of breaking out.
+                                                                self.uops.set_ic(
+                                                                    id,
+                                                                    self.cpu.pc,
+                                                                    nid,
+                                                                );
+                                                                self.trace.ic_fills += 1;
+                                                                next = Some(nid);
                                                             } else {
                                                                 pending =
                                                                     Some(PendingFill::Indirect {
@@ -732,16 +891,25 @@ impl Machine {
                                                         }
                                                     }
                                                     // Static successor: no
-                                                    // valid link — form one
-                                                    // at the next loop-top
-                                                    // lookup if the leg has
-                                                    // a target at all.
+                                                    // valid link. Form it
+                                                    // in-walk when the
+                                                    // target block already
+                                                    // exists; otherwise let
+                                                    // the next loop-top
+                                                    // lookup lower it and
+                                                    // complete the fill.
                                                     _ => {
-                                                        if sb.leg_target(taken).is_some() {
-                                                            pending = Some(PendingFill::Static {
-                                                                id,
-                                                                taken,
-                                                            });
+                                                        if let Some(t) = sb.leg_target(taken) {
+                                                            if let Some(nid) = self.uops.id_at(t) {
+                                                                self.uops.set_link(id, taken, nid);
+                                                                next = Some(nid);
+                                                            } else {
+                                                                pending =
+                                                                    Some(PendingFill::Static {
+                                                                        id,
+                                                                        taken,
+                                                                    });
+                                                            }
                                                         }
                                                     }
                                                 }
@@ -771,6 +939,11 @@ impl Machine {
                                         cycles += p.cycles;
                                         self.stats.loads += u64::from(p.loads);
                                         self.stats.stores += u64::from(p.stores);
+                                        if threaded {
+                                            t_thread += u64::from(retired);
+                                        } else {
+                                            t_super += u64::from(retired);
+                                        }
                                         self.trace.code_write_exits += 1;
                                         resync = true;
                                         break;
@@ -782,11 +955,31 @@ impl Machine {
                                         cycles += p.cycles;
                                         self.stats.loads += u64::from(p.loads);
                                         self.stats.stores += u64::from(p.stores);
+                                        if threaded {
+                                            t_thread += u64::from(retired);
+                                        } else {
+                                            t_super += u64::from(retired);
+                                        }
                                         self.trace.fault_exits += 1;
                                         fault = Some(err);
                                         break;
                                     }
                                 }
+                            }
+                            self.trace.tier_super_insts += t_super;
+                            self.trace.tier_threaded_insts += t_thread;
+                            // Build queued threaded forms now the walk has
+                            // released its borrows. `thread` is idempotent,
+                            // so a block queued on several walks promotes
+                            // (and counts) once.
+                            if !self.promote.is_empty() {
+                                let mut q = std::mem::take(&mut self.promote);
+                                for pid in q.drain(..) {
+                                    if self.uops.thread(pid) {
+                                        self.trace.promotions += 1;
+                                    }
+                                }
+                                self.promote = q;
                             }
                         }
                     }
@@ -873,6 +1066,7 @@ impl Machine {
                             self.cpu.pc = rel_target(pc, off as i32);
                             done += 1;
                             insts += 1;
+                            t_interp += 1;
                             cycles += cost_taken;
                             continue;
                         }
@@ -915,6 +1109,7 @@ impl Machine {
                         match self.step_rest(other, cost, cost_taken) {
                             Ok(Step::Running) => {
                                 done += 1;
+                                t_interp += 1;
                                 // The handler may have touched memory.
                                 self.sync_code_caches();
                                 continue;
@@ -926,12 +1121,14 @@ impl Machine {
                 }
                 done += 1;
                 insts += 1;
+                t_interp += 1;
                 cycles += cost;
             }
             Ok(Step::Running)
         };
         self.stats.instructions += insts;
         self.stats.cycles += cycles;
+        self.trace.tier_interp_insts += t_interp;
         result
     }
 

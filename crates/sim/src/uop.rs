@@ -53,7 +53,7 @@ use crate::cost::CostModel;
 use crate::cpu::{Cpu, SimError};
 use crate::decode_cache::DecodeCache;
 use crate::machine::ExecStats;
-use crate::mem::Memory;
+use crate::mem::{MemFault, Memory};
 use softcache_isa::cf::rel_target;
 use softcache_isa::inst::{AluOp, BranchCond, Inst, MemWidth};
 use softcache_isa::reg::Reg;
@@ -172,6 +172,519 @@ impl UopKind {
             MemWidth::B => UopKind::StoreB,
         }
     }
+
+    /// The pre-bound handler for this opcode — resolved once at threaded
+    /// lowering time so the hot dispatch never consults the tag again.
+    fn handler(self) -> Handler {
+        match self {
+            UopKind::AluAdd => h_alu_add,
+            UopKind::AluSub => h_alu_sub,
+            UopKind::AluMul => h_alu_mul,
+            UopKind::AluDiv => h_alu_div,
+            UopKind::AluRem => h_alu_rem,
+            UopKind::AluAnd => h_alu_and,
+            UopKind::AluOr => h_alu_or,
+            UopKind::AluXor => h_alu_xor,
+            UopKind::AluSll => h_alu_sll,
+            UopKind::AluSrl => h_alu_srl,
+            UopKind::AluSra => h_alu_sra,
+            UopKind::AluSlt => h_alu_slt,
+            UopKind::AluSltu => h_alu_sltu,
+            UopKind::ImmAdd => h_imm_add,
+            UopKind::ImmSub => h_imm_sub,
+            UopKind::ImmMul => h_imm_mul,
+            UopKind::ImmDiv => h_imm_div,
+            UopKind::ImmRem => h_imm_rem,
+            UopKind::ImmAnd => h_imm_and,
+            UopKind::ImmOr => h_imm_or,
+            UopKind::ImmXor => h_imm_xor,
+            UopKind::ImmSll => h_imm_sll,
+            UopKind::ImmSrl => h_imm_srl,
+            UopKind::ImmSra => h_imm_sra,
+            UopKind::ImmSlt => h_imm_slt,
+            UopKind::ImmSltu => h_imm_sltu,
+            UopKind::Lui => h_lui,
+            UopKind::LoadW => h_load_w,
+            UopKind::LoadH => h_load_h,
+            UopKind::LoadHu => h_load_hu,
+            UopKind::LoadB => h_load_b,
+            UopKind::LoadBu => h_load_bu,
+            UopKind::StoreW => h_store_w,
+            UopKind::StoreH => h_store_h,
+            UopKind::StoreB => h_store_b,
+            UopKind::Nop => h_nop,
+        }
+    }
+}
+
+/// Shared state a threaded chain runs against: the machine halves every
+/// handler needs, the entry generation for the store-time code-write check
+/// (the same architectural placement as the match engine's check), and the
+/// walk state the block-exit sentinels need to chain handler-array to
+/// handler-array without returning to the machine's trace walk: the arena
+/// (shared — all mutation stays in the walk), the step budget, and the
+/// billing accumulators for blocks the chain retires itself.
+struct Tctx<'a> {
+    uops: &'a UopCache,
+    /// The walk's return-address stack: call/ret sentinels push and pop it
+    /// in-chain, but only on legs they fully commit to — a deferred leg
+    /// leaves the stack untouched for the walk.
+    ras: &'a mut Ras,
+    indirect_ic: bool,
+    entry_gen: u64,
+    /// Arena id of the block the chain is currently inside. Exit
+    /// accounting (partial retires, billing the final block) is relative
+    /// to this block, not the entry block.
+    cur: u32,
+    /// Steps retired this `run_block` call, including blocks this chain
+    /// billed; the in-chain budget check mirrors the walk's exactly.
+    done: u64,
+    max_steps: u64,
+    /// Instructions and cycles billed in-chain (blocks the chain *left*;
+    /// the final block is always billed by the walk).
+    insts: u64,
+    cycles: u64,
+    /// In-chain block transitions (the walk adds them to `trace.chained`).
+    chained: u64,
+    /// Loads/stores/branch outcomes billed in-chain — accumulated locally
+    /// and flushed into `ExecStats` once per trace run, so the hot
+    /// transition path never chases the stats pointer.
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    taken_branches: u64,
+    calls: u64,
+    returns: u64,
+    /// RAS/IC telemetry for in-chain transitions, flushed into
+    /// [`TraceStats`] by the walk — counted under exactly the conditions
+    /// the walk itself would count them, so the trace ledger is identical
+    /// whichever dispatch strategy ran the blocks.
+    ras_pushes: u64,
+    ras_overflows: u64,
+    ras_hits: u64,
+    ic_hits: u64,
+    chaining: bool,
+    /// Fault payload for a [`TExit::Fault`] return (kept out of `TExit`
+    /// so the enum stays register-sized; see its doc).
+    fault: Option<MemFault>,
+}
+
+/// How a threaded chain ended. `rem` is the number of slots *remaining*
+/// (current included) when the exit fired — the caller recovers the
+/// micro-op index as `slots - rem` without the chain threading an index
+/// through every call.
+///
+/// Deliberately register-sized (8 bytes): a bigger enum would be returned
+/// through a hidden sret pointer, which defeats LLVM's sibling-call
+/// optimisation and gives every handler a stack frame. Keeping the return
+/// in registers is what lets the `chain` calls compile to plain `jmp`s —
+/// the fault payload travels through [`Tctx::fault`] instead (cold path),
+/// and the chain successor through [`Tctx::cur`].
+enum TExit {
+    /// The terminator ran; the walk handles billing and the successor
+    /// (chain break, or a leg the chain does not follow itself: calls,
+    /// indirects, unthreaded or unformed targets, exhausted budget).
+    Done { taken: bool },
+    /// The terminator's static link is valid and its target is threaded:
+    /// continue the chain in the successor's slot array — `Tctx::cur` is
+    /// already the successor's id and the current block is billed.
+    Chain,
+    /// A store patched code; the store itself retired.
+    CodeWrite { rem: u32 },
+    /// The micro-op faulted without retiring; fault in [`Tctx::fault`].
+    Fault { rem: u32 },
+}
+
+/// A pre-bound micro-op handler: the threaded tier's unit of dispatch.
+/// One function per [`UopKind`], bound into the block's slot array at
+/// promotion time. `ops[0]` is the handler's own slot; after executing it
+/// the handler *itself* calls the next slot's handler on `ops[1..]`
+/// (direct threading), so every handler kind owns a distinct indirect-call
+/// site — the branch predictor learns per-pair successor targets instead
+/// of sharing one megamorphic dispatch site, which is where threaded code
+/// actually beats a match loop. The chain is bounded by
+/// [`MAX_BODY`]` + 1` slots per block (the block-exit sentinel unwinds to
+/// [`UopCache::execute_trace`]'s trampoline before entering the next
+/// block), so the call depth is small and the returns all come off the
+/// return-stack predictor.
+type Handler = fn(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit;
+
+/// Fall through to the next slot. `#[inline(always)]` so the indirect
+/// call is stamped into each handler (one call site per kind), not shared.
+#[inline(always)]
+fn chain(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let rest = &ops[1..];
+    (rest[0].h)(rest, cpu, mem, ctx)
+}
+
+macro_rules! alu_handler {
+    ($name:ident, |$a:ident, $b:ident| $v:expr) => {
+        fn $name(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+            let u = &ops[0].u;
+            let $a = cpu.get(u.rs1);
+            let $b = cpu.get(u.rs2);
+            cpu.set(u.rd, $v);
+            chain(ops, cpu, mem, ctx)
+        }
+    };
+}
+
+macro_rules! imm_handler {
+    ($name:ident, |$a:ident, $b:ident| $v:expr) => {
+        fn $name(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+            let u = &ops[0].u;
+            let $a = cpu.get(u.rs1);
+            let $b = u.imm;
+            cpu.set(u.rd, $v);
+            chain(ops, cpu, mem, ctx)
+        }
+    };
+}
+
+alu_handler!(h_alu_add, |a, b| a.wrapping_add(b));
+alu_handler!(h_alu_sub, |a, b| a.wrapping_sub(b));
+alu_handler!(h_alu_mul, |a, b| a.wrapping_mul(b));
+alu_handler!(h_alu_div, |a, b| if b == 0 {
+    -1
+} else {
+    a.wrapping_div(b)
+});
+alu_handler!(h_alu_rem, |a, b| if b == 0 { a } else { a.wrapping_rem(b) });
+alu_handler!(h_alu_and, |a, b| a & b);
+alu_handler!(h_alu_or, |a, b| a | b);
+alu_handler!(h_alu_xor, |a, b| a ^ b);
+alu_handler!(h_alu_sll, |a, b| ((a as u32) << (b as u32 & 31)) as i32);
+alu_handler!(h_alu_srl, |a, b| ((a as u32) >> (b as u32 & 31)) as i32);
+alu_handler!(h_alu_sra, |a, b| a >> (b as u32 & 31));
+alu_handler!(h_alu_slt, |a, b| (a < b) as i32);
+alu_handler!(h_alu_sltu, |a, b| ((a as u32) < (b as u32)) as i32);
+imm_handler!(h_imm_add, |a, b| a.wrapping_add(b));
+imm_handler!(h_imm_sub, |a, b| a.wrapping_sub(b));
+imm_handler!(h_imm_mul, |a, b| a.wrapping_mul(b));
+imm_handler!(h_imm_div, |a, b| if b == 0 {
+    -1
+} else {
+    a.wrapping_div(b)
+});
+imm_handler!(h_imm_rem, |a, b| if b == 0 { a } else { a.wrapping_rem(b) });
+imm_handler!(h_imm_and, |a, b| a & b);
+imm_handler!(h_imm_or, |a, b| a | b);
+imm_handler!(h_imm_xor, |a, b| a ^ b);
+imm_handler!(h_imm_sll, |a, b| ((a as u32) << (b as u32 & 31)) as i32);
+imm_handler!(h_imm_srl, |a, b| ((a as u32) >> (b as u32 & 31)) as i32);
+imm_handler!(h_imm_sra, |a, b| a >> (b as u32 & 31));
+imm_handler!(h_imm_slt, |a, b| (a < b) as i32);
+imm_handler!(h_imm_sltu, |a, b| ((a as u32) < (b as u32)) as i32);
+
+macro_rules! load_handler {
+    ($name:ident, $w:expr, $s:expr) => {
+        fn $name(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+            let u = &ops[0].u;
+            let addr = (cpu.get(u.rs1) as u32).wrapping_add(u.imm as u32);
+            match mem.load(addr, $w, $s) {
+                Ok(v) => {
+                    cpu.set(u.rd, v);
+                    chain(ops, cpu, mem, ctx)
+                }
+                Err(f) => {
+                    ctx.fault = Some(f);
+                    TExit::Fault {
+                        rem: ops.len() as u32,
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! store_handler {
+    ($name:ident, $w:expr) => {
+        fn $name(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+            let u = &ops[0].u;
+            let addr = (cpu.get(u.rs1) as u32).wrapping_add(u.imm as u32);
+            match mem.store(addr, $w, cpu.get(u.rd)) {
+                Ok(()) => {
+                    // The store may have patched code: same check, same
+                    // placement as the match engine — retire the store,
+                    // exit before the next micro-op.
+                    if mem.code_gen() != ctx.entry_gen {
+                        return TExit::CodeWrite {
+                            rem: ops.len() as u32,
+                        };
+                    }
+                    chain(ops, cpu, mem, ctx)
+                }
+                Err(f) => {
+                    ctx.fault = Some(f);
+                    TExit::Fault {
+                        rem: ops.len() as u32,
+                    }
+                }
+            }
+        }
+    };
+}
+
+load_handler!(h_load_w, MemWidth::W, false);
+load_handler!(h_load_h, MemWidth::H, true);
+load_handler!(h_load_hu, MemWidth::H, false);
+load_handler!(h_load_b, MemWidth::B, true);
+load_handler!(h_load_bu, MemWidth::B, false);
+store_handler!(h_store_w, MemWidth::W);
+store_handler!(h_store_h, MemWidth::H);
+store_handler!(h_store_b, MemWidth::B);
+
+fn h_lui(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let u = &ops[0].u;
+    cpu.set(u.rd, u.imm);
+    chain(ops, cpu, mem, ctx)
+}
+
+fn h_nop(ops: &[ThreadedOp], cpu: &mut Cpu, mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    chain(ops, cpu, mem, ctx)
+}
+
+/// Commit the chain into the block with arena id `target`: when it is
+/// threaded and fits the budget, bill the departing block `sb` into the
+/// context and point `ctx.cur` at the successor. Returns `false` — with
+/// *no* state changed — when the leg cannot be followed in-chain; the
+/// sentinel then defers the whole leg to the walk, which re-derives the
+/// successor from the same predictor state and bills the block itself.
+#[inline(always)]
+fn chain_to(sb: &Superblock, target: u32, taken: bool, ctx: &mut Tctx) -> bool {
+    let next = ctx.uops.block(target);
+    if next.threaded.is_none() {
+        return false;
+    }
+    let len = u64::from(sb.len);
+    // Same budget rule as the walk: the successor must fit what remains
+    // after this block retires. `done + len` cannot overflow `max_steps`
+    // — this block was only entered because it fit.
+    if u64::from(next.len) > ctx.max_steps - (ctx.done + len) {
+        return false;
+    }
+    ctx.done += len;
+    ctx.insts += len;
+    ctx.cycles += if taken { sb.cycles_tk } else { sb.cycles_nt };
+    ctx.loads += u64::from(sb.loads);
+    ctx.stores += u64::from(sb.stores);
+    ctx.chained += 1;
+    ctx.cur = target;
+    true
+}
+
+/// Follow the executed leg's generation-stamped link when its target is
+/// threaded and fits the budget — the tier's whole point: hot traces
+/// cycle handler-array to handler-array without a walk round-trip per
+/// block. `branch` is statically known at each sentinel's call site, so
+/// the branch accounting folds away for jumps and fall-throughs. Billing
+/// only happens on the chain path — when this returns [`TExit::Done`]
+/// the walk bills the block, terminator accounting included, exactly as
+/// it does for the match engine.
+#[inline(always)]
+fn try_chain(sb: &Superblock, taken: bool, branch: bool, ctx: &mut Tctx) -> TExit {
+    if ctx.chaining {
+        let link = sb.link(taken);
+        if link.stamp == ctx.entry_gen && chain_to(sb, link.id, taken, ctx) {
+            if branch {
+                ctx.branches += 1;
+                ctx.taken_branches += u64::from(taken);
+            }
+            return TExit::Chain;
+        }
+    }
+    TExit::Done { taken }
+}
+
+/// Chain sentinel for direct calls: push the memoized return prediction
+/// and follow the static link, both in-chain — but only when every piece
+/// is already fresh (memoized ret link, static link, threaded target,
+/// budget). Any stale piece defers the *entire* leg to the walk, whose
+/// `ras_entry` path re-derives and memoizes it; committing the push only
+/// alongside the chain keeps the RAS byte-identical with the match
+/// engine's walk on every path.
+fn t_exit_call(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    let taken = match sb.term {
+        Term::Call { target } => {
+            cpu.set(Reg::RA, sb.exit_pc as i32);
+            cpu.pc = target;
+            false
+        }
+        _ => sb.finish_term(cpu),
+    };
+    if ctx.chaining {
+        let link = sb.link(false);
+        if link.stamp == ctx.entry_gen {
+            if ctx.ras.depth() > 0 {
+                let memo = sb.ret_link;
+                if memo.stamp == ctx.entry_gen && chain_to(sb, link.id, false, ctx) {
+                    let overflowed = ctx.ras.push(RasEntry {
+                        ret_pc: sb.return_pc(),
+                        link: memo,
+                    });
+                    ctx.ras_overflows += u64::from(overflowed);
+                    ctx.ras_pushes += 1;
+                    ctx.calls += 1;
+                    return TExit::Chain;
+                }
+            } else if chain_to(sb, link.id, false, ctx) {
+                // RAS disabled: the walk would skip the push and follow
+                // the link directly.
+                ctx.calls += 1;
+                return TExit::Chain;
+            }
+        }
+    }
+    TExit::Done { taken }
+}
+
+/// Chain sentinel for returns: validate the RAS top entry against the
+/// architectural return PC *before* popping, and pop only on a committed
+/// chain — a deferred leg leaves the stack for the walk to pop (and
+/// count) itself, so hit/mispredict telemetry is identical either way.
+fn t_exit_ret(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    let taken = match sb.term {
+        Term::Ret => {
+            cpu.pc = cpu.get(Reg::RA) as u32;
+            false
+        }
+        _ => sb.finish_term(cpu),
+    };
+    if ctx.chaining && ctx.ras.depth() > 0 {
+        if let Some(e) = ctx.ras.peek() {
+            if e.link.stamp == ctx.entry_gen
+                && e.ret_pc == cpu.pc
+                && chain_to(sb, e.link.id, false, ctx)
+            {
+                ctx.ras.pop();
+                ctx.ras_hits += 1;
+                ctx.returns += 1;
+                return TExit::Chain;
+            }
+        }
+    }
+    TExit::Done { taken }
+}
+
+/// Chain sentinel for register-indirect jumps: follow the inline cache
+/// when it already predicts the computed target. Fills and mispredict
+/// bookkeeping stay with the walk (they take `&mut` arena state).
+fn t_exit_jumpreg(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    let taken = match sb.term {
+        Term::JumpReg { rs } => {
+            cpu.pc = cpu.get(rs) as u32;
+            false
+        }
+        _ => sb.finish_term(cpu),
+    };
+    // Indirect terminators never acquire a static link, so the inline
+    // cache is the only in-chain leg (mirroring the walk's order, whose
+    // static-link check can never fire here).
+    if ctx.chaining && ctx.indirect_ic {
+        let (target, ic) = sb.ic();
+        if ic.stamp == ctx.entry_gen && target == cpu.pc && chain_to(sb, ic.id, false, ctx) {
+            ctx.ic_hits += 1;
+            return TExit::Chain;
+        }
+    }
+    TExit::Done { taken }
+}
+
+/// Chain sentinel for register-indirect calls: inline cache for the
+/// successor plus the memoized return prediction for the push, with the
+/// same commit-or-defer-whole-leg rule as [`t_exit_call`].
+fn t_exit_callreg(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    let taken = match sb.term {
+        Term::CallReg { rs } => {
+            let target = cpu.get(rs) as u32;
+            cpu.set(Reg::RA, sb.exit_pc as i32);
+            cpu.pc = target;
+            false
+        }
+        _ => sb.finish_term(cpu),
+    };
+    if ctx.chaining && ctx.indirect_ic {
+        let (target, ic) = sb.ic();
+        if ic.stamp == ctx.entry_gen && target == cpu.pc {
+            if ctx.ras.depth() > 0 {
+                let memo = sb.ret_link;
+                if memo.stamp == ctx.entry_gen && chain_to(sb, ic.id, false, ctx) {
+                    let overflowed = ctx.ras.push(RasEntry {
+                        ret_pc: sb.return_pc(),
+                        link: memo,
+                    });
+                    ctx.ras_overflows += u64::from(overflowed);
+                    ctx.ras_pushes += 1;
+                    ctx.ic_hits += 1;
+                    ctx.calls += 1;
+                    return TExit::Chain;
+                }
+            } else if chain_to(sb, ic.id, false, ctx) {
+                ctx.ic_hits += 1;
+                ctx.calls += 1;
+                return TExit::Chain;
+            }
+        }
+    }
+    TExit::Done { taken }
+}
+
+/// Chain sentinel for fall-through blocks (`Term::None`): no terminator
+/// work beyond the pc update, never a taken leg.
+fn t_exit_fall(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    cpu.pc = sb.exit_pc;
+    try_chain(sb, false, false, ctx)
+}
+
+/// Chain sentinel for direct jumps: pc goes to the static target, the
+/// not-taken link is the followed leg. The `finish_term` fallback arm is
+/// unreachable by construction (the sentinel is bound by terminator kind)
+/// but keeps the dispatch safe without a panic path.
+fn t_exit_jump(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    let taken = match sb.term {
+        Term::Jump { target } => {
+            cpu.pc = target;
+            false
+        }
+        _ => sb.finish_term(cpu),
+    };
+    try_chain(sb, taken, false, ctx)
+}
+
+/// Chain sentinel for conditional branches: evaluate the condition
+/// in-line (the sentinel statically knows the terminator shape, so no
+/// second `match` over `Term`) and account the outcome into the
+/// context-local counters on the chain path.
+fn t_exit_branch(_ops: &[ThreadedOp], cpu: &mut Cpu, _mem: &mut Memory, ctx: &mut Tctx) -> TExit {
+    let sb = ctx.uops.block(ctx.cur);
+    let taken = match sb.term {
+        Term::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let t = cond.eval(cpu.get(rs1), cpu.get(rs2));
+            cpu.pc = if t { target } else { sb.exit_pc };
+            t
+        }
+        _ => sb.finish_term(cpu),
+    };
+    try_chain(sb, taken, true, ctx)
+}
+
+/// One slot of a threaded block: the pre-bound handler next to its
+/// operands, so the dispatch loop streams one array (no tag load, no
+/// jump-table indirection between the operand fetch and the dispatch).
+struct ThreadedOp {
+    h: Handler,
+    u: Uop,
 }
 
 /// One lowered micro-op: 12 bytes, operands pre-extracted. `rd` doubles as
@@ -237,6 +750,36 @@ pub(crate) struct PrefixStats {
     pub cycles: u64,
     pub loads: u32,
     pub stores: u32,
+}
+
+/// Result of one [`UopCache::execute_trace`] run: where the chain ended,
+/// what it billed in-chain, and the final block's exit. The *final* block
+/// (`cur`) is never billed by the chain — the walk bills it from `exit`,
+/// exactly as it bills a match-dispatched block.
+pub(crate) struct TraceRun {
+    /// Arena id of the block the chain ended in; `exit` (including partial
+    /// retires) is relative to this block.
+    pub(crate) cur: u32,
+    /// Updated steps-retired total (the walk's `done` plus every in-chain
+    /// billed block).
+    pub(crate) done: u64,
+    /// Instructions billed in-chain (equals the `done` delta).
+    pub(crate) insts: u64,
+    /// Cycles billed in-chain.
+    pub(crate) cycles: u64,
+    /// In-chain block transitions, for `trace.chained`.
+    pub(crate) chained: u64,
+    /// RAS pushes committed in-chain (call legs), for `trace.ras_pushes`.
+    pub(crate) ras_pushes: u64,
+    /// In-chain pushes that overwrote a live entry, for
+    /// `trace.ras_overflows`.
+    pub(crate) ras_overflows: u64,
+    /// Validated in-chain RAS pops (ret legs), for `trace.ras_hits`.
+    pub(crate) ras_hits: u64,
+    /// In-chain inline-cache hits (indirect legs), for `trace.ic_hits`.
+    pub(crate) ic_hits: u64,
+    /// The final block's exit, to be handled by the walk as usual.
+    pub(crate) exit: BlockExit,
 }
 
 /// Generation-stamped successor link for one terminator leg. `id` indexes
@@ -346,6 +889,19 @@ impl Ras {
         overflowed
     }
 
+    /// The most recent prediction without consuming it — the threaded
+    /// chain validates the top entry *before* committing to the pop, so a
+    /// leg it defers to the walk leaves the stack exactly as the walk
+    /// expects it.
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<RasEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let i = (self.top + self.entries.len() - 1) % self.entries.len();
+        Some(self.entries[i])
+    }
+
     /// Pop the most recent prediction, if any.
     #[inline]
     pub(crate) fn pop(&mut self) -> Option<RasEntry> {
@@ -396,6 +952,16 @@ pub(crate) struct Superblock {
     /// from the page map when stale, so steady-state pushes cost one
     /// stamp compare and no page walk.
     ret_link: Link,
+    /// Threaded (hot-tier) form: one pre-bound handler slot per body
+    /// micro-op, built at promotion time. `None` until the block's heat
+    /// crosses the promotion threshold — warm blocks keep match dispatch.
+    threaded: Option<Box<[ThreadedOp]>>,
+    /// Hotness counter driving promotion, decayed TRRIP-style by epoch
+    /// ([`Superblock::heat_up`]) so one-shot code never pays the lowering
+    /// cost of the threaded form.
+    heat: u32,
+    /// The walk epoch `heat` was last normalised to.
+    heat_epoch: u32,
 }
 
 impl Superblock {
@@ -567,7 +1133,79 @@ impl Superblock {
                 UopKind::Nop => {}
             }
         }
-        let taken = match self.term {
+        BlockExit::Done {
+            taken: self.finish_term(cpu),
+        }
+    }
+
+    /// Is the hot-tier (threaded) form built for this block?
+    #[inline]
+    pub(crate) fn is_threaded(&self) -> bool {
+        self.threaded.is_some()
+    }
+
+    /// Build the threaded form: bind one handler per body micro-op.
+    /// Idempotent; returns `true` when the block was newly promoted.
+    pub(crate) fn thread(&mut self) -> bool {
+        if self.threaded.is_some() {
+            return false;
+        }
+        let mut slots: Vec<ThreadedOp> = self
+            .uops
+            .iter()
+            .map(|&u| ThreadedOp {
+                h: u.kind.handler(),
+                u,
+            })
+            .collect();
+        // The block-exit sentinel: statically linked terminators get the
+        // in-chain continuation; calls and indirects hand back to the
+        // walk, whose RAS/IC machinery needs `&mut` arena state.
+        let exit_h: Handler = match self.term_kind() {
+            TermKind::Fallthrough => t_exit_fall,
+            TermKind::Jump => t_exit_jump,
+            TermKind::Branch => t_exit_branch,
+            TermKind::Call => t_exit_call,
+            TermKind::CallReg => t_exit_callreg,
+            TermKind::JumpReg => t_exit_jumpreg,
+            TermKind::Ret => t_exit_ret,
+        };
+        slots.push(ThreadedOp {
+            h: exit_h,
+            u: Uop {
+                kind: UopKind::Nop,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                imm: 0,
+                cost: 0,
+            },
+        });
+        self.threaded = Some(slots.into_boxed_slice());
+        true
+    }
+
+    /// Bump the hotness counter, first right-shift-decaying it by the
+    /// number of epochs elapsed since the last touch (TRRIP-style
+    /// re-reference cooling: code not seen for a while re-earns its
+    /// temperature). Returns the new heat. Saturates below `u32::MAX` so
+    /// a threshold of `u32::MAX` genuinely means "never promote".
+    #[inline]
+    pub(crate) fn heat_up(&mut self, epoch: u32) -> u32 {
+        if self.heat_epoch != epoch {
+            self.heat >>= epoch.wrapping_sub(self.heat_epoch).min(31);
+            self.heat_epoch = epoch;
+        }
+        self.heat = self.heat.saturating_add(1).min(u32::MAX - 1);
+        self.heat
+    }
+
+    /// Evaluate the terminator: set the successor PC (and `ra` for calls)
+    /// and report a conditional branch's outcome. Shared tail of both
+    /// dispatch strategies.
+    #[inline]
+    fn finish_term(&self, cpu: &mut Cpu) -> bool {
+        match self.term {
             Term::None => {
                 cpu.pc = self.exit_pc;
                 false
@@ -609,8 +1247,7 @@ impl Superblock {
                 cpu.pc = cpu.get(Reg::RA) as u32;
                 false
             }
-        };
-        BlockExit::Done { taken }
+        }
     }
 
     #[inline]
@@ -920,6 +1557,9 @@ pub(crate) fn lower(
         ic_target: 0,
         ic_link: Link::NONE,
         ret_link: Link::NONE,
+        threaded: None,
+        heat: 0,
+        heat_epoch: 0,
     })
 }
 
@@ -964,6 +1604,10 @@ pub(crate) struct UopCache {
     /// hook). Pins survive invalidation and generation bumps — they are
     /// a policy, not a cache.
     pinned: Vec<(u32, u32)>,
+    /// Threaded blocks dropped with the arena (invalidation storms,
+    /// flushes): the demotion side of the tier ledger, drained by the
+    /// owning machine into its trace telemetry.
+    threaded_drops: u64,
 }
 
 impl UopCache {
@@ -973,6 +1617,7 @@ impl UopCache {
             blocks: Vec::new(),
             generation: 0,
             pinned: Vec::new(),
+            threaded_drops: 0,
         }
     }
 
@@ -1002,7 +1647,20 @@ impl UopCache {
     /// Drop every superblock (cost-model change or explicit flush).
     pub(crate) fn flush(&mut self) {
         self.pages.clear();
+        self.reclaim_arena();
+    }
+
+    /// Clear the block arena, counting dying threaded blocks as
+    /// demotions.
+    fn reclaim_arena(&mut self) {
+        self.threaded_drops += self.blocks.iter().filter(|b| b.is_threaded()).count() as u64;
         self.blocks.clear();
+    }
+
+    /// Drain the demotion counter (threaded blocks dropped since the last
+    /// take).
+    pub(crate) fn take_threaded_drops(&mut self) -> u64 {
+        std::mem::take(&mut self.threaded_drops)
     }
 
     pub(crate) fn generation(&self) -> u64 {
@@ -1036,7 +1694,7 @@ impl UopCache {
         // blow the whole small map away each time, so this keeps the arena
         // from growing across patch storms.
         if self.pages.iter().all(|p| p.is_none()) {
-            self.blocks.clear();
+            self.reclaim_arena();
         }
     }
 
@@ -1089,6 +1747,120 @@ impl UopCache {
     #[inline]
     pub(crate) fn block(&self, id: u32) -> &Superblock {
         &self.blocks[id as usize]
+    }
+
+    /// Mutable access to an arena block (hotness bumps on the trace walk).
+    #[inline]
+    pub(crate) fn block_mut(&mut self, id: u32) -> &mut Superblock {
+        &mut self.blocks[id as usize]
+    }
+
+    /// Promote block `id` to the threaded tier (build its handler-slot
+    /// array). Returns `true` when the block was newly promoted.
+    pub(crate) fn thread(&mut self, id: u32) -> bool {
+        self.blocks[id as usize].thread()
+    }
+
+    /// Run the threaded block `first` — and keep running: the block-exit
+    /// sentinels chain statically linked threaded successors directly,
+    /// billing each block they leave into the context, so hot traces
+    /// execute handler-array to handler-array with no walk round-trip.
+    /// The trampoline loop here costs one indirect call per *block*
+    /// transition and keeps the handler recursion bounded per block
+    /// regardless of trace length. Exit semantics, accounting and the
+    /// store-time generation check are identical to walking the same
+    /// blocks through [`Superblock::execute`] — the bit-identity suites
+    /// hold both dispatch strategies to the same architectural results.
+    ///
+    /// `first` must be threaded; `done`/`max_steps` are the walk's budget
+    /// state (the walk must already have checked that `first` fits).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_trace(
+        &self,
+        first: u32,
+        cpu: &mut Cpu,
+        mem: &mut Memory,
+        stats: &mut ExecStats,
+        ras: &mut Ras,
+        indirect_ic: bool,
+        entry_gen: u64,
+        done: u64,
+        max_steps: u64,
+        chaining: bool,
+    ) -> TraceRun {
+        let mut ops = self
+            .block(first)
+            .threaded
+            .as_deref()
+            .expect("execute_trace entered an unthreaded block");
+        debug_assert_eq!(cpu.pc, self.block(first).start);
+        let mut ctx = Tctx {
+            uops: self,
+            ras,
+            indirect_ic,
+            entry_gen,
+            cur: first,
+            done,
+            max_steps,
+            insts: 0,
+            cycles: 0,
+            chained: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            taken_branches: 0,
+            calls: 0,
+            returns: 0,
+            ras_pushes: 0,
+            ras_overflows: 0,
+            ras_hits: 0,
+            ic_hits: 0,
+            chaining,
+            fault: None,
+        };
+        let exit = loop {
+            match (ops[0].h)(ops, cpu, mem, &mut ctx) {
+                TExit::Chain => {
+                    ops = self
+                        .block(ctx.cur)
+                        .threaded
+                        .as_deref()
+                        .expect("chain sentinel targeted an unthreaded block");
+                }
+                TExit::Done { taken } => break BlockExit::Done { taken },
+                TExit::CodeWrite { rem } => {
+                    let sb = self.block(ctx.cur);
+                    let slots = sb.threaded.as_deref().map_or(0, <[ThreadedOp]>::len);
+                    break sb.code_write(cpu, slots - rem as usize);
+                }
+                TExit::Fault { rem } => {
+                    let sb = self.block(ctx.cur);
+                    let slots = sb.threaded.as_deref().map_or(0, <[ThreadedOp]>::len);
+                    let f = ctx.fault.take().expect("fault exit without payload");
+                    break sb.fault(cpu, slots - rem as usize, f);
+                }
+            }
+        };
+        // Flush the in-chain billing accumulators in one pass; the walk
+        // bills the final block (and its terminator) itself.
+        stats.loads += ctx.loads;
+        stats.stores += ctx.stores;
+        stats.branches += ctx.branches;
+        stats.taken_branches += ctx.taken_branches;
+        stats.calls += ctx.calls;
+        stats.returns += ctx.returns;
+        TraceRun {
+            cur: ctx.cur,
+            done: ctx.done,
+            insts: ctx.insts,
+            cycles: ctx.cycles,
+            chained: ctx.chained,
+            ras_pushes: ctx.ras_pushes,
+            ras_overflows: ctx.ras_overflows,
+            ras_hits: ctx.ras_hits,
+            ic_hits: ctx.ic_hits,
+            exit,
+        }
     }
 
     /// The superblock starting at `pc`, if one is cached (tests; the hot
