@@ -67,7 +67,10 @@ fn main() {
         link();
     }
     if run("fanin") {
-        fanin();
+        // The 1k-client scaling sweep measures wall time, so (like
+        // `bench`) it only runs when `fanin` is asked for by name; under
+        // `all` only the deterministic sweep half runs.
+        fanin(what == "fanin");
     }
     if run("faults") {
         faults();
@@ -442,7 +445,7 @@ fn link() {
     println!("wrote BENCH_link.json");
 }
 
-fn fanin() {
+fn fanin(scale: bool) {
     header("Fan-in — one threaded MC, N concurrent clients (adpcmenc)");
     let rows = exp::fanin_sweep();
     let mut t = vec![vec![
@@ -452,6 +455,8 @@ fn fanin() {
         "stall cyc/client".to_string(),
         "wire B/client".to_string(),
         "pushed/client".to_string(),
+        "unique xl".to_string(),
+        "shared hits".to_string(),
     ]];
     for r in &rows {
         t.push(vec![
@@ -461,13 +466,98 @@ fn fanin() {
             r.stall_cycles_per_client.to_string(),
             r.wire_bytes_per_client.to_string(),
             r.prefetched_per_client.to_string(),
+            r.unique_translations.to_string(),
+            r.shared_hits_total.to_string(),
         ]);
     }
     print!("{}", render::table(&t));
     println!("\nEvery client's output is byte-identical to the single-client run, and");
     println!("every client's simulated ledger is identical to its siblings': server");
     println!("contention moves wall-clock only, never simulated time. Batching cuts");
-    println!("per-client warm-up the same way at every fan-in level.");
+    println!("per-client warm-up the same way at every fan-in level. The translate-");
+    println!("once ledger holds at every width: `unique xl` is invariant in the");
+    println!("client count, and every request beyond the first is a shared-cache hit.");
+
+    if !scale {
+        return;
+    }
+    header("Fan-in at scale — one event-driven MC poll loop, 1k+ clients (adpcmenc)");
+    let counts = exp::fanin_scale_counts();
+    let (rows, sample) = exp::fanin_scale(&counts);
+    let mut t = vec![vec![
+        "clients".to_string(),
+        "req/client".to_string(),
+        "batches/client".to_string(),
+        "lookups/client".to_string(),
+        "shared hits".to_string(),
+        "unique xl".to_string(),
+        "adm rej".to_string(),
+        "queue hwm".to_string(),
+        "wall s".to_string(),
+        "req/s".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.clients.to_string(),
+            r.requests_per_client.to_string(),
+            r.batches_per_client.to_string(),
+            r.lookups_per_client.to_string(),
+            r.shared_hits_total.to_string(),
+            r.unique_translations.to_string(),
+            r.admission_rejections.to_string(),
+            r.queue_hwm.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.0}", r.throughput_rps),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    println!(
+        "\nper-client telemetry (largest fleet, first {} clients):",
+        sample.len()
+    );
+    for (i, r) in sample.iter().enumerate() {
+        println!(
+            "  client {i}: requests={} batches={} shared hits={} misses={} \
+             admission rejections={} queue hwm={}",
+            r.served,
+            r.batches,
+            r.shared_hits,
+            r.shared_misses,
+            r.admission_rejections,
+            r.queue_hwm
+        );
+    }
+    println!("\nEvery per-client simulated ledger is byte-identical to the solo run at");
+    println!("every fleet size, and the translate-once ledger holds independent of the");
+    println!("client count (unique translations == unique chunks, zero evictions).");
+
+    let mut json =
+        String::from("{\n  \"workload\": \"adpcmenc\",\n  \"depth\": 2,\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"requests_per_client\": {}, \
+             \"batches_per_client\": {}, \"lookups_per_client\": {}, \
+             \"shared_hits_total\": {}, \"unique_translations\": {}, \
+             \"unique_chunks\": {}, \"admission_rejections\": {}, \
+             \"queue_hwm\": {}, \"wall_seconds\": {:.4}, \
+             \"throughput_rps\": {:.1}}}{}\n",
+            r.clients,
+            r.requests_per_client,
+            r.batches_per_client,
+            r.lookups_per_client,
+            r.shared_hits_total,
+            r.unique_translations,
+            r.unique_chunks,
+            r.admission_rejections,
+            r.queue_hwm,
+            r.wall_seconds,
+            r.throughput_rps,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_fanin.json", &json).expect("write BENCH_fanin.json");
+    println!("wrote BENCH_fanin.json");
 }
 
 fn faults() {

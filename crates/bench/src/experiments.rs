@@ -907,6 +907,13 @@ pub struct FaninRow {
     pub cycles_per_client: u64,
     /// Chunks pushed to each client.
     pub prefetched_per_client: u64,
+    /// Chunks the server actually rewrote — the translate-once ledger:
+    /// invariant in the client count, because every later request is a
+    /// shared-cache hit.
+    pub unique_translations: u64,
+    /// Shared-cache hits summed over the fleet: exactly
+    /// `(clients - 1) * unique_translations` for identical clients.
+    pub shared_hits_total: u64,
 }
 
 /// Fan-in sweep: one [`McServer`] over a shared image serving 1/2/4/8
@@ -917,12 +924,21 @@ pub struct FaninRow {
 pub fn fanin_sweep() -> Vec<FaninRow> {
     use softcache_core::endpoint::McEndpoint;
     use softcache_core::McServer;
-    use softcache_net::{thread_pair, Transport};
+    use softcache_net::{policy_pair, LinkPolicy, Transport};
     use std::time::Duration;
 
     let w = by_name("adpcmenc").expect("workload");
     let image = w.image(true);
     let input = (w.gen_input)(2);
+
+    // One policy drives both ends of every link: the receive timeout
+    // rides with it instead of living in per-test constants, sized to
+    // survive scheduler starvation when 2N threads share few cores (a
+    // timeout would retransmit and change a client's simulated ledger).
+    let policy = LinkPolicy {
+        recv_timeout: Duration::from_secs(5),
+        ..LinkPolicy::default()
+    };
 
     let mut solo = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
     let want = solo.run(&input).expect("solo reference run");
@@ -934,11 +950,11 @@ pub fn fanin_sweep() -> Vec<FaninRow> {
             let mut server_ends: Vec<Box<dyn Transport>> = Vec::new();
             let mut client_ends = Vec::new();
             for _ in 0..n {
-                let (cc_t, mc_t) = thread_pair(Duration::from_secs(5));
+                let (cc_t, mc_t) = policy_pair(&policy);
                 server_ends.push(Box::new(mc_t));
                 client_ends.push(cc_t);
             }
-            let outs: Vec<_> = std::thread::scope(|scope| {
+            let (outs, reports) = std::thread::scope(|scope| {
                 let server_thread = scope.spawn(|| server.serve_clients(server_ends));
                 let handles: Vec<_> = client_ends
                     .into_iter()
@@ -954,7 +970,7 @@ pub fn fanin_sweep() -> Vec<FaninRow> {
                             let mut sys = SoftIcacheSystem::with_endpoint(
                                 image,
                                 cfg,
-                                McEndpoint::remote(Box::new(cc_t)),
+                                McEndpoint::remote_with_policy(Box::new(cc_t), policy),
                             );
                             sys.run(input).expect("fan-in client run")
                         })
@@ -964,10 +980,11 @@ pub fn fanin_sweep() -> Vec<FaninRow> {
                     .into_iter()
                     .map(|h| h.join().expect("client thread"))
                     .collect();
-                for r in server_thread.join().expect("server thread") {
+                let reports = server_thread.join().expect("server thread");
+                for r in &reports {
                     assert!(r.disconnected, "client hangs up cleanly");
                 }
-                outs
+                (outs, reports)
             });
             for out in &outs {
                 assert_eq!(out.output, want.output, "fan-in changed semantics");
@@ -978,6 +995,25 @@ pub fn fanin_sweep() -> Vec<FaninRow> {
                 );
                 assert_eq!(out.cache.link, outs[0].cache.link, "per-client determinism");
             }
+            // Translate-once ledger over the threaded fleet: which client
+            // rewrote a given chunk is scheduling-dependent, but the
+            // totals are not — per-client lookup counts are identical,
+            // every chunk is rewritten exactly once, and everything else
+            // is a hit.
+            let xs = server.xlate_stats();
+            assert!(xs.balanced(), "xlate ledger unbalanced");
+            assert_eq!(xs.variant_translations, 0, "identical clients, one variant");
+            assert_eq!(xs.evictions, 0, "ample budget: nothing evicted");
+            let lookups0 = reports[0].shared_hits + reports[0].shared_misses;
+            let mut hits_total = 0u64;
+            let mut misses_total = 0u64;
+            for r in &reports {
+                assert_eq!(r.shared_hits + r.shared_misses, lookups0, "lookups/client");
+                hits_total += r.shared_hits;
+                misses_total += r.shared_misses;
+            }
+            assert_eq!(misses_total, xs.unique_translations, "translate-once");
+            assert_eq!(hits_total, n as u64 * lookups0 - xs.unique_translations);
             let l = outs[0].cache.link;
             rows.push(FaninRow {
                 clients: n,
@@ -987,10 +1023,269 @@ pub fn fanin_sweep() -> Vec<FaninRow> {
                 wire_bytes_per_client: l.payload_bytes + l.overhead_bytes,
                 cycles_per_client: outs[0].exec.cycles,
                 prefetched_per_client: l.prefetched_chunks,
+                unique_translations: xs.unique_translations,
+                shared_hits_total: hits_total,
             });
         }
     }
     rows
+}
+
+// ----------------------------------------------- fan-in at 1k+ scale
+
+/// One row of the event-driven fan-in scaling curve: N clients against
+/// one [`softcache_core::McServer::serve_event`] poll loop. All fields
+/// except the wall-clock pair are deterministic.
+#[derive(Clone, Debug)]
+pub struct FaninScaleRow {
+    /// Concurrent clients served from the single poll loop.
+    pub clients: u32,
+    /// Requests answered per client (asserted identical across clients).
+    pub requests_per_client: u64,
+    /// Batched fetches answered per client.
+    pub batches_per_client: u64,
+    /// Shared-cache lookups per client (hits + misses; identical).
+    pub lookups_per_client: u64,
+    /// Shared-cache hits summed over the fleet.
+    pub shared_hits_total: u64,
+    /// Chunks actually rewritten — equals `unique_chunks` (translate-once)
+    /// and is invariant in the client count.
+    pub unique_translations: u64,
+    /// Distinct chunk keys the fleet requested.
+    pub unique_chunks: u64,
+    /// Admission-control rejections over the fleet (0: serial-RPC clients
+    /// never exceed their queue quota).
+    pub admission_rejections: u64,
+    /// Deepest per-client request queue the poll loop observed.
+    pub queue_hwm: u64,
+    /// Wall-clock seconds for the whole fleet (nondeterministic — excluded
+    /// from determinism diffs).
+    pub wall_seconds: f64,
+    /// Requests served per wall-clock second (nondeterministic).
+    pub throughput_rps: f64,
+}
+
+/// Client counts for the scaling sweep: 1 → 1024, capped by the
+/// `FANIN_CLIENTS` environment variable (CI runs a reduced scale).
+pub fn fanin_scale_counts() -> Vec<u32> {
+    let cap = std::env::var("FANIN_CLIENTS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(1024)
+        .max(1);
+    [1u32, 16, 64, 256, 1024]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect()
+}
+
+/// The scaling sweep: for each count, drive N adpcmenc clients (worker
+/// pool, batched fetches at depth 2) against one event-driven MC and
+/// measure the wall-clock scaling curve. Each fleet runs three times and
+/// the row keeps the best wall clock (minimum-of-N filters scheduler
+/// noise; every non-timing counter must agree across repeats). Asserts,
+/// at every fleet size:
+/// byte-identical outputs, per-client simulated ledgers identical to each
+/// other *and* to the 1-client fleet, and the translate-once ledger
+/// (`unique_translations == unique_chunks`, invariant in N).
+///
+/// Returns the rows plus a per-client telemetry sample (the first clients
+/// of the largest fleet).
+pub fn fanin_scale(counts: &[u32]) -> (Vec<FaninScaleRow>, Vec<softcache_core::ServeReport>) {
+    use softcache_core::endpoint::McEndpoint;
+    use softcache_core::McServer;
+    use softcache_net::{policy_pair, LinkPolicy, LinkStats, Transport};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    let w = by_name("adpcmenc").expect("workload");
+    let image = w.image(true);
+    let input = (w.gen_input)(2);
+    let depth = 2u32;
+
+    let mut solo = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
+    let want = solo.run(&input).expect("solo reference run");
+
+    // Effectively-infinite receive timeout: the determinism assertions
+    // require that no client EVER times out and retransmits (that would
+    // change its simulated ledger), and on a shared host the OS can
+    // deschedule the server for tens of seconds — no finite timeout is
+    // provably safe. Liveness is guarded elsewhere: the event loop's
+    // idle sweep rescues lost wakeups within ~100 ms, so a hung sweep
+    // here would indicate a real serving bug, and the CI job timeout
+    // catches it.
+    let policy = LinkPolicy {
+        recv_timeout: Duration::from_secs(300),
+        ..LinkPolicy::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut sample: Vec<softcache_core::ServeReport> = Vec::new();
+    let mut reference_link: Option<LinkStats> = None;
+    let largest = counts.iter().copied().max().unwrap_or(0);
+    // Wall clock on a loaded machine is noisy — a descheduled worker can
+    // stretch one fleet 3-4x. Each fleet runs a few times; the minimum
+    // wall time is the noise-free estimate, and every counter must be
+    // identical across repeats (an in-process determinism check).
+    let repeats = 3usize;
+    let run_fleet = |n: u32| -> (FaninScaleRow, Vec<softcache_core::ServeReport>, LinkStats) {
+        let server = McServer::new(image.clone());
+        let mut server_ends: Vec<Box<dyn Transport>> = Vec::with_capacity(n as usize);
+        let mut client_ends = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (cc_t, mc_t) = policy_pair(&policy);
+            server_ends.push(Box::new(mc_t));
+            client_ends.push(cc_t);
+        }
+        let transports: Vec<_> = client_ends
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let outputs: Vec<Mutex<Option<softcache_core::RunOutput>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        // A few concurrent drivers keep several clients in flight at the
+        // multiplexer at once without spawning n OS threads.
+        let workers = (n as usize).min(8);
+        let start = Instant::now();
+        let reports = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| server.serve_event(server_ends));
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n as usize {
+                        break;
+                    }
+                    let t = transports[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("each client driven once");
+                    let cfg = IcacheConfig {
+                        link: LinkModel::default(),
+                        prefetch_depth: depth,
+                        ..IcacheConfig::default()
+                    };
+                    let mut sys = SoftIcacheSystem::with_endpoint(
+                        image.clone(),
+                        cfg,
+                        McEndpoint::remote_with_policy(Box::new(t), policy),
+                    );
+                    let out = sys.run(&input).expect("fan-in client run");
+                    *outputs[i].lock().unwrap() = Some(out);
+                });
+            }
+            server_thread.join().expect("server thread")
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let outs: Vec<_> = outputs
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("client ran"))
+            .collect();
+        let link0 = outs[0].cache.link;
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.output, want.output, "client {i} output diverged");
+            assert_eq!(out.exit_code, want.exit_code, "client {i} exit code");
+            assert_eq!(out.exec.cycles, outs[0].exec.cycles, "client {i} cycles");
+            assert_eq!(out.cache.link, link0, "client {i} simulated ledger");
+        }
+        let xs = server.xlate_stats();
+        assert!(xs.balanced(), "xlate ledger unbalanced");
+        assert_eq!(xs.variant_translations, 0, "identical clients, one variant");
+        assert_eq!(xs.evictions, 0, "ample budget: nothing evicted");
+        assert_eq!(
+            xs.unique_translations, xs.unique_chunks,
+            "translate-once must hold at n={n}"
+        );
+        let served0 = reports[0].served;
+        let batches0 = reports[0].batches;
+        let lookups0 = reports[0].shared_hits + reports[0].shared_misses;
+        let mut hits_total = 0u64;
+        let mut misses_total = 0u64;
+        let mut rejections = 0u64;
+        let mut hwm = 0u64;
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.disconnected, "client {i} hung up cleanly");
+            assert_eq!(r.lost_wakeups, 0, "client {i} needed a wakeup rescue");
+            assert_eq!(r.served, served0, "client {i} request count");
+            assert_eq!(r.batches, batches0, "client {i} batch count");
+            assert_eq!(
+                r.shared_hits + r.shared_misses,
+                lookups0,
+                "client {i} lookups"
+            );
+            hits_total += r.shared_hits;
+            misses_total += r.shared_misses;
+            rejections += r.admission_rejections;
+            hwm = hwm.max(r.queue_hwm);
+        }
+        assert_eq!(misses_total, xs.unique_translations, "translate-once");
+        assert_eq!(hits_total, n as u64 * lookups0 - xs.unique_translations);
+        let row = FaninScaleRow {
+            clients: n,
+            requests_per_client: served0,
+            batches_per_client: batches0,
+            lookups_per_client: lookups0,
+            shared_hits_total: hits_total,
+            unique_translations: xs.unique_translations,
+            unique_chunks: xs.unique_chunks,
+            admission_rejections: rejections,
+            queue_hwm: hwm,
+            wall_seconds: wall,
+            throughput_rps: (n as u64 * served0) as f64 / wall.max(1e-9),
+        };
+        (row, reports, link0)
+    };
+    for &n in counts {
+        let mut best: Option<(FaninScaleRow, Vec<softcache_core::ServeReport>)> = None;
+        for rep in 0..repeats {
+            let (row, reports, link0) = run_fleet(n);
+            let reference = *reference_link.get_or_insert(link0);
+            assert_eq!(
+                link0, reference,
+                "per-client ledger depends on fleet size or repeat"
+            );
+            match &mut best {
+                None => best = Some((row, reports)),
+                Some((b, br)) => {
+                    assert_eq!(
+                        (
+                            row.requests_per_client,
+                            row.batches_per_client,
+                            row.lookups_per_client,
+                            row.shared_hits_total,
+                            row.unique_translations,
+                            row.unique_chunks,
+                            row.admission_rejections,
+                            row.queue_hwm,
+                        ),
+                        (
+                            b.requests_per_client,
+                            b.batches_per_client,
+                            b.lookups_per_client,
+                            b.shared_hits_total,
+                            b.unique_translations,
+                            b.unique_chunks,
+                            b.admission_rejections,
+                            b.queue_hwm,
+                        ),
+                        "fleet n={n} repeat {rep} changed a deterministic counter"
+                    );
+                    if row.wall_seconds < b.wall_seconds {
+                        *b = row;
+                        *br = reports;
+                    }
+                }
+            }
+        }
+        let (row, reports) = best.expect("at least one repeat");
+        if n == largest {
+            sample = reports.iter().take(4).copied().collect();
+        }
+        rows.push(row);
+    }
+    (rows, sample)
 }
 
 // --------------------------------------------------- Figure 10 / §3 dcache
@@ -2012,10 +2307,20 @@ mod tests {
         // share the server (each client has its own MC state and epoch).
         for depth in [0u32, 2] {
             let group: Vec<_> = rows.iter().filter(|r| r.depth == depth).collect();
+            // Per-client lookups, derived from the 1-client row where
+            // every lookup misses (plus any solo rehits).
+            let lookups = group[0].shared_hits_total + group[0].unique_translations;
             for r in &group[1..] {
                 assert_eq!(r.exchanges_per_client, group[0].exchanges_per_client);
                 assert_eq!(r.cycles_per_client, group[0].cycles_per_client);
                 assert_eq!(r.wire_bytes_per_client, group[0].wire_bytes_per_client);
+                // Translate-once: the rewrite count is invariant in the
+                // fleet width; every extra client only adds hits.
+                assert_eq!(r.unique_translations, group[0].unique_translations);
+                assert_eq!(
+                    r.shared_hits_total,
+                    r.clients as u64 * lookups - r.unique_translations
+                );
             }
         }
         let d0 = rows

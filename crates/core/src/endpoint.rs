@@ -265,7 +265,7 @@ fn remote_rpc(
     }
 }
 
-/// What a serve loop saw before it returned.
+/// What a serve loop saw before it returned — one per client.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeReport {
     /// Requests answered.
@@ -277,6 +277,26 @@ pub struct ServeReport {
     /// Retransmitted requests answered from the reply cache instead of
     /// being re-executed (at-most-once semantics).
     pub dup_requests: u64,
+    /// Batched fetches served to this client.
+    pub batches: u64,
+    /// Block translations this client got from the shared translation
+    /// cache (zero without one attached).
+    pub shared_hits: u64,
+    /// Block translations performed for this client (and admitted to the
+    /// shared cache when one is attached).
+    pub shared_misses: u64,
+    /// Frames shed unprocessed by admission control because the client's
+    /// queue exceeded its quota (the retry layer recovers them; only the
+    /// event-driven server rejects).
+    pub admission_rejections: u64,
+    /// Deepest request queue observed for this client (only the
+    /// event-driven server measures; the threaded path leaves it 0).
+    pub queue_hwm: u64,
+    /// Pending frames found unmarked during an idle sweep of the event
+    /// loop and rescued. Always 0 for a transport that honours the
+    /// [`softcache_net::Transport::register_ready`] contract; anything
+    /// else means its readiness marks are unreliable.
+    pub lost_wakeups: u64,
     /// True when the loop ended because the peer disconnected (false when
     /// the request bound was reached).
     pub disconnected: bool,
@@ -298,46 +318,77 @@ pub struct ServeReport {
 pub fn serve_bounded(mc: &mut Mc, transport: &mut dyn Transport, max_requests: u64) -> ServeReport {
     let mut report = ServeReport::default();
     let mut last: Option<(u32, Vec<u8>)> = None;
+    let before = mc.stats;
     while report.served < max_requests {
         match transport.recv() {
-            Ok(frame) => match open(&frame) {
-                Ok(env) => {
-                    if let Some((seq, wire)) = &last {
-                        if env.seq == *seq {
-                            report.dup_requests += 1;
-                            if transport.send(wire.clone()).is_err() {
-                                report.disconnected = true;
-                                return report;
-                            }
-                            continue;
-                        }
-                        if env.seq < *seq {
-                            // A late duplicate of an even older exchange:
-                            // the client has long moved on.
-                            report.dup_requests += 1;
-                            continue;
-                        }
-                    }
-                    let rep = mc.handle_frame(env.payload);
-                    let wire = seal(env.seq, mc.epoch(), &rep);
-                    if transport.send(wire.clone()).is_err() {
+            Ok(frame) => {
+                if let Some(wire) = frame_reply(mc, &mut last, &frame, &mut report) {
+                    if transport.send(wire).is_err() {
                         report.disconnected = true;
-                        return report;
+                        break;
                     }
-                    last = Some((env.seq, wire));
-                    report.served += 1;
                 }
-                Err(EnvelopeError::Runt) => report.runt_frames += 1,
-                Err(EnvelopeError::BadCrc) => report.crc_drops += 1,
-            },
+            }
             Err(NetError::Timeout) => continue,
             Err(NetError::Disconnected) => {
                 report.disconnected = true;
-                return report;
+                break;
             }
         }
     }
+    absorb_mc_stats(&mut report, mc, &before);
     report
+}
+
+/// Handle one raw wire frame for `mc`: open the envelope, apply the
+/// at-most-once duplicate check against `last`, execute, seal. Returns
+/// the wire bytes to send back (`None` when the frame was dropped or was
+/// a stale duplicate needing no reply). Shared by [`serve_bounded`] and
+/// the event-driven [`crate::server::McServer`] poll loop so both serving
+/// modes answer byte-identically.
+pub(crate) fn frame_reply(
+    mc: &mut Mc,
+    last: &mut Option<(u32, Vec<u8>)>,
+    frame: &[u8],
+    report: &mut ServeReport,
+) -> Option<Vec<u8>> {
+    match open(frame) {
+        Ok(env) => {
+            if let Some((seq, wire)) = last {
+                if env.seq == *seq {
+                    report.dup_requests += 1;
+                    return Some(wire.clone());
+                }
+                if env.seq < *seq {
+                    // A late duplicate of an even older exchange: the
+                    // client has long moved on.
+                    report.dup_requests += 1;
+                    return None;
+                }
+            }
+            let rep = mc.handle_frame(env.payload);
+            let wire = seal(env.seq, mc.epoch(), &rep);
+            *last = Some((env.seq, wire.clone()));
+            report.served += 1;
+            Some(wire)
+        }
+        Err(EnvelopeError::Runt) => {
+            report.runt_frames += 1;
+            None
+        }
+        Err(EnvelopeError::BadCrc) => {
+            report.crc_drops += 1;
+            None
+        }
+    }
+}
+
+/// Fold the MC-side counters a serve loop moved (relative to the `before`
+/// snapshot) into the client's report.
+pub(crate) fn absorb_mc_stats(report: &mut ServeReport, mc: &Mc, before: &crate::mc::McStats) {
+    report.batches += mc.stats.batches_served - before.batches_served;
+    report.shared_hits += mc.stats.shared_hits - before.shared_hits;
+    report.shared_misses += mc.stats.shared_misses - before.shared_misses;
 }
 
 /// Serve MC requests over a transport until the peer disconnects. Run this

@@ -18,8 +18,10 @@
 //!   fault injection, and quarantine-based self-healing (robustness
 //!   extension).
 //! * [`mc`] / [`cc`] — the memory-controller and cache-controller halves.
-//! * [`server`] — a threaded MC serving many CC clients from one shared
-//!   image ([`server::McServer`]).
+//! * [`server`] — an MC serving many CC clients from one shared image
+//!   ([`server::McServer`]), threaded or event-driven.
+//! * [`xlate`] — the shared translation cache: translate each chunk
+//!   once, serve every tenant ([`xlate::SharedXlate`]).
 //! * [`protocol`] / [`endpoint`] — the wire protocol and the fused/remote
 //!   deployment shapes.
 
@@ -38,6 +40,7 @@ pub mod proc;
 pub mod protocol;
 pub mod scache;
 pub mod server;
+pub mod xlate;
 
 pub use cc::{CacheError, Cc, IcacheConfig, IcacheStats};
 pub use datarun::{DataRunOutput, SoftDcacheSystem};
@@ -51,3 +54,4 @@ pub use proc::{ProcCacheSystem, ProcConfig, ProcRunOutput, ProcStats};
 pub use protocol::{Reply, Request};
 pub use scache::{Scache, ScacheConfig, ScacheStats};
 pub use server::McServer;
+pub use xlate::{SharedXlate, XlateStats};

@@ -16,6 +16,7 @@
 //! for the software data cache of §3).
 
 use crate::protocol::{ChunkPayload, ExitDesc, PatchKind, ProtoError, Reply, Request, ResolvedRef};
+use crate::xlate::SharedXlate;
 use softcache_isa::image::Image;
 use softcache_isa::inst::Inst;
 use softcache_isa::layout::{DATA_BASE, STACK_TOP};
@@ -57,7 +58,7 @@ const MAX_SUPERBLOCK_WORDS: u32 = 4096;
 /// exits still get miss stubs at the chunk's end. Interior block entries
 /// are *not* registered in the residence map, so a branch into the middle
 /// of a superblock translates its own copy — standard tail duplication.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ChunkStrategy {
     /// One basic block per chunk (the SPARC prototype).
     #[default]
@@ -88,6 +89,12 @@ pub struct McStats {
     pub batches_served: u64,
     /// Chunks speculatively pushed beyond the demanded one.
     pub chunks_pushed: u64,
+    /// Block translations served from the shared translation cache
+    /// (zero unless a [`SharedXlate`] is attached).
+    pub shared_hits: u64,
+    /// Block translations performed locally and admitted to the shared
+    /// cache.
+    pub shared_misses: u64,
 }
 
 /// The memory controller.
@@ -113,6 +120,15 @@ pub struct Mc {
     epoch: u32,
     /// Statistics.
     pub stats: McStats,
+    /// Shared translation cache, when this `Mc` is one tenant of a
+    /// multi-client server (see [`crate::xlate`]). `None` keeps the
+    /// standalone single-client behaviour bit-for-bit.
+    shared: Option<Arc<SharedXlate>>,
+    /// While a cacheable translation is in flight, every residence-mirror
+    /// probe is recorded here as `(orig_target, answer)` — the dependency
+    /// list under which the resulting chunk may be replayed to another
+    /// client.
+    dep_log: Option<Vec<(u32, Option<u32>)>>,
 }
 
 impl Mc {
@@ -136,7 +152,19 @@ impl Mc {
             strategy: ChunkStrategy::BasicBlock,
             epoch: 1,
             stats: McStats::default(),
+            shared: None,
+            dep_log: None,
         }
+    }
+
+    /// Attach a shared translation cache: block translations are looked
+    /// up there first (dependency-checked against this client's mirror)
+    /// and admitted on miss, so a fleet of per-client `Mc`s translates
+    /// each chunk once. Replies stay byte-identical to the unattached
+    /// path — a cached chunk is only replayed when every mirror probe the
+    /// original rewrite made answers the same for this client.
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedXlate>) {
+        self.shared = Some(cache);
     }
 
     /// This MC's session epoch.
@@ -281,10 +309,62 @@ impl Mc {
         Ok((len, terminated))
     }
 
+    /// Rewrite the chunk starting at `orig_pc` for placement at `dest` —
+    /// through the shared translation cache when one is attached,
+    /// locally otherwise.
+    ///
+    /// The cache lock is held across the whole
+    /// lookup → translate → admit cycle, so concurrent tenants racing
+    /// for the same chunk never translate it twice: the translate-once
+    /// ledger ([`crate::xlate::XlateStats`]) is exact.
+    fn rewrite_block(&mut self, orig_pc: u32, dest: u32) -> Result<ChunkPayload, u32> {
+        let Some(shared) = self.shared.clone() else {
+            return self.rewrite_block_uncached(orig_pc, dest);
+        };
+        let mut guard = shared.lock();
+        let mirror = &self.mirror;
+        // The rewriter records (orig_pc → dest) in the mirror *before*
+        // probing (self-loops resolve to this placement), so replay the
+        // lookup against the mirror as it will be mid-rewrite.
+        let hit = guard.find(self.strategy, orig_pc, dest, |t| {
+            if t == orig_pc {
+                Some(dest)
+            } else {
+                mirror.get(&t).copied()
+            }
+        });
+        if let Some(payload) = hit {
+            self.mirror.insert(orig_pc, dest);
+            self.stats.shared_hits += 1;
+            return Ok(payload);
+        }
+        self.dep_log = Some(Vec::new());
+        let result = self.rewrite_block_uncached(orig_pc, dest);
+        let deps = self.dep_log.take().expect("dep log armed above");
+        match result {
+            Ok(payload) => {
+                self.stats.shared_misses += 1;
+                guard.admit(self.strategy, orig_pc, dest, deps, payload.clone());
+                Ok(payload)
+            }
+            Err(code) => Err(code),
+        }
+    }
+
+    /// Look `orig` up in the residence mirror, recording the probe in the
+    /// dependency log when a cacheable translation is in flight.
+    fn probe(&mut self, orig: u32) -> Option<u32> {
+        let got = self.mirror.get(&orig).copied();
+        if let Some(log) = self.dep_log.as_mut() {
+            log.push((orig, got));
+        }
+        got
+    }
+
     /// Rewrite the chunk starting at `orig_pc` for placement at `dest`,
     /// per the configured [`ChunkStrategy`]. A basic block is the
     /// single-segment special case of a superblock.
-    fn rewrite_block(&mut self, orig_pc: u32, dest: u32) -> Result<ChunkPayload, u32> {
+    fn rewrite_block_uncached(&mut self, orig_pc: u32, dest: u32) -> Result<ChunkPayload, u32> {
         let max_blocks = match self.strategy {
             ChunkStrategy::BasicBlock => 1,
             ChunkStrategy::Superblock { max_blocks } => max_blocks,
@@ -351,7 +431,7 @@ impl Mc {
             let inst = decode(words[slot as usize]).expect("scanned");
             let taken = cf::direct_target(inst, start + (len - 1) * 4)
                 .expect("chaining terminators have direct targets");
-            if let Some(&tc) = self.mirror.get(&taken) {
+            if let Some(tc) = self.probe(taken) {
                 words[slot as usize] = cf::retarget(words[slot as usize], addr_new, tc)
                     .map_err(|_| errcode::BAD_INSTRUCTION)?;
                 resolved.push(ResolvedRef {
@@ -382,7 +462,7 @@ impl Mc {
             match cf::classify(term, orig_pc + term_slot * 4) {
                 cf::CtrlFlow::Branch { taken } | cf::CtrlFlow::Call { target: taken } => {
                     let fall_slot = body; // slot `body` = fallthrough
-                    if let Some(&tc) = self.mirror.get(&taken) {
+                    if let Some(tc) = self.probe(taken) {
                         words[term_slot as usize] =
                             cf::retarget(words[term_slot as usize], term_addr_new, tc)
                                 .map_err(|_| errcode::BAD_INSTRUCTION)?;
@@ -430,7 +510,7 @@ impl Mc {
                     }
                 }
                 cf::CtrlFlow::Jump { target } => {
-                    if let Some(&tc) = self.mirror.get(&target) {
+                    if let Some(tc) = self.probe(target) {
                         words[term_slot as usize] =
                             cf::retarget(words[term_slot as usize], term_addr_new, tc)
                                 .map_err(|_| errcode::BAD_INSTRUCTION)?;
@@ -570,7 +650,8 @@ impl Mc {
         &self.image
     }
 
-    pub(crate) fn mirror_get(&self, orig: u32) -> Option<u32> {
+    #[cfg(test)]
+    fn mirror_get(&self, orig: u32) -> Option<u32> {
         self.mirror.get(&orig).copied()
     }
 }
@@ -589,7 +670,7 @@ fn push_fall(
     extra_orig: &mut Vec<u32>,
 ) {
     debug_assert_eq!(words.len() as u32, slot);
-    if let Some(tc) = mc.mirror_get(fall_orig) {
+    if let Some(tc) = mc.probe(fall_orig) {
         let j = cf::retarget(encode(Inst::J { off: 0 }), dest + slot * 4, tc)
             .expect("jump range covers the tcache");
         words.push(j);
@@ -906,6 +987,89 @@ far:    addi t0, t0, 2
         };
         assert_eq!(chunks.len(), 2, "resident fallthrough skipped");
         assert_eq!(chunks[1].orig_start, TEXT_BASE + 12);
+    }
+
+    #[test]
+    fn shared_cache_is_byte_transparent_and_translates_once() {
+        let src = r#"
+_start: beqz t0, far
+        addi t0, t0, 1
+        halt
+far:    addi t0, t0, 2
+        beqz t0, far
+        halt
+"#;
+        let cache = Arc::new(SharedXlate::default());
+        let fetches = [
+            (TEXT_BASE, 0x40_0000u32),
+            (TEXT_BASE + 4, 0x40_0040),
+            (TEXT_BASE + 12, 0x40_0080),
+            // Refetch after residence grew: different dependency context
+            // than a cold fetch would see — must still be byte-identical.
+            (TEXT_BASE, 0x40_00C0),
+        ];
+        let mut solo = mc_for(src);
+        let mut a = mc_for(src);
+        a.attach_shared_cache(Arc::clone(&cache));
+        let mut b = mc_for(src);
+        b.attach_shared_cache(Arc::clone(&cache));
+        for &(orig_pc, dest) in &fetches {
+            let want = solo.handle(Request::FetchBlock { orig_pc, dest });
+            let got_a = a.handle(Request::FetchBlock { orig_pc, dest });
+            let got_b = b.handle(Request::FetchBlock { orig_pc, dest });
+            assert_eq!(got_a, want, "tenant A diverged at {orig_pc:#x}");
+            assert_eq!(got_b, want, "tenant B diverged at {orig_pc:#x}");
+        }
+        // Tenant A translated everything; B (same fetch order, same
+        // mirror evolution) hit on every block.
+        assert_eq!(a.stats.shared_misses, fetches.len() as u64);
+        assert_eq!(a.stats.shared_hits, 0);
+        assert_eq!(b.stats.shared_hits, fetches.len() as u64);
+        assert_eq!(b.stats.shared_misses, 0);
+        let s = cache.stats();
+        assert_eq!(s.unique_translations, fetches.len() as u64);
+        assert_eq!(s.unique_chunks, fetches.len() as u64);
+        assert_eq!(s.variant_translations, 0);
+        assert_eq!(s.evictions, 0);
+        assert!(s.balanced());
+    }
+
+    #[test]
+    fn shared_cache_variants_track_divergent_mirrors() {
+        let src = "_start: j next\nnext: halt";
+        let cache = Arc::new(SharedXlate::default());
+        // Client A fetches `next` first, so `_start`'s jump resolves.
+        let mut a = mc_for(src);
+        a.attach_shared_cache(Arc::clone(&cache));
+        let ra = a.handle(Request::FetchBlock {
+            orig_pc: TEXT_BASE + 4,
+            dest: 0x40_0200,
+        });
+        let ja = a.handle(Request::FetchBlock {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+        });
+        // Client B fetches `_start` cold: the jump must stay a miss stub
+        // even though A's resolved variant is cached under the same key.
+        let mut b = mc_for(src);
+        b.attach_shared_cache(Arc::clone(&cache));
+        let jb = b.handle(Request::FetchBlock {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+        });
+        let mut solo = mc_for(src);
+        let want = solo.handle(Request::FetchBlock {
+            orig_pc: TEXT_BASE,
+            dest: 0x40_0000,
+        });
+        assert_eq!(jb, want, "cold fetch must not replay the resolved variant");
+        assert_ne!(ja, jb, "the two dependency contexts produce different code");
+        let _ = ra;
+        let s = cache.stats();
+        assert_eq!(s.unique_chunks, 2, "_start and next");
+        assert_eq!(s.variant_translations, 1, "_start cached twice");
+        assert_eq!(s.dep_conflicts, 1);
+        assert!(s.balanced());
     }
 
     #[test]

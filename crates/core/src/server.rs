@@ -1,35 +1,82 @@
-//! Threaded multi-client MC server.
+//! Multi-client MC server — threaded or event-driven.
 //!
 //! One memory controller process serving N embedded clients from a single
 //! shared program image — the fan-in configuration the paper's server-side
 //! rewriting cost argument points toward ("the (relatively unconstrained)
-//! server", §1). Each client connection gets its own serve thread and its
-//! own [`Mc`]: the residence mirror is per-client state (every CC has its
-//! own tcache layout), while the immutable text segment is shared through
-//! an [`Arc`]. Data memory is also per-client, so one client's stores can
-//! never leak into another's run — per-client outputs are byte-identical
-//! to single-client runs.
+//! server", §1). Each client connection gets its own [`Mc`]: the residence
+//! mirror is per-client state (every CC has its own tcache layout), while
+//! the immutable text segment is shared through an [`Arc`] and chunk
+//! *translations* are shared through a [`SharedXlate`] — the first client
+//! to need a chunk pays the rewrite, every later client with the same
+//! mirror context gets the cached bytes. Data memory is also per-client,
+//! so one client's stores can never leak into another's run — per-client
+//! outputs are byte-identical to single-client runs.
+//!
+//! Two serving modes:
+//!
+//! * [`McServer::serve_clients`] — one thread per client (the original
+//!   fan-in shape). Simple, but a thousand clients means a thousand
+//!   stacks and a thousand blocked `recv` calls.
+//! * [`McServer::serve_event`] — one poll loop over every client's
+//!   nonblocking [`Transport::try_recv`], multiplexing all per-client
+//!   session state (sequence/epoch, duplicate suppression, batch
+//!   budgets) from a single thread, with fair-share scheduling and
+//!   admission control ([`ServeQuotas`]). This is the shape that scales
+//!   to 1k+ clients.
 
-use crate::endpoint::{serve, ServeReport};
+use crate::endpoint::{absorb_mc_stats, frame_reply, serve, ServeReport};
 use crate::mc::{ChunkStrategy, Mc};
+use crate::xlate::{SharedXlate, XlateStats};
 use softcache_isa::image::Image;
-use softcache_net::Transport;
+use softcache_net::{ReadySet, Transport};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-client scheduling and admission quotas for
+/// [`McServer::serve_event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeQuotas {
+    /// Requests served per client per poll round before the loop moves
+    /// on — fair-share batching so one chatty client cannot starve the
+    /// rest of the round.
+    pub fair_share: u32,
+    /// Queued frames a client may accumulate; the excess beyond this is
+    /// shed unprocessed (counted as admission rejections) instead of
+    /// growing an unbounded queue. Shedding is safe: a well-behaved CC
+    /// has at most one exchange in flight, so only a flooding client
+    /// ever exceeds a sane bound, and its session retry layer recovers
+    /// exactly as from wire loss.
+    pub max_pending: usize,
+}
+
+impl Default for ServeQuotas {
+    fn default() -> ServeQuotas {
+        ServeQuotas {
+            fair_share: 8,
+            max_pending: 64,
+        }
+    }
+}
 
 /// A multi-client MC server over one shared program image.
 pub struct McServer {
     image: Arc<Image>,
     epoch: u32,
     strategy: ChunkStrategy,
+    shared: Arc<SharedXlate>,
+    quotas: ServeQuotas,
 }
 
 impl McServer {
-    /// Server over `image`, epoch 1, basic-block chunks.
+    /// Server over `image`, epoch 1, basic-block chunks, an
+    /// amply-budgeted shared translation cache and default quotas.
     pub fn new(image: Image) -> McServer {
         McServer {
             image: Arc::new(image),
             epoch: 1,
             strategy: ChunkStrategy::BasicBlock,
+            shared: Arc::new(SharedXlate::default()),
+            quotas: ServeQuotas::default(),
         }
     }
 
@@ -43,26 +90,43 @@ impl McServer {
         self.strategy = strategy;
     }
 
+    /// Replace the per-client quotas used by [`McServer::serve_event`].
+    pub fn set_quotas(&mut self, quotas: ServeQuotas) {
+        assert!(quotas.fair_share >= 1, "a round must serve something");
+        self.quotas = quotas;
+    }
+
     /// The shared image (for spinning up clients against the same text).
     pub fn image(&self) -> Arc<Image> {
         Arc::clone(&self.image)
     }
 
+    /// Snapshot the shared translation cache's translate-once ledger.
+    pub fn xlate_stats(&self) -> XlateStats {
+        self.shared.stats()
+    }
+
+    /// One per-client tenant `Mc`, attached to the shared cache.
+    fn tenant_mc(&self) -> Mc {
+        let mut mc = Mc::from_shared(Arc::clone(&self.image));
+        mc.set_epoch(self.epoch);
+        mc.set_strategy(self.strategy);
+        mc.attach_shared_cache(Arc::clone(&self.shared));
+        mc
+    }
+
     /// Serve one client per transport until each disconnects, one thread
     /// per client (`std::thread::scope`), and return the per-client serve
-    /// reports in the same order as `transports`.
+    /// reports in the same order as `transports`. All threads translate
+    /// through the shared cache; the cache lock is held across each
+    /// translation, so racing tenants never duplicate one.
     pub fn serve_clients(&self, transports: Vec<Box<dyn Transport>>) -> Vec<ServeReport> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = transports
                 .into_iter()
                 .map(|mut t| {
-                    let image = Arc::clone(&self.image);
-                    let epoch = self.epoch;
-                    let strategy = self.strategy;
                     scope.spawn(move || {
-                        let mut mc = Mc::from_shared(image);
-                        mc.set_epoch(epoch);
-                        mc.set_strategy(strategy);
+                        let mut mc = self.tenant_mc();
                         serve(&mut mc, t.as_mut())
                     })
                 })
@@ -73,6 +137,189 @@ impl McServer {
                 .collect()
         })
     }
+
+    /// Serve every client from **one** poll loop until all disconnect,
+    /// and return the per-client serve reports in the same order as
+    /// `transports`.
+    ///
+    /// When every transport supports [`Transport::register_ready`], the
+    /// loop is edge-triggered: it blocks on a [`ReadySet`] and serves
+    /// only the clients whose transports marked themselves ready, so a
+    /// round costs O(active clients) no matter how many are connected.
+    /// Otherwise (e.g. fault-injection wrappers, whose delayed frames
+    /// surface on `recv` calls rather than queue pushes) it falls back
+    /// to scanning every live client per round, with an idle backoff
+    /// (yield, then a short sleep) when nothing moved.
+    ///
+    /// Serving a client measures its queue depth (high-water mark in
+    /// [`ServeReport::queue_hwm`]), sheds any backlog beyond
+    /// [`ServeQuotas::max_pending`]
+    /// ([`ServeReport::admission_rejections`]), then answers up to
+    /// [`ServeQuotas::fair_share`] requests via the nonblocking
+    /// [`Transport::try_recv`].
+    ///
+    /// Replies are produced by the same `frame_reply` path as the
+    /// threaded mode, over per-client `Mc` state, so the two modes are
+    /// byte-identical from any client's point of view.
+    pub fn serve_event(&self, transports: Vec<Box<dyn Transport>>) -> Vec<ServeReport> {
+        let mut tenants: Vec<Tenant> = transports
+            .into_iter()
+            .map(|transport| Tenant {
+                transport,
+                mc: self.tenant_mc(),
+                last: None,
+                report: ServeReport::default(),
+                live: true,
+            })
+            .collect();
+        let mut live = tenants.len();
+
+        let set = ReadySet::new();
+        let evented = tenants
+            .iter_mut()
+            .enumerate()
+            .all(|(token, tn)| tn.transport.register_ready(&set, token));
+        if evented {
+            while live > 0 {
+                let drained = set.drain_wait(Duration::from_millis(100));
+                if drained.is_empty() {
+                    // Idle tick: nothing was ready for a full wait. Sweep
+                    // for lost wakeups — a live tenant with frames queued
+                    // but no mark can only mean its transport broke the
+                    // register_ready contract (marks accompany pushes
+                    // under the channel lock, so there is no benign race
+                    // that leaves this state). Rescue it rather than let
+                    // the client stall into its retransmit timeout, and
+                    // count the rescue so tests can assert it never
+                    // happens for well-behaved transports.
+                    for (token, tn) in tenants.iter_mut().enumerate() {
+                        if tn.live && tn.transport.pending() > 0 && !set.is_marked(token) {
+                            tn.report.lost_wakeups += 1;
+                            set.mark(token);
+                        }
+                    }
+                    continue;
+                }
+                for token in drained {
+                    let tn = &mut tenants[token];
+                    if !tn.live {
+                        continue;
+                    }
+                    let (_, saturated) = tn.poll(self.quotas);
+                    if !tn.live {
+                        live -= 1;
+                        continue;
+                    }
+                    // Edge residue: a poll that spent its whole fair
+                    // share without running dry may have left frames —
+                    // or an unobserved hangup — behind it, and nothing
+                    // will re-mark what was already queued before the
+                    // drain. Requeue the token ourselves.
+                    if saturated {
+                        set.mark(token);
+                    }
+                }
+            }
+        } else {
+            let mut idle_rounds = 0u32;
+            while live > 0 {
+                let mut moved = false;
+                for tn in tenants.iter_mut().filter(|tn| tn.live) {
+                    let (tn_moved, _) = tn.poll(self.quotas);
+                    moved |= tn_moved;
+                    if !tn.live {
+                        live -= 1;
+                    }
+                }
+                if moved {
+                    idle_rounds = 0;
+                } else {
+                    // Nothing anywhere: every live client is thinking.
+                    // Spin politely first (replies are usually wanted
+                    // soon), then back off so a big idle fleet does not
+                    // burn a core.
+                    idle_rounds += 1;
+                    if idle_rounds < 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
+        }
+        tenants.into_iter().map(|tn| tn.report).collect()
+    }
+}
+
+/// Per-client state multiplexed by [`McServer::serve_event`].
+struct Tenant {
+    transport: Box<dyn Transport>,
+    mc: Mc,
+    last: Option<(u32, Vec<u8>)>,
+    report: ServeReport,
+    live: bool,
+}
+
+impl Tenant {
+    /// One service round for this client: admission shed, then up to a
+    /// fair share of replies. Flips `live` off on hangup. Returns
+    /// `(moved, saturated)`: whether any frame moved, and whether the
+    /// round spent its entire fair share without the queue running dry —
+    /// i.e. there may be more behind it that no send will announce.
+    fn poll(&mut self, quotas: ServeQuotas) -> (bool, bool) {
+        let before = self.mc.stats;
+        let mut moved = false;
+        let mut hangup = false;
+        let mut saturated = true;
+        // Admission control: bound the backlog before serving it.
+        let depth = self.transport.pending();
+        self.report.queue_hwm = self.report.queue_hwm.max(depth as u64);
+        let mut shed = depth.saturating_sub(quotas.max_pending);
+        while shed > 0 {
+            match self.transport.try_recv() {
+                Ok(Some(_)) => {
+                    self.report.admission_rejections += 1;
+                    moved = true;
+                    shed -= 1;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    hangup = true;
+                    break;
+                }
+            }
+        }
+        // Fair share: at most this many answers per round.
+        for _ in 0..quotas.fair_share {
+            if hangup {
+                break;
+            }
+            match self.transport.try_recv() {
+                Ok(Some(frame)) => {
+                    moved = true;
+                    if let Some(wire) =
+                        frame_reply(&mut self.mc, &mut self.last, &frame, &mut self.report)
+                    {
+                        if self.transport.send(wire).is_err() {
+                            hangup = true;
+                        }
+                    }
+                }
+                Ok(None) => {
+                    saturated = false;
+                    break;
+                }
+                Err(_) => hangup = true,
+            }
+        }
+        absorb_mc_stats(&mut self.report, &self.mc, &before);
+        if hangup {
+            self.report.disconnected = true;
+            self.live = false;
+            moved = true;
+        }
+        (moved, saturated && !hangup)
+    }
 }
 
 #[cfg(test)]
@@ -82,12 +329,9 @@ mod tests {
     use crate::endpoint::McEndpoint;
     use crate::icache::SoftIcacheSystem;
     use softcache_minic as minic;
-    use softcache_net::thread_pair;
-    use std::time::Duration;
+    use softcache_net::{policy_pair, LinkPolicy};
 
-    #[test]
-    fn serves_concurrent_clients_byte_identically() {
-        let src = r#"
+    const SRC: &str = r#"
 int main() {
     int i; int s;
     s = 0;
@@ -95,23 +339,59 @@ int main() {
     return s & 0x7f;
 }
 "#;
-        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+
+    /// A wrapper that hides readiness support: `register_ready` stays
+    /// the declining default, forcing `serve_event` onto its scan
+    /// fallback, while `try_recv` stays genuinely non-blocking.
+    struct Opaque(Box<dyn Transport>);
+
+    impl Transport for Opaque {
+        fn send(&mut self, frame: Vec<u8>) -> Result<(), softcache_net::NetError> {
+            self.0.send(frame)
+        }
+        fn recv(&mut self) -> Result<Vec<u8>, softcache_net::NetError> {
+            self.0.recv()
+        }
+        fn pending(&self) -> usize {
+            self.0.pending()
+        }
+        fn try_recv(&mut self) -> Result<Option<Vec<u8>>, softcache_net::NetError> {
+            self.0.try_recv()
+        }
+    }
+
+    fn run_fleet(
+        event_driven: bool,
+        n: usize,
+        opaque: bool,
+    ) -> (crate::icache::RunOutput, Vec<ServeReport>, XlateStats) {
+        let image = minic::compile_to_image(SRC, &minic::Options::default()).unwrap();
 
         // Single-client reference run.
         let mut solo = SoftIcacheSystem::new(image.clone(), IcacheConfig::default());
         let want = solo.run(&[]).unwrap();
 
         let server = McServer::new(image.clone());
-        let n = 4;
+        let policy = LinkPolicy::default();
         let mut server_ends: Vec<Box<dyn Transport>> = Vec::new();
         let mut client_ends = Vec::new();
         for _ in 0..n {
-            let (cc_t, mc_t) = thread_pair(Duration::from_millis(500));
-            server_ends.push(Box::new(mc_t));
+            let (cc_t, mc_t) = policy_pair(&policy);
+            if opaque {
+                server_ends.push(Box::new(Opaque(Box::new(mc_t))));
+            } else {
+                server_ends.push(Box::new(mc_t));
+            }
             client_ends.push(cc_t);
         }
-        std::thread::scope(|scope| {
-            let server_thread = scope.spawn(|| server.serve_clients(server_ends));
+        let reports = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| {
+                if event_driven {
+                    server.serve_event(server_ends)
+                } else {
+                    server.serve_clients(server_ends)
+                }
+            });
             let clients: Vec<_> = client_ends
                 .into_iter()
                 .map(|cc_t| {
@@ -131,12 +411,184 @@ int main() {
                 assert_eq!(out.exit_code, want.exit_code, "client {i}");
                 assert_eq!(out.output, want.output, "client {i}");
             }
-            let reports = server_thread.join().unwrap();
-            assert_eq!(reports.len(), n);
-            for (i, r) in reports.iter().enumerate() {
-                assert!(r.served > 0, "client {i} was served");
-                assert!(r.disconnected, "client {i} hung up cleanly");
-            }
+            server_thread.join().unwrap()
         });
+        (want, reports, server.xlate_stats())
+    }
+
+    #[test]
+    fn serves_concurrent_clients_byte_identically() {
+        let (_, reports, xs) = run_fleet(false, 4, false);
+        assert_eq!(reports.len(), 4);
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.served > 0, "client {i} was served");
+            assert!(r.disconnected, "client {i} hung up cleanly");
+        }
+        // Translate-once across the threaded fleet: the cache lock is
+        // held across each translation, so even racing tenants never
+        // duplicate one. Identical fetch orders mean no variants.
+        assert!(xs.balanced());
+        assert_eq!(
+            xs.unique_translations,
+            xs.unique_chunks + xs.variant_translations
+        );
+        assert_eq!(xs.evictions, 0);
+        let translated: u64 = reports.iter().map(|r| r.shared_misses).sum();
+        assert_eq!(translated, xs.unique_translations);
+        let hits: u64 = reports.iter().map(|r| r.shared_hits).sum();
+        assert!(hits > 0, "later clients reuse the first one's work");
+    }
+
+    #[test]
+    fn event_loop_matches_threaded_serving() {
+        let (_, reports, xs) = run_fleet(true, 6, false);
+        assert_eq!(reports.len(), 6);
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.served > 0, "client {i} was served");
+            assert!(r.disconnected, "client {i} hung up cleanly");
+            assert_eq!(r.admission_rejections, 0, "serial clients never flood");
+        }
+        // Serial-RPC clients have at most one request queued.
+        assert!(reports.iter().all(|r| r.queue_hwm <= 1));
+        assert!(xs.balanced());
+        assert_eq!(xs.variant_translations, 0, "identical fetch orders");
+        assert_eq!(xs.evictions, 0);
+        let translated: u64 = reports.iter().map(|r| r.shared_misses).sum();
+        assert_eq!(translated, xs.unique_chunks, "translate-once held");
+    }
+
+    #[test]
+    fn event_loop_scan_fallback_serves_unregistrable_transports() {
+        // Transports that decline readiness registration push the whole
+        // loop onto the polling fallback — which must serve just as
+        // correctly, if less efficiently.
+        let (_, reports, xs) = run_fleet(true, 3, true);
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.served > 0, "client {i} was served");
+            assert!(r.disconnected, "client {i} hung up cleanly");
+        }
+        assert!(xs.balanced());
+        let translated: u64 = reports.iter().map(|r| r.shared_misses).sum();
+        assert_eq!(translated, xs.unique_chunks, "translate-once held");
+    }
+
+    #[test]
+    fn admission_control_sheds_flooding_client() {
+        let image = minic::compile_to_image(SRC, &minic::Options::default()).unwrap();
+        let mut server = McServer::new(image);
+        server.set_quotas(ServeQuotas {
+            fair_share: 4,
+            max_pending: 8,
+        });
+        let policy = LinkPolicy::default();
+        let (mut cc_t, mc_t) = policy_pair(&policy);
+        // Flood 64 garbage frames before the server even starts: far
+        // over max_pending, so the backlog beyond the quota is shed.
+        for _ in 0..64 {
+            cc_t.send(vec![0u8; 4]).unwrap();
+        }
+        drop(cc_t);
+        let reports = server.serve_event(vec![Box::new(mc_t)]);
+        let r = reports[0];
+        assert!(r.disconnected);
+        assert!(r.queue_hwm >= 64, "backlog observed: {}", r.queue_hwm);
+        assert!(
+            r.admission_rejections >= 32,
+            "excess shed: {}",
+            r.admission_rejections
+        );
+        // Whatever was admitted was processed normally (runt frames).
+        assert!(r.runt_frames > 0);
+        assert_eq!(r.served, 0);
+    }
+}
+
+#[cfg(test)]
+mod stress {
+    //! Lost-wakeup soak for the edge-triggered event loop. The oracle is
+    //! scheduling-independent: every fleet must complete with correct
+    //! outputs and **zero rescued wakeups** ([`ServeReport::lost_wakeups`])
+    //! — client-side retry counters are deliberately not asserted, because
+    //! on a loaded single-core host a descheduled server can push a clean
+    //! reply past any finite receive timeout without any mark being lost.
+    use super::*;
+    use crate::cc::IcacheConfig;
+    use crate::endpoint::McEndpoint;
+    use crate::icache::SoftIcacheSystem;
+    use softcache_minic as minic;
+    use softcache_net::{policy_pair, LinkPolicy};
+
+    const SRC: &str = r#"
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 40; i = i + 1) { s = s + i * i; puti(s); putc(' '); }
+    return s & 0x7f;
+}
+"#;
+
+    fn fleet_round(image: &softcache_isa::image::Image, n: usize) -> Vec<ServeReport> {
+        let server = McServer::new(image.clone());
+        let policy = LinkPolicy::default();
+        let mut server_ends: Vec<Box<dyn Transport>> = Vec::new();
+        let mut client_ends = Vec::new();
+        for _ in 0..n {
+            let (cc_t, mc_t) = policy_pair(&policy);
+            server_ends.push(Box::new(mc_t));
+            client_ends.push(cc_t);
+        }
+        std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| server.serve_event(server_ends));
+            let clients: Vec<_> = client_ends
+                .into_iter()
+                .map(|cc_t| {
+                    let image = image.clone();
+                    scope.spawn(move || {
+                        let mut sys = SoftIcacheSystem::with_endpoint(
+                            image,
+                            IcacheConfig::default(),
+                            McEndpoint::remote(Box::new(cc_t)),
+                        );
+                        sys.run(&[]).unwrap()
+                    })
+                })
+                .collect();
+            for c in clients {
+                let out = c.join().unwrap();
+                assert_eq!(out.exit_code, (40 * 39 * 79 / 6) & 0x7f);
+            }
+            server_thread.join().unwrap()
+        })
+    }
+
+    /// A quick soak rides in tier-1; `stress_no_lost_wakeups` (ignored)
+    /// runs the long version on demand.
+    #[test]
+    fn event_loop_soak_never_rescues_a_wakeup() {
+        let image = minic::compile_to_image(SRC, &minic::Options::default()).unwrap();
+        for iter in 0..10 {
+            for (i, r) in fleet_round(&image, 16).iter().enumerate() {
+                assert_eq!(
+                    r.lost_wakeups, 0,
+                    "iter {iter} client {i}: rescued a lost mark"
+                );
+                assert!(r.disconnected, "iter {iter} client {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn stress_no_lost_wakeups() {
+        let image = minic::compile_to_image(SRC, &minic::Options::default()).unwrap();
+        for iter in 0..300 {
+            for (i, r) in fleet_round(&image, 16).iter().enumerate() {
+                assert_eq!(
+                    r.lost_wakeups, 0,
+                    "iter {iter} client {i}: rescued a lost mark"
+                );
+            }
+        }
     }
 }

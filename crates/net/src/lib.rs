@@ -35,5 +35,6 @@ pub use fault::{FaultCounters, FaultPlan, FaultyTransport};
 pub use frame::{FrameReader, FrameWriter};
 pub use session::{LinkPolicy, SessionCounters};
 pub use transport::{
-    loopback_pair, thread_pair, LossyTransport, NetError, Transport, HEADER_BYTES,
+    loopback_pair, policy_pair, thread_pair, LossyTransport, NetError, ReadySet, Transport,
+    HEADER_BYTES,
 };

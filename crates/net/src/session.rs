@@ -17,6 +17,14 @@ pub struct LinkPolicy {
     pub base_timeout: Duration,
     /// Ceiling on any single backoff wait.
     pub max_backoff: Duration,
+    /// How long a blocking transport receive waits before reporting
+    /// [`crate::NetError::Timeout`]. Build the transport with
+    /// [`crate::transport::policy_pair`] so this travels with the policy
+    /// instead of a per-test constant: the value must ride out scheduler
+    /// starvation on a loaded machine (a starved server pushing a clean
+    /// reply past a tight timeout is a pure flake), while injected drops
+    /// turn into real waits of this length, so it should not be huge.
+    pub recv_timeout: Duration,
 }
 
 impl Default for LinkPolicy {
@@ -25,6 +33,7 @@ impl Default for LinkPolicy {
             retries: 8,
             base_timeout: Duration::from_millis(2),
             max_backoff: Duration::from_millis(50),
+            recv_timeout: Duration::from_millis(250),
         }
     }
 }
@@ -47,6 +56,7 @@ impl LinkPolicy {
             retries,
             base_timeout: Duration::ZERO,
             max_backoff: Duration::ZERO,
+            recv_timeout: LinkPolicy::default().recv_timeout,
         }
     }
 
@@ -130,6 +140,7 @@ mod tests {
             retries: 10,
             base_timeout: Duration::from_millis(2),
             max_backoff: Duration::from_millis(16),
+            ..LinkPolicy::default()
         };
         let b2 = p.backoff_for(1, 2);
         let b5 = p.backoff_for(1, 5);

@@ -44,6 +44,112 @@ pub trait Transport: Send {
     fn recv(&mut self) -> Result<Vec<u8>, NetError>;
     /// Frames currently queued for this endpoint (0 when unknowable).
     fn pending(&self) -> usize;
+    /// Receive without waiting: `Ok(Some(frame))` when one is queued,
+    /// `Ok(None)` when the queue is empty, `Err(Disconnected)` when the
+    /// peer is gone and nothing buffered remains. The event-driven MC
+    /// server polls this across many clients from one thread.
+    ///
+    /// The default delegates to [`Transport::recv`] and maps its timeout
+    /// to `None` — correct for any transport, but it pays one full
+    /// receive-timeout wait on transports whose `recv` blocks; those
+    /// should override with a genuinely non-blocking probe.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(NetError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Register an edge-triggered readiness notifier: from now on,
+    /// whenever a frame becomes available to [`Transport::try_recv`] —
+    /// or the peer disconnects — the transport calls `set.mark(token)`.
+    /// Anything already queued (or a peer already gone) marks the token
+    /// immediately, so no pre-registration traffic is lost.
+    ///
+    /// Returns `false` when the transport cannot support readiness (the
+    /// default); an event loop then falls back to polling `try_recv`
+    /// across its tenants. Fault-injection wrappers deliberately do not
+    /// support it — their delayed/reordered frames surface on `recv`
+    /// calls, not queue pushes.
+    fn register_ready(&mut self, set: &Arc<ReadySet>, token: usize) -> bool {
+        let _ = (set, token);
+        false
+    }
+}
+
+// ---- readiness fan-in ----
+
+/// Edge-triggered readiness fan-in for an event loop multiplexing many
+/// transports from one thread: each registered transport marks its token
+/// when traffic arrives, and the loop drains the set — blocking on a
+/// condvar while nothing is ready — instead of scanning every tenant
+/// every round. Wakeups cost O(active clients), not O(all clients).
+pub struct ReadySet {
+    state: Mutex<ReadyState>,
+    cv: Condvar,
+}
+
+struct ReadyState {
+    /// Ready tokens in arrival order (the drain order is the service
+    /// order, so first-come-first-served fairness falls out).
+    queue: VecDeque<usize>,
+    /// Dedupe: a token is queued at most once until drained.
+    marked: Vec<bool>,
+}
+
+impl ReadySet {
+    /// An empty set.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<ReadySet> {
+        Arc::new(ReadySet {
+            state: Mutex::new(ReadyState {
+                queue: VecDeque::new(),
+                marked: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Mark `token` ready. Idempotent until the token is drained.
+    pub fn mark(&self, token: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.marked.len() <= token {
+            s.marked.resize(token + 1, false);
+        }
+        if !s.marked[token] {
+            s.marked[token] = true;
+            s.queue.push_back(token);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Is `token` currently marked (queued and not yet drained)? Event
+    /// loops use this in their idle sweep: a transport with traffic
+    /// pending but no mark has broken the [`Transport::register_ready`]
+    /// contract and needs rescuing.
+    pub fn is_marked(&self, token: usize) -> bool {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.marked.get(token).copied().unwrap_or(false)
+    }
+
+    /// Drain every ready token in arrival order, waiting up to `timeout`
+    /// when none is ready yet. An empty result means the wait timed out.
+    pub fn drain_wait(&self, timeout: Duration) -> Vec<usize> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.queue.is_empty() {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+        let out: Vec<usize> = s.queue.drain(..).collect();
+        for &t in &out {
+            s.marked[t] = false;
+        }
+        out
+    }
 }
 
 // ---- in-process loopback ----
@@ -122,6 +228,9 @@ struct Channel {
 struct ChannelState {
     queue: VecDeque<Vec<u8>>,
     closed: bool,
+    /// Readiness hook installed by the *receiving* half: the sender (who
+    /// holds this same channel as its tx) marks it on every push/close.
+    hook: Option<(Arc<ReadySet>, usize)>,
 }
 
 impl Channel {
@@ -130,13 +239,19 @@ impl Channel {
             state: Mutex::new(ChannelState {
                 queue: VecDeque::new(),
                 closed: false,
+                hook: None,
             }),
             ready: Condvar::new(),
         })
     }
 
     fn close(&self) {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.closed = true;
+        if let Some((set, token)) = &s.hook {
+            set.mark(*token);
+        }
+        drop(s);
         self.ready.notify_all();
     }
 }
@@ -147,6 +262,16 @@ pub struct ChannelTransport {
     tx: Arc<Channel>,
     rx: Arc<Channel>,
     timeout: Duration,
+}
+
+/// Create a connected threaded pair whose receive timeout comes from the
+/// session policy ([`crate::LinkPolicy::recv_timeout`]) instead of a
+/// per-call-site constant. Fixed per-test `Duration`s proved
+/// load-sensitive — a starved server thread on a saturated machine can
+/// push a clean reply past a tight constant and flake an assert — so the
+/// timeout now travels with the retry policy that has to tolerate it.
+pub fn policy_pair(policy: &crate::LinkPolicy) -> (ChannelTransport, ChannelTransport) {
+    thread_pair(policy.recv_timeout)
 }
 
 /// Create a connected threaded pair `(cc_end, mc_end)` with a receive
@@ -183,6 +308,9 @@ impl Transport for ChannelTransport {
             return Err(NetError::Disconnected);
         }
         s.queue.push_back(frame);
+        if let Some((set, token)) = &s.hook {
+            set.mark(*token);
+        }
         self.tx.ready.notify_all();
         Ok(())
     }
@@ -226,6 +354,28 @@ impl Transport for ChannelTransport {
             .unwrap_or_else(|e| e.into_inner())
             .queue
             .len()
+    }
+
+    /// Non-blocking probe: one lock, no condvar wait. Buffered frames are
+    /// still delivered after the peer closes, matching `recv`.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let mut s = self.rx.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(frame) = s.queue.pop_front() {
+            return Ok(Some(frame));
+        }
+        if s.closed {
+            return Err(NetError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    fn register_ready(&mut self, set: &Arc<ReadySet>, token: usize) -> bool {
+        let mut s = self.rx.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !s.queue.is_empty() || s.closed {
+            set.mark(token);
+        }
+        s.hook = Some((Arc::clone(set), token));
+        true
     }
 }
 
@@ -310,6 +460,42 @@ mod tests {
     }
 
     #[test]
+    fn try_recv_never_blocks_and_drains_before_disconnect() {
+        let (mut cc, mut mc) = thread_pair(Duration::from_secs(30));
+        // Empty queue: returns immediately despite the 30 s recv timeout.
+        let t0 = Instant::now();
+        assert_eq!(cc.try_recv().unwrap(), None);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        mc.send(vec![1]).unwrap();
+        mc.send(vec![2]).unwrap();
+        drop(mc);
+        // Buffered frames are still delivered after the peer closed...
+        assert_eq!(cc.try_recv().unwrap(), Some(vec![1]));
+        assert_eq!(cc.try_recv().unwrap(), Some(vec![2]));
+        // ...and only then does the closed channel surface.
+        assert_eq!(cc.try_recv(), Err(NetError::Disconnected));
+
+        // The default (recv-delegating) implementation on the loopback.
+        let (mut cc, mut mc) = loopback_pair();
+        assert_eq!(cc.try_recv().unwrap(), None);
+        mc.send(vec![9]).unwrap();
+        assert_eq!(cc.try_recv().unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn policy_pair_takes_timeout_from_link_policy() {
+        let policy = crate::LinkPolicy {
+            recv_timeout: Duration::from_millis(5),
+            ..crate::LinkPolicy::default()
+        };
+        let (mut cc, _mc) = policy_pair(&policy);
+        let t0 = Instant::now();
+        assert_eq!(cc.recv(), Err(NetError::Timeout));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
     fn threaded_disconnect() {
         let (mut cc, mc) = thread_pair(Duration::from_millis(20));
         drop(mc);
@@ -349,6 +535,67 @@ mod tests {
         drop(mc);
         assert_eq!(cc.recv(), Err(NetError::Disconnected));
         assert_eq!(cc.send(vec![1]), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn ready_set_dedupes_and_drains_in_arrival_order() {
+        let set = ReadySet::new();
+        set.mark(3);
+        set.mark(1);
+        set.mark(3); // dedupe: still queued once
+        assert_eq!(set.drain_wait(Duration::from_millis(1)), vec![3, 1]);
+        // Drained tokens can be marked again.
+        set.mark(3);
+        assert_eq!(set.drain_wait(Duration::from_millis(1)), vec![3]);
+        // Empty set: the wait times out and returns nothing.
+        let t0 = Instant::now();
+        assert!(set.drain_wait(Duration::from_millis(20)).is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn channel_transport_marks_ready_on_send_close_and_backlog() {
+        let set = ReadySet::new();
+        let (mut cc, mut mc) = thread_pair(Duration::from_millis(200));
+
+        // Registering an empty, open transport marks nothing.
+        assert!(mc.register_ready(&set, 7));
+        assert!(set.drain_wait(Duration::from_millis(1)).is_empty());
+
+        // A send from the peer marks the token...
+        cc.send(vec![1, 2]).unwrap();
+        assert_eq!(set.drain_wait(Duration::from_secs(5)), vec![7]);
+        assert_eq!(mc.try_recv().unwrap(), Some(vec![1, 2]));
+
+        // ...and so does the peer hanging up.
+        drop(cc);
+        assert_eq!(set.drain_wait(Duration::from_secs(5)), vec![7]);
+        assert_eq!(mc.try_recv(), Err(NetError::Disconnected));
+
+        // Registering with frames already queued marks immediately, so
+        // pre-registration traffic is never lost.
+        let (mut cc, mut mc) = thread_pair(Duration::from_millis(200));
+        cc.send(vec![9]).unwrap();
+        assert!(mc.register_ready(&set, 2));
+        assert_eq!(set.drain_wait(Duration::from_millis(1)), vec![2]);
+
+        // The default implementation declines registration.
+        let (mut lo, _peer) = loopback_pair();
+        assert!(!lo.register_ready(&set, 0));
+    }
+
+    #[test]
+    fn ready_set_wakes_a_blocked_drainer() {
+        let set = ReadySet::new();
+        let waker = Arc::clone(&set);
+        let t0 = Instant::now();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.mark(5);
+        });
+        assert_eq!(set.drain_wait(Duration::from_secs(10)), vec![5]);
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        h.join().unwrap();
     }
 
     #[test]

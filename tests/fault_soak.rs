@@ -13,15 +13,20 @@ use softcache::core::IcacheConfig;
 use softcache::isa::Image;
 use softcache::net::transport::{ChannelTransport, NetError};
 use softcache::net::{
-    thread_pair, FaultPlan, FaultyTransport, LinkPolicy, LossyTransport, Transport,
+    policy_pair, FaultPlan, FaultyTransport, LinkPolicy, LossyTransport, Transport,
 };
 use softcache::sim::Machine;
 use softcache::workloads::by_name;
 use std::time::Duration;
 
-/// Receive timeout for the threaded link. Injected drops become real waits
-/// of this length, so it is kept short.
-const RECV_TIMEOUT: Duration = Duration::from_millis(10);
+/// Link policy for the threaded wire. Injected drops become real waits of
+/// the receive timeout, so it is kept short.
+fn wire_policy() -> LinkPolicy {
+    LinkPolicy {
+        recv_timeout: Duration::from_millis(10),
+        ..LinkPolicy::default()
+    }
+}
 
 fn native_run(image: &Image, input: &[u8]) -> (i32, Vec<u8>) {
     let mut m = Machine::load_native(image, input);
@@ -30,7 +35,7 @@ fn native_run(image: &Image, input: &[u8]) -> (i32, Vec<u8>) {
 }
 
 fn spawn_server(image: Image) -> (std::thread::JoinHandle<()>, ChannelTransport) {
-    let (cc_t, mut mc_t) = thread_pair(RECV_TIMEOUT);
+    let (cc_t, mut mc_t) = policy_pair(&wire_policy());
     let handle = std::thread::spawn(move || {
         let mut mc = Mc::new(image);
         serve(&mut mc, &mut mc_t);
@@ -308,7 +313,7 @@ fn spawn_crashy_server(
     crash_after: u64,
     lives: u32,
 ) -> (std::thread::JoinHandle<u32>, ChannelTransport) {
-    let (cc_t, mut mc_t) = thread_pair(RECV_TIMEOUT);
+    let (cc_t, mut mc_t) = policy_pair(&wire_policy());
     let handle = std::thread::spawn(move || {
         let mut epoch = 1u32;
         for _ in 0..lives {

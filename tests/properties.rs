@@ -8,6 +8,10 @@
 //! * The wire layer must be total: protocol decoders and the envelope
 //!   parser never panic on arbitrary bytes, and the seeded fault injector
 //!   replays the identical schedule for the identical seed.
+//! * The shared translation cache must be observationally invisible:
+//!   clients sharing one cache answer every request byte-identically to
+//!   uncached twins, under arbitrary interleavings of fetches, epoch
+//!   bumps, invalidations, and full resync flushes.
 
 use proptest::prelude::*;
 use softcache::asm::assemble;
@@ -170,6 +174,142 @@ proptest! {
         let mut sys = SoftIcacheSystem::new(image, cfg);
         let out = sys.run(&[]).unwrap();
         prop_assert_eq!(out.exit_code, want.exit_code, "softcache vs interpreter");
+    }
+}
+
+// ---- shared translation cache: observational identity ----
+
+use softcache::core::SharedXlate;
+use softcache::isa::layout::TEXT_BASE;
+use std::sync::Arc;
+
+/// One step of an interleaved two-client request schedule.
+#[derive(Clone, Debug)]
+enum XlateStep {
+    /// Fetch a known target on one client, as a single chunk or a batch.
+    Fetch {
+        client: bool,
+        pick: usize,
+        batch: bool,
+    },
+    /// Invalidate one previously-fetched chunk on one client.
+    Invalidate { client: bool, pick: usize },
+    /// Epoch bump plus full tcache flush — what a CC does when a reply
+    /// envelope shows the MC restarted under a new epoch.
+    Resync { client: bool },
+}
+
+fn xlate_step() -> impl Strategy<Value = XlateStep> {
+    // The vendored `prop_oneof!` is uniform over its arms, so the fetch
+    // arm is repeated to weight the schedule ~6:1:1 toward fetches —
+    // invalidations and resyncs should punctuate traffic, not drown it.
+    let fetch = || {
+        (any::<bool>(), any::<usize>(), any::<bool>()).prop_map(|(client, pick, batch)| {
+            XlateStep::Fetch {
+                client,
+                pick,
+                batch,
+            }
+        })
+    };
+    prop_oneof![
+        fetch(),
+        fetch(),
+        fetch(),
+        fetch(),
+        fetch(),
+        fetch(),
+        (any::<bool>(), any::<usize>())
+            .prop_map(|(client, pick)| XlateStep::Invalidate { client, pick }),
+        any::<bool>().prop_map(|client| XlateStep::Resync { client }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two clients sharing one translation cache answer every request
+    /// byte-identically to two *uncached* twins fed the identical
+    /// streams, under arbitrary interleavings of fetches (the clients'
+    /// residence mirrors evolve in different orders, so dependency
+    /// checks and variants are exercised), per-chunk invalidations,
+    /// epoch bumps, and full resync flushes — and the translate-once
+    /// ledger balances at the end.
+    #[test]
+    fn shared_cache_replies_match_uncached_twins_under_interleaving(
+        src in random_program(),
+        steps in prop::collection::vec(xlate_step(), 1..80),
+    ) {
+        let image = Arc::new(minic::compile_to_image(&src, &minic::Options::default()).unwrap());
+        let shared = Arc::new(SharedXlate::default());
+        let mk = |attach: bool| {
+            let mut m = Mc::from_shared(Arc::clone(&image));
+            if attach {
+                m.attach_shared_cache(Arc::clone(&shared));
+            }
+            m
+        };
+        let mut cached = [mk(true), mk(true)];
+        let mut plain = [mk(false), mk(false)];
+        // Per-client pool of fetchable addresses, grown from chunk exits
+        // — a deterministic random walk over the real CFG.
+        let mut pool: [Vec<u32>; 2] = [vec![image.entry], vec![image.entry]];
+        let mut epoch = [1u32, 1];
+        for step in &steps {
+            match *step {
+                XlateStep::Fetch { client, pick, batch } => {
+                    let c = client as usize;
+                    let orig_pc = pool[c][pick % pool[c].len()];
+                    // Both clients place a given chunk at the same dest (a
+                    // fixed function of its original address), so their
+                    // translations are shareable — while their mirrors
+                    // still diverge, because their fetch orders do.
+                    let dest = 0x40_0000u32
+                        .wrapping_add(orig_pc.wrapping_sub(TEXT_BASE).wrapping_mul(4));
+                    let req = if batch {
+                        Request::FetchBatch { orig_pc, dest, max_chunks: 3, budget_bytes: 4096 }
+                    } else {
+                        Request::FetchBlock { orig_pc, dest }
+                    };
+                    let want = plain[c].handle(req.clone());
+                    let got = cached[c].handle(req);
+                    prop_assert_eq!(
+                        &got, &want,
+                        "client {} diverged at {:#x} (dest {:#x})", c, orig_pc, dest
+                    );
+                    match &want {
+                        Reply::Chunk(p) => pool[c].extend(p.exits.iter().map(|e| e.orig_target)),
+                        Reply::Batch(ps) => pool[c].extend(
+                            ps.iter().flat_map(|p| p.exits.iter().map(|e| e.orig_target)),
+                        ),
+                        _ => {}
+                    }
+                }
+                XlateStep::Invalidate { client, pick } => {
+                    let c = client as usize;
+                    let orig_pc = pool[c][pick % pool[c].len()];
+                    let req = Request::Invalidate { orig_pc };
+                    prop_assert_eq!(cached[c].handle(req.clone()), plain[c].handle(req));
+                }
+                XlateStep::Resync { client } => {
+                    let c = client as usize;
+                    epoch[c] += 1;
+                    cached[c].set_epoch(epoch[c]);
+                    plain[c].set_epoch(epoch[c]);
+                    let req = Request::InvalidateAll;
+                    prop_assert_eq!(cached[c].handle(req.clone()), plain[c].handle(req));
+                }
+            }
+        }
+        let s = shared.stats();
+        prop_assert!(s.balanced(), "unbalanced ledger: {:?}", s);
+        for c in 0..2 {
+            prop_assert_eq!(
+                cached[c].stats.shared_hits + cached[c].stats.shared_misses > 0,
+                plain[c].stats.blocks_served > 0,
+                "client {} looked up the shared cache iff it served blocks", c
+            );
+        }
     }
 }
 
