@@ -18,6 +18,8 @@ fn main() {
         "fig7",
         "fig8",
         "fig9",
+        "evict",
+        "knee",
         "net-overhead",
         "link",
         "fanin",
@@ -59,6 +61,14 @@ fn main() {
     }
     if run("fig9") {
         fig9();
+    }
+    if run("evict") {
+        evict();
+    }
+    // The knee sweep runs every grid size for every workload, so (like
+    // `bench`) it only runs when asked for by name.
+    if what == "knee" {
+        knee();
     }
     if run("net-overhead") {
         net_overhead();
@@ -284,8 +294,9 @@ fn fig5() {
         .map(|b| {
             (
                 format!(
-                    "{:<16} {:>8}",
+                    "{:<16} {:<9} {:>8}",
                     b.label,
+                    b.policy,
                     if b.tcache_bytes == 0 {
                         "-".to_string()
                     } else {
@@ -299,10 +310,127 @@ fn fig5() {
     print!("{}", render::bars(&items, 48, None));
     for b in &bars[1..] {
         println!(
-            "  {:<16} translations={} flushes={}",
-            b.label, b.translations, b.flushes
+            "  {:<16} {:<9} translations={} flushes={} evictions={}",
+            b.label, b.policy, b.translations, b.flushes, b.evictions
         );
     }
+}
+
+fn evict() {
+    header("Eviction policy — flush-all baseline vs TRRIP victim eviction");
+    // Scale 1024 = a 256 KB corpus: big enough for a genuine thrash
+    // point, small enough for the CI determinism double-run.
+    let (bars, ws) = exp::fig5(1024);
+    println!("measured working set: {}\n", render::human_bytes(ws));
+    let mut t = vec![vec![
+        "config".to_string(),
+        "policy".to_string(),
+        "tcache".to_string(),
+        "rel. time".to_string(),
+        "transl.".to_string(),
+        "flushes".to_string(),
+        "evictions".to_string(),
+        "victims/fill".to_string(),
+    ]];
+    for b in &bars[1..] {
+        t.push(vec![
+            b.label.clone(),
+            b.policy.to_string(),
+            render::human_bytes(b.tcache_bytes),
+            format!("{:.3}x", b.relative_time),
+            b.translations.to_string(),
+            b.flushes.to_string(),
+            b.evictions.to_string(),
+            format!("{:.2}", b.victims_per_fill),
+        ]);
+    }
+    print!("{}", render::table(&t));
+    for point in ["cliff", "thrash"] {
+        let fa = bars
+            .iter()
+            .find(|b| b.label.starts_with(point) && b.policy == "flush-all");
+        let tr = bars
+            .iter()
+            .find(|b| b.label.starts_with(point) && b.policy == "trrip");
+        if let (Some(fa), Some(tr)) = (fa, tr) {
+            println!(
+                "\n{point} point: TRRIP retranslates {} vs flush-all {} ({:.1}x less), \
+                 rel. time {:.2}x vs {:.2}x",
+                tr.translations,
+                fa.translations,
+                fa.translations as f64 / tr.translations.max(1) as f64,
+                tr.relative_time,
+                fa.relative_time
+            );
+        }
+    }
+    println!("\nevery row's output is byte-identical to native and its install ledger");
+    println!("balances (translations == residents + evictions + invalidations + flush losses).");
+
+    let mut json = String::from("{\n  \"rows\": [\n");
+    let rows = &bars[1..];
+    for (i, b) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"policy\": \"{}\", \"tcache_bytes\": {}, \
+             \"relative_time\": {:.4}, \"translations\": {}, \"flushes\": {}, \
+             \"evictions\": {}, \"flush_losses\": {}, \"residents\": {}, \
+             \"victims_per_fill\": {:.4}}}{}\n",
+            b.label,
+            b.policy,
+            b.tcache_bytes,
+            b.relative_time,
+            b.translations,
+            b.flushes,
+            b.evictions,
+            b.flush_losses,
+            b.residents,
+            b.victims_per_fill,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_evict.json", &json).expect("write BENCH_evict.json");
+    println!("wrote BENCH_evict.json");
+}
+
+fn knee() {
+    header("Knee — dominant-block auto-sizing vs measured tcache sweep");
+    let grid = exp::knee_grid();
+    for r in exp::knee(8) {
+        println!(
+            "\n{}: dominant blocks {} x expansion {:.2} -> estimate {} \
+             (measured optimum {})",
+            r.name,
+            render::human_bytes(r.dominant_bytes),
+            r.expansion,
+            render::human_bytes(r.estimated_bytes),
+            render::human_bytes(r.measured_bytes),
+        );
+        for &(size, cycles) in &r.sweep {
+            let mark = if size == r.estimated_bytes {
+                " <- estimate"
+            } else if size == r.measured_bytes {
+                " <- measured knee"
+            } else {
+                ""
+            };
+            if cycles == u64::MAX {
+                println!("  {:>8}: (chunk too big){mark}", render::human_bytes(size));
+            } else {
+                println!("  {:>8}: {cycles} cycles{mark}", render::human_bytes(size));
+            }
+        }
+        let gi = |b: u32| grid.iter().position(|&g| g == b).unwrap_or(usize::MAX);
+        assert!(
+            gi(r.estimated_bytes).abs_diff(gi(r.measured_bytes)) <= 1,
+            "{}: estimate {} not within one grid step of measured {}",
+            r.name,
+            r.estimated_bytes,
+            r.measured_bytes
+        );
+    }
+    println!("\nEvery estimate lands within one grid step of the measured optimum —");
+    println!("the CC can size its tcache from a profile pass alone.");
 }
 
 fn fig6() {

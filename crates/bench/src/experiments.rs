@@ -12,7 +12,7 @@ use softcache_core::icache::SoftIcacheSystem;
 use softcache_core::power::strongarm;
 use softcache_core::proc::{ProcCacheSystem, ProcConfig};
 use softcache_core::scache::ScacheConfig;
-use softcache_core::{BankConfig, CacheError, ChunkStrategy, IcacheConfig};
+use softcache_core::{BankConfig, CacheError, ChunkStrategy, IcacheConfig, TcachePolicy};
 use softcache_hwcache::{tags, SetAssocCache};
 use softcache_isa::Image;
 use softcache_minic as minic;
@@ -114,6 +114,8 @@ pub fn table1() -> Vec<Table1Row> {
 pub struct Fig5Bar {
     /// Configuration label.
     pub label: String,
+    /// Replacement policy column ("-" for the native bar).
+    pub policy: &'static str,
     /// tcache size (0 = native/ideal).
     pub tcache_bytes: u32,
     /// Execution time normalised to the ideal run.
@@ -122,6 +124,22 @@ pub struct Fig5Bar {
     pub translations: u64,
     /// Flushes performed.
     pub flushes: u64,
+    /// Per-chunk victim evictions performed.
+    pub evictions: u64,
+    /// Chunks lost to whole-cache flushes.
+    pub flush_losses: u64,
+    /// Chunks still resident at exit.
+    pub residents: u64,
+    /// Mean victims per room-making fill (0 when nothing evicted).
+    pub victims_per_fill: f64,
+}
+
+/// Display name of a tcache replacement policy.
+pub fn policy_name(p: TcachePolicy) -> &'static str {
+    match p {
+        TcachePolicy::FlushAll => "flush-all",
+        TcachePolicy::Trrip => "trrip",
+    }
 }
 
 /// Figure 5: relative execution time of compress95 under the software
@@ -141,36 +159,242 @@ pub fn fig5(scale: u32) -> (Vec<Fig5Bar>, u32) {
 
     let mut bars = vec![Fig5Bar {
         label: "ideal (native)".into(),
+        policy: "-",
         tcache_bytes: 0,
         relative_time: 1.0,
         translations: 0,
         flushes: 0,
+        evictions: 0,
+        flush_losses: 0,
+        residents: 0,
+        victims_per_fill: 0.0,
     }];
-    // Sizes relative to the measured working set: ample ("infinite"),
-    // just-fits, and far-too-small — the paper's 48 KB / 24 KB / 1 KB.
-    let sizes = [
-        ("ample (4x ws)", footprint * 4),
-        ("fits (1.5x ws)", footprint * 3 / 2),
-        ("thrash (ws/8)", (footprint / 8).max(512)),
-    ];
-    bars.extend(par_map(&sizes, |&(label, size)| {
+    let run_one = |label: &str, size: u32, policy: TcachePolicy| -> (Fig5Bar, u64) {
         let cfg = IcacheConfig {
             tcache_size: size,
             link: LinkModel::free(),
+            tcache_policy: policy,
             ..IcacheConfig::default()
         };
         let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
         let out = sys.run(&input).expect("softcache run");
-        assert_eq!(out.output, native_output, "fig5 semantics");
-        Fig5Bar {
+        assert_eq!(
+            out.output, native_output,
+            "fig5 semantics ({label}, {policy:?})"
+        );
+        assert!(
+            out.cache.install_ledger_balanced(),
+            "fig5 install ledger ({label}, {policy:?}): {:?}",
+            out.cache
+        );
+        let bar = Fig5Bar {
             label: label.into(),
+            policy: policy_name(policy),
             tcache_bytes: size,
             relative_time: out.exec.cycles as f64 / base_cycles,
             translations: out.cache.translations,
             flushes: out.cache.flushes,
+            evictions: out.cache.evictions,
+            flush_losses: out.cache.flush_losses,
+            residents: out.cache.residents,
+            victims_per_fill: out.cache.victims_per_fill(),
+        };
+        (bar, out.cache.words_installed)
+    };
+
+    // The ample bar doubles as the footprint measurement: with nothing
+    // ever evicted, words_installed x 4 is the full translated footprint.
+    let (ample_fa, ample_words) = run_one("ample (4x ws)", footprint * 4, TcachePolicy::FlushAll);
+    let f_total = ample_words as u32 * 4;
+
+    // The thrash cliff is razor-thin (tens of bytes — once flush-all's
+    // post-flush repacking no longer fits the steady loop, every flush
+    // retranslates it wholesale), and its position follows the
+    // *translated* loop footprint, not the original text bytes. Find it
+    // by measurement: walk down from the fitting size until flush-all's
+    // translation count blows up. Probes above the cliff run at native
+    // speed; the first thrashing probe IS the cliff bar, so the search
+    // costs one expensive run total.
+    let mut cliff = None;
+    for k in (6..=15).rev() {
+        let size = f_total * k / 16;
+        let (bar, _) = run_one("cliff (measured)", size, TcachePolicy::FlushAll);
+        let thrashes = bar.translations >= 20 * ample_fa.translations.max(1);
+        cliff = Some((size, bar));
+        if thrashes {
+            break;
         }
-    }));
+    }
+    let (cliff_size, cliff_fa) = cliff.expect("cliff search range is nonempty");
+
+    // Sizes relative to the measured working set: ample ("infinite"),
+    // just-fits, the measured cliff, and far-too-small — the paper's
+    // 48 KB / 24 KB / 1 KB — each under both replacement policies: the
+    // paper's flush-all baseline and the TRRIP victim eviction that
+    // flattens the thrash bar.
+    let runs: Vec<(&str, u32, TcachePolicy)> = vec![
+        ("ample (4x ws)", footprint * 4, TcachePolicy::Trrip),
+        ("fits (1.5x ws)", footprint * 3 / 2, TcachePolicy::FlushAll),
+        ("fits (1.5x ws)", footprint * 3 / 2, TcachePolicy::Trrip),
+        ("cliff (measured)", cliff_size, TcachePolicy::Trrip),
+        (
+            "thrash (ws/8)",
+            (footprint / 8).max(512),
+            TcachePolicy::FlushAll,
+        ),
+        (
+            "thrash (ws/8)",
+            (footprint / 8).max(512),
+            TcachePolicy::Trrip,
+        ),
+    ];
+    let mut rest = par_map(&runs, |&(label, size, policy)| run_one(label, size, policy))
+        .into_iter()
+        .map(|(bar, _)| bar);
+    bars.push(ample_fa);
+    bars.push(rest.next().expect("ample trrip"));
+    bars.push(rest.next().expect("fits flush-all"));
+    bars.push(rest.next().expect("fits trrip"));
+    bars.push(cliff_fa);
+    bars.push(rest.next().expect("cliff trrip"));
+    bars.extend(rest);
     (bars, footprint)
+}
+
+// ------------------------------------------------------- knee auto-sizing
+
+/// One workload's knee estimate: the minimal tcache size that should
+/// maximise sim-MIPS, predicted from the dominant-block profile and
+/// validated against a measured sweep.
+#[derive(Clone, Debug)]
+pub struct KneeRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Bytes of dominant blocks (smallest PC set covering 99.9 % of
+    /// retired instructions).
+    pub dominant_bytes: u32,
+    /// Measured rewrite expansion factor (installed bytes per touched
+    /// text byte under an ample tcache).
+    pub expansion: f64,
+    /// The estimate: dominant bytes x expansion, snapped up to the grid.
+    pub estimated_bytes: u32,
+    /// The measured optimum: smallest swept size within 2 % of the best
+    /// simulated cycle count.
+    pub measured_bytes: u32,
+    /// Simulated cycles at each swept size, for the printout.
+    pub sweep: Vec<(u32, u64)>,
+}
+
+/// The geometric sweep grid the knee estimate snaps to: interleaved
+/// powers of two (…, 2^b, 3·2^(b-1), …), a half-octave step.
+pub fn knee_grid() -> Vec<u32> {
+    let mut g: Vec<u32> = Vec::new();
+    for b in 9..=17u32 {
+        g.push(1 << b);
+        g.push(3 << (b - 1));
+    }
+    g.sort_unstable();
+    g
+}
+
+/// Dominant-block auto-sizing (`experiments -- knee`): estimate each
+/// workload's minimal sim-MIPS-maximising tcache size from its block
+/// profile alone — dominant bytes (the PCs covering 99.9 % of retired
+/// instructions) times the measured rewrite expansion — then validate
+/// the estimate against a measured sweep over the same grid. The paper
+/// sizes CC memory by gprof's 90 % rule (§2.4); this sharpens that rule
+/// into a per-workload knee the CC can pick automatically.
+pub fn knee(scale: u32) -> Vec<KneeRow> {
+    let grid = knee_grid();
+    let benches: [(&str, u32); 3] = [
+        ("adpcmenc", scale),
+        ("compress95", scale * 32),
+        ("hextobdd", 4),
+    ];
+    par_map(&benches, |&(name, sc)| {
+        let w = by_name(name).expect("workload");
+        let image = w.image(true);
+        let input = (w.gen_input)(sc);
+
+        // Dominant blocks: per-PC retirement counts, smallest set
+        // covering 99.9 % of dynamic instructions. The long tail of
+        // once-executed startup code is exactly what the tcache can
+        // afford to retranslate, so it is excluded from the knee.
+        let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut m = Machine::load_native(&image, &input);
+        m.run_native_traced(2_000_000_000, |pc| *counts.entry(pc).or_insert(0) += 1)
+            .expect("traced run completes");
+        let total: u64 = counts.values().sum();
+        let mut by_heat: Vec<u64> = counts.values().copied().collect();
+        by_heat.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+        let want = (total as f64 * 0.999).ceil() as u64;
+        let mut acc = 0u64;
+        let mut dominant_pcs = 0u32;
+        for c in by_heat {
+            if acc >= want {
+                break;
+            }
+            acc += c;
+            dominant_pcs += 1;
+        }
+        let dominant_bytes = dominant_pcs * 4;
+
+        // Rewrite expansion: installed bytes per touched text byte,
+        // measured once under an ample tcache (no pressure, so every
+        // translation is unique).
+        let ample = IcacheConfig {
+            tcache_size: image.text_bytes() * 4,
+            link: LinkModel::free(),
+            ..IcacheConfig::default()
+        };
+        let out = SoftIcacheSystem::new(image.clone(), ample)
+            .run(&input)
+            .expect("ample run");
+        let touched = dynamic_text_bytes(&image, &input);
+        let expansion = (out.cache.words_installed * 4) as f64 / touched as f64;
+
+        let target = (dominant_bytes as f64 * expansion).ceil() as u32;
+        let estimated_bytes = *grid
+            .iter()
+            .find(|&&g| g >= target)
+            .unwrap_or(grid.last().expect("grid"));
+
+        // Measured sweep over the same grid: simulated cycles per size;
+        // the optimum is the smallest size within 2 % of the best.
+        let sweep: Vec<(u32, u64)> = grid
+            .iter()
+            .map(|&size| {
+                let cfg = IcacheConfig {
+                    tcache_size: size,
+                    link: LinkModel::free(),
+                    ..IcacheConfig::default()
+                };
+                let cycles = match SoftIcacheSystem::new(image.clone(), cfg).run(&input) {
+                    Ok(out) => out.exec.cycles,
+                    // Below the biggest chunk the system cannot run at
+                    // all; treat as unusable (worst possible).
+                    Err(CacheError::ChunkTooBig { .. }) => u64::MAX,
+                    Err(e) => panic!("{name} @ {size}: {e}"),
+                };
+                (size, cycles)
+            })
+            .collect();
+        let best = sweep.iter().map(|&(_, c)| c).min().expect("sweep");
+        let measured_bytes = sweep
+            .iter()
+            .find(|&&(_, c)| c as f64 <= best as f64 * 1.02)
+            .expect("some size is near-best")
+            .0;
+
+        KneeRow {
+            name: w.name,
+            dominant_bytes,
+            expansion,
+            estimated_bytes,
+            measured_bytes,
+            sweep,
+        }
+    })
 }
 
 // ------------------------------------------------------------ Figures 6, 7
@@ -2086,27 +2310,89 @@ mod tests {
     fn fig5_shape() {
         let (bars, ws) = fig5(32);
         assert!(ws > 0);
-        assert_eq!(bars.len(), 4);
+        // ideal + 4 sizes x 2 policies.
+        assert_eq!(bars.len(), 9);
         assert!((bars[0].relative_time - 1.0).abs() < 1e-9);
-        // Fitting configurations: modest overhead, no flushes.
-        for b in &bars[1..3] {
-            assert!(b.relative_time > 1.0, "{}", b.label);
+        // Fitting configurations (ample + fits, both policies): modest
+        // overhead and no replacement pressure, so the policies agree.
+        for b in &bars[1..5] {
+            assert!(b.relative_time > 1.0, "{} {}", b.label, b.policy);
             assert!(
                 b.relative_time < 2.0,
-                "{}: fitting tcache should be near-native, got {:.2}",
+                "{} {}: fitting tcache should be near-native, got {:.2}",
                 b.label,
+                b.policy,
                 b.relative_time
             );
-            assert_eq!(b.flushes, 0, "{}", b.label);
+            assert_eq!(b.flushes, 0, "{} {}", b.label, b.policy);
+            assert_eq!(b.evictions, 0, "{} {}", b.label, b.policy);
         }
-        // Thrash configuration: dramatically worse.
+        let (cliff_fa, cliff_tr) = (&bars[5], &bars[6]);
+        let (thrash_fa, thrash_tr) = (&bars[7], &bars[8]);
+        assert_eq!(cliff_fa.policy, "flush-all");
+        assert_eq!(cliff_tr.policy, "trrip");
+        assert_eq!(thrash_fa.policy, "flush-all");
+        assert_eq!(thrash_tr.policy, "trrip");
+        // The paper's cliff: under flush-all, dropping below the working
+        // set is dramatically worse than the fitting configuration.
         assert!(
-            bars[3].relative_time > bars[2].relative_time * 2.0,
-            "thrash bar {:.2} vs fit {:.2}",
-            bars[3].relative_time,
-            bars[2].relative_time
+            cliff_fa.relative_time > bars[3].relative_time * 1.5,
+            "cliff bar {:.2} vs fit {:.2}",
+            cliff_fa.relative_time,
+            bars[3].relative_time
         );
-        assert!(bars[3].flushes > 0);
+        assert!(
+            thrash_fa.relative_time > bars[3].relative_time * 2.0,
+            "thrash bar {:.2} vs fit {:.2}",
+            thrash_fa.relative_time,
+            bars[3].relative_time
+        );
+        assert!(cliff_fa.flushes > 0);
+        assert!(thrash_fa.flushes > 0);
+        // TRRIP flattens the cliff: victim eviction instead of flushes,
+        // at least 2x fewer retranslations at the cliff point, and a
+        // strict improvement even at the paper's off-scale thrash size.
+        assert!(cliff_tr.evictions > 0, "{:?}", cliff_tr);
+        assert!(
+            cliff_tr.translations * 2 <= cliff_fa.translations,
+            "TRRIP must cut cliff retranslations >= 2x: {} vs {}",
+            cliff_tr.translations,
+            cliff_fa.translations
+        );
+        assert!(
+            cliff_tr.relative_time < cliff_fa.relative_time,
+            "TRRIP cliff {:.2} must beat flush-all {:.2}",
+            cliff_tr.relative_time,
+            cliff_fa.relative_time
+        );
+        assert!(
+            thrash_tr.translations < thrash_fa.translations,
+            "TRRIP thrash {} must improve on flush-all {}",
+            thrash_tr.translations,
+            thrash_fa.translations
+        );
+        assert!(thrash_tr.relative_time < thrash_fa.relative_time);
+    }
+
+    #[test]
+    fn knee_estimate_within_one_grid_step() {
+        let grid = knee_grid();
+        for r in knee(2) {
+            let gi = |b: u32| {
+                grid.iter()
+                    .position(|&g| g == b)
+                    .unwrap_or_else(|| panic!("{}: {b} off grid", r.name))
+            };
+            let (e, m) = (gi(r.estimated_bytes), gi(r.measured_bytes));
+            assert!(
+                e.abs_diff(m) <= 1,
+                "{}: estimate {} vs measured {} ({:?})",
+                r.name,
+                r.estimated_bytes,
+                r.measured_bytes,
+                r.sweep
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,32 @@ use softcache_net::{LinkModel, LinkPolicy, LinkStats, NetError};
 use softcache_sim::{Machine, SimError};
 use std::collections::{HashMap, HashSet};
 
+/// Replacement policy applied when the tcache fills.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TcachePolicy {
+    /// Wholesale flush on pressure — the paper's SPARC-prototype policy
+    /// (like Dynamo/Shade) and the source of Figure 5's thrash cliff.
+    FlushAll,
+    /// TRRIP-flavored per-chunk victim eviction: each chunk carries a
+    /// re-reference prediction value (hot/warm/cold insertion from its
+    /// refetch history, aging under allocation pressure) and only enough
+    /// cold victims are evicted to fit the incoming chunk. Degrades to a
+    /// wholesale flush when pins/fragmentation leave no usable hole.
+    #[default]
+    Trrip,
+}
+
+/// TRRIP re-reference horizon: victims are taken at this value.
+const RRPV_MAX: u8 = 3;
+/// Insertion value for a chunk refetched soon after its eviction.
+const RRPV_HOT: u8 = 0;
+/// Insertion value for a chunk that has been evicted before.
+const RRPV_WARM: u8 = 1;
+/// Insertion value for a never-evicted demand fetch.
+const RRPV_FRESH: u8 = 2;
+/// Evictions within which a refetch counts as an imminent re-reference.
+const REREF_WINDOW: u64 = 64;
+
 /// Configuration of the software instruction cache.
 #[derive(Clone, Copy, Debug)]
 pub struct IcacheConfig {
@@ -78,6 +104,8 @@ pub struct IcacheConfig {
     /// Integrity-seal verification and corruption-watchdog knobs
     /// (DESIGN.md §13).
     pub integrity: IntegrityConfig,
+    /// Replacement policy on tcache pressure (DESIGN.md §16).
+    pub tcache_policy: TcachePolicy,
     /// Instruction budget for a run.
     pub fuel: u64,
 }
@@ -100,6 +128,7 @@ impl Default for IcacheConfig {
             threaded: true,
             threaded_threshold: softcache_sim::DEFAULT_THREADED_THRESHOLD,
             integrity: IntegrityConfig::default(),
+            tcache_policy: TcachePolicy::default(),
             fuel: 2_000_000_000,
         }
     }
@@ -118,8 +147,28 @@ pub struct IcacheStats {
     pub hash_hits: u64,
     /// Full tcache flushes.
     pub flushes: u64,
+    /// Live chunks dropped by wholesale flushes and resyncs.
+    pub flush_losses: u64,
     /// Individual chunk invalidations.
     pub chunk_invalidations: u64,
+    /// Chunks evicted individually by the `Trrip` policy.
+    pub evictions: u64,
+    /// Bytes reclaimed by those evictions.
+    pub evicted_bytes: u64,
+    /// Allocation-pressure fills serviced by eviction (`Trrip` only).
+    pub evict_fills: u64,
+    /// Evicted chunks whose pre-fill temperature was hot (RRPV 0).
+    pub evicted_hot: u64,
+    /// Evicted chunks whose pre-fill temperature was warm (RRPV 1).
+    pub evicted_warm: u64,
+    /// Evicted chunks whose pre-fill temperature was cold (RRPV 2+).
+    pub evicted_cold: u64,
+    /// Speculatively pushed chunks evicted before first entry (also
+    /// counted in `link.prefetch_wastes`).
+    pub evicted_unentered: u64,
+    /// Chunks still resident at end of run (settled by
+    /// [`Cc::finalize_prefetch`]).
+    pub residents: u64,
     /// Patch operations applied (branches re-rewritten).
     pub patches: u64,
     /// Words installed into the tcache.
@@ -133,6 +182,22 @@ pub struct IcacheStats {
     /// Integrity-seal / self-healing ledger (all zero unless faults are
     /// injected or trap-entry verification is armed).
     pub integrity: IntegrityStats,
+}
+
+impl IcacheStats {
+    /// Mean victims evicted per allocation-pressure fill.
+    pub fn victims_per_fill(&self) -> f64 {
+        self.evictions as f64 / self.evict_fills.max(1) as f64
+    }
+
+    /// Exact install ledger: every translated chunk is accounted exactly
+    /// once as still resident, individually evicted, explicitly
+    /// invalidated, or lost to a wholesale flush/resync. Holds after
+    /// [`Cc::finalize_prefetch`] settles `residents`.
+    pub fn install_ledger_balanced(&self) -> bool {
+        self.translations
+            == self.residents + self.evictions + self.chunk_invalidations + self.flush_losses
+    }
 }
 
 /// Errors from the softcache runtime.
@@ -190,6 +255,127 @@ impl From<SimError> for CacheError {
     }
 }
 
+/// First-fit free-list allocator over the tcache region: sorted,
+/// coalesced, non-adjacent holes. With the `FlushAll` policy the list
+/// always holds one tail hole and degenerates to the paper's bump
+/// pointer; eviction punches reusable holes into the middle.
+#[derive(Clone, Debug)]
+struct FreeList {
+    base: u32,
+    size: u32,
+    /// `(start, len)` holes, sorted by start, never empty-length.
+    holes: Vec<(u32, u32)>,
+}
+
+impl FreeList {
+    fn new(base: u32, size: u32) -> FreeList {
+        // Word granularity: an unaligned tail byte count could never hold
+        // an instruction, and high-end allocation must stay 4-aligned.
+        let size = size & !3;
+        FreeList {
+            base,
+            size,
+            holes: vec![(base, size)],
+        }
+    }
+
+    /// Forget every allocation (the local half of a flush/resync).
+    fn reset(&mut self) {
+        self.holes.clear();
+        self.holes.push((self.base, self.size));
+    }
+
+    fn free_bytes(&self) -> u32 {
+        self.holes.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// The largest hole as `(start, len)` — `len` 0 when full. Ties go to
+    /// the lowest address, so a fresh tcache yields its base.
+    fn largest(&self) -> (u32, u32) {
+        self.holes
+            .iter()
+            .copied()
+            .max_by_key(|&(s, l)| (l, std::cmp::Reverse(s)))
+            .unwrap_or((self.base, 0))
+    }
+
+    /// First-fit allocation at the lowest address with room. The install
+    /// path carves holes directly (`largest` + `alloc_at`); this remains
+    /// as the reference allocator exercised by the free-list unit tests.
+    #[cfg(test)]
+    fn alloc(&mut self, bytes: u32) -> Option<u32> {
+        let i = self.holes.iter().position(|&(_, l)| l >= bytes)?;
+        let (s, l) = self.holes[i];
+        if l == bytes {
+            self.holes.remove(i);
+        } else {
+            self.holes[i] = (s + bytes, l - bytes);
+        }
+        Some(s)
+    }
+
+    /// Allocation from the top of the highest hole with room — used for
+    /// redirector words, which collect at the high end of the arena so
+    /// the holes eviction opens for chunk-sized fills stay coalescible.
+    fn alloc_high(&mut self, bytes: u32) -> Option<u32> {
+        let i = self.holes.iter().rposition(|&(_, l)| l >= bytes)?;
+        let (s, l) = self.holes[i];
+        if l == bytes {
+            self.holes.remove(i);
+        } else {
+            self.holes[i] = (s, l - bytes);
+        }
+        Some(s + l - bytes)
+    }
+
+    /// The hole containing `addr`, if any.
+    fn hole_at(&self, addr: u32) -> Option<(u32, u32)> {
+        self.holes
+            .iter()
+            .copied()
+            .find(|&(s, l)| s <= addr && addr < s + l)
+    }
+
+    /// Carve the exact range `[start, start + bytes)` out of whichever
+    /// hole contains it; `false` if no hole does.
+    fn alloc_at(&mut self, start: u32, bytes: u32) -> bool {
+        let Some(i) = self
+            .holes
+            .iter()
+            .position(|&(s, l)| s <= start && start + bytes <= s + l)
+        else {
+            return false;
+        };
+        let (s, l) = self.holes[i];
+        let mut repl = Vec::with_capacity(2);
+        if start > s {
+            repl.push((s, start - s));
+        }
+        if s + l > start + bytes {
+            repl.push((start + bytes, s + l - (start + bytes)));
+        }
+        self.holes.splice(i..=i, repl);
+        true
+    }
+
+    /// Return `[start, start + len)` to the list, coalescing neighbours.
+    fn release(&mut self, start: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let i = self.holes.partition_point(|&(s, _)| s < start);
+        self.holes.insert(i, (start, len));
+        if i + 1 < self.holes.len() && self.holes[i].0 + self.holes[i].1 == self.holes[i + 1].0 {
+            self.holes[i].1 += self.holes[i + 1].1;
+            self.holes.remove(i + 1);
+        }
+        if i > 0 && self.holes[i - 1].0 + self.holes[i - 1].1 == self.holes[i].0 {
+            self.holes[i - 1].1 += self.holes[i].1;
+            self.holes.remove(i);
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct MissRecord {
     orig_target: u32,
@@ -216,6 +402,34 @@ struct ChunkInfo {
     incoming: Vec<Incoming>,
     records: Vec<u32>,
     alive: bool,
+    /// Installation counter distinguishing reuses of this slot: a miss
+    /// record patched against an older installation must not touch a
+    /// newer chunk that happens to occupy the same slot.
+    epoch: u64,
+    /// TRRIP re-reference prediction value: 0 = re-reference imminent,
+    /// [`RRPV_MAX`] = distant. Maintained under both policies, consulted
+    /// only by `Trrip` victim selection.
+    rrpv: u8,
+    /// `rrpv` snapshot taken when the current allocation-pressure fill
+    /// began — the temperature the eviction histogram records.
+    pressure_rrpv: u8,
+}
+
+/// A single-word redirector: a return-address trampoline (permanent,
+/// shared by `orig`) or a standalone branch-landing stub (retired when
+/// its record dies or its branch is patched direct).
+#[derive(Clone, Copy, Debug)]
+struct Redir {
+    addr: u32,
+    orig: u32,
+    /// Miss-record index encoded in the word — enough metadata to
+    /// regenerate a corrupted span without a refetch.
+    idx: u32,
+    /// `true` for standalone stubs, `false` for RA trampolines. Only
+    /// trampolines are reused by target: handing a return address a stub
+    /// whose record dies with its home chunk would strand the RA on a
+    /// dangling record index.
+    stub: bool,
 }
 
 /// The cache controller state.
@@ -224,13 +438,38 @@ pub struct Cc {
     /// tcache map: original pc → tcache address (Figure 4's hash table).
     map: HashMap<u32, u32>,
     chunks: Vec<ChunkInfo>,
+    /// Original pc → live chunk slot, kept in lockstep with `map` so the
+    /// hot paths can touch temperature without a linear chunk scan.
+    chunk_ids: HashMap<u32, usize>,
     records: Vec<Option<MissRecord>>,
-    /// Return-address trampolines and standalone stubs:
-    /// (tcache addr, original target, miss-record index). The record
+    /// Return-address trampolines and standalone stubs. The record
     /// index lets a corrupted single-word span be regenerated purely
     /// from this metadata, no refetch needed.
-    trampolines: Vec<(u32, u32, u32)>,
-    next_free: u32,
+    trampolines: Vec<Redir>,
+    /// tcache allocator (a bump pointer until eviction punches holes).
+    free: FreeList,
+    /// Dead `chunks` slots available for reuse — under `Trrip` the vec
+    /// would otherwise grow (and `chunk_at` slow down) forever.
+    free_chunk_slots: Vec<usize>,
+    /// Dead `records` slots available for reuse.
+    free_record_slots: Vec<u32>,
+    /// Monotone installation counter backing `ChunkInfo::epoch`. Never
+    /// reset: epochs must stay unique across flushes.
+    epoch_counter: u64,
+    /// Eviction counter ordering `history` entries.
+    evict_seq: u64,
+    /// Original pc → `evict_seq` at its last eviction: the re-reference
+    /// history that drives hot/warm/cold insertion. Survives flushes —
+    /// temperature is a property of the program, not of one tcache
+    /// generation.
+    history: HashMap<u32, u64>,
+    /// Original pc → lifetime re-reference count (map hits, miss traps on
+    /// the home site, demand installs and demand-resolved static refs).
+    /// Survives evictions and flushes; under pressure the victim
+    /// tie-break prefers the chunk whose code has re-referenced least
+    /// over the whole run, so the churn concentrates on low-entry-rate
+    /// code and the hot loop stays resident.
+    heat: HashMap<u32, u64>,
     generation: u64,
     /// Pushed chunks installed but not yet observed entered. An entry
     /// leaves as a *hit* when the program reaches the chunk (miss stub,
@@ -262,13 +501,20 @@ impl Cc {
     /// Fresh controller.
     pub fn new(cfg: IcacheConfig) -> Cc {
         Cc {
-            next_free: cfg.tcache_base,
+            free: FreeList::new(cfg.tcache_base, cfg.tcache_size),
             armed: cfg.integrity.verify_traps,
             cfg,
             map: HashMap::new(),
             chunks: Vec::new(),
+            chunk_ids: HashMap::new(),
             records: Vec::new(),
             trampolines: Vec::new(),
+            free_chunk_slots: Vec::new(),
+            free_record_slots: Vec::new(),
+            epoch_counter: 0,
+            evict_seq: 0,
+            history: HashMap::new(),
+            heat: HashMap::new(),
             generation: 0,
             pending_prefetch: HashSet::new(),
             power: None,
@@ -317,7 +563,7 @@ impl Cc {
 
     /// Bytes of tcache currently allocated.
     pub fn used_bytes(&self) -> u32 {
-        self.next_free - self.cfg.tcache_base
+        self.cfg.tcache_size - self.free.free_bytes()
     }
 
     /// Number of live chunks.
@@ -367,8 +613,8 @@ impl Cc {
         }
         self.trampolines
             .iter()
-            .find(|&&(a, _, _)| a == addr)
-            .map(|&(_, o, _)| o)
+            .find(|t| t.addr == addr)
+            .map(|t| t.orig)
     }
 
     fn in_tcache(&self, addr: u32) -> bool {
@@ -376,7 +622,8 @@ impl Cc {
     }
 
     /// Ensure the chunk starting at `orig` is resident; returns its tcache
-    /// address. May flush the whole tcache to make room.
+    /// address. On pressure, makes room per the configured policy: evicts
+    /// cold victims (`Trrip`) or flushes wholesale (`FlushAll`).
     pub fn ensure(
         &mut self,
         machine: &mut Machine,
@@ -384,21 +631,34 @@ impl Cc {
         orig: u32,
     ) -> Result<u32, CacheError> {
         if let Some(&tc) = self.map.get(&orig) {
+            // A map hit is an observed re-reference: reset temperature.
+            if let Some(&cid) = self.chunk_ids.get(&orig) {
+                self.chunks[cid].rrpv = RRPV_HOT;
+            }
+            *self.heat.entry(orig).or_insert(0) += 1;
             if self.pending_prefetch.remove(&orig) {
                 self.stats.link.prefetch_hits += 1;
             }
             return Ok(tc);
         }
-        let mut flushed = false;
+        // The largest size already made room for this fetch. A refetch can
+        // come back *bigger* (the rewritten size depends on the
+        // destination), which warrants another round; but once the hole we
+        // secured covers the request and the chunk still does not fit,
+        // room-making stalled — eviction degraded to a flush, and flushing
+        // again cannot help (the fresh tcache keeps its return-address
+        // trampolines and pinned spans). Strictly monotone, so the retry
+        // loop terminates.
+        let mut roomed: u32 = 0;
         let mut batch_ok = self.cfg.prefetch_depth > 0;
         loop {
-            let dest = self.next_free;
+            let (dest, budget) = self.free.largest();
             let req = if batch_ok {
                 Request::FetchBatch {
                     orig_pc: orig,
                     dest,
                     max_chunks: self.cfg.prefetch_depth + 1,
-                    budget_bytes: self.end().saturating_sub(dest),
+                    budget_bytes: budget,
                 }
             } else {
                 Request::FetchBlock {
@@ -413,7 +673,7 @@ impl Cc {
                     // for us is trustworthy any more. Drop everything
                     // locally and retry this fetch against the fresh MC.
                     self.resync(machine);
-                    flushed = false;
+                    roomed = 0;
                     continue;
                 }
                 Err(CacheError::Net(NetError::Timeout)) if batch_ok => {
@@ -422,10 +682,12 @@ impl Cc {
                     // wire), leaving residence-mirror entries for pushed
                     // chunks we never installed. Flush to clear them, then
                     // degrade to the single-chunk protocol for this miss.
+                    // Room-making after a flush cannot free more, so the
+                    // retry is also the final fit attempt.
                     self.stats.link.session.batch_fallbacks += 1;
                     batch_ok = false;
                     self.flush(machine, ep)?;
-                    flushed = true;
+                    roomed = self.cfg.tcache_size;
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -439,20 +701,29 @@ impl Cc {
                 _ => return Err(CacheError::Proto),
             };
             let bytes = chunks[0].words.len() as u32 * 4;
-            if dest + bytes > self.end() {
-                // A fresh tcache still holds the return-address trampolines
-                // the flush creates, so "fits" means fits in what a flush
-                // actually frees — flushing more than once cannot help.
-                if bytes > self.cfg.tcache_size || flushed {
+            if bytes > budget {
+                if self.cfg.tcache_policy == TcachePolicy::Trrip {
+                    // The fetched chunks will not be installed; clear the
+                    // MC's residence mirror for them before re-fetching
+                    // at a different destination. (`FlushAll` resolves a
+                    // misfit with `InvalidateAll`, which clears them all.)
+                    let gen = self.generation;
+                    self.abandon_fetch(machine, ep, &chunks)?;
+                    if self.generation != gen {
+                        // The abandon ran into an MC restart and resynced:
+                        // the tcache is empty, start the fetch over.
+                        roomed = 0;
+                        continue;
+                    }
+                }
+                if bytes > self.cfg.tcache_size || bytes <= roomed {
                     return Err(CacheError::ChunkTooBig {
                         bytes,
-                        capacity: self.end().saturating_sub(dest).min(self.cfg.tcache_size),
+                        capacity: budget.min(self.cfg.tcache_size),
                     });
                 }
-                // Not enough room: flush everything (the SPARC prototype's
-                // policy, like Dynamo/Shade) and retry at the new top.
-                self.flush(machine, ep)?;
-                flushed = true;
+                self.make_room(machine, ep, bytes)?;
+                roomed = bytes;
                 continue;
             }
             let mut it = chunks.into_iter();
@@ -460,15 +731,18 @@ impl Cc {
                 self.stats.link.batches += 1;
             }
             let demand = it.next().expect("checked non-empty");
-            self.install(machine, demand, dest, self.cfg.miss_handler_cycles)?;
+            let carved = self.free.alloc_at(dest, bytes);
+            debug_assert!(carved, "largest hole must fit a checked demand");
+            self.install(machine, demand, dest, self.cfg.miss_handler_cycles, false)?;
             // Opportunistically install the pushed chunks right behind the
-            // demanded one. They consume only free space past `next_free`
-            // (the MC's byte budget was exactly our free space), so nothing
-            // live or pinned is ever evicted to make room for speculation.
+            // demanded one. They consume only free space inside the hole
+            // the MC was given as its byte budget, so nothing live or
+            // pinned is ever evicted to make room for speculation.
+            let mut cursor = dest + bytes;
             for chunk in it {
-                let d = self.next_free;
+                let d = cursor;
                 let bytes = chunk.words.len() as u32 * 4;
-                if d + bytes > self.end() || self.map.contains_key(&chunk.orig_start) {
+                if self.map.contains_key(&chunk.orig_start) || !self.free.alloc_at(d, bytes) {
                     // Unreachable with an honest MC: pushes are budget-
                     // bounded and skip resident chunks.
                     return Err(CacheError::Proto);
@@ -476,38 +750,77 @@ impl Cc {
                 let orig_start = chunk.orig_start;
                 self.stats.link.prefetched_chunks += 1;
                 self.stats.link.prefetched_bytes += bytes as u64;
-                self.install(machine, chunk, d, 0)?;
+                self.install(machine, chunk, d, 0, true)?;
                 self.pending_prefetch.insert(orig_start);
+                cursor = d + bytes;
             }
             return Ok(dest);
         }
     }
 
-    /// Install one rewritten chunk at `dest`. `handler_cycles` is the
-    /// fixed trap-servicing cost to charge: the demanded chunk of a fetch
-    /// pays `miss_handler_cycles`, a speculatively-pushed chunk pays 0 (no
+    /// Clear the MC's residence-mirror entries for chunks fetched but not
+    /// installed: a stale entry would let later rewrites resolve branches
+    /// straight into tcache space we reallocated.
+    fn abandon_fetch(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        chunks: &[ChunkPayload],
+    ) -> Result<(), CacheError> {
+        for c in chunks {
+            match self.rpc(
+                ep,
+                &Request::Invalidate {
+                    orig_pc: c.orig_start,
+                },
+            ) {
+                Ok((reply, stall)) => {
+                    self.stats.miss_cycles += stall;
+                    machine.stats.cycles += stall;
+                    if !matches!(reply, Reply::Ack) {
+                        return Err(CacheError::Proto);
+                    }
+                }
+                // A restarted MC has an empty mirror — nothing left to
+                // abandon; the caller restarts from the resynced state.
+                Err(CacheError::McRestarted) => {
+                    self.resync(machine);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Install one rewritten chunk at `dest` (the caller has already
+    /// carved `dest` out of the free list). `handler_cycles` is the fixed
+    /// trap-servicing cost to charge: the demanded chunk of a fetch pays
+    /// `miss_handler_cycles`, a speculatively-pushed chunk pays 0 (no
     /// trap ran for it — only the per-word copy cost applies).
+    /// `speculative` selects the insertion temperature: pushed chunks
+    /// insert at the distant horizon, demand fetches by refetch history.
     fn install(
         &mut self,
         machine: &mut Machine,
         chunk: ChunkPayload,
         dest: u32,
         handler_cycles: u64,
+        speculative: bool,
     ) -> Result<(), CacheError> {
         let n_words = chunk.words.len() as u32;
         machine
             .mem
             .write_words(dest, &chunk.words)
             .expect("tcache region is mapped");
-        let id = self.chunks.len();
+        let id = self.free_chunk_slots.pop().unwrap_or(self.chunks.len());
         let mut record_ids = Vec::with_capacity(chunk.exits.len());
         for exit in &chunk.exits {
-            let idx = self.records.len() as u32;
-            self.records.push(Some(MissRecord {
+            let idx = self.alloc_record(MissRecord {
                 orig_target: exit.orig_target,
                 patch: Some((dest + exit.patch_slot * 4, exit.kind)),
                 home: Some(id),
-            }));
+            });
             record_ids.push(idx);
             machine
                 .mem
@@ -529,7 +842,23 @@ impl Cc {
         // Seal the finished span — body plus stub words, read back from
         // simulated memory so the seal covers exactly what will execute.
         self.seals.seal(machine, dest, n_words * 4);
-        self.chunks.push(ChunkInfo {
+        // Insertion temperature: a chunk refetched soon after an eviction
+        // is predicted to re-reference imminently; one ever evicted is
+        // warm; a first-time fetch is in between; a speculative push has
+        // shown no re-reference evidence at all.
+        let rrpv = if speculative {
+            RRPV_MAX
+        } else {
+            *self.heat.entry(chunk.orig_start).or_insert(0) += 1;
+            let window = REREF_WINDOW;
+            match self.history.get(&chunk.orig_start) {
+                Some(&seq) if self.evict_seq - seq <= window => RRPV_HOT,
+                Some(_) => RRPV_WARM,
+                None => RRPV_FRESH,
+            }
+        };
+        self.epoch_counter += 1;
+        let info = ChunkInfo {
             orig_start: chunk.orig_start,
             tc_start: dest,
             n_words,
@@ -538,9 +867,17 @@ impl Cc {
             incoming: Vec::new(),
             records: record_ids,
             alive: true,
-        });
+            epoch: self.epoch_counter,
+            rrpv,
+            pressure_rrpv: rrpv,
+        };
+        if id == self.chunks.len() {
+            self.chunks.push(info);
+        } else {
+            self.chunks[id] = info;
+        }
         self.map.insert(chunk.orig_start, dest);
-        self.next_free = dest + n_words * 4;
+        self.chunk_ids.insert(chunk.orig_start, id);
         if let Some(p) = &mut self.power {
             p.occupy(dest, n_words * 4);
         }
@@ -553,6 +890,12 @@ impl Cc {
                         addr: dest + rr.slot * 4,
                         kind: rr.kind,
                     });
+                    if !speculative {
+                        // Demand code statically branching into a resident
+                        // chunk is about to re-reference it.
+                        self.chunks[tid].rrpv = RRPV_HOT;
+                        *self.heat.entry(rr.orig_target).or_insert(0) += 1;
+                    }
                 }
             }
             // A demand chunk resolved straight into a pushed chunk reaches
@@ -586,15 +929,33 @@ impl Cc {
             .get(idx as usize)
             .and_then(|r| r.clone())
             .ok_or(CacheError::BadMissRecord(idx))?;
+        // The trap re-referenced the site's home chunk: mark it hot before
+        // `ensure` runs victim selection for the target fetch.
+        if let Some(c) = rec.home.and_then(|h| self.chunks.get_mut(h)) {
+            if c.alive {
+                c.rrpv = RRPV_HOT;
+                let orig = c.orig_start;
+                *self.heat.entry(orig).or_insert(0) += 1;
+            }
+        }
         let gen_before = self.generation;
+        // `ensure` below may evict the home chunk or recycle its slot for
+        // a different installation; the per-install epoch distinguishes
+        // "still the same chunk" from "same slot, new tenant".
+        let home_epoch = rec
+            .home
+            .and_then(|h| self.chunks.get(h))
+            .filter(|c| c.alive)
+            .map(|c| c.epoch);
         let target_tc = self.verified_target(machine, ep, rec.orig_target)?;
         // Patch only if no flush intervened and the home chunk survived.
-        if self.generation == gen_before {
-            let home_alive = rec
+        if self.generation == gen_before && home_epoch.is_some() {
+            let home_now = rec
                 .home
-                .map(|h| self.chunks.get(h).map(|c| c.alive).unwrap_or(false))
-                .unwrap_or(false);
-            if let (Some((addr, kind)), true) = (rec.patch, home_alive) {
+                .and_then(|h| self.chunks.get(h))
+                .filter(|c| c.alive)
+                .map(|c| c.epoch);
+            if let (Some((addr, kind)), true) = (rec.patch, home_now == home_epoch) {
                 self.apply_patch(machine, addr, kind, target_tc)?;
                 if let Some(tid) = self.chunk_at(target_tc) {
                     self.chunks[tid].incoming.push(Incoming {
@@ -602,6 +963,14 @@ impl Cc {
                         addr,
                         kind,
                     });
+                }
+                // The branch now jumps direct: its standalone landing stub
+                // (if the record had one) is unreachable — retire the word
+                // and recycle the record. In-chunk stub words stay: their
+                // slots remain addressable until the chunk dies.
+                if let Some(pos) = self.trampolines.iter().position(|t| t.stub && t.idx == idx) {
+                    self.retire_redirector(pos);
+                    self.free_record(idx);
                 }
             }
         }
@@ -721,30 +1090,33 @@ impl Cc {
         out
     }
 
-    /// Allocate (or reuse) a return-address trampoline for `orig`.
+    /// Allocate (or reuse) a return-address trampoline for `orig`. Only
+    /// true trampolines are reused: a standalone stub's record dies with
+    /// its home chunk, so handing its address to a return address would
+    /// leave the RA parked on a word whose record can vanish.
     fn trampoline_for(&mut self, machine: &mut Machine, orig: u32) -> Option<u32> {
-        if let Some(&(addr, _, _)) = self.trampolines.iter().find(|&&(_, o, _)| o == orig) {
-            return Some(addr);
+        if let Some(t) = self.trampolines.iter().find(|t| !t.stub && t.orig == orig) {
+            return Some(t.addr);
         }
-        if self.next_free + 4 > self.end() {
-            return None;
-        }
-        let addr = self.next_free;
-        self.next_free += 4;
+        let addr = self.free.alloc_high(4)?;
         if let Some(p) = &mut self.power {
             p.occupy(addr, 4);
         }
-        let idx = self.records.len() as u32;
-        self.records.push(Some(MissRecord {
+        let idx = self.alloc_record(MissRecord {
             orig_target: orig,
             patch: None,
             home: None,
-        }));
+        });
         machine
             .mem
             .write_u32(addr, encode(Inst::Miss { idx }))
             .expect("tcache mapped");
-        self.trampolines.push((addr, orig, idx));
+        self.trampolines.push(Redir {
+            addr,
+            orig,
+            idx,
+            stub: false,
+        });
         self.seals.seal(machine, addr, 4);
         Some(addr)
     }
@@ -775,13 +1147,17 @@ impl Cc {
     /// pointer — the local half of both [`Cc::flush`] and [`Cc::resync`].
     fn reset_local(&mut self) {
         self.stats.link.prefetch_wastes += self.pending_prefetch.len() as u64;
+        self.stats.flush_losses += self.chunks.iter().filter(|c| c.alive).count() as u64;
         self.pending_prefetch.clear();
         self.chunks.clear();
         self.map.clear();
+        self.chunk_ids.clear();
         self.records.clear();
         self.trampolines.clear();
+        self.free_chunk_slots.clear();
+        self.free_record_slots.clear();
         self.seals.clear();
-        self.next_free = self.cfg.tcache_base;
+        self.free.reset();
         self.generation += 1;
         if let Some(p) = &mut self.power {
             p.release_all();
@@ -865,7 +1241,222 @@ impl Cc {
         let Some(cid) = self.chunk_at(tc) else {
             return Ok(false);
         };
+        // Counted up front so the install ledger stays exact even if the
+        // detach degrades to a flush (the chunk is already unregistered
+        // by then, so `flush_losses` will not see it).
+        self.stats.chunk_invalidations += 1;
+        if self.pending_prefetch.remove(&orig) {
+            self.stats.link.prefetch_wastes += 1;
+        }
+        self.detach_chunk(machine, ep, cid)?;
+        Ok(true)
+    }
+
+    // ---- eviction (TcachePolicy::Trrip) ----
+
+    /// Make room for an incoming chunk of `bytes`. `FlushAll` is the
+    /// paper's wholesale flush; `Trrip` evicts max-RRPV victims (aging
+    /// every resident when none sits at the horizon) until the largest
+    /// hole fits, degrading to a flush only when protected chunks leave
+    /// nothing evictable or fragmentation keeps every hole too small.
+    fn make_room(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        bytes: u32,
+    ) -> Result<(), CacheError> {
+        if self.cfg.tcache_policy == TcachePolicy::FlushAll {
+            return self.flush(machine, ep);
+        }
+        self.stats.evict_fills += 1;
+        // Snapshot each resident's temperature before any pressure aging:
+        // the eviction histogram records how hot a victim *looked* when
+        // the fill began, not the aged value it was selected at.
+        for c in self.chunks.iter_mut().filter(|c| c.alive) {
+            c.pressure_rrpv = c.rrpv;
+        }
+        // No guest instruction retires during a fill, so the protected
+        // set (executing chunk, live-RA homes, watchdog pins) is stable.
+        let protected = self.protected_chunks(machine);
+        let gen = self.generation;
+        // Seed + grow: the first victim is the globally coldest chunk;
+        // while the hole it opened is still too small, prefer evicting
+        // its *neighbours* (the more re-reference-distant one when both
+        // sides are eligible) so the freed bytes stay contiguous instead
+        // of scattering cold holes that never coalesce. When neither
+        // neighbour is evictable the policy reseeds globally.
+        let mut grow_from: Option<u32> = None;
+        loop {
+            if self.free.largest().1 >= bytes {
+                return Ok(());
+            }
+            let adjacent = grow_from
+                .and_then(|p| self.free.hole_at(p))
+                .and_then(|(s, l)| {
+                    // Growth may consume warm-or-colder neighbours for the
+                    // sake of contiguity, but never a currently-hot chunk:
+                    // at pathologically small sizes the retained hot set
+                    // is the only thing cutting refetches.
+                    let eligible =
+                        |i: &usize| !protected.contains(i) && self.chunks[*i].rrpv > RRPV_HOT;
+                    let left = s.checked_sub(4).and_then(|a| self.chunk_at(a));
+                    let right = self.chunk_at(s + l);
+                    match (left.filter(eligible), right.filter(eligible)) {
+                        (Some(a), Some(b)) => {
+                            let key = |i: usize| {
+                                let c = &self.chunks[i];
+                                let heat = self.heat.get(&c.orig_start).copied().unwrap_or(0);
+                                (std::cmp::Reverse(c.rrpv), heat)
+                            };
+                            Some(if key(a) <= key(b) { a } else { b })
+                        }
+                        (x, y) => x.or(y),
+                    }
+                });
+            let victim = match adjacent.or_else(|| self.pick_victim(&protected)) {
+                Some(v) => v,
+                None => break,
+            };
+            let victim_start = self.chunks[victim].tc_start;
+            self.evict_chunk(machine, ep, victim)?;
+            if self.generation != gen {
+                // A detach degraded to a flush (or an MC restart forced a
+                // resync) and emptied the tcache wholesale.
+                return Ok(());
+            }
+            grow_from = Some(victim_start);
+        }
+        // Nothing evictable, or the freed bytes never coalesced into a
+        // big-enough hole: compact wholesale. The caller's retry decides
+        // whether even that was enough.
+        self.flush(machine, ep)
+    }
+
+    /// The chunks eviction must never select: the chunk the guest pc is
+    /// executing in, chunks holding live return addresses (the RA walk),
+    /// and watchdog-pinned chunks. Redirectors are not chunks and are
+    /// never victims.
+    fn protected_chunks(&self, machine: &Machine) -> HashSet<usize> {
+        let mut out: HashSet<usize> = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive && self.pinned_origs.contains(&c.orig_start))
+            .map(|(i, _)| i)
+            .collect();
+        out.extend(self.chunk_at(machine.cpu.pc));
+        for (_, ra) in self.ra_locations(machine) {
+            if self.in_tcache(ra) {
+                out.extend(self.chunk_at(ra));
+            }
+        }
+        out
+    }
+
+    /// TRRIP victim selection: the eligible chunk with the maximum RRPV;
+    /// ties fall to the coldest lifetime re-reference count, then the
+    /// lowest tcache address. When no eligible chunk sits at the horizon
+    /// yet, every resident ages by the shortfall first (the classic RRIP
+    /// "increment all" step, batched into one pass).
+    fn pick_victim(&mut self, protected: &HashSet<usize>) -> Option<usize> {
+        let (mut best, mut best_key) = (None, (0u8, 0u64, 0u32));
+        for (i, c) in self.chunks.iter().enumerate() {
+            if !c.alive || protected.contains(&i) {
+                continue;
+            }
+            let heat = self.heat.get(&c.orig_start).copied().unwrap_or(0);
+            let key = (c.rrpv, u64::MAX - heat, u32::MAX - c.tc_start);
+            if best.is_none() || key > best_key {
+                best = Some(i);
+                best_key = key;
+            }
+        }
+        let victim = best?;
+        let delta = RRPV_MAX - best_key.0;
+        if delta > 0 {
+            for c in self.chunks.iter_mut().filter(|c| c.alive) {
+                c.rrpv = (c.rrpv + delta).min(RRPV_MAX);
+            }
+        }
+        Some(victim)
+    }
+
+    /// Evict one chunk under the `Trrip` policy: account it, remember its
+    /// eviction for re-reference insertion, and detach it exactly like an
+    /// explicit invalidation (seal dropped, links severed, redirectors
+    /// re-pointed, span reclaimed) — but with no generation bump, so
+    /// every surviving translation, patch and trampoline stays live.
+    fn evict_chunk(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        cid: usize,
+    ) -> Result<(), CacheError> {
+        let c = &self.chunks[cid];
+        let (orig, span_bytes, temp) = (c.orig_start, c.n_words * 4, c.pressure_rrpv);
+        self.stats.evictions += 1;
+        self.stats.evicted_bytes += span_bytes as u64;
+        match temp {
+            RRPV_HOT => self.stats.evicted_hot += 1,
+            RRPV_WARM => self.stats.evicted_warm += 1,
+            _ => self.stats.evicted_cold += 1,
+        }
+        if self.pending_prefetch.remove(&orig) {
+            self.stats.link.prefetch_wastes += 1;
+            self.stats.evicted_unentered += 1;
+        }
+        self.evict_seq += 1;
+        self.history.insert(orig, self.evict_seq);
+        self.detach_chunk(machine, ep, cid)?;
+        Ok(())
+    }
+
+    /// Detach the live chunk `cid` from every pointer that implicitly
+    /// marks it valid — the shared core of [`Cc::invalidate_chunk`] (the
+    /// paper's SMC API) and policy eviction. The span is handed back to
+    /// the allocator *before* incoming sites are re-pointed, so the
+    /// replacement stubs and trampolines can land in the hole just freed
+    /// and detaching runs out of redirector space only when pins crowd
+    /// out the entire tcache. Returns `false` if it still did and the
+    /// detach degraded to a wholesale flush.
+    fn detach_chunk(
+        &mut self,
+        machine: &mut Machine,
+        ep: &mut McEndpoint,
+        cid: usize,
+    ) -> Result<bool, CacheError> {
         let chunk = self.chunks[cid].clone();
+        let orig = chunk.orig_start;
+        let span_start = chunk.tc_start;
+        let span_bytes = chunk.n_words * 4;
+
+        // Resolve live return addresses inside the dying span back to
+        // original targets while the tc→orig mapping still exists.
+        let span = span_start..span_start + span_bytes;
+        let ra_pending: Vec<(RaLoc, u32)> = self
+            .ra_locations(machine)
+            .into_iter()
+            .filter(|(_, v)| span.contains(v))
+            .filter_map(|(loc, v)| self.tc_to_orig(v).map(|o| (loc, o)))
+            .collect();
+
+        // Unregister the chunk and reclaim its span.
+        self.chunks[cid].alive = false;
+        self.map.remove(&orig);
+        self.chunk_ids.remove(&orig);
+        self.seals.unseal(span_start);
+        if self.pinned_origs.contains(&orig) {
+            machine.unpin_slow_span(span_start, span_start + span_bytes);
+        }
+        // Host-side hygiene: drop cached decodes and superblocks over the
+        // span without a generation bump. Survivors keep their chain
+        // links — every route into the dead span is severed below (or was
+        // already write-barriered by the re-pointing itself).
+        machine.invalidate_code_span(span_start, span_start + span_bytes);
+        if let Some(p) = &mut self.power {
+            p.release(span_start, span_bytes);
+        }
+        self.free.release(span_start, span_bytes);
 
         // 1. Re-point incoming sites at fresh miss stubs.
         for inc in &chunk.incoming {
@@ -877,12 +1468,11 @@ impl Cc {
             {
                 continue;
             }
-            let idx = self.records.len() as u32;
-            self.records.push(Some(MissRecord {
+            let idx = self.alloc_record(MissRecord {
                 orig_target: orig,
                 patch: Some((inc.addr, inc.kind)),
                 home: Some(inc.from_chunk),
-            }));
+            });
             self.chunks[inc.from_chunk].records.push(idx);
             match inc.kind {
                 PatchKind::ReplaceWord => {
@@ -896,7 +1486,7 @@ impl Cc {
                     let Some(stub) = self.alloc_stub(machine, idx) else {
                         // No room for a stub: degrade to a full flush.
                         self.flush(machine, ep)?;
-                        return Ok(true);
+                        return Ok(false);
                     };
                     let word = machine.mem.read_u32(inc.addr).expect("mapped");
                     let patched =
@@ -908,45 +1498,25 @@ impl Cc {
             self.seals.reseal_containing(machine, inc.addr);
         }
 
-        // 2. Redirect return addresses pointing into the dying chunk.
-        let span = chunk.tc_start..chunk.tc_start + chunk.n_words * 4;
-        let pending: Vec<(RaLoc, u32)> = self
-            .ra_locations(machine)
-            .into_iter()
-            .filter(|(_, v)| span.contains(v))
-            .filter_map(|(loc, v)| self.tc_to_orig(v).map(|o| (loc, o)))
-            .collect();
-        for (loc, target) in pending {
+        // 2. Redirect return addresses pointing into the dead span.
+        for (loc, target) in ra_pending {
             match self.trampoline_for(machine, target) {
                 Some(stub) => self.write_ra(machine, loc, stub),
                 None => {
                     self.flush(machine, ep)?;
-                    return Ok(true);
+                    return Ok(false);
                 }
             }
         }
 
-        // 3. Kill the chunk: its records, its incoming entries elsewhere,
-        //    its map entry.
-        for ridx in &self.chunks[cid].records {
-            self.records[*ridx as usize] = None;
-        }
-        for other in &mut self.chunks {
+        // 3. Kill the chunk's records (retiring their standalone stubs),
+        //    prune its incoming entries elsewhere, recycle the slot.
+        self.kill_records_of(cid);
+        for other in self.chunks.iter_mut() {
             other.incoming.retain(|i| i.from_chunk != cid);
         }
-        self.chunks[cid].alive = false;
-        self.map.remove(&orig);
-        self.seals.unseal(chunk.tc_start);
-        if self.pinned_origs.contains(&orig) {
-            machine.unpin_slow_span(chunk.tc_start, chunk.tc_start + chunk.n_words * 4);
-        }
-        if self.pending_prefetch.remove(&orig) {
-            self.stats.link.prefetch_wastes += 1;
-        }
-        self.stats.chunk_invalidations += 1;
-        if let Some(p) = &mut self.power {
-            p.release(chunk.tc_start, chunk.n_words * 4);
-        }
+        self.free_chunk_slots.push(cid);
+
         match self.rpc(ep, &Request::Invalidate { orig_pc: orig }) {
             Ok((reply, stall)) => {
                 machine.stats.cycles += stall;
@@ -962,21 +1532,77 @@ impl Cc {
         Ok(true)
     }
 
+    /// Allocate a miss record, reusing a dead slot when one exists.
+    fn alloc_record(&mut self, rec: MissRecord) -> u32 {
+        match self.free_record_slots.pop() {
+            Some(i) => {
+                self.records[i as usize] = Some(rec);
+                i
+            }
+            None => {
+                self.records.push(Some(rec));
+                self.records.len() as u32 - 1
+            }
+        }
+    }
+
+    /// Kill record `idx` and make its slot reusable. Idempotent: a slot
+    /// already dead (e.g. freed early by a patch-time stub retirement and
+    /// still listed by its home chunk) is left alone.
+    fn free_record(&mut self, idx: u32) {
+        if self.records[idx as usize].take().is_some() {
+            self.free_record_slots.push(idx);
+        }
+    }
+
+    /// Kill every record the dead chunk `cid` still owns, retiring their
+    /// standalone landing stubs. Records whose slot was recycled to a
+    /// different home are skipped — they belong to someone else now.
+    fn kill_records_of(&mut self, cid: usize) {
+        let ridxs = std::mem::take(&mut self.chunks[cid].records);
+        for ridx in ridxs {
+            let belongs = self.records[ridx as usize]
+                .as_ref()
+                .is_some_and(|r| r.home == Some(cid));
+            if !belongs {
+                continue;
+            }
+            self.free_record(ridx);
+            if let Some(pos) = self
+                .trampolines
+                .iter()
+                .position(|t| t.stub && t.idx == ridx)
+            {
+                self.retire_redirector(pos);
+            }
+        }
+    }
+
+    /// Remove redirector `pos` (a standalone stub) and hand its word back
+    /// to the allocator. RA trampolines are never retired — a return
+    /// address may hold their address indefinitely. The stale word stays
+    /// in simulated memory until the hole is reused, at which point the
+    /// code-write barrier invalidates any cached decode of it.
+    fn retire_redirector(&mut self, pos: usize) {
+        let t = self.trampolines.remove(pos);
+        self.seals.unseal(t.addr);
+        self.free.release(t.addr, 4);
+    }
+
     /// Settle the speculation ledger at the end of a run: pushed chunks
     /// never observed entered are counted as wasted. After this,
     /// `prefetch_hits + prefetch_wastes == prefetched_chunks`.
     pub fn finalize_prefetch(&mut self) {
         self.stats.link.prefetch_wastes += self.pending_prefetch.len() as u64;
         self.pending_prefetch.clear();
+        // Settle the install ledger: every translation is now resident,
+        // evicted, invalidated, or flush-lost — exactly once.
+        self.stats.residents = self.chunks.iter().filter(|c| c.alive).count() as u64;
     }
 
     /// Allocate a standalone miss-stub word for record `idx`.
     fn alloc_stub(&mut self, machine: &mut Machine, idx: u32) -> Option<u32> {
-        if self.next_free + 4 > self.end() {
-            return None;
-        }
-        let addr = self.next_free;
-        self.next_free += 4;
+        let addr = self.free.alloc_high(4)?;
         machine
             .mem
             .write_u32(addr, encode(Inst::Miss { idx }))
@@ -987,7 +1613,12 @@ impl Cc {
             .as_ref()
             .map(|r| r.orig_target)
             .unwrap_or(0);
-        self.trampolines.push((addr, orig, idx));
+        self.trampolines.push(Redir {
+            addr,
+            orig,
+            idx,
+            stub: true,
+        });
         self.seals.seal(machine, addr, 4);
         Some(addr)
     }
@@ -1054,7 +1685,8 @@ impl Cc {
             // miss path.
             machine.clear_ras();
             self.invalidate_chunk(machine, ep, orig)?;
-        } else if let Some(&(addr, _, idx)) = self.trampolines.iter().find(|&&(a, _, _)| a == start)
+        } else if let Some(&Redir { addr, idx, .. }) =
+            self.trampolines.iter().find(|t| t.addr == start)
         {
             // A single-word trampoline/stub: regenerate it from CC
             // metadata — no refetch needed.
@@ -1153,7 +1785,7 @@ impl Cc {
         if self.chunk_at(pc).is_some() {
             return Ok(()); // still inside a live chunk
         }
-        if self.trampolines.iter().any(|&(a, _, _)| a == pc) {
+        if self.trampolines.iter().any(|t| t.addr == pc) {
             return Ok(()); // trampolines/stubs heal in place
         }
         let Some(orig) = pc_orig else {
@@ -1208,7 +1840,7 @@ impl Cc {
             return;
         }
         let k = inj.pick(self.trampolines.len() as u64) as usize;
-        let addr = self.trampolines[k].0;
+        let addr = self.trampolines[k].addr;
         self.flip_bit(machine, addr, inj);
         self.stats.integrity.redirector_flips += 1;
     }
@@ -1224,4 +1856,66 @@ impl Cc {
 enum RaLoc {
     Reg,
     Mem(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FreeList;
+
+    #[test]
+    fn free_list_is_a_bump_pointer_until_released_into() {
+        let mut f = FreeList::new(0x1000, 0x100);
+        assert_eq!(f.largest(), (0x1000, 0x100));
+        assert_eq!(f.alloc(0x40), Some(0x1000));
+        assert_eq!(f.alloc(4), Some(0x1040));
+        assert_eq!(f.largest(), (0x1044, 0xbc));
+        assert_eq!(f.free_bytes(), 0xbc);
+    }
+
+    #[test]
+    fn free_list_release_coalesces_both_sides() {
+        let mut f = FreeList::new(0, 0x100);
+        assert!(f.alloc_at(0x00, 0x40));
+        assert!(f.alloc_at(0x40, 0x40));
+        assert!(f.alloc_at(0x80, 0x40));
+        // Free the outer two: the upper one coalesces with the tail hole.
+        f.release(0x00, 0x40);
+        f.release(0x80, 0x40);
+        assert_eq!(f.holes, vec![(0x00, 0x40), (0x80, 0x80)]);
+        assert_eq!(f.largest(), (0x80, 0x80));
+        // Freeing the middle merges all three into one arena-sized hole.
+        f.release(0x40, 0x40);
+        assert_eq!(f.holes, vec![(0x00, 0x100)]);
+    }
+
+    #[test]
+    fn free_list_largest_prefers_lowest_address_on_ties() {
+        let mut f = FreeList::new(0, 0x100);
+        assert!(f.alloc_at(0x40, 0x40)); // holes: [0,0x40) and [0x80,0x100)
+        assert!(f.alloc_at(0xc0, 0x40)); // holes: [0,0x40) and [0x80,0xc0)
+        assert_eq!(f.largest(), (0x00, 0x40));
+    }
+
+    #[test]
+    fn free_list_alloc_at_rejects_straddles_and_taken_ranges() {
+        let mut f = FreeList::new(0, 0x100);
+        assert!(f.alloc_at(0x20, 0x20));
+        assert!(!f.alloc_at(0x10, 0x20), "straddles a taken range");
+        assert!(!f.alloc_at(0x20, 0x10), "already taken");
+        assert!(f.alloc_at(0x00, 0x20));
+        assert!(f.alloc_at(0x40, 0xc0));
+        assert_eq!(f.free_bytes(), 0);
+        assert_eq!(f.largest().1, 0);
+        assert_eq!(f.alloc(4), None);
+    }
+
+    #[test]
+    fn free_list_first_fit_lands_in_earliest_hole_with_room() {
+        let mut f = FreeList::new(0, 0x100);
+        assert!(f.alloc_at(0x00, 0x10));
+        assert!(f.alloc_at(0x20, 0xd0)); // hole [0x10,0x20) then tail [0xf0,0x100)
+        assert_eq!(f.alloc(0x20), None);
+        assert_eq!(f.alloc(0x10), Some(0x10));
+        assert_eq!(f.alloc(0x10), Some(0xf0));
+    }
 }

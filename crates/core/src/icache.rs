@@ -629,6 +629,9 @@ int main() {
             .unwrap();
         let small_cfg = IcacheConfig {
             tcache_size: 384,
+            // Pin the paper's flush-all baseline: this test is about the
+            // fig5 cliff itself, not the eviction policy that flattens it.
+            tcache_policy: crate::cc::TcachePolicy::FlushAll,
             ..IcacheConfig::default()
         };
         let small = SoftIcacheSystem::new(image, small_cfg).run(&[]).unwrap();
@@ -641,6 +644,130 @@ int main() {
             big.cache.translations
         );
         assert!(small.exec.cycles > big.exec.cycles);
+    }
+
+    #[test]
+    fn trrip_evicts_chunks_instead_of_flushing() {
+        // Same program and tcache size as the thrash test above, but under
+        // the default TRRIP policy: pressure is served by per-chunk victim
+        // eviction, the output stays correct, and the install ledger
+        // balances exactly (translations = residents + evictions +
+        // invalidations + flush losses).
+        let src = r#"
+int a() { return 1; }
+int b() { return 2; }
+int c() { return 3; }
+int d() { return 4; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 25; i = i + 1) s = s + a() + b() + c() + d();
+    return s;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let big = SoftIcacheSystem::new(image.clone(), IcacheConfig::default())
+            .run(&[])
+            .unwrap();
+        let small_cfg = IcacheConfig {
+            tcache_size: 384,
+            ..IcacheConfig::default()
+        };
+        assert_eq!(small_cfg.tcache_policy, crate::cc::TcachePolicy::Trrip);
+        let small = SoftIcacheSystem::new(image, small_cfg).run(&[]).unwrap();
+        assert_eq!(small.exit_code, big.exit_code, "correctness preserved");
+        assert!(small.cache.evictions > 0, "pressure must evict victims");
+        assert!(
+            small.cache.install_ledger_balanced(),
+            "every translation is resident, evicted, invalidated, or lost \
+             to a flush: {:?}",
+            small.cache
+        );
+        assert!(
+            small.cache.evicted_hot + small.cache.evicted_warm + small.cache.evicted_cold
+                == small.cache.evictions,
+            "temperature histogram covers every eviction"
+        );
+    }
+
+    #[test]
+    fn trrip_escalates_to_flush_when_eviction_cannot_fit() {
+        // Regression for the room-making retry: when the incoming chunk is
+        // bigger than any hole eviction can open (fragmentation, pinned or
+        // RA-live survivors), `make_room` must escalate to a compacting
+        // flush and the program must still complete — and a chunk bigger
+        // than the refetch budget after that final flush is a hard error,
+        // not a livelock.
+        let src = r#"
+int pad1(int x) { return x + 1; }
+int pad2(int x) { return x + 2; }
+int big(int n) {
+    int r;
+    r = pad1(n) + pad2(n) + pad1(n + 1) + pad2(n + 2);
+    r = r + pad1(r) + pad2(r) + pad1(r + 3) + pad2(r + 4);
+    return r;
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 6; i = i + 1) s = s + big(i) + pad1(i);
+    return s & 0xff;
+}
+"#;
+        let image = minic::compile_to_image(src, &minic::Options::default()).unwrap();
+        let mut native = softcache_sim::Machine::load_native(&image, &[]);
+        let want = native.run_native(10_000_000).unwrap();
+        // Sweep down until eviction alone cannot serve every fill; the
+        // escalation path must keep the run correct rather than erroring.
+        let mut escalated = false;
+        for size in [768u32, 640, 512, 448, 384, 320, 256] {
+            let cfg = IcacheConfig {
+                tcache_size: size,
+                ..IcacheConfig::default()
+            };
+            match SoftIcacheSystem::new(image.clone(), cfg).run(&[]) {
+                Ok(out) => {
+                    assert_eq!(out.exit_code, want, "size {size}");
+                    assert!(out.cache.install_ledger_balanced(), "size {size}");
+                    escalated |= out.cache.evictions > 0 && out.cache.flushes > 0;
+                }
+                Err(CacheError::ChunkTooBig { .. }) => break,
+                Err(e) => panic!("size {size}: {e}"),
+            }
+        }
+        assert!(
+            escalated,
+            "no size in the sweep both evicted and escalated to a flush"
+        );
+    }
+
+    #[test]
+    fn chunk_too_big_is_reported_under_both_policies() {
+        // One giant straight-line block larger than the tcache errors out
+        // under flush-all and under TRRIP alike.
+        let mut src = String::from("_start:\n");
+        for i in 0..200 {
+            src.push_str(&format!(" addi t0, t0, {}\n", i % 7));
+        }
+        src.push_str(" li a0, 0\n ecall 0\n");
+        let image = assemble(&src).unwrap();
+        for policy in [
+            crate::cc::TcachePolicy::FlushAll,
+            crate::cc::TcachePolicy::Trrip,
+        ] {
+            let cfg = IcacheConfig {
+                tcache_size: 256,
+                tcache_policy: policy,
+                ..IcacheConfig::default()
+            };
+            let err = SoftIcacheSystem::new(image.clone(), cfg)
+                .run(&[])
+                .unwrap_err();
+            assert!(
+                matches!(err, CacheError::ChunkTooBig { .. }),
+                "{policy:?}: {err}"
+            );
+        }
     }
 
     #[test]
@@ -665,29 +792,14 @@ int main() { return deep(6); }
 
         let cfg = IcacheConfig {
             tcache_size: 600,
+            // Flush-path hygiene test: keep the whole-cache flush in play.
+            tcache_policy: crate::cc::TcachePolicy::FlushAll,
             ..IcacheConfig::default()
         };
         let out = SoftIcacheSystem::new(image, cfg).run(&[]).unwrap();
         assert_eq!(out.exit_code, want, "flush must not corrupt returns");
         assert!(out.cache.flushes > 0, "test requires at least one flush");
         assert!(out.cache.ra_redirects > 0, "stacked RAs were rewritten");
-    }
-
-    #[test]
-    fn chunk_too_big_is_reported() {
-        // One giant straight-line block larger than the tcache.
-        let mut src = String::from("_start:\n");
-        for i in 0..200 {
-            src.push_str(&format!(" addi t0, t0, {}\n", i % 7));
-        }
-        src.push_str(" li a0, 0\n ecall 0\n");
-        let image = assemble(&src).unwrap();
-        let cfg = IcacheConfig {
-            tcache_size: 256,
-            ..IcacheConfig::default()
-        };
-        let err = SoftIcacheSystem::new(image, cfg).run(&[]).unwrap_err();
-        assert!(matches!(err, CacheError::ChunkTooBig { .. }));
     }
 
     #[test]
@@ -872,6 +984,8 @@ int main() { return work(500) & 0x7f; }
         for size in [768u32, 640, 512, 448, 384] {
             let cfg = IcacheConfig {
                 tcache_size: size,
+                // Flush-path hygiene test: keep the whole-cache flush.
+                tcache_policy: crate::cc::TcachePolicy::FlushAll,
                 ..IcacheConfig::default()
             };
             match SoftIcacheSystem::new(image.clone(), cfg)

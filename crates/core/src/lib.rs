@@ -42,7 +42,7 @@ pub mod scache;
 pub mod server;
 pub mod xlate;
 
-pub use cc::{CacheError, Cc, IcacheConfig, IcacheStats};
+pub use cc::{CacheError, Cc, IcacheConfig, IcacheStats, TcachePolicy};
 pub use datarun::{DataRunOutput, SoftDcacheSystem};
 pub use dcache::{Dcache, DcacheConfig, DcacheStats, Prediction, WritePolicy};
 pub use endpoint::{serve, serve_bounded, McEndpoint, RpcOutcome, ServeReport};

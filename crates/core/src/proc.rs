@@ -295,7 +295,10 @@ impl Heap {
         Some(addr)
     }
 
-    /// Index of the least-recently-used procedure region.
+    /// Index of the least-recently-used procedure region. Superseded by
+    /// `ProcCc::pick_victim` (TRRIP); kept as the reference policy for
+    /// the heap unit tests.
+    #[cfg(test)]
     fn lru_proc(&self) -> Option<usize> {
         self.regions
             .iter()
@@ -326,6 +329,14 @@ impl Heap {
         }
     }
 }
+
+/// TRRIP buckets for the procedure tier (DESIGN.md §16), mirroring the
+/// basic-block tier: touched procedures go hot, previously evicted ones
+/// reinstall warm, first-time installs land near-distant.
+const PROC_RRPV_MAX: u8 = 3;
+const PROC_RRPV_HOT: u8 = 0;
+const PROC_RRPV_WARM: u8 = 1;
+const PROC_RRPV_FRESH: u8 = 2;
 
 #[derive(Clone, Copy, Debug)]
 enum RedirSlot {
@@ -405,6 +416,13 @@ struct ProcCc {
     fails: HashMap<u32, u32>,
     /// Procedures the watchdog has pinned to the slow path.
     pinned_origs: HashSet<u32>,
+    /// Re-reference prediction per resident procedure entry. Victim
+    /// selection under heap pressure takes the highest RRPV instead of
+    /// strict recency (DESIGN.md §16).
+    rrpv: HashMap<u32, u8>,
+    /// Lifetime entries per procedure, never cleared — breaks RRPV ties
+    /// towards the procedure entered least over the whole run.
+    heat: HashMap<u32, u64>,
 }
 
 fn trace_on() -> bool {
@@ -426,6 +444,8 @@ impl ProcCc {
             seals: SealTable::default(),
             fails: HashMap::new(),
             pinned_origs: HashSet::new(),
+            rrpv: HashMap::new(),
+            heat: HashMap::new(),
         }
     }
 
@@ -471,6 +491,9 @@ impl ProcCc {
             self.heap.release(i);
         }
         self.resident.clear();
+        // Residence predictions die with the residents; lifetime heat
+        // survives (it describes the program, not the epoch).
+        self.rrpv.clear();
         // Every seal is stale: the procedure seals cover now-freed regions
         // and the redirector words are about to be rewritten (resealing
         // them below). The `fails` ledger is deliberately kept.
@@ -499,6 +522,8 @@ impl ProcCc {
         self.clock += 1;
         let now = self.clock;
         self.heap.touch(func, now);
+        self.rrpv.insert(func, PROC_RRPV_HOT);
+        *self.heat.entry(func).or_insert(0) += 1;
         Some(tc)
     }
 
@@ -556,6 +581,7 @@ impl ProcCc {
         };
         let proc = self.resident.remove(&func).expect("resident");
         self.heap.release(idx);
+        self.rrpv.remove(&func);
         self.seals.unseal(proc.tc_start);
         if self.pinned_origs.contains(&func) {
             machine.unpin_slow_span(proc.tc_start, proc.tc_start + proc.orig_size);
@@ -592,7 +618,42 @@ impl ProcCc {
         Ok(())
     }
 
-    /// Allocate `size` bytes, evicting LRU procedures as needed. Pinned
+    /// Pick the eviction victim: age every resident procedure until one
+    /// reaches the distant bucket, then take the highest RRPV, breaking
+    /// ties towards the least lifetime heat, then the least recent use.
+    fn pick_victim(&mut self) -> Option<usize> {
+        let procs: Vec<(usize, u32, u64)> = self
+            .heap
+            .regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r.kind {
+                RegionKind::Proc { func, last_use } => Some((i, func, last_use)),
+                _ => None,
+            })
+            .collect();
+        let max = procs
+            .iter()
+            .map(|&(_, f, _)| self.rrpv.get(&f).copied().unwrap_or(PROC_RRPV_FRESH))
+            .max()?;
+        if max < PROC_RRPV_MAX {
+            let delta = PROC_RRPV_MAX - max;
+            for v in self.rrpv.values_mut() {
+                *v = (*v + delta).min(PROC_RRPV_MAX);
+            }
+        }
+        procs
+            .into_iter()
+            .max_by_key(|&(i, f, lu)| {
+                let r = self.rrpv.get(&f).copied().unwrap_or(PROC_RRPV_FRESH);
+                let heat = self.heat.get(&f).copied().unwrap_or(0);
+                use std::cmp::Reverse;
+                (r, Reverse(heat), Reverse(lu), Reverse(i))
+            })
+            .map(|(i, _, _)| i)
+    }
+
+    /// Allocate `size` bytes, evicting cold procedures as needed. Pinned
     /// (redirector) allocations are carved from the top of memory so they
     /// stay contiguous and never fragment the procedure heap.
     fn alloc(
@@ -611,7 +672,7 @@ impl ProcCc {
             } else if let Some(idx) = self.heap.find_free(size) {
                 return Ok(self.heap.carve(idx, size, kind));
             }
-            let Some(victim) = self.heap.lru_proc() else {
+            let Some(victim) = self.pick_victim() else {
                 return Err(CacheError::ChunkTooBig {
                     bytes: size,
                     capacity: self.cfg.memory_bytes,
@@ -696,6 +757,15 @@ impl ProcCc {
                 tc_start,
             },
         );
+        // A procedure seen before reinstalls warm; a first-time install
+        // lands near-distant until it proves itself.
+        let insert = if self.heat.contains_key(&chunk.orig_start) {
+            PROC_RRPV_WARM
+        } else {
+            PROC_RRPV_FRESH
+        };
+        self.rrpv.insert(chunk.orig_start, insert);
+        *self.heat.entry(chunk.orig_start).or_insert(0) += 1;
         // Phase 3: wire every call site through its redirector.
         for (stub_slot, ridx) in site_redirs {
             self.write_redir_word(machine, ridx, RedirSlot::Callee);
@@ -1299,6 +1369,38 @@ int main() { return f(getc()); }
         assert!(matches!(
             h.regions[lru].kind,
             RegionKind::Proc { func: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn trrip_victim_prefers_cold_low_heat_procs() {
+        let mut cc = ProcCc::new(ProcConfig::default());
+        for (func, last_use) in [(0x100, 1), (0x200, 2), (0x300, 3)] {
+            let idx = cc.heap.find_free(16).unwrap();
+            cc.heap.carve(idx, 16, RegionKind::Proc { func, last_use });
+        }
+        // 0x100 is entered constantly; the others installed and idled.
+        cc.rrpv.insert(0x100, PROC_RRPV_HOT);
+        cc.heat.insert(0x100, 50);
+        cc.rrpv.insert(0x200, PROC_RRPV_FRESH);
+        cc.heat.insert(0x200, 3);
+        cc.rrpv.insert(0x300, PROC_RRPV_FRESH);
+        cc.heat.insert(0x300, 1);
+        // Max RRPV is FRESH (2), so everyone ages by 1; the victim is the
+        // distant proc with the least lifetime heat — NOT the LRU (0x100).
+        let v = cc.pick_victim().unwrap();
+        assert!(matches!(
+            cc.heap.regions[v].kind,
+            RegionKind::Proc { func: 0x300, .. }
+        ));
+        assert_eq!(cc.rrpv[&0x100], PROC_RRPV_HOT + 1);
+        assert_eq!(cc.rrpv[&0x200], PROC_RRPV_MAX);
+        // Recency still breaks exact (rrpv, heat) ties.
+        cc.heat.insert(0x300, 3);
+        let v = cc.pick_victim().unwrap();
+        assert!(matches!(
+            cc.heap.regions[v].kind,
+            RegionKind::Proc { func: 0x200, .. }
         ));
     }
 }

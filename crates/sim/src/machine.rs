@@ -592,6 +592,29 @@ impl Machine {
         self.uops.clear_pins();
     }
 
+    /// Drop every cached decode slot and superblock covering `[lo, hi)`
+    /// *without* a code-write generation bump. The cache controller calls
+    /// this when it evicts a single chunk: the span's addresses are about
+    /// to be recycled, so its host-side lowerings are garbage, but the
+    /// rest of the tcache is untouched and survivors keep their slots.
+    /// Any write into the span later (a fresh install) still goes through
+    /// the ordinary code-write barrier, so this is hygiene — reclaiming
+    /// dead lowering state eagerly and keeping the demotion ledger exact —
+    /// not a correctness requirement. Host-side only: simulated results
+    /// are bit-identical with or without the call.
+    pub fn invalidate_code_span(&mut self, lo: u32, hi: u32) {
+        // Consume any pending dirty span first so this invalidation cannot
+        // race the barrier's own bookkeeping.
+        self.sync_caches();
+        let hi = hi.max(lo).saturating_sub(1);
+        self.decode.invalidate_span(lo, hi);
+        self.uops.invalidate_span(lo, hi);
+        self.trace.demotions += self.uops.take_threaded_drops();
+        // Dropped blocks may free the whole arena (ids recycled without a
+        // generation bump), so predictions carrying arena ids must die.
+        self.ras.clear();
+    }
+
     /// Eagerly predecode `[lo, hi)`: fill instruction slots, lower
     /// superblocks for every word in the range, and pre-link every static
     /// terminator leg whose successor is already lowered. The cache

@@ -9,7 +9,7 @@ use softcache::core::endpoint::{serve, serve_bounded, McEndpoint};
 use softcache::core::icache::SoftIcacheSystem;
 use softcache::core::mc::Mc;
 use softcache::core::proc::{ProcCacheSystem, ProcConfig};
-use softcache::core::IcacheConfig;
+use softcache::core::{IcacheConfig, TcachePolicy};
 use softcache::isa::Image;
 use softcache::net::transport::{ChannelTransport, NetError};
 use softcache::net::{
@@ -452,6 +452,10 @@ fn bb_flush_recycles_addresses_without_stale_ras() {
         let cfg = IcacheConfig {
             tcache_size: (image.text_bytes() / 3).max(1024),
             superblocks,
+            // This test is about *flush* hygiene: pin the paper baseline
+            // policy so the tight tcache actually flushes instead of
+            // evicting per-chunk victims.
+            tcache_policy: TcachePolicy::FlushAll,
             ..IcacheConfig::default()
         };
         let mut sys = SoftIcacheSystem::new(image.clone(), cfg);

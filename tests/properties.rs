@@ -19,7 +19,7 @@ use softcache::core::dcache::{Dcache, DcacheConfig, Prediction};
 use softcache::core::endpoint::McEndpoint;
 use softcache::core::icache::SoftIcacheSystem;
 use softcache::core::mc::Mc;
-use softcache::core::IcacheConfig;
+use softcache::core::{CacheError, IcacheConfig, TcachePolicy};
 use softcache::isa::layout::DATA_BASE;
 use softcache::minic;
 use softcache::sim::Machine;
@@ -174,6 +174,55 @@ proptest! {
         let mut sys = SoftIcacheSystem::new(image, cfg);
         let out = sys.run(&[]).unwrap();
         prop_assert_eq!(out.exit_code, want.exit_code, "softcache vs interpreter");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replacement is architecturally invisible: under a tcache tight
+    /// enough to force replacement, TRRIP victim eviction, the paper's
+    /// flush-all policy, and the native machine retire identical results
+    /// for arbitrary generated programs — and the eviction ledger
+    /// balances under both policies. When a single block legitimately
+    /// outgrows the tcache, both policies must agree on the refusal.
+    #[test]
+    fn eviction_policies_are_bit_identical_to_native(
+        src in random_program(),
+        tcache_size in 384u32..1024,
+    ) {
+        let image = minic::compile_to_image(&src, &minic::Options::default()).unwrap();
+        let mut native = Machine::load_native(&image, &[]);
+        let want = native.run_native(50_000_000).unwrap();
+
+        let mut too_big = [false; 2];
+        for (i, policy) in [TcachePolicy::FlushAll, TcachePolicy::Trrip].into_iter().enumerate() {
+            let cfg = IcacheConfig {
+                tcache_size,
+                tcache_policy: policy,
+                ..IcacheConfig::default()
+            };
+            let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
+            match sys.run(&[]) {
+                Ok(out) => {
+                    prop_assert_eq!(
+                        out.exit_code, want,
+                        "{:?} at {} bytes diverged from native", policy, tcache_size
+                    );
+                    prop_assert!(
+                        out.cache.install_ledger_balanced(),
+                        "{:?} at {} bytes: unbalanced ledger {:?}",
+                        policy, tcache_size, out.cache
+                    );
+                }
+                Err(CacheError::ChunkTooBig { .. }) => too_big[i] = true,
+                Err(e) => return Err(TestCaseError::fail(format!("{policy:?}: {e:?}"))),
+            }
+        }
+        prop_assert_eq!(
+            too_big[0], too_big[1],
+            "policies must agree on whether a block outgrows {} bytes", tcache_size
+        );
     }
 }
 
@@ -391,17 +440,34 @@ proptest! {
             redirector_per_mille: redir,
             ..MemFaultPlan::clean(seed)
         };
-        for superblocks in [true, false] {
+        // The tight tcache forces replacement mid-chaos, so TRRIP eviction
+        // (which must drop the victim's seal) and flush-all recovery are
+        // both exercised under fire.
+        for (superblocks, policy, tcache_size) in [
+            (true, TcachePolicy::Trrip, 1024),
+            (false, TcachePolicy::Trrip, 1024),
+            (true, TcachePolicy::FlushAll, 1024),
+            (true, TcachePolicy::Trrip, 2048),
+            (false, TcachePolicy::FlushAll, 2048),
+        ] {
             let cfg = IcacheConfig {
-                tcache_size: 2048,
+                tcache_size,
                 superblocks,
+                tcache_policy: policy,
                 ..IcacheConfig::default()
             };
             let mut sys = SoftIcacheSystem::new(image.clone(), cfg);
-            let out = sys.run_chaos(&[], plan).unwrap();
+            let out = match sys.run_chaos(&[], plan) {
+                Ok(o) => o,
+                // A single oversized block is a legitimate refusal on the
+                // tight sizes; the 2048-byte runs never hit it.
+                Err(CacheError::ChunkTooBig { .. }) if tcache_size < 2048 => continue,
+                Err(e) => return Err(TestCaseError::fail(format!("{policy:?}: {e:?}"))),
+            };
             prop_assert_eq!(
                 out.exit_code, want.exit_code,
-                "corrupted run diverged under {:?} superblocks={}", plan, superblocks
+                "corrupted run diverged under {:?} superblocks={} {:?}/{}",
+                plan, superblocks, policy, tcache_size
             );
             let s = out.cache.integrity;
             prop_assert!(s.balanced(), "unbalanced ledger under {:?}: {:?}", plan, s);
@@ -417,6 +483,11 @@ proptest! {
                     "flips landed but no violation detected under {:?}: {:?}", plan, s
                 );
             }
+            prop_assert!(
+                out.cache.install_ledger_balanced(),
+                "install ledger must balance under chaos {:?}/{}: {:?}",
+                policy, tcache_size, out.cache
+            );
         }
     }
 }
